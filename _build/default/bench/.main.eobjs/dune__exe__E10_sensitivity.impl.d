@@ -1,0 +1,1 @@
+bench/e10_sensitivity.ml: A Algorithms Array Exp_common Float I List Mmd Prelude Printf T Workloads

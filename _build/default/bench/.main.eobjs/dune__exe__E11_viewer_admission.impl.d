@@ -1,0 +1,1 @@
+bench/e11_viewer_admission.ml: Exp_common List Prelude Printf Simnet T Workloads

@@ -1,0 +1,1 @@
+bench/e12_presolve.ml: A Algorithms Array Exp_common I List Mmd Prelude Printf T Workloads

@@ -1,0 +1,1 @@
+bench/e13_mu_sensitivity.ml: A Algorithms Array Exact Exp_common Fun I List Prelude Printf T Workloads

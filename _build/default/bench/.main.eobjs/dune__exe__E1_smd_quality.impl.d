@@ -1,0 +1,1 @@
+bench/e1_smd_quality.ml: A Algorithms Array Baselines Exact Exp_common Float List Prelude T Workloads

@@ -1,0 +1,1 @@
+bench/e2_skew.ml: A Algorithms Exact Exp_common Float List Mmd Prelude T Workloads

@@ -1,0 +1,1 @@
+bench/e3_mmd_pipeline.ml: A Algorithms Exact Exp_common Float List Mmd Prelude T Workloads

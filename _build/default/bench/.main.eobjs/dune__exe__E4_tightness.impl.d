@@ -1,0 +1,1 @@
+bench/e4_tightness.ml: A Algorithms Exp_common List T

@@ -1,0 +1,1 @@
+bench/e5_online_competitive.ml: A Algorithms Array Exact Exp_common Float Fun Hashtbl I List Prelude T Workloads

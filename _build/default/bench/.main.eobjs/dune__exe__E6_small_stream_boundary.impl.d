@@ -1,0 +1,1 @@
+bench/e6_small_stream_boundary.ml: A Algorithms Array Exact Exp_common Float Fun I List Prelude Printf T Workloads

@@ -1,0 +1,1 @@
+bench/e7_simulation.ml: Algorithms Array Exp_common Float I List Prelude Printf Seq Simnet T Workloads

@@ -1,0 +1,1 @@
+bench/e8_scaling.ml: Algorithms Exp_common Float List Prelude Printf T Workloads

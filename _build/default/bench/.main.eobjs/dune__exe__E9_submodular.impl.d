@@ -1,0 +1,1 @@
+bench/e9_submodular.ml: Array Exp_common Float Fun List Prelude Printf Submodular T

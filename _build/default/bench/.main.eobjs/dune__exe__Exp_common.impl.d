@@ -1,0 +1,1 @@
+bench/exp_common.ml: Array Float Mmd Prelude Printf Unix

@@ -1,0 +1,1 @@
+bench/microbench.ml: Algorithms Analyze Baselines Bechamel Benchmark Exact Exp_common Float Hashtbl Instance List Measure Option Prelude Printf Staged Test Time Toolkit Workloads

@@ -1,0 +1,103 @@
+(* E10 — plan robustness under forecast error.
+
+   Operators plan against forecast demand; reality differs. We plan on
+   a nominal cable head-end instance, then evaluate the plan on a
+   perturbed "actual" instance and compare with re-planning on the
+   actual one. Regret = 1 - plan-value / replan-value. Capacity
+   downgrades can make the nominal plan infeasible; it is repaired by
+   the per-user trim before evaluation (as an operator would shed
+   load). *)
+
+open Exp_common
+
+(* Server-side load shedding: while a budget is violated, drop the
+   range stream with the lowest utility per unit of normalized cost —
+   the obvious operator response to a cost perturbation. *)
+let rec shed actual a =
+  let violated =
+    List.exists
+      (function Mmd.Assignment.Budget_exceeded _ -> true | _ -> false)
+      (A.violations actual a)
+  in
+  if not violated then a
+  else begin
+    let density s =
+      let c = ref 0. in
+      for i = 0 to I.m actual - 1 do
+        let b = I.budget actual i in
+        if b > 0. && b < infinity then
+          c := !c +. (I.server_cost actual s i /. b)
+      done;
+      if !c <= 0. then infinity else I.stream_total_utility actual s /. !c
+    in
+    match A.range a with
+    | [] -> a
+    | first :: rest ->
+        let worst =
+          List.fold_left
+            (fun acc s -> if density s < density acc then s else acc)
+            first rest
+        in
+        shed actual (A.restrict_range a (fun s -> s <> worst))
+  end
+
+let evaluate_plan actual plan =
+  let repaired =
+    Algorithms.Feasible_repair.trim_caps actual (shed actual plan)
+  in
+  if A.is_feasible actual repaired then A.utility actual repaired else 0.
+
+let scenarios =
+  [ ("demand jitter 10%", fun rng t -> Workloads.Perturb.jitter_utilities rng ~rel:0.1 t);
+    ("demand jitter 25%", fun rng t -> Workloads.Perturb.jitter_utilities rng ~rel:0.25 t);
+    ("demand jitter 50%", fun rng t -> Workloads.Perturb.jitter_utilities rng ~rel:0.5 t);
+    ("cost jitter 25%", fun rng t -> Workloads.Perturb.jitter_costs rng ~rel:0.25 t);
+    ("capacity downgrade 25%", fun _ t -> Workloads.Perturb.scale_capacities 0.75 t);
+    ("capacity upgrade 50%", fun _ t -> Workloads.Perturb.scale_capacities 1.5 t) ]
+
+let run () =
+  header "E10" "plan robustness under forecast error (perturbation study)";
+  let table =
+    T.create
+      [ ("perturbation", T.Left); ("mean plan value", T.Right);
+        ("mean replan value", T.Right); ("mean regret", T.Right);
+        ("worst regret", T.Right) ]
+  in
+  List.iter
+    (fun (name, perturb) ->
+      let plan_values = ref [] and replan_values = ref [] in
+      let regrets = ref [] in
+      ignore
+        (replicate ~replicas:10 ~base_seed:10_000 (fun seed ->
+             let rng = Prelude.Rng.create seed in
+             let nominal =
+               Workloads.Scenarios.cable_headend rng ~num_channels:35
+                 ~num_gateways:8
+             in
+             let plan = Algorithms.Solve.best_of nominal in
+             let actual = perturb rng nominal in
+             let plan_value = evaluate_plan actual plan in
+             let replan_value =
+               A.utility actual (Algorithms.Solve.best_of actual)
+             in
+             plan_values := plan_value :: !plan_values;
+             replan_values := replan_value :: !replan_values;
+             let regret =
+               if replan_value <= 0. then 0.
+               else Float.max 0. (1. -. (plan_value /. replan_value))
+             in
+             regrets := regret :: !regrets));
+      let mean xs = Prelude.Stats.mean (Array.of_list xs) in
+      let worst = Prelude.Float_ops.fmax_array (Array.of_list !regrets) in
+      T.add_row table
+        [ name;
+          T.cell_f (mean !plan_values);
+          T.cell_f (mean !replan_values);
+          Printf.sprintf "%.1f%%" (100. *. mean !regrets);
+          Printf.sprintf "%.1f%%" (100. *. worst) ])
+    scenarios;
+  T.print table;
+  print_endline
+    "regret = value lost by sticking to the nominal plan instead of\n\
+     re-planning on the realized instance (plans repaired by per-user\n\
+     trimming when a perturbation invalidates them)."

@@ -1,0 +1,62 @@
+(* E13 — sensitivity of Algorithm 2 to its µ parameter.
+
+   µ = 2γ(m + |U|m_c) + 2 is the one prescribed constant in the online
+   algorithm. How much does performance (and safety) depend on getting
+   it right? We scale µ by factors around the prescribed value and
+   measure achieved utility (vs the LP bound) and feasibility with the
+   strict safety net OFF — so mistakes are visible.
+
+   Expectation from the theory: at the prescribed µ and above,
+   Lemma 5.1 keeps everything feasible (larger µ only gets more
+   conservative, losing some utility); far below, the exponential
+   penalty is too shallow, the algorithm over-admits, and violations
+   appear. *)
+
+open Exp_common
+module OA = Algorithms.Online_allocate
+
+let scales = [ 0.01; 0.1; 0.5; 1.0; 4.0; 16.0 ]
+
+let run () =
+  header "E13" "sensitivity to the µ parameter (Algorithm 2)";
+  let table =
+    T.create
+      [ ("µ scale", T.Right); ("effective µ", T.Right);
+        ("mean utility vs LP", T.Right); ("worst vs LP", T.Right);
+        ("runs with violations", T.Right) ]
+  in
+  List.iter
+    (fun scale ->
+      let fractions = ref [] in
+      let violating = ref 0 and mu_seen = ref 0. in
+      ignore
+        (replicate ~replicas:12 ~base_seed:13_000 (fun seed ->
+             let rng = Prelude.Rng.create seed in
+             let t =
+               Workloads.Generator.small_streams rng
+                 { Workloads.Generator.default with
+                   num_streams = 40;
+                   num_users = 6;
+                   m = 2 }
+             in
+             let st = OA.create ~strict:false ~mu_scale:scale t in
+             mu_seen := OA.mu st;
+             Array.iter
+               (fun s -> ignore (OA.offer st s))
+               (Array.init (I.num_streams t) Fun.id);
+             let a = OA.assignment st in
+             if not (A.is_feasible t a) then incr violating;
+             let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+             fractions := (A.utility t a /. lp) :: !fractions));
+      let fr = Array.of_list !fractions in
+      T.add_row table
+        [ Printf.sprintf "%.2fx" scale;
+          T.cell_f !mu_seen;
+          Printf.sprintf "%.2f" (Prelude.Stats.mean fr);
+          Printf.sprintf "%.2f" (Prelude.Float_ops.fmin_array fr);
+          Printf.sprintf "%d/12" !violating ])
+    scales;
+  T.print table;
+  print_endline
+    "utility vs LP = achieved fraction of the LP upper bound (higher\n\
+     is better; 1.0 would be optimal). The prescribed value is 1.00x."

@@ -1,0 +1,134 @@
+(* E1 — SMD approximation quality (Theorems 2.5 / 2.8 / 2.9 / 2.10).
+
+   Small instances: measured ratio against the exact optimum.
+   Larger instances: against the LP upper bound (so reported ratios
+   are pessimistic). Paper bounds: fixed greedy 3e/(e-1) ~ 4.75,
+   Sviridenko 2e/(e-1) ~ 3.16. Baselines included for context. *)
+
+open Exp_common
+
+let algorithms =
+  [ ("fixed-greedy (Thm 2.8)", Algorithms.Greedy_fixed.run_feasible,
+     fixed_greedy_bound);
+    ("sviridenko (Thm 2.10)",
+     (fun t -> Algorithms.Sviridenko.run_feasible t), sviridenko_bound);
+    ("lp-round (heuristic)",
+     (fun t -> (Exact.Lp_round.run t).Exact.Lp_round.assignment), nan);
+    ("threshold (baseline)", (fun t -> Baselines.Policies.threshold t), nan);
+    ("utility-order (baseline)", Baselines.Policies.utility_order, nan) ]
+
+(* At LP sizes the full triple enumeration is O(n^5)-ish; pairs keep
+   the flavor at tolerable cost. *)
+let lp_algorithms =
+  [ ("fixed-greedy (Thm 2.8)", Algorithms.Greedy_fixed.run_feasible,
+     fixed_greedy_bound);
+    ("sviridenko-pairs",
+     (fun t -> Algorithms.Sviridenko.run_feasible ~max_enum_size:2 t),
+     sviridenko_bound);
+    ("lp-round (heuristic)",
+     (fun t -> (Exact.Lp_round.run t).Exact.Lp_round.assignment), nan);
+    ("threshold (baseline)", (fun t -> Baselines.Policies.threshold t), nan);
+    ("utility-order (baseline)", Baselines.Policies.utility_order, nan) ]
+
+let exact_sizes = [ 8; 11; 14 ]
+let bnb_sizes = [ 20 ]
+let lp_sizes = [ 60; 120 ]
+
+let run () =
+  header "E1" "SMD approximation quality, unit skew (m = mc = 1)";
+  let table =
+    T.create
+      [ ("n streams", T.Right); ("vs", T.Left); ("algorithm", T.Left);
+        ("mean ratio", T.Right); ("p90", T.Right); ("worst", T.Right);
+        ("paper bound", T.Right) ]
+  in
+  List.iter
+    (fun n ->
+      let per_algo =
+        List.map
+          (fun (name, solve, bound) -> (name, solve, bound, ref []))
+          algorithms
+      in
+      ignore
+        (replicate ~base_seed:(1000 + n) (fun seed ->
+             let t =
+               Workloads.Generator.smd_unit_skew (Prelude.Rng.create seed)
+                 ~num_streams:n ~num_users:4
+             in
+             let opt, _ = Exact.Brute_force.solve t in
+             List.iter
+               (fun (_, solve, _, acc) ->
+                 let w = A.utility t (solve t) in
+                 acc := ratio ~opt ~alg:w :: !acc)
+               per_algo));
+      List.iter
+        (fun (name, _, bound, acc) ->
+          let mean, p90, worst = summarize_ratios (Array.of_list !acc) in
+          T.add_row table
+            [ T.cell_i n; "OPT"; name; T.cell_ratio mean; T.cell_ratio p90;
+              T.cell_ratio worst;
+              (if Float.is_nan bound then "-" else T.cell_ratio bound) ])
+        per_algo;
+      T.add_rule table)
+    exact_sizes;
+  (* Mid size: exact optimum from the LP-bounded branch and bound. *)
+  List.iter
+    (fun n ->
+      let per_algo =
+        List.map
+          (fun (name, solve, bound) -> (name, solve, bound, ref []))
+          algorithms
+      in
+      ignore
+        (replicate ~replicas:10 ~base_seed:(1500 + n) (fun seed ->
+             let t =
+               Workloads.Generator.smd_unit_skew (Prelude.Rng.create seed)
+                 ~num_streams:n ~num_users:6
+             in
+             let r = Exact.Bnb_lp.solve t in
+             if r.Exact.Bnb_lp.optimal then
+               List.iter
+                 (fun (_, solve, _, acc) ->
+                   let w = A.utility t (solve t) in
+                   acc := ratio ~opt:r.Exact.Bnb_lp.value ~alg:w :: !acc)
+                 per_algo));
+      List.iter
+        (fun (name, _, bound, acc) ->
+          let mean, p90, worst = summarize_ratios (Array.of_list !acc) in
+          T.add_row table
+            [ T.cell_i n; "OPT(B&B)"; name; T.cell_ratio mean;
+              T.cell_ratio p90; T.cell_ratio worst;
+              (if Float.is_nan bound then "-" else T.cell_ratio bound) ])
+        per_algo;
+      T.add_rule table)
+    bnb_sizes;
+  List.iter
+    (fun n ->
+      let per_algo =
+        List.map
+          (fun (name, solve, bound) -> (name, solve, bound, ref []))
+          lp_algorithms
+      in
+      ignore
+        (replicate ~replicas:8 ~base_seed:(2000 + n) (fun seed ->
+             let t =
+               Workloads.Generator.smd_unit_skew (Prelude.Rng.create seed)
+                 ~num_streams:n ~num_users:10
+             in
+             let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+             List.iter
+               (fun (_, solve, _, acc) ->
+                 let w = A.utility t (solve t) in
+                 acc := ratio ~opt:lp ~alg:w :: !acc)
+               per_algo));
+      List.iter
+        (fun (name, _, bound, acc) ->
+          let mean, p90, worst = summarize_ratios (Array.of_list !acc) in
+          T.add_row table
+            [ T.cell_i n; "LP"; name; T.cell_ratio mean; T.cell_ratio p90;
+              T.cell_ratio worst;
+              (if Float.is_nan bound then "-" else T.cell_ratio bound) ])
+        per_algo;
+      T.add_rule table)
+    lp_sizes;
+  T.print table

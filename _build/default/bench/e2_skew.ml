@@ -1,0 +1,44 @@
+(* E2 — classify-and-select under growing local skew (Theorem 3.1).
+
+   The measured ratio should grow at most logarithmically in the skew
+   alpha; the theorem's bound is 2 * (1 + floor(log alpha)) * 3e/(e-1). *)
+
+open Exp_common
+
+let run () =
+  header "E2" "classify-and-select vs skew (Theorem 3.1)";
+  let table =
+    T.create
+      [ ("target skew", T.Right); ("actual skew", T.Right);
+        ("bands", T.Right); ("mean ratio", T.Right); ("p90", T.Right);
+        ("worst", T.Right); ("Thm 3.1 bound", T.Right) ]
+  in
+  List.iter
+    (fun log_skew ->
+      let skew = Float.of_int (1 lsl log_skew) in
+      let actual = ref 0. and bands = ref 0 in
+      let ratios =
+        replicate ~replicas:15 ~base_seed:(3000 + log_skew) (fun seed ->
+            let rng = Prelude.Rng.create seed in
+            let t =
+              Workloads.Generator.instance rng
+                { Workloads.Generator.default with
+                  num_streams = 12;
+                  num_users = 4;
+                  skew }
+            in
+            let alpha = Mmd.Skew.local_skew t in
+            actual := Float.max !actual alpha;
+            bands := max !bands (bands_of_skew alpha);
+            let opt, _ = Exact.Brute_force.solve t in
+            let a = Algorithms.Skew_reduce.run t in
+            ratio ~opt ~alg:(A.utility t a))
+      in
+      let mean, p90, worst = summarize_ratios ratios in
+      let bound = 2. *. Float.of_int !bands *. fixed_greedy_bound in
+      T.add_row table
+        [ T.cell_f skew; T.cell_f !actual; T.cell_i !bands;
+          T.cell_ratio mean; T.cell_ratio p90; T.cell_ratio worst;
+          T.cell_ratio bound ])
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ];
+  T.print table

@@ -1,0 +1,75 @@
+(* E5 — online Allocate competitiveness (Theorem 5.4 + Lemma 5.1).
+
+   Small-stream instances, three arrival orders (id, random, and
+   cheapest-utility-first as a mild adversary). Ratios are measured
+   against the LP upper bound, so they over-state the true competitive
+   ratio; the bound is 1 + 2 log mu. Feasibility (Lemma 5.1) is checked
+   with the strict safety net OFF. *)
+
+open Exp_common
+module OA = Algorithms.Online_allocate
+
+let orders inst rng =
+  let n = I.num_streams inst in
+  let worst_first =
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun s1 s2 ->
+        compare
+          (I.stream_total_utility inst s1)
+          (I.stream_total_utility inst s2))
+      order;
+    order
+  in
+  [ ("id order", Array.init n Fun.id);
+    ("random order", Prelude.Rng.permutation rng n);
+    ("junk first", worst_first) ]
+
+let run () =
+  header "E5" "online Allocate competitiveness (Theorem 5.4, Lemma 5.1)";
+  let table =
+    T.create
+      [ ("n", T.Right); ("arrival order", T.Left); ("mean ratio", T.Right);
+        ("p90", T.Right); ("worst", T.Right); ("1+2log mu", T.Right);
+        ("violations", T.Right) ]
+  in
+  List.iter
+    (fun n ->
+      let order_names = [ "id order"; "random order"; "junk first" ] in
+      let acc = Hashtbl.create 8 in
+      List.iter (fun o -> Hashtbl.replace acc o (ref [])) order_names;
+      let violations = ref 0 in
+      let bound = ref 0. in
+      ignore
+        (replicate ~replicas:12 ~base_seed:(5000 + n) (fun seed ->
+             let rng = Prelude.Rng.create seed in
+             let t =
+               Workloads.Generator.small_streams rng
+                 { Workloads.Generator.default with
+                   num_streams = n;
+                   num_users = 6;
+                   m = 2 }
+             in
+             let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+             let st = OA.create t in
+             bound := Float.max !bound (1. +. (2. *. OA.log_mu st));
+             List.iter
+               (fun (name, order) ->
+                 let a = OA.run_offline ~strict:false ~order t in
+                 if not (A.is_feasible t a) then incr violations;
+                 let r = ratio ~opt:lp ~alg:(A.utility t a) in
+                 let cell = Hashtbl.find acc name in
+                 cell := r :: !cell)
+               (orders t rng)));
+      List.iter
+        (fun name ->
+          let rs = Array.of_list !(Hashtbl.find acc name) in
+          let mean, p90, worst = summarize_ratios rs in
+          T.add_row table
+            [ T.cell_i n; name; T.cell_ratio mean; T.cell_ratio p90;
+              T.cell_ratio worst; T.cell_ratio !bound;
+              T.cell_i !violations ])
+        order_names;
+      T.add_rule table)
+    [ 30; 60 ];
+  T.print table

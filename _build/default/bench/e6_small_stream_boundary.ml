@@ -1,0 +1,95 @@
+(* E6 — probing the Lemma 5.1 boundary.
+
+   The feasibility proof needs c_i(S) <= B_i / log mu. We shrink all
+   budgets and capacities by a factor, breaking the precondition
+   progressively, and run the paper's algorithm verbatim (no strict
+   safety net). Expectation: zero violations while the precondition
+   holds; violations may (and do) appear once streams are large
+   relative to budgets. *)
+
+open Exp_common
+module OA = Algorithms.Online_allocate
+
+(* Rebuild the instance with budgets and capacities scaled by f. *)
+let scale_constraints t f =
+  let ns = I.num_streams t and nu = I.num_users t in
+  let m = I.m t and mc = I.mc t in
+  let clamp_budget i =
+    (* keep every stream individually admissible *)
+    Float.max (f *. I.budget t i) (I.max_server_cost t i)
+  in
+  let clamp_cap u j =
+    let biggest = ref 0. in
+    for s = 0 to ns - 1 do
+      biggest := Float.max !biggest (I.load t u s j)
+    done;
+    Float.max (f *. I.capacity t u j) !biggest
+  in
+  I.create
+    ~name:(Printf.sprintf "%s/x%.2f" (I.name t) f)
+    ~server_cost:
+      (Array.init ns (fun s -> Array.init m (fun i -> I.server_cost t s i)))
+    ~budget:(Array.init m clamp_budget)
+    ~load:
+      (Array.init nu (fun u ->
+           Array.init ns (fun s -> Array.init mc (fun j -> I.load t u s j))))
+    ~capacity:(Array.init nu (fun u -> Array.init mc (clamp_cap u)))
+    ~utility:(Array.init nu (fun u -> Array.init ns (I.utility t u)))
+    ~utility_cap:(Array.init nu (I.utility_cap t))
+    ()
+
+let run () =
+  header "E6" "Lemma 5.1 boundary: shrinking budgets below B/log mu";
+  let table =
+    T.create
+      [ ("budget scale", T.Right); ("small-stream ok", T.Right);
+        ("runs with violations", T.Right); ("worst overflow", T.Right);
+        ("mean utility vs LP", T.Right) ]
+  in
+  List.iter
+    (fun f ->
+      let ok = ref true and violating = ref 0 in
+      let overflow = ref 0. in
+      let rel = ref [] in
+      ignore
+        (replicate ~replicas:10 ~base_seed:6000 (fun seed ->
+             let rng = Prelude.Rng.create seed in
+             let base =
+               Workloads.Generator.small_streams rng
+                 { Workloads.Generator.default with
+                   num_streams = 30;
+                   num_users = 5;
+                   m = 2 }
+             in
+             let t = scale_constraints base f in
+             let st = OA.create ~strict:false t in
+             if not (OA.small_streams_ok st) then ok := false;
+             Array.iter
+               (fun s -> ignore (OA.offer st s))
+               (Array.init (I.num_streams t) Fun.id);
+             let a = OA.assignment st in
+             let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+             rel := (A.utility t a /. lp) :: !rel;
+             let violations = A.violations t a in
+             if violations <> [] then begin
+               incr violating;
+               List.iter
+                 (fun v ->
+                   match v with
+                   | A.Budget_exceeded { cost; budget; _ } ->
+                       overflow :=
+                         Float.max !overflow ((cost /. budget) -. 1.)
+                   | A.Capacity_exceeded { load; capacity; _ } ->
+                       overflow :=
+                         Float.max !overflow ((load /. capacity) -. 1.)
+                   | A.Utility_cap_exceeded _ -> ())
+                 violations
+             end));
+      T.add_row table
+        [ Printf.sprintf "%.2f" f; string_of_bool !ok;
+          Printf.sprintf "%d/10" !violating;
+          Printf.sprintf "%.1f%%" (100. *. !overflow);
+          Printf.sprintf "%.2f"
+            (Prelude.Stats.mean (Array.of_list !rel)) ])
+    [ 1.0; 0.5; 0.25; 0.1; 0.05; 0.02 ];
+  T.print table

@@ -1,0 +1,99 @@
+(* E7 — the systems claim of §1: utility-aware admission beats
+   threshold-based admission control under churn.
+
+   Head-end simulation over a Zipf cable-TV catalog; same workload and
+   seed for every policy. Utility-time = integral of served utility. *)
+
+open Exp_common
+module H = Simnet.Headend
+
+(* Cost-effectiveness cutoff for the greedy policy: half the median
+   utility-per-normalized-cost over the catalog. *)
+let median_effectiveness t =
+  let cost s =
+    let total = ref 0. in
+    for i = 0 to I.m t - 1 do
+      let b = I.budget t i in
+      if b > 0. && b < infinity then
+        total := !total +. (I.server_cost t s i /. b)
+    done;
+    !total
+  in
+  let densities =
+    Array.init (I.num_streams t) (fun s ->
+        let c = cost s in
+        if c <= 0. then infinity else I.stream_total_utility t s /. c)
+    |> Array.to_seq
+    |> Seq.filter (fun d -> Float.is_finite d)
+    |> Array.of_seq
+  in
+  if Array.length densities = 0 then 0.
+  else Prelude.Stats.percentile densities 50.
+
+let policies =
+  [ ("threshold", fun t -> Simnet.Policy.threshold t);
+    ("threshold-80%", fun t -> Simnet.Policy.threshold ~margin:0.8 t);
+    ("greedy-effectiveness",
+     fun t ->
+       Simnet.Policy.greedy_effectiveness
+         ~min_effectiveness:(0.5 *. median_effectiveness t)
+         t);
+    ("online-allocate", fun t -> Simnet.Policy.online_allocate t);
+    ("online-temporal", fun t -> Simnet.Policy.online_temporal t);
+    ("static-plan (best-of)",
+     fun t -> Simnet.Policy.static_plan (Algorithms.Solve.best_of t) t) ]
+
+let seeds = [ 7; 11; 13; 17; 23; 42; 99; 123 ]
+
+let run () =
+  header "E7" "head-end simulation: policy comparison (systems claim of §1)";
+  let table =
+    T.create
+      [ ("policy", T.Left); ("mean utility-time", T.Right);
+        ("vs threshold", T.Right); ("accept rate", T.Right);
+        ("mean egress util", T.Right); ("violations", T.Right) ]
+  in
+  let config =
+    { H.default_config with
+      duration = 1500.;
+      arrival_rate = 0.4;
+      mean_lifetime = 150. }
+  in
+  let results =
+    List.map
+      (fun (name, make) ->
+        let value = ref 0. and accepted = ref 0 and offered = ref 0 in
+        let egress = ref 0. and violations = ref 0 in
+        List.iter
+          (fun seed ->
+            let rng = Prelude.Rng.create seed in
+            let t =
+              Workloads.Scenarios.cable_headend (Prelude.Rng.create seed)
+                ~num_channels:40 ~num_gateways:8
+            in
+            let m = H.run ~rng ~config t make in
+            value := !value +. m.H.utility_time;
+            accepted := !accepted + m.H.accepted;
+            offered := !offered + m.H.offered;
+            egress := !egress +. m.H.mean_budget_utilization.(0);
+            violations := !violations + m.H.violations)
+          seeds;
+        (name, !value /. Float.of_int (List.length seeds),
+         Float.of_int !accepted /. Float.of_int !offered,
+         !egress /. Float.of_int (List.length seeds),
+         !violations))
+      policies
+  in
+  let baseline =
+    match results with (_, v, _, _, _) :: _ -> v | [] -> 1.
+  in
+  List.iter
+    (fun (name, value, accept, egress, violations) ->
+      T.add_row table
+        [ name; T.cell_f value;
+          Printf.sprintf "%+.1f%%" (100. *. ((value /. baseline) -. 1.));
+          Printf.sprintf "%.0f%%" (100. *. accept);
+          Printf.sprintf "%.0f%%" (100. *. egress);
+          T.cell_i violations ])
+    results;
+  T.print table

@@ -1,0 +1,43 @@
+(* Shared helpers for the experiment harness. *)
+
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module T = Prelude.Table
+
+let e = Float.exp 1.
+
+(* Approximation ratio OPT/ALG, with care for zero algorithm value. *)
+let ratio ~opt ~alg = if alg <= 0. then infinity else opt /. alg
+
+(* Run [f seed] for [replicas] seeds derived from [base_seed] and
+   collect the results. *)
+let replicate ?(replicas = 20) ~base_seed f =
+  Array.init replicas (fun i -> f (base_seed + (7919 * i)))
+
+let summarize_ratios ratios =
+  let s = Prelude.Stats.summarize ratios in
+  (s.Prelude.Stats.mean, s.Prelude.Stats.p90, s.Prelude.Stats.max)
+
+let header id title =
+  Printf.printf "\n=== %s: %s ===\n%!" id title
+
+let fixed_greedy_bound = 3. *. e /. (e -. 1.)
+let sviridenko_bound = 2. *. e /. (e -. 1.)
+
+let bands_of_skew alpha =
+  1 + int_of_float (Prelude.Float_ops.log2 (Float.max 1. alpha))
+
+(* Wall-clock helper for the scaling experiment. *)
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let median_time ?(runs = 3) f =
+  let times =
+    Array.init runs (fun _ ->
+        let _, t = time_it f in
+        t)
+  in
+  Array.sort compare times;
+  times.(runs / 2)

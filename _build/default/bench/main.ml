@@ -1,0 +1,39 @@
+(* Experiment harness: regenerates every experiment in EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe e3 e4     # run a subset
+     dune exec bench/main.exe micro     # bechamel timings only
+*)
+
+let experiments =
+  [ ("e1", E1_smd_quality.run);
+    ("e2", E2_skew.run);
+    ("e3", E3_mmd_pipeline.run);
+    ("e4", E4_tightness.run);
+    ("e5", E5_online_competitive.run);
+    ("e6", E6_small_stream_boundary.run);
+    ("e7", E7_simulation.run);
+    ("e8", E8_scaling.run);
+    ("e9", E9_submodular.run);
+    ("e10", E10_sensitivity.run);
+    ("e11", E11_viewer_admission.run);
+    ("e12", E12_presolve.run);
+    ("e13", E13_mu_sensitivity.run);
+    ("micro", Microbench.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested

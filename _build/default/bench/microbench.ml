@@ -1,0 +1,91 @@
+(* Bechamel micro-benchmarks: per-call cost of each algorithm on a
+   fixed mid-size instance. One Test.make per experiment pillar. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let rng = Prelude.Rng.create 4242 in
+  let smd =
+    Workloads.Generator.smd_unit_skew rng ~num_streams:120 ~num_users:12
+  in
+  let mmd =
+    Workloads.Generator.instance rng
+      { Workloads.Generator.default with
+        num_streams = 120;
+        num_users = 12;
+        m = 3;
+        mc = 2;
+        skew = 4. }
+  in
+  let small =
+    Workloads.Generator.small_streams rng
+      { Workloads.Generator.default with
+        num_streams = 120;
+        num_users = 12;
+        m = 2 }
+  in
+  let tiny =
+    Workloads.Generator.smd_unit_skew (Prelude.Rng.create 7)
+      ~num_streams:12 ~num_users:4
+  in
+  [ Test.make ~name:"greedy/n=120"
+      (Staged.stage (fun () -> Algorithms.Greedy.run smd));
+    Test.make ~name:"fixed-greedy/n=120"
+      (Staged.stage (fun () -> Algorithms.Greedy_fixed.run_feasible smd));
+    Test.make ~name:"skew-classify/n=120"
+      (Staged.stage (fun () ->
+           Algorithms.Skew_reduce.run
+             (Algorithms.Mmd_reduce.to_smd mmd).Algorithms.Mmd_reduce.instance));
+    Test.make ~name:"pipeline/n=120,m=3,mc=2"
+      (Staged.stage (fun () -> Algorithms.Solve.full_pipeline mmd));
+    Test.make ~name:"online-allocate/n=120"
+      (Staged.stage (fun () -> Algorithms.Online_allocate.run_offline small));
+    Test.make ~name:"threshold/n=120"
+      (Staged.stage (fun () -> Baselines.Policies.threshold mmd));
+    Test.make ~name:"lp-relax/n=12"
+      (Staged.stage (fun () -> Exact.Lp_relax.solve tiny));
+    Test.make ~name:"brute-force/n=12"
+      (Staged.stage (fun () -> Exact.Brute_force.solve tiny)) ]
+
+let run () =
+  Exp_common.header "MICRO" "bechamel per-call timings";
+  let tests = Test.make_grouped ~name:"vdmc" (make_tests ()) in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Prelude.Table.create
+      [ ("benchmark", Prelude.Table.Left);
+        ("time per call", Prelude.Table.Right);
+        ("r^2", Prelude.Table.Right) ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let per_call =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+      rows := (name, per_call, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, per_call, r2) ->
+      let pretty =
+        if Float.is_nan per_call then "-"
+        else if per_call > 1e9 then Printf.sprintf "%.2f s" (per_call /. 1e9)
+        else if per_call > 1e6 then Printf.sprintf "%.2f ms" (per_call /. 1e6)
+        else if per_call > 1e3 then Printf.sprintf "%.2f us" (per_call /. 1e3)
+        else Printf.sprintf "%.0f ns" per_call
+      in
+      Prelude.Table.add_row table
+        [ name; pretty; Printf.sprintf "%.3f" r2 ])
+    (List.sort compare !rows);
+  Prelude.Table.print table

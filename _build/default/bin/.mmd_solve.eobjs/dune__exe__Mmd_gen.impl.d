@@ -1,0 +1,1 @@
+bin/mmd_gen.ml: Algorithms Arg Cmd Cmdliner Format Mmd Prelude Printf Term Workloads

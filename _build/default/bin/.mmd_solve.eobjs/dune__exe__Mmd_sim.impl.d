@@ -1,0 +1,1 @@
+bin/mmd_sim.ml: Algorithms Arg Array Cmd Cmdliner Format List Mmd Prelude Printf Simnet Term

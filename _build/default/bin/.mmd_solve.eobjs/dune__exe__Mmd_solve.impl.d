@@ -1,0 +1,1 @@
+bin/mmd_solve.ml: Algorithms Arg Baselines Cmd Cmdliner Exact Format List Mmd Printf String Term

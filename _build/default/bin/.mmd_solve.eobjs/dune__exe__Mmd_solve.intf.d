@@ -1,0 +1,1 @@
+bin/mmd_solve.mli:

@@ -1,0 +1,105 @@
+(* mmd_gen: generate MMD instance files from the workload generators.
+
+   Examples:
+     mmd_gen --kind random --streams 50 --users 10 -m 2 --mc 1 out.mmd
+     mmd_gen --kind cable --streams 60 --users 12 out.mmd
+     mmd_gen --kind tightness -m 4 --mc 3 out.mmd
+*)
+
+open Cmdliner
+
+let generate kind streams users m mc skew density seed small out =
+  match
+    let rng = Prelude.Rng.create seed in
+    let instance =
+      match kind with
+      | "random" ->
+          let params =
+            { Workloads.Generator.default with
+              num_streams = streams;
+              num_users = users;
+              m;
+              mc;
+              skew;
+              density }
+          in
+          if small then Workloads.Generator.small_streams rng params
+          else Workloads.Generator.instance rng params
+      | "cable" ->
+          Workloads.Scenarios.cable_headend rng ~num_channels:streams
+            ~num_gateways:users
+      | "iptv" ->
+          Workloads.Scenarios.iptv_district rng ~num_channels:streams
+            ~num_subscribers:users
+      | "cdn" ->
+          Workloads.Scenarios.campus_cdn rng ~num_videos:streams
+            ~num_halls:users
+      | "tightness" -> Algorithms.Tightness.instance ~m ~mc
+      | other ->
+          Printf.ksprintf failwith
+            "unknown kind %S (try: random, cable, iptv, cdn, tightness)" other
+    in
+    Mmd.Io.write_file out instance;
+    Format.printf "wrote %a to %s@." Mmd.Instance.pp instance out
+  with
+  | () -> Ok ()
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+      Error (`Msg msg)
+
+let kind =
+  Arg.(
+    value & opt string "random"
+    & info [ "k"; "kind" ] ~docv:"KIND"
+        ~doc:"Workload kind: random, cable, iptv, cdn, tightness.")
+
+let streams =
+  Arg.(value & opt int 40 & info [ "streams" ] ~docv:"N" ~doc:"Stream count.")
+
+let users =
+  Arg.(value & opt int 10 & info [ "users" ] ~docv:"N" ~doc:"User count.")
+
+let m =
+  Arg.(
+    value & opt int 1
+    & info [ "m"; "server-measures" ] ~docv:"N"
+        ~doc:"Server budgets (short: -m).")
+
+let mc =
+  Arg.(
+    value & opt int 1
+    & info [ "c"; "mc"; "user-measures" ] ~docv:"N"
+        ~doc:"User capacity measures (short: -c).")
+
+let skew =
+  Arg.(
+    value & opt float 1. & info [ "skew" ] ~docv:"A" ~doc:"Target local skew.")
+
+let density =
+  Arg.(
+    value & opt float 0.3
+    & info [ "density" ] ~docv:"P" ~doc:"User-stream interest probability.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+
+let small =
+  Arg.(
+    value & flag
+    & info [ "small-streams" ]
+        ~doc:"Enforce the §5 small-stream precondition (random kind only).")
+
+let out =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Output file path.")
+
+let cmd =
+  let doc = "generate Multi-budget Multi-client Distribution instances" in
+  Cmd.v
+    (Cmd.info "mmd_gen" ~doc)
+    Term.(
+      term_result
+        (const generate $ kind $ streams $ users $ m $ mc $ skew $ density
+       $ seed $ small $ out))
+
+let () = exit (Cmd.eval cmd)

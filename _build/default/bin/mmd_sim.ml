@@ -1,0 +1,146 @@
+(* mmd_sim: run the head-end churn simulation on an instance file (or a
+   generated scenario) under a chosen online policy, optionally writing
+   an event trace as CSV.
+
+   Examples:
+     mmd_sim --policy online instance.mmd
+     mmd_sim --policy threshold --margin 0.9 --duration 2000 instance.mmd
+     mmd_sim --policy online --trace-out events.csv instance.mmd
+*)
+
+open Cmdliner
+module H = Simnet.Headend
+
+let make_policy name margin =
+  match name with
+  | "threshold" -> Ok (fun t -> Simnet.Policy.threshold ?margin t)
+  | "online" -> Ok (fun t -> Simnet.Policy.online_allocate t)
+  | "greedy-effectiveness" ->
+      Ok (fun t -> Simnet.Policy.greedy_effectiveness t)
+  | "temporal" -> Ok (fun t -> Simnet.Policy.online_temporal t)
+  | "static-plan" ->
+      Ok (fun t -> Simnet.Policy.static_plan (Algorithms.Solve.best_of t) t)
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown policy %S (try: threshold, online, temporal, \
+            greedy-effectiveness, static-plan)"
+           other)
+
+let sim_run file policy_name margin duration rate lifetime seed trace_out
+    replay_in =
+  match
+    let instance = Mmd.Io.read_file file in
+    let make =
+      match make_policy policy_name margin with
+      | Ok f -> f
+      | Error msg -> failwith msg
+    in
+    let config =
+      { H.default_config with
+        duration;
+        arrival_rate = rate;
+        mean_lifetime = lifetime }
+    in
+    let trace =
+      match trace_out with None -> None | Some _ -> Some (Simnet.Trace.create ())
+    in
+    let rng = Prelude.Rng.create seed in
+    let m =
+      match replay_in with
+      | Some path ->
+          let recorded = Simnet.Trace.read_csv path in
+          Format.printf "replaying %d offers from %s@."
+            (List.length (Simnet.Trace.offers recorded))
+            path;
+          H.replay ~offers:(Simnet.Trace.offers recorded) instance make
+      | None -> H.run ~rng ~config ?trace instance make
+    in
+    Format.printf "policy: %s@." policy_name;
+    Format.printf "offered: %d  accepted: %d  rejected: %d@." m.H.offered
+      m.H.accepted m.H.rejected;
+    Format.printf "utility-time: %.6g@." m.H.utility_time;
+    Array.iteri
+      (fun i u ->
+        Format.printf "budget %d: mean %.1f%%, peak %.1f%% utilization@." i
+          (100. *. u)
+          (100. *. m.H.peak_budget_utilization.(i)))
+      m.H.mean_budget_utilization;
+    Format.printf "violations: %d@." m.H.violations;
+    (match (trace, trace_out) with
+    | Some t, Some path ->
+        Simnet.Trace.write_csv path t;
+        let s = Simnet.Trace.summarize t in
+        Format.printf "trace: %d events -> %s@." (Simnet.Trace.length t) path;
+        Format.printf "acceptance by quarter:";
+        Array.iter (fun q -> Format.printf " %.0f%%" (100. *. q))
+          s.Simnet.Trace.acceptance_by_quarter;
+        Format.printf "@."
+    | _ -> ())
+  with
+  | () -> Ok ()
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+      Error (`Msg msg)
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE" ~doc:"Instance file (the catalog).")
+
+let policy =
+  Arg.(
+    value & opt string "online"
+    & info [ "p"; "policy" ] ~docv:"NAME"
+        ~doc:
+          "Admission policy: threshold, online, temporal, \
+           greedy-effectiveness, static-plan.")
+
+let margin =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "margin" ] ~docv:"FRACTION" ~doc:"Threshold safety margin.")
+
+let duration =
+  Arg.(
+    value & opt float 1000.
+    & info [ "duration" ] ~docv:"T" ~doc:"Simulated time horizon.")
+
+let rate =
+  Arg.(
+    value & opt float 0.5
+    & info [ "rate" ] ~docv:"R" ~doc:"Stream offers per time unit.")
+
+let lifetime =
+  Arg.(
+    value & opt float 120.
+    & info [ "lifetime" ] ~docv:"T" ~doc:"Mean admitted-session length.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE" ~doc:"Write the event trace as CSV.")
+
+let replay_in =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Replay the offer workload recorded in a CSV trace instead of \
+           generating one ($(b,--duration)/$(b,--rate)/$(b,--lifetime) are \
+           then ignored).")
+
+let cmd =
+  let doc = "simulate head-end admission under session churn" in
+  Cmd.v (Cmd.info "mmd_sim" ~doc)
+    Term.(
+      term_result
+        (const sim_run $ file $ policy $ margin $ duration $ rate $ lifetime
+       $ seed $ trace_out $ replay_in))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,143 @@
+(* mmd_solve: read an MMD instance file and solve it.
+
+   Examples:
+     mmd_solve instance.mmd
+     mmd_solve --algorithm pipeline --verbose instance.mmd
+     mmd_solve --algorithm online --lp-bound instance.mmd
+     mmd_solve --exact instance.mmd           # brute force (small only)
+*)
+
+open Cmdliner
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let solve_run file algo_name exact lp_bound verbose margin stats plan_out
+    plan_in =
+  match
+    let instance = Mmd.Io.read_file file in
+    if verbose then Format.printf "Loaded %a@." I.pp instance;
+    if stats then begin
+      let a = Mmd.Analysis.analyze instance in
+      Format.printf "%a@." Mmd.Analysis.pp a;
+      Format.printf "recommendation: %s@.@." (Mmd.Analysis.recommend a)
+    end;
+    let assignment, label =
+      match plan_in with
+      | Some path ->
+          ( Mmd.Io.read_assignment path
+              ~num_users:(I.num_users instance),
+            "plan:" ^ path )
+      | None ->
+      if exact then begin
+        let opt, a = Exact.Brute_force.solve instance in
+        if verbose then Format.printf "Exact optimum: %.6g@." opt;
+        (a, "exact")
+      end
+      else
+        match algo_name with
+        | "threshold" ->
+            (Baselines.Policies.threshold ?margin instance, "threshold")
+        | "utility-order" ->
+            (Baselines.Policies.utility_order instance, "utility-order")
+        | name -> (
+            match List.assoc_opt name Algorithms.Solve.algorithm_names with
+            | Some algo -> (Algorithms.Solve.run algo instance, name)
+            | None ->
+                Printf.ksprintf failwith
+                  "unknown algorithm %S (try: %s, threshold, utility-order)"
+                  name
+                  (String.concat ", "
+                     (List.map fst Algorithms.Solve.algorithm_names)))
+    in
+    let w = A.utility instance assignment in
+    Format.printf "algorithm: %s@." label;
+    Format.printf "utility: %.6g@." w;
+    Format.printf "feasible: %b@." (A.is_feasible instance assignment);
+    Format.printf "streams transmitted: %d@."
+      (List.length (A.range assignment));
+    if lp_bound then begin
+      let lp = Exact.Lp_relax.solve instance in
+      Format.printf "lp upper bound: %.6g (ratio %.3f)@."
+        lp.Exact.Lp_relax.upper_bound
+        (if w > 0. then lp.Exact.Lp_relax.upper_bound /. w else infinity)
+    end;
+    if verbose then Format.printf "assignment: @[%a@]@." A.pp assignment;
+    (match plan_out with
+    | Some path ->
+        Mmd.Io.write_assignment path assignment;
+        Format.printf "plan written to %s@." path
+    | None -> ());
+    List.iter
+      (fun v -> Format.printf "VIOLATION: %a@." A.pp_violation v)
+      (A.violations instance assignment)
+  with
+  | () -> Ok ()
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+      Error (`Msg msg)
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE" ~doc:"Instance file (see lib/mmd/io.mli format).")
+
+let algorithm =
+  Arg.(
+    value
+    & opt string "pipeline"
+    & info [ "a"; "algorithm" ] ~docv:"NAME"
+        ~doc:
+          "Algorithm: greedy, fixed-greedy, sviridenko, skew-classify, \
+           pipeline, online, threshold, utility-order.")
+
+let exact =
+  Arg.(
+    value & flag
+    & info [ "exact" ] ~doc:"Solve exactly by branch and bound (small only).")
+
+let lp_bound =
+  Arg.(
+    value & flag
+    & info [ "lp-bound" ] ~doc:"Also compute the LP relaxation upper bound.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the assignment.")
+
+let margin =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "margin" ] ~docv:"FRACTION"
+        ~doc:"Safety margin for the threshold baseline (default 1.0).")
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print instance statistics and an algorithm recommendation.")
+
+let plan_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-out" ] ~docv:"FILE" ~doc:"Write the assignment to a file.")
+
+let plan_in =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-in" ] ~docv:"FILE"
+        ~doc:
+          "Evaluate a previously saved assignment against the instance \
+           instead of solving.")
+
+let cmd =
+  let doc = "solve a Multi-budget Multi-client Distribution instance" in
+  Cmd.v
+    (Cmd.info "mmd_solve" ~doc)
+    Term.(
+      term_result
+        (const solve_run $ file $ algorithm $ exact $ lp_bound $ verbose
+       $ margin $ stats $ plan_out $ plan_in))
+
+let () = exit (Cmd.eval cmd)

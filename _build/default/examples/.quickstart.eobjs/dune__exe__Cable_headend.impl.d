@@ -1,0 +1,1 @@
+examples/cable_headend.ml: Algorithms Baselines Exact Format List Mmd Prelude Printf Workloads

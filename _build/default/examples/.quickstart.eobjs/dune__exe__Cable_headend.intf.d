@@ -1,0 +1,1 @@
+examples/cable_headend.mli:

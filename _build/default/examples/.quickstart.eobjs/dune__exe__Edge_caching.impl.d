@@ -1,0 +1,1 @@
+examples/edge_caching.ml: Array Float Format Fun List Prelude String Submodular

@@ -1,0 +1,1 @@
+examples/iptv_planner.ml: Algorithms Array Baselines Exact Format Mmd Prelude Workloads

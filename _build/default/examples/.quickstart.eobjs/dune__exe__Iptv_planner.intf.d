@@ -1,0 +1,1 @@
+examples/iptv_planner.mli:

@@ -1,0 +1,1 @@
+examples/online_admission.ml: Algorithms Array Format List Mmd Prelude Printf Simnet Workloads

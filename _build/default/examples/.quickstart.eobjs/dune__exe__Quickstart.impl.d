@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithms Baselines Exact Format Mmd

@@ -1,0 +1,1 @@
+examples/two_tier.ml: Format List Mmd Prelude Simnet Workloads

@@ -1,0 +1,96 @@
+(* Capacity planning with LP shadow prices: which resource should a
+   head-end operator expand first?
+
+   The LP relaxation's dual values price every budget: the marginal
+   utility per extra unit of that resource. We rank the budgets by
+   shadow price, expand the most valuable one by 20%, and verify the
+   prediction by re-solving — the realized gain should track
+   (shadow price) x (added capacity) while the budget stays binding.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let budget_names = [| "egress bandwidth"; "processing"; "input ports" |]
+
+let () =
+  let rng = Prelude.Rng.create 2026 in
+  let instance =
+    (* A congested head-end: shrink the stock budgets so they actually
+       bind (otherwise every shadow price is 0 and there is nothing to
+       plan). *)
+    Workloads.Perturb.scale_budgets 0.35
+      (Workloads.Scenarios.cable_headend rng ~num_channels:45
+         ~num_gateways:10)
+  in
+  Format.printf "Instance: %a@.@." I.pp instance;
+
+  let lp = Exact.Lp_relax.solve instance in
+  Format.printf "LP optimum (upper bound on any plan): %.1f@.@."
+    lp.Exact.Lp_relax.upper_bound;
+
+  let table =
+    Prelude.Table.create ~title:"Resource pricing (LP duals)"
+      [ ("resource", Prelude.Table.Left);
+        ("budget", Prelude.Table.Right);
+        ("shadow price", Prelude.Table.Right);
+        ("value of +20%", Prelude.Table.Right) ]
+  in
+  let best = ref 0 in
+  for i = 0 to I.m instance - 1 do
+    let price = lp.Exact.Lp_relax.budget_shadow_price.(i) in
+    if price > lp.Exact.Lp_relax.budget_shadow_price.(!best) then best := i;
+    Prelude.Table.add_row table
+      [ budget_names.(i);
+        Prelude.Table.cell_f (I.budget instance i);
+        Prelude.Table.cell_f price;
+        Prelude.Table.cell_f (price *. 0.2 *. I.budget instance i) ]
+  done;
+  Prelude.Table.print table;
+  Format.printf "@.Recommendation: expand %s first.@.@." budget_names.(!best);
+
+  (* Verify the prediction: grow only that budget by 20%. *)
+  let expand target factor inst =
+    let ns = I.num_streams inst and nu = I.num_users inst in
+    let m = I.m inst and mc = I.mc inst in
+    I.create ~name:"expanded"
+      ~server_cost:
+        (Array.init ns (fun s -> Array.init m (fun i -> I.server_cost inst s i)))
+      ~budget:
+        (Array.init m (fun i ->
+             if i = target then factor *. I.budget inst i
+             else I.budget inst i))
+      ~load:
+        (Array.init nu (fun u ->
+             Array.init ns (fun s ->
+                 Array.init mc (fun j -> I.load inst u s j))))
+      ~capacity:
+        (Array.init nu (fun u ->
+             Array.init mc (fun j -> I.capacity inst u j)))
+      ~utility:
+        (Array.init nu (fun u ->
+             Array.init ns (fun s -> I.utility inst u s)))
+      ~utility_cap:(Array.init nu (I.utility_cap inst))
+      ()
+  in
+  let verify name target =
+    let grown = expand target 1.2 instance in
+    let lp' = Exact.Lp_relax.solve grown in
+    let predicted =
+      lp.Exact.Lp_relax.budget_shadow_price.(target)
+      *. 0.2 *. I.budget instance target
+    in
+    Format.printf
+      "expanding %-17s: LP %.1f -> %.1f (gain %.1f, dual prediction %.1f)@."
+      name lp.Exact.Lp_relax.upper_bound lp'.Exact.Lp_relax.upper_bound
+      (lp'.Exact.Lp_relax.upper_bound -. lp.Exact.Lp_relax.upper_bound)
+      predicted
+  in
+  for i = 0 to I.m instance - 1 do
+    verify budget_names.(i) i
+  done;
+  Format.printf
+    "@.(Dual predictions are exact while the optimal basis stays\n\
+     unchanged, and over-estimates once another constraint takes over\n\
+     — both visible above.)@."

@@ -1,0 +1,87 @@
+(* Edge-cache content placement as Budgeted Maximum Coverage — the
+   classical problem MMD strictly generalizes (§1.2 of the paper).
+
+   Scenario: an origin decides which videos to push to an edge cache of
+   bounded capacity. Each video covers the demand of the viewer
+   segments that watch it; a segment's demand counts once no matter how
+   many cached videos serve it. This is budgeted max coverage, which we
+   solve three independent ways and cross-check:
+
+   1. directly, as a submodular function under a knapsack constraint
+      (greedy + best-single, lazy-evaluated);
+   2. through the MMD reduction (segments = users with utility caps);
+   3. exactly, by brute force (the instance is small enough).
+
+   Run with: dune exec examples/edge_caching.exe *)
+
+module R = Submodular.Reductions
+module B = Submodular.Budgeted
+module Fn = Submodular.Fn
+
+let () =
+  let rng = Prelude.Rng.create 11 in
+  (* 14 videos, 18 viewer segments. Segment demand is Zipf-ish; each
+     video appeals to a random handful of segments; video size in GB. *)
+  let num_videos = 14 and num_segments = 18 in
+  let demand =
+    Array.init num_segments (fun i ->
+        100. /. float_of_int (1 + i) *. Prelude.Rng.uniform rng ~lo:0.8 ~hi:1.2)
+  in
+  let appeal =
+    Array.init num_videos (fun _ ->
+        List.filter
+          (fun _ -> Prelude.Rng.float rng 1. < 0.25)
+          (List.init num_segments Fun.id))
+  in
+  let size =
+    Array.init num_videos (fun _ ->
+        Float.round (Prelude.Sampling.uniform_log rng ~lo:1. ~hi:12.))
+  in
+  let cache_gb = 20. in
+  let problem =
+    { R.item_weights = demand;
+      sets = appeal;
+      set_costs = size;
+      budget = cache_gb }
+  in
+
+  Format.printf "Cache budget: %.0f GB over %d videos, %d segments@.@."
+    cache_gb num_videos num_segments;
+
+  (* 1. Direct submodular solve. *)
+  let chosen_direct, value_direct = R.solve_coverage_direct problem in
+  Format.printf "submodular greedy:  %.1f demand covered, videos %s@."
+    value_direct
+    (String.concat "," (List.map string_of_int chosen_direct));
+
+  (* 2. Via the MMD reduction (the paper's model subsumes coverage). *)
+  let chosen_mmd, value_mmd = R.solve_coverage_via_mmd problem in
+  Format.printf "via MMD reduction:  %.1f demand covered, videos %s@."
+    value_mmd
+    (String.concat "," (List.map string_of_int chosen_mmd));
+
+  (* 3. Exact optimum. *)
+  let f = R.coverage_fn problem in
+  let opt =
+    B.brute_force ~f
+      ~cost:(fun v -> if size.(v) > cache_gb then infinity else size.(v))
+      ~budget:cache_gb ()
+  in
+  Format.printf "exact optimum:      %.1f demand covered, videos %s@.@."
+    opt.B.value
+    (String.concat "," (List.map string_of_int opt.B.chosen));
+
+  let e = Float.exp 1. in
+  Format.printf
+    "greedy is within %.3f of optimal (guarantee: %.3f = 2e/(e-1))@."
+    (opt.B.value /. value_direct)
+    (2. *. e /. (e -. 1.));
+
+  (* Lazy vs plain greedy oracle calls on the same problem. *)
+  let cost v = if size.(v) > cache_gb then infinity else size.(v) in
+  let plain = B.greedy ~f ~cost ~budget:cache_gb () in
+  let lzy = B.lazy_greedy ~f ~cost ~budget:cache_gb () in
+  Format.printf
+    "oracle calls: plain greedy %d, lazy greedy %d (same output: %b)@."
+    plain.B.oracle_calls lzy.B.oracle_calls
+    (plain.B.chosen = lzy.B.chosen)

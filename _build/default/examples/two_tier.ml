@@ -1,0 +1,56 @@
+(* Two-tier distribution, exactly Fig. 1 of the paper: "the server can
+   be a cable head-end serving video gateways, or a video gateway
+   serving households". Tier 1 picks which channels each neighbourhood
+   gateway receives (multi-budget MMD at the head-end); tier 2 runs one
+   SMD instance per gateway, distributing its received channels to its
+   households under the gateway's re-broadcast budget — packaged as
+   Simnet.Hierarchy.
+
+   Run with: dune exec examples/two_tier.exe *)
+
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module H = Simnet.Hierarchy
+
+let () =
+  let rng = Prelude.Rng.create 77 in
+  let headend =
+    Workloads.Scenarios.cable_headend rng ~num_channels:50 ~num_gateways:8
+  in
+  Format.printf "Tier 1: %a@." I.pp headend;
+
+  let households ~gateway =
+    let rng = Prelude.Rng.create (1000 + gateway) in
+    Workloads.Scenarios.gateway_households rng ~catalog:headend
+      ~num_households:12
+      ~rebroadcast_budget:(I.capacity headend gateway 0)
+  in
+  let r = H.plan ~trunk:headend ~households () in
+
+  Format.printf "Tier 1 plan: %d channels on the trunk, utility %.1f@.@."
+    (List.length (A.range r.H.trunk_plan))
+    r.H.trunk_utility;
+
+  let table =
+    Prelude.Table.create ~title:"Tier 2: per-gateway household distribution"
+      [ ("gateway", Prelude.Table.Right);
+        ("channels in", Prelude.Table.Right);
+        ("channels out", Prelude.Table.Right);
+        ("household utility", Prelude.Table.Right);
+        ("feasible", Prelude.Table.Right) ]
+  in
+  List.iter
+    (fun (gateway, inst, plan) ->
+      Prelude.Table.add_row table
+        [ Prelude.Table.cell_i gateway;
+          Prelude.Table.cell_i (I.num_streams inst);
+          Prelude.Table.cell_i (List.length (A.range plan));
+          Prelude.Table.cell_f (A.utility inst plan);
+          string_of_bool (A.is_feasible inst plan) ])
+    r.H.leaf_plans;
+  Prelude.Table.print table;
+  Format.printf "End-to-end household utility: %.1f@." r.H.leaf_utility;
+  Format.printf
+    "(Tier 1 decides under m=3 head-end budgets with Solve.best_of;\n\
+     household demand is unrelated to channel bitrates, so each tier-2\n\
+     instance is skewed and solved by classify-and-select, Thm 3.1.)@."

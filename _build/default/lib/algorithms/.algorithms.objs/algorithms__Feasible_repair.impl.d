@@ -1,0 +1,1 @@
+lib/algorithms/feasible_repair.ml: Array List Mmd Prelude

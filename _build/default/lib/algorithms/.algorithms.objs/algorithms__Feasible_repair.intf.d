@@ -1,0 +1,1 @@
+lib/algorithms/feasible_repair.mli: Mmd

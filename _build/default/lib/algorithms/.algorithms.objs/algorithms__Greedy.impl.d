@@ -1,0 +1,1 @@
+lib/algorithms/greedy.ml: Array Float List Mmd Prelude

@@ -1,0 +1,1 @@
+lib/algorithms/greedy_fixed.ml: Array Float Greedy List Mmd

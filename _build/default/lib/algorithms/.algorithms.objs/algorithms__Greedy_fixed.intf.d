@@ -1,0 +1,1 @@
+lib/algorithms/greedy_fixed.mli: Greedy Mmd

@@ -1,0 +1,1 @@
+lib/algorithms/mmd_reduce.ml: Array Float Fun Hashtbl List Mmd Prelude

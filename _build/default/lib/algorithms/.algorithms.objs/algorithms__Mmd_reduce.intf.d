@@ -1,0 +1,1 @@
+lib/algorithms/mmd_reduce.mli: Mmd

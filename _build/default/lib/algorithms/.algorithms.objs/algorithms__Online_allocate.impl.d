@@ -1,0 +1,1 @@
+lib/algorithms/online_allocate.ml: Array Float Fun List Mmd Prelude

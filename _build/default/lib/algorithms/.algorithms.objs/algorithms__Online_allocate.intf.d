@@ -1,0 +1,1 @@
+lib/algorithms/online_allocate.mli: Mmd

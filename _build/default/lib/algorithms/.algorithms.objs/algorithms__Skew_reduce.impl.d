@@ -1,0 +1,1 @@
+lib/algorithms/skew_reduce.ml: Array Greedy_fixed Mmd Prelude Printf

@@ -1,0 +1,1 @@
+lib/algorithms/skew_reduce.mli: Mmd

@@ -1,0 +1,1 @@
+lib/algorithms/solve.ml: Array Fun Greedy Greedy_fixed List Mmd Mmd_reduce Online_allocate Prelude Skew_reduce Sviridenko

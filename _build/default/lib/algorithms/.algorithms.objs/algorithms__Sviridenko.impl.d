@@ -1,0 +1,1 @@
+lib/algorithms/sviridenko.ml: Feasible_repair Greedy Greedy_fixed List Mmd Prelude

@@ -1,0 +1,1 @@
+lib/algorithms/sviridenko.mli: Mmd

@@ -1,0 +1,1 @@
+lib/algorithms/tightness.ml: Array Fun List Mmd Mmd_reduce Prelude Printf

@@ -1,0 +1,1 @@
+lib/algorithms/tightness.mli: Mmd

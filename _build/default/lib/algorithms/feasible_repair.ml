@@ -1,0 +1,66 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module F = Prelude.Float_ops
+
+let user_feasible inst a u =
+  let ok = ref true in
+  for j = 0 to I.mc inst - 1 do
+    if not (F.leq (A.user_load inst a u j) (I.capacity inst u j)) then
+      ok := false
+  done;
+  !ok
+
+(* Normalized load of stream s on user u: sum over measures of
+   load / capacity (infinite capacities contribute nothing). *)
+let normalized_load inst u s =
+  let total = ref 0. in
+  for j = 0 to I.mc inst - 1 do
+    let cap = I.capacity inst u j in
+    if cap > 0. && cap < infinity then
+      total := !total +. (I.load inst u s j /. cap)
+  done;
+  !total
+
+let trim_user inst a u =
+  let load_of streams j =
+    List.fold_left (fun acc s -> acc +. I.load inst u s j) 0. streams
+  in
+  let rec drop streams =
+    let violated = ref false in
+    for j = 0 to I.mc inst - 1 do
+      if not (F.leq (load_of streams j) (I.capacity inst u j)) then
+        violated := true
+    done;
+    if not !violated || streams = [] then streams
+    else begin
+      (* Drop the stream with the worst utility per normalized load. *)
+      let weight s =
+        let load = normalized_load inst u s in
+        if load <= 0. then infinity
+        else I.utility inst u s /. load
+      in
+      let worst =
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | None -> Some s
+            | Some s' -> if weight s < weight s' then Some s else acc)
+          None streams
+      in
+      match worst with
+      | None -> streams
+      | Some s -> drop (List.filter (fun s' -> s' <> s) streams)
+    end
+  in
+  drop (A.user_streams a u)
+
+let trim_caps inst a =
+  if I.mc inst = 0 then a
+  else begin
+    let sets =
+      Array.init (A.num_users a) (fun u ->
+          if user_feasible inst a u then A.user_streams a u
+          else trim_user inst a u)
+    in
+    A.of_sets sets
+  end

@@ -1,0 +1,13 @@
+(** Per-user capacity repair.
+
+    Some intermediate assignments (e.g. small enumerated stream sets
+    broadcast to all interested users) can violate a user capacity even
+    though every stream fits that user individually. [trim_caps]
+    restores feasibility user by user without touching the server-side
+    stream set. *)
+
+val trim_caps : Mmd.Instance.t -> Mmd.Assignment.t -> Mmd.Assignment.t
+(** For every user violating some capacity measure, drop streams — the
+    lowest utility per unit of normalized load first — until all of the
+    user's capacity constraints hold. Users already feasible are left
+    untouched; the server-side range can only shrink. *)

@@ -1,0 +1,145 @@
+module I = Mmd.Instance
+
+type t = {
+  assignment : Mmd.Assignment.t;
+  last_stream : int option array;
+  first_blocked : int option;
+  picks : int list;
+}
+
+let effective_cap inst u =
+  if I.mc inst >= 1 then Float.min (I.utility_cap inst u) (I.capacity inst u 0)
+  else I.utility_cap inst u
+
+(* Mutable greedy state. [resid.(u)] is the fractional residual utility
+   of user u; [stream_resid.(s)] is the fractional residual utility
+   w̄(S) of candidate stream s, maintained incrementally. *)
+type state = {
+  inst : I.t;
+  resid : float array;
+  stream_resid : float array;
+  candidate : bool array;        (* still in C *)
+  assigned : bool array array;   (* user × stream *)
+  sets : int list array;         (* per user, reverse order of assignment *)
+  last : int option array;
+  mutable budget_left : float;
+  mutable picks_rev : int list;
+  mutable first_blocked : int option;
+}
+
+let init inst =
+  let ns = I.num_streams inst and nu = I.num_users inst in
+  let resid = Array.init nu (fun u -> Float.max 0. (effective_cap inst u)) in
+  let stream_resid =
+    Array.init ns (fun s ->
+        Array.fold_left
+          (fun acc u -> acc +. Float.min (I.utility inst u s) resid.(u))
+          0. (I.interested_users inst s))
+  in
+  { inst;
+    resid;
+    stream_resid;
+    candidate = Array.make ns true;
+    assigned = Array.init nu (fun _ -> Array.make ns false);
+    sets = Array.make nu [];
+    last = Array.make nu None;
+    budget_left = I.budget inst 0;
+    picks_rev = [];
+    first_blocked = None }
+
+(* Assign stream s to every user with positive residual utility for it,
+   updating residuals of users and of the remaining candidate streams. *)
+let assign st s =
+  let inst = st.inst in
+  st.candidate.(s) <- false;
+  st.stream_resid.(s) <- 0.;
+  st.budget_left <- st.budget_left -. I.server_cost inst s 0;
+  st.picks_rev <- s :: st.picks_rev;
+  Array.iter
+    (fun u ->
+      if st.resid.(u) > 0. && not st.assigned.(u).(s) then begin
+        st.assigned.(u).(s) <- true;
+        st.sets.(u) <- s :: st.sets.(u);
+        st.last.(u) <- Some s;
+        let old_resid = st.resid.(u) in
+        let new_resid = Float.max 0. (old_resid -. I.utility inst u s) in
+        st.resid.(u) <- new_resid;
+        Array.iter
+          (fun s' ->
+            if st.candidate.(s') && not st.assigned.(u).(s') then begin
+              let w = I.utility inst u s' in
+              let updated =
+                st.stream_resid.(s')
+                +. Float.min w new_resid -. Float.min w old_resid
+              in
+              (* The incremental sum drifts by ~1e-16 per update; when
+                 the true residual is 0 that drift would make the
+                 greedy "pick" a stream that serves nobody. Collapse
+                 anything below the noise floor to exactly 0. *)
+              let noise =
+                Prelude.Float_ops.default_eps
+                *. (1. +. I.stream_total_utility inst s')
+              in
+              st.stream_resid.(s') <-
+                (if Float.abs updated <= noise then 0. else updated)
+            end)
+          (I.interesting_streams inst u)
+      end)
+    (I.interested_users inst s)
+
+(* Compare cost-effectiveness w̄(s)/c(s) without dividing: s beats s'
+   when w·c' > w'·c; zero-cost streams have infinite effectiveness. *)
+let better_than ~w ~c ~w' ~c' =
+  if c = 0. && c' = 0. then w > w'
+  else if c = 0. then w > 0.
+  else if c' = 0. then false
+  else w *. c' > w' *. c
+
+let best_candidate st =
+  let inst = st.inst in
+  let best = ref (-1) in
+  let best_w = ref 0. and best_c = ref 0. in
+  for s = 0 to I.num_streams inst - 1 do
+    if st.candidate.(s) then begin
+      let w = st.stream_resid.(s) and c = I.server_cost inst s 0 in
+      if !best < 0 || better_than ~w ~c ~w':!best_w ~c':!best_c then begin
+        best := s;
+        best_w := w;
+        best_c := c
+      end
+    end
+  done;
+  if !best < 0 then None else Some (!best, !best_w)
+
+let run ?(initial_streams = []) inst =
+  if I.m inst <> 1 then invalid_arg "Greedy.run: requires m = 1";
+  if I.mc inst > 1 then invalid_arg "Greedy.run: requires mc <= 1";
+  let st = init inst in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= I.num_streams inst then
+        invalid_arg "Greedy.run: initial stream out of range";
+      if st.candidate.(s) then begin
+        if not (Prelude.Float_ops.leq (I.server_cost inst s 0) st.budget_left)
+        then invalid_arg "Greedy.run: initial streams exceed the budget";
+        assign st s
+      end)
+    initial_streams;
+  let rec loop () =
+    match best_candidate st with
+    | None -> ()
+    | Some (_, w) when w <= 0. -> () (* nothing left to gain *)
+    | Some (s, _) ->
+        if Prelude.Float_ops.leq (I.server_cost inst s 0) st.budget_left then
+          assign st s
+        else begin
+          if st.first_blocked = None then st.first_blocked <- Some s;
+          st.candidate.(s) <- false
+        end;
+        loop ()
+  in
+  loop ();
+  { assignment = Mmd.Assignment.of_sets st.sets;
+    last_stream = st.last;
+    first_blocked = st.first_blocked;
+    picks = List.rev st.picks_rev }

@@ -1,0 +1,44 @@
+(** Algorithm 1 ([Greedy]) of §2.1: cost-effectiveness greedy for the
+    single-budget problem (SMD) with unit skew.
+
+    Repeatedly selects the stream maximizing the fractional residual
+    utility per unit server cost, and assigns it to every user with
+    positive residual utility. Users may be {e saturated} once — pushed
+    past their utility cap by the last stream they receive — so the
+    output is {e semi-feasible} (§2): server budget respected, per-user
+    caps possibly exceeded by one stream each.
+
+    Preconditions: [m = 1] and [mc <= 1]. The approximation guarantees
+    (Lemma 2.2, Theorem 2.5) additionally require unit local skew; the
+    algorithm runs on any instance but the bound degrades with skew.
+
+    Running time is [O(|S| · n)] as in the paper: each of the
+    [O(|S|)] iterations scans all candidate streams and performs
+    adjacency-sized residual updates. *)
+
+type t = {
+  assignment : Mmd.Assignment.t;
+      (** the semi-feasible greedy assignment *)
+  last_stream : int option array;
+      (** per user: the last stream the greedy assigned (the potentially
+          saturating one), used by Theorem 2.8's [A1]/[A2] split *)
+  first_blocked : int option;
+      (** the first stream that maximized cost-effectiveness but was
+          dropped because it exceeded the residual budget — the
+          [S_{k+1}] of Lemma 2.2, for diagnostics *)
+  picks : int list;
+      (** streams actually added to the solution, in selection order *)
+}
+
+val effective_cap : Mmd.Instance.t -> int -> float
+(** The per-user cap the greedy saturates against:
+    [min W_u K_u] when [mc = 1] (under unit skew the utility and load
+    scales coincide, §2 preliminaries), [W_u] when [mc = 0]. *)
+
+val run : ?initial_streams:int list -> Mmd.Instance.t -> t
+(** Run the greedy. [initial_streams] forces an initial set into the
+    solution before the greedy loop (used by §2.3's partial
+    enumeration); each is assigned to every user with positive residual.
+
+    @raise Invalid_argument when [m <> 1] or [mc > 1], or when
+    [initial_streams] already exceed the budget. *)

@@ -1,0 +1,59 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let best_single inst =
+  let best = ref None and best_value = ref 0. in
+  for s = 0 to I.num_streams inst - 1 do
+    let value =
+      Array.fold_left
+        (fun acc u ->
+          acc +. Float.min (I.utility inst u s) (I.utility_cap inst u))
+        0.
+        (I.interested_users inst s)
+    in
+    if value > !best_value then begin
+      best := Some s;
+      best_value := value
+    end
+  done;
+  match !best with
+  | None -> A.empty ~num_users:(I.num_users inst)
+  | Some s -> A.of_range inst [ s ]
+
+let pick_best inst candidates =
+  let scored = List.map (fun a -> (A.utility inst a, a)) candidates in
+  match scored with
+  | [] -> A.empty ~num_users:(I.num_users inst)
+  | (w0, a0) :: rest ->
+      let _, best =
+        List.fold_left
+          (fun (bw, ba) (w, a) -> if w > bw then (w, a) else (bw, ba))
+          (w0, a0) rest
+      in
+      best
+
+let run_augmented inst =
+  let greedy = Greedy.run inst in
+  pick_best inst [ greedy.assignment; best_single inst ]
+
+(* Theorem 2.8: A1(u) = A(u) \ {last stream of u}; A2(u) = {last}. *)
+let split_last (greedy : Greedy.t) =
+  let is_last u s =
+    match greedy.last_stream.(u) with Some l -> l = s | None -> false
+  in
+  let a1 = A.restrict_users greedy.assignment (fun u s -> not (is_last u s)) in
+  let a2 = A.restrict_users greedy.assignment is_last in
+  (a1, a2)
+
+let run_feasible inst =
+  let greedy = Greedy.run inst in
+  let a1, a2 = split_last greedy in
+  let candidates = [ a1; a2; best_single inst ] in
+  (* The raw greedy output is only semi-feasible in general, but when
+     it happens to be feasible it dominates its own split. *)
+  let candidates =
+    if A.is_feasible inst greedy.assignment then
+      greedy.assignment :: candidates
+    else candidates
+  in
+  pick_best inst candidates

@@ -1,0 +1,32 @@
+(** The "fixed" greedy of §2.2: patches Algorithm 1's weakness (a cheap,
+    cost-effective stream can block a high-utility expensive one) by
+    also considering the best single-stream solution [A_max].
+
+    All evaluation is under the capped objective
+    [w(A) = Σ_u min(W_u, w_u(A(u)))] of the enclosing instance. *)
+
+val best_single : Mmd.Instance.t -> Mmd.Assignment.t
+(** [A_max]: the single stream with the largest capped total utility,
+    assigned to all interested users; the empty assignment when the
+    instance has no streams or no utility. *)
+
+val run_augmented : Mmd.Instance.t -> Mmd.Assignment.t
+(** Lemma 2.6 / Corollary 2.7: the better of the greedy output and
+    [A_max]. [2e/(e-1)]-approximate but possibly {e semi-feasible}: each
+    user's cap may be exceeded by their last assigned stream (the
+    resource-augmentation model with capacity [K_u + k̄_u]).
+
+    @raise Invalid_argument when [m <> 1] or [mc > 1]. *)
+
+val split_last : Greedy.t -> Mmd.Assignment.t * Mmd.Assignment.t
+(** [(A1, A2)] of Theorem 2.8: [A1(u)] is [A(u)] without user [u]'s
+    last-assigned (potentially saturating) stream, [A2(u)] is that last
+    stream alone. Both are feasible, and [w(A1) + w(A2) >= w(A)]. *)
+
+val run_feasible : Mmd.Instance.t -> Mmd.Assignment.t
+(** Theorem 2.8: split the greedy solution into [A1] (everything but
+    each user's last stream) and [A2] (each user's last stream alone),
+    and return the best of [A1], [A2], [A_max] — all feasible — for a
+    [3e/(e-1)]-approximation in [O(n²)] time.
+
+    @raise Invalid_argument when [m <> 1] or [mc > 1]. *)

@@ -1,0 +1,133 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+type reduced = { instance : Mmd.Instance.t; original : Mmd.Instance.t }
+
+let finite x = x < infinity
+
+let to_smd original =
+  let ns = I.num_streams original and nu = I.num_users original in
+  let m = I.m original and mc = I.mc original in
+  let finite_budgets =
+    List.filter
+      (fun i -> finite (I.budget original i) && I.budget original i > 0.)
+      (List.init m Fun.id)
+  in
+  let server_cost =
+    Array.init ns (fun s ->
+        [| List.fold_left
+             (fun acc i ->
+               acc +. (I.server_cost original s i /. I.budget original i))
+             0. finite_budgets |])
+  in
+  let budget =
+    [| (if finite_budgets = [] then infinity
+        else float_of_int (List.length finite_budgets)) |]
+  in
+  let finite_caps u =
+    List.filter
+      (fun j -> finite (I.capacity original u j) && I.capacity original u j > 0.)
+      (List.init mc Fun.id)
+  in
+  let load =
+    Array.init nu (fun u ->
+        let caps = finite_caps u in
+        Array.init ns (fun s ->
+            [| List.fold_left
+                 (fun acc j ->
+                   acc +. (I.load original u s j /. I.capacity original u j))
+                 0. caps |]))
+  in
+  let capacity =
+    Array.init nu (fun u ->
+        let caps = finite_caps u in
+        [| (if caps = [] then infinity else float_of_int (List.length caps)) |])
+  in
+  let utility =
+    Array.init nu (fun u ->
+        Array.init ns (fun s -> I.utility original u s))
+  in
+  let utility_cap = Array.init nu (I.utility_cap original) in
+  let instance =
+    I.create
+      ~name:(I.name original ^ "/reduced")
+      ~server_cost ~budget ~load ~capacity ~utility ~utility_cap ()
+  in
+  { instance; original }
+
+let decompose_by_cost ~cost ~limit streams =
+  if limit <= 0. then invalid_arg "Mmd_reduce.decompose_by_cost: limit <= 0";
+  let close group groups =
+    match group with [] -> groups | _ -> List.rev group :: groups
+  in
+  let rec go streams group group_cost groups =
+    match streams with
+    | [] -> List.rev (close group groups)
+    | s :: rest ->
+        let c = cost s in
+        if Prelude.Float_ops.gt c limit then
+          (* Oversized stream: singleton group (feasible on its own by
+             the instance assumption c_i(S) <= B_i). *)
+          go rest [] 0. ([ s ] :: close group groups)
+        else if Prelude.Float_ops.leq (group_cost +. c) limit then
+          go rest (s :: group) (group_cost +. c) groups
+        else go rest [ s ] c (close group groups)
+  in
+  go streams [] 0. []
+
+(* Utility of assignment [a] restricted to range [group], under the
+   original (= reduced) utilities and caps. *)
+let group_utility inst a group =
+  let keep = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace keep s ()) group;
+  A.utility inst (A.restrict_range a (Hashtbl.mem keep))
+
+let default_choose ~group_utilities =
+  let best = ref 0 in
+  Array.iteri
+    (fun i w -> if w > group_utilities.(!best) then best := i)
+    group_utilities;
+  !best
+
+let lift ?(choose = default_choose) { instance = red; original } a =
+  (* Stage 1: decompose the range by reduced cost so every group fits
+     each original budget: a group of reduced cost <= 1 has
+     c_i <= B_i for all i; an oversized stream is feasible alone. *)
+  let range = A.range a in
+  let groups =
+    decompose_by_cost ~cost:(fun s -> I.server_cost red s 0) ~limit:1. range
+  in
+  let a1 =
+    match groups with
+    | [] -> A.empty ~num_users:(I.num_users red)
+    | _ ->
+        let group_utilities =
+          Array.of_list (List.map (group_utility original a) groups)
+        in
+        let idx = choose ~group_utilities in
+        let idx = max 0 (min idx (List.length groups - 1)) in
+        let keep = Hashtbl.create 16 in
+        List.iter (fun s -> Hashtbl.replace keep s ()) (List.nth groups idx);
+        A.restrict_range a (Hashtbl.mem keep)
+  in
+  (* Stage 2: per user, decompose A1(u) by reduced load and keep the
+     best-utility group, so every original capacity holds. *)
+  let sets =
+    Array.init (I.num_users original) (fun u ->
+        let streams = A.user_streams a1 u in
+        let user_groups =
+          decompose_by_cost ~cost:(fun s -> I.load red u s 0) ~limit:1. streams
+        in
+        let value group =
+          let w =
+            List.fold_left
+              (fun acc s -> acc +. I.utility original u s)
+              0. group
+          in
+          Float.min w (I.utility_cap original u)
+        in
+        List.fold_left
+          (fun best group -> if value group > value best then group else best)
+          [] user_groups)
+  in
+  A.of_sets sets

@@ -1,0 +1,46 @@
+(** Reduction from multiple budgets to a single budget (§4).
+
+    Input transformation (§4.1): the [m] server cost measures are
+    normalized and summed into a single cost
+    [c(S) = Σ_i c_i(S)/B_i] with budget [B = m], and each user's [m_c]
+    capacity measures into a single load [k_u(S) = Σ_j k^u_j(S)/K^u_j]
+    with capacity [K_u = m_c]. Lemma 4.1: the local skew grows by at
+    most a factor [m_c].
+
+    Output transformation: an assignment for the reduced instance (which
+    may overshoot each original budget by a factor [m], Lemma 4.2) is
+    decomposed — first its stream range by cost into groups that each
+    fit every original budget, then each user's set by load into groups
+    that fit every original capacity — and the best group survives at
+    each stage, losing an [O(m·m_c)] factor (Theorem 4.3). *)
+
+type reduced = {
+  instance : Mmd.Instance.t;  (** the single-budget SMD instance *)
+  original : Mmd.Instance.t;  (** the instance it was derived from *)
+}
+
+val to_smd : Mmd.Instance.t -> reduced
+(** Input transformation. Infinite budgets and capacities are skipped
+    in the sums (they never constrain); if no budget is finite the
+    reduced budget is [infinity], and likewise per user. *)
+
+val decompose_by_cost :
+  cost:(int -> float) -> limit:float -> int list -> int list list
+(** The interval decomposition at the heart of the output
+    transformation: split [streams] (in the given order) into
+    consecutive groups, each of total [cost] at most [limit], except
+    that a single stream whose cost exceeds [limit] forms its own
+    (singleton) group. Exposed for testing. The number of groups is at
+    most [2·(total cost)/limit + 1]. *)
+
+val lift :
+  ?choose:(group_utilities:float array -> int) ->
+  reduced ->
+  Mmd.Assignment.t ->
+  Mmd.Assignment.t
+(** Output transformation: turn an assignment for [reduced.instance]
+    into a feasible assignment for [reduced.original]. [choose] picks
+    the surviving server-side group given each group's utility (default:
+    the maximum; experiments may pass an adversarial chooser to exhibit
+    the §4.2 tightness). The user-side stage always keeps each user's
+    best-utility group. *)

@@ -1,0 +1,268 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module F = Prelude.Float_ops
+
+type t = {
+  inst : I.t;
+  strict : bool;
+  norm : Mmd.Skew.global_normalization;
+  mu : float;
+  used_budget : float array;         (* per server measure *)
+  used_cap : float array array;      (* per user per capacity measure *)
+  sets : int list array;             (* per user *)
+  in_range : bool array;             (* per stream *)
+}
+
+let create ?(strict = true) ?(mu_scale = 1.) inst =
+  if mu_scale <= 0. then
+    invalid_arg "Online_allocate.create: mu_scale must be positive";
+  let norm = Mmd.Skew.global_normalization inst in
+  let mu = mu_scale *. ((2. *. norm.gamma *. norm.denom) +. 2.) in
+  (* µ must stay > 1 for the exponential penalty to make sense. *)
+  let mu = Float.max 1.0001 mu in
+  { inst;
+    strict;
+    norm;
+    mu;
+    used_budget = Array.make (I.m inst) 0.;
+    used_cap =
+      Array.init (I.num_users inst) (fun _ -> Array.make (I.mc inst) 0.);
+    sets = Array.make (I.num_users inst) [];
+    in_range = Array.make (I.num_streams inst) false }
+
+let mu t = t.mu
+let gamma t = t.norm.gamma
+let log_mu t = F.log2 t.mu
+
+let small_streams_ok t =
+  let inst = t.inst in
+  let lm = log_mu t in
+  let ok = ref true in
+  for s = 0 to I.num_streams inst - 1 do
+    for i = 0 to I.m inst - 1 do
+      let b = I.budget inst i in
+      if b < infinity && not (F.leq (I.server_cost inst s i) (b /. lm)) then
+        ok := false
+    done;
+    for u = 0 to I.num_users inst - 1 do
+      if I.utility inst u s > 0. then
+        for j = 0 to I.mc inst - 1 do
+          let k = I.capacity inst u j in
+          if k < infinity && not (F.leq (I.load inst u s j) (k /. lm)) then
+            ok := false
+        done
+    done
+  done;
+  !ok
+
+(* Marginal exponential cost of stream s on server measure i:
+   (c'_i(S)/B'_i) · C(i) = t_i · c_i(S) · (µ^{L_i} − 1), where t_i is
+   the equation-(1) normalization factor. Measures with infinite or
+   zero budget contribute nothing (their load is identically 0). *)
+let server_term t s =
+  let inst = t.inst in
+  let total = ref 0. in
+  for i = 0 to I.m inst - 1 do
+    let b = I.budget inst i in
+    if b > 0. && b < infinity then begin
+      let load = t.used_budget.(i) /. b in
+      total :=
+        !total
+        +. t.norm.server_scale.(i)
+           *. I.server_cost inst s i
+           *. ((t.mu ** load) -. 1.)
+    end
+  done;
+  !total
+
+let user_term t u s =
+  let inst = t.inst in
+  let total = ref 0. in
+  for j = 0 to I.mc inst - 1 do
+    let k = I.capacity inst u j in
+    if k > 0. && k < infinity then begin
+      let load = t.used_cap.(u).(j) /. k in
+      total :=
+        !total
+        +. t.norm.user_scale.(u).(j)
+           *. I.load inst u s j
+           *. ((t.mu ** load) -. 1.)
+    end
+  done;
+  !total
+
+let server_fits t s =
+  let inst = t.inst in
+  let ok = ref true in
+  for i = 0 to I.m inst - 1 do
+    if
+      not
+        (F.leq
+           (t.used_budget.(i) +. I.server_cost inst s i)
+           (I.budget inst i))
+    then ok := false
+  done;
+  !ok
+
+let user_fits t u s =
+  let inst = t.inst in
+  let ok = ref true in
+  for j = 0 to I.mc inst - 1 do
+    if
+      not
+        (F.leq (t.used_cap.(u).(j) +. I.load inst u s j)
+           (I.capacity inst u j))
+    then ok := false
+  done;
+  !ok
+
+(* Find the maximal user subset U_j satisfying line 4 of Algorithm 2:
+   start from all eligible users and peel off the one with the worst
+   exponential-cost-to-utility ratio until the condition holds. *)
+let select_users t s ~eligible ~fixed_cost =
+  let scored =
+    List.map
+      (fun u -> (u, user_term t u s, I.utility t.inst u s))
+      eligible
+  in
+  (* Descending ratio x_u / w_u: the head is removed first. *)
+  let sorted =
+    List.sort
+      (fun (_, x1, w1) (_, x2, w2) -> compare (x2 *. w1) (x1 *. w2))
+      scored
+  in
+  let rec peel = function
+    | [] -> []
+    | remaining ->
+        let lhs =
+          List.fold_left (fun acc (_, x, _) -> acc +. x) fixed_cost remaining
+        in
+        let rhs = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. remaining in
+        if F.leq lhs rhs then List.map (fun (u, _, _) -> u) remaining
+        else peel (List.tl remaining)
+  in
+  peel sorted
+
+let offer t s =
+  let inst = t.inst in
+  if s < 0 || s >= I.num_streams inst then
+    invalid_arg "Online_allocate.offer: stream out of range";
+  if t.in_range.(s) then []
+  else if t.strict && not (server_fits t s) then []
+  else begin
+    let eligible =
+      Array.to_list (I.interested_users inst s)
+      |> List.filter (fun u ->
+             (not (List.mem s t.sets.(u)))
+             && ((not t.strict) || user_fits t u s))
+    in
+    match select_users t s ~eligible ~fixed_cost:(server_term t s) with
+    | [] -> []
+    | users ->
+        t.in_range.(s) <- true;
+        for i = 0 to I.m inst - 1 do
+          t.used_budget.(i) <- t.used_budget.(i) +. I.server_cost inst s i
+        done;
+        List.iter
+          (fun u ->
+            t.sets.(u) <- s :: t.sets.(u);
+            for j = 0 to I.mc inst - 1 do
+              t.used_cap.(u).(j) <-
+                t.used_cap.(u).(j) +. I.load inst u s j
+            done)
+          users;
+        users
+  end
+
+let release t s =
+  let inst = t.inst in
+  if s >= 0 && s < I.num_streams inst && t.in_range.(s) then begin
+    t.in_range.(s) <- false;
+    for i = 0 to I.m inst - 1 do
+      t.used_budget.(i) <-
+        Float.max 0. (t.used_budget.(i) -. I.server_cost inst s i)
+    done;
+    for u = 0 to I.num_users inst - 1 do
+      if List.mem s t.sets.(u) then begin
+        t.sets.(u) <- List.filter (fun s' -> s' <> s) t.sets.(u);
+        for j = 0 to I.mc inst - 1 do
+          t.used_cap.(u).(j) <-
+            Float.max 0. (t.used_cap.(u).(j) -. I.load inst u s j)
+        done
+      end
+    done
+  end
+
+let offer_user t ~user ~stream =
+  let inst = t.inst in
+  if stream < 0 || stream >= I.num_streams inst then
+    invalid_arg "Online_allocate.offer_user: stream out of range";
+  if user < 0 || user >= I.num_users inst then
+    invalid_arg "Online_allocate.offer_user: user out of range";
+  let w = I.utility inst user stream in
+  if w <= 0. || List.mem stream t.sets.(user) then false
+  else if t.strict && not (user_fits t user stream) then false
+  else begin
+    let joining_existing = t.in_range.(stream) in
+    if t.strict && (not joining_existing) && not (server_fits t stream) then
+      false
+    else begin
+      let fixed = if joining_existing then 0. else server_term t stream in
+      let cost = fixed +. user_term t user stream in
+      if not (F.leq cost w) then false
+      else begin
+        if not joining_existing then begin
+          t.in_range.(stream) <- true;
+          for i = 0 to I.m inst - 1 do
+            t.used_budget.(i) <-
+              t.used_budget.(i) +. I.server_cost inst stream i
+          done
+        end;
+        t.sets.(user) <- stream :: t.sets.(user);
+        for j = 0 to I.mc inst - 1 do
+          t.used_cap.(user).(j) <-
+            t.used_cap.(user).(j) +. I.load inst user stream j
+        done;
+        true
+      end
+    end
+  end
+
+let release_user t ~user ~stream =
+  let inst = t.inst in
+  if
+    stream >= 0
+    && stream < I.num_streams inst
+    && user >= 0
+    && user < I.num_users inst
+    && List.mem stream t.sets.(user)
+  then begin
+    t.sets.(user) <- List.filter (fun s -> s <> stream) t.sets.(user);
+    for j = 0 to I.mc inst - 1 do
+      t.used_cap.(user).(j) <-
+        Float.max 0. (t.used_cap.(user).(j) -. I.load inst user stream j)
+    done;
+    let still_viewed =
+      Array.exists (fun set -> List.mem stream set) t.sets
+    in
+    if not still_viewed then begin
+      t.in_range.(stream) <- false;
+      for i = 0 to I.m inst - 1 do
+        t.used_budget.(i) <-
+          Float.max 0. (t.used_budget.(i) -. I.server_cost inst stream i)
+      done
+    end
+  end
+
+let assignment t = A.of_sets t.sets
+let utility t = A.utility t.inst (assignment t)
+
+let run_offline ?strict ?order inst =
+  let t = create ?strict inst in
+  let order =
+    match order with
+    | Some o -> o
+    | None -> Array.init (I.num_streams inst) Fun.id
+  in
+  Array.iter (fun s -> ignore (offer t s)) order;
+  assignment t

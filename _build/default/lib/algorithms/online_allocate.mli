@@ -1,0 +1,92 @@
+(** Algorithm 2 ([Allocate], §5): online allocation of small streams via
+    exponential cost functions, after Awerbuch–Azar–Plotkin.
+
+    Streams are offered one by one in an arbitrary (online) order. Each
+    user capacity measure is treated as a virtual server budget. Costs
+    are normalized per equation (1) so that the utility-per-unit-cost of
+    every stream lies in [[1, γ]] (γ = global skew), scaled by
+    [m + |U|·m_c]. With [µ = 2γ(m + |U|·m_c) + 2], a stream is assigned
+    to the maximal user set whose marginal exponential cost
+    [Σ_i (c_i(S)/B_i)·B_i(µ^{L_i} − 1)] does not exceed its utility.
+
+    Guarantees (when every stream is {e small}, i.e.
+    [c_i(S) ≤ B_i / log µ] in every measure): no budget or capacity is
+    ever violated (Lemma 5.1) and the result is
+    [(1 + 2 log µ)]-competitive (Theorem 5.4).
+
+    The implementation also supports releases (footnote 1: streams of
+    finite duration), which the simulator uses. *)
+
+type t
+(** Mutable online allocator state over a fixed instance. *)
+
+val create : ?strict:bool -> ?mu_scale:float -> Mmd.Instance.t -> t
+(** Fresh allocator. With [strict] (default [true]) an offer that would
+    physically overflow a budget or capacity is refused even when the
+    exponential-cost test passes — a safety net that only matters when
+    the small-stream precondition fails. Pass [~strict:false] to run
+    the paper's algorithm verbatim.
+
+    [mu_scale] multiplies the prescribed [µ] (default 1 — the paper's
+    value). Larger [µ] makes the exponential penalty steeper (more
+    conservative admission), smaller [µ] more permissive; the
+    theoretical guarantees only hold at the prescribed value. Exposed
+    for the E13 sensitivity experiment and for operators who want to
+    tune aggressiveness. Requires a positive factor. *)
+
+val mu : t -> float
+(** The parameter [µ = 2γ(m + |U|·m_c) + 2]. *)
+
+val gamma : t -> float
+(** The global skew [γ] of the instance (equation (1)). *)
+
+val log_mu : t -> float
+(** [log₂ µ] — the factor in the small-stream precondition and the
+    competitive ratio [1 + 2 log µ]. *)
+
+val small_streams_ok : t -> bool
+(** Whether every stream satisfies [c_i(S) ≤ B_i / log µ] in every
+    finite server measure and [k^u_j(S) ≤ K^u_j / log µ] in every finite
+    user measure — the precondition of Lemma 5.1 and Theorem 5.4. *)
+
+val offer : t -> int -> int list
+(** [offer t s] presents stream [s]; returns the users it was assigned
+    to ([[]] when rejected). A stream currently in the allocator's range
+    is refused (offer each arrival once).
+
+    @raise Invalid_argument if [s] is out of range. *)
+
+val release : t -> int -> unit
+(** [release t s] removes stream [s] from all users and returns its
+    budget and capacity consumption (footnote 1 extension; no-op when
+    [s] is not currently assigned). *)
+
+(** {1 Viewer granularity}
+
+    Real head-ends see individual viewer requests, not whole-stream
+    arrivals. [offer_user] applies the Algorithm 2 exponential-cost
+    rule to a single (user, stream) request: if the stream is not yet
+    transmitted, the server-side term is charged against the single
+    user's utility; if it is already on the wire, only the user-side
+    term matters (multicast: joining is free at the server). *)
+
+val offer_user : t -> user:int -> stream:int -> bool
+(** Admit or deny one viewer request. Denied when the user has no
+    utility for the stream, already receives it, or the exponential
+    cost test (plus the strict physical check, if enabled) fails. *)
+
+val release_user : t -> user:int -> stream:int -> unit
+(** The viewer leaves; when the last viewer of a stream leaves, the
+    stream itself is released. No-op if the user does not receive the
+    stream. *)
+
+val assignment : t -> Mmd.Assignment.t
+(** The current assignment. *)
+
+val utility : t -> float
+(** Capped utility of the current assignment. *)
+
+val run_offline : ?strict:bool -> ?order:int array -> Mmd.Instance.t
+  -> Mmd.Assignment.t
+(** Convenience: offer every stream once in [order] (default
+    [0, 1, 2, …]) and return the final assignment. *)

@@ -1,0 +1,228 @@
+module I = Mmd.Instance
+module F = Prelude.Float_ops
+module P = Prelude.Profile
+
+type booking = {
+  stream : int;
+  users : int list;
+  start_time : float;
+  mutable stop_time : float;  (* shortened on cancel *)
+  served : float;             (* utility per unit time *)
+  mutable live : bool;
+}
+
+type t = {
+  inst : I.t;
+  strict : bool;
+  norm : Mmd.Skew.global_normalization;
+  mu : float;
+  budget_profile : P.t array;          (* per server measure *)
+  capacity_profile : P.t array array;  (* per user per measure *)
+  mutable bookings : booking list;     (* newest first *)
+  mutable booking_count : int;
+  mutable clock : float;
+}
+
+let create ?(strict = true) inst =
+  let norm = Mmd.Skew.global_normalization inst in
+  { inst;
+    strict;
+    norm;
+    mu = (2. *. norm.Mmd.Skew.gamma *. norm.Mmd.Skew.denom) +. 2.;
+    budget_profile = Array.init (I.m inst) (fun _ -> P.create ());
+    capacity_profile =
+      Array.init (I.num_users inst) (fun _ ->
+          Array.init (I.mc inst) (fun _ -> P.create ()));
+    bookings = [];
+    booking_count = 0;
+    clock = 0. }
+
+let mu t = t.mu
+let log_mu t = F.log2 t.mu
+
+(* Peak normalized load of server measure i over the interval. *)
+let server_peak t i ~start_time ~stop_time =
+  let b = I.budget t.inst i in
+  if b <= 0. || b = infinity then 0.
+  else P.max_over t.budget_profile.(i) ~start_time ~stop_time /. b
+
+let user_peak t u j ~start_time ~stop_time =
+  let k = I.capacity t.inst u j in
+  if k <= 0. || k = infinity then 0.
+  else P.max_over t.capacity_profile.(u).(j) ~start_time ~stop_time /. k
+
+(* Exponential-cost terms of Algorithm 2 evaluated at the peak load
+   over the booking interval. *)
+let server_term t s ~start_time ~stop_time =
+  let total = ref 0. in
+  for i = 0 to I.m t.inst - 1 do
+    let b = I.budget t.inst i in
+    if b > 0. && b < infinity then begin
+      let load = server_peak t i ~start_time ~stop_time in
+      total :=
+        !total
+        +. t.norm.Mmd.Skew.server_scale.(i)
+           *. I.server_cost t.inst s i
+           *. ((t.mu ** load) -. 1.)
+    end
+  done;
+  !total
+
+let user_term t u s ~start_time ~stop_time =
+  let total = ref 0. in
+  for j = 0 to I.mc t.inst - 1 do
+    let k = I.capacity t.inst u j in
+    if k > 0. && k < infinity then begin
+      let load = user_peak t u j ~start_time ~stop_time in
+      total :=
+        !total
+        +. t.norm.Mmd.Skew.user_scale.(u).(j)
+           *. I.load t.inst u s j
+           *. ((t.mu ** load) -. 1.)
+    end
+  done;
+  !total
+
+let server_fits t s ~start_time ~stop_time =
+  let ok = ref true in
+  for i = 0 to I.m t.inst - 1 do
+    let b = I.budget t.inst i in
+    if b < infinity then
+      if
+        not
+          (F.leq
+             (P.max_over t.budget_profile.(i) ~start_time ~stop_time
+              +. I.server_cost t.inst s i)
+             b)
+      then ok := false
+  done;
+  !ok
+
+let user_fits t u s ~start_time ~stop_time =
+  let ok = ref true in
+  for j = 0 to I.mc t.inst - 1 do
+    let k = I.capacity t.inst u j in
+    if k < infinity then
+      if
+        not
+          (F.leq
+             (P.max_over t.capacity_profile.(u).(j) ~start_time ~stop_time
+              +. I.load t.inst u s j)
+             k)
+      then ok := false
+  done;
+  !ok
+
+let select_users t s ~fixed_cost ~eligible ~start_time ~stop_time =
+  let scored =
+    List.map
+      (fun u ->
+        (u, user_term t u s ~start_time ~stop_time, I.utility t.inst u s))
+      eligible
+  in
+  let sorted =
+    List.sort
+      (fun (_, x1, w1) (_, x2, w2) -> compare (x2 *. w1) (x1 *. w2))
+      scored
+  in
+  let rec peel = function
+    | [] -> []
+    | remaining ->
+        let lhs =
+          List.fold_left (fun acc (_, x, _) -> acc +. x) fixed_cost remaining
+        in
+        let rhs =
+          List.fold_left (fun acc (_, _, w) -> acc +. w) 0. remaining
+        in
+        if F.leq lhs rhs then List.map (fun (u, _, _) -> u) remaining
+        else peel (List.tl remaining)
+  in
+  peel sorted
+
+let offer t ~stream ~now ~duration =
+  if stream < 0 || stream >= I.num_streams t.inst then
+    invalid_arg "Online_temporal.offer: stream out of range";
+  if duration < 0. then
+    invalid_arg "Online_temporal.offer: negative duration";
+  if now < t.clock -. 1e-9 then
+    invalid_arg "Online_temporal.offer: time went backwards";
+  t.clock <- Float.max t.clock now;
+  let start_time = now and stop_time = now +. duration in
+  if duration = 0. then []
+  else if t.strict && not (server_fits t stream ~start_time ~stop_time)
+  then []
+  else begin
+    let eligible =
+      Array.to_list (I.interested_users t.inst stream)
+      |> List.filter (fun u ->
+             (not t.strict) || user_fits t u stream ~start_time ~stop_time)
+    in
+    let fixed_cost = server_term t stream ~start_time ~stop_time in
+    match select_users t stream ~fixed_cost ~eligible ~start_time ~stop_time
+    with
+    | [] -> []
+    | users ->
+        for i = 0 to I.m t.inst - 1 do
+          P.add t.budget_profile.(i) ~start_time ~stop_time
+            (I.server_cost t.inst stream i)
+        done;
+        List.iter
+          (fun u ->
+            for j = 0 to I.mc t.inst - 1 do
+              P.add t.capacity_profile.(u).(j) ~start_time ~stop_time
+                (I.load t.inst u stream j)
+            done)
+          users;
+        let served =
+          List.fold_left
+            (fun acc u -> acc +. I.utility t.inst u stream)
+            0. users
+        in
+        t.bookings <-
+          { stream; users; start_time; stop_time; served; live = true }
+          :: t.bookings;
+        t.booking_count <- t.booking_count + 1;
+        users
+  end
+
+let nth_booking t id =
+  (* bookings are newest-first; id counts from 0 in acceptance order *)
+  let idx_from_head = t.booking_count - 1 - id in
+  if idx_from_head < 0 || id < 0 then None
+  else List.nth_opt t.bookings idx_from_head
+
+let cancel t ~booking =
+  match nth_booking t booking with
+  | None -> ()
+  | Some b ->
+      if b.live && b.stop_time > t.clock then begin
+        let cut = Float.max b.start_time t.clock in
+        (* Remove the remaining tail of the booking. *)
+        for i = 0 to I.m t.inst - 1 do
+          P.add t.budget_profile.(i) ~start_time:cut ~stop_time:b.stop_time
+            (-.I.server_cost t.inst b.stream i)
+        done;
+        List.iter
+          (fun u ->
+            for j = 0 to I.mc t.inst - 1 do
+              P.add t.capacity_profile.(u).(j) ~start_time:cut
+                ~stop_time:b.stop_time
+                (-.I.load t.inst u b.stream j)
+            done)
+          b.users;
+        b.stop_time <- cut;
+        b.live <- false
+      end
+
+let last_booking t =
+  if t.booking_count = 0 then None else Some (t.booking_count - 1)
+
+let utility_time t =
+  List.fold_left
+    (fun acc b -> acc +. (b.served *. (b.stop_time -. b.start_time)))
+    0. t.bookings
+
+let peak_budget_load t i = P.max_value t.budget_profile.(i)
+
+let peak_user_load t ~user ~measure =
+  P.max_value t.capacity_profile.(user).(measure)

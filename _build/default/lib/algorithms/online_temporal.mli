@@ -1,0 +1,52 @@
+(** Temporal online allocation — footnote 1 of §5: streams of finite
+    duration whose resource requirements are known when they arrive.
+
+    Each arriving stream carries an arrival time and a duration; if
+    accepted, it books every server budget and user capacity over
+    [[now, now + duration)) and the booking expires by itself. The
+    admission test is the exponential-cost rule of Algorithm 2
+    evaluated against the {e peak} normalized load over the booking
+    interval — the conservative reading of the AAP-style extension the
+    footnote sketches: a booking is accepted only if the rule would
+    accept it at every instant it will be live.
+
+    As in {!Online_allocate}, guarantees assume small streams; with
+    [strict] (default) physical overflow is refused regardless. *)
+
+type t
+
+val create : ?strict:bool -> Mmd.Instance.t -> t
+(** Fresh allocator over the instance's catalog. µ and γ are the same
+    parameters as in {!Online_allocate}. *)
+
+val mu : t -> float
+val log_mu : t -> float
+
+val offer : t -> stream:int -> now:float -> duration:float -> int list
+(** Offer a stream for the interval [[now, now + duration)). Returns
+    the users served ([[]] = rejected). The same stream may be offered
+    again later (a new, disjoint or overlapping showing books
+    separately — the catalog entry is a template, each offer a
+    session). Time must not go backwards across calls.
+
+    @raise Invalid_argument on a bad stream id, negative duration, or
+    time regression. *)
+
+val cancel : t -> booking:int -> unit
+(** Cancel a live booking by the id {!offer} assigned it (bookings are
+    numbered from 0 in acceptance order); a no-op for expired or
+    already-cancelled bookings. Used when a session ends early. *)
+
+val last_booking : t -> int option
+(** Id of the most recently accepted booking. *)
+
+val utility_time : t -> float
+(** Σ over accepted bookings of (served utility) × (booked duration),
+    counting cancelled bookings only up to their cancellation time. *)
+
+val peak_budget_load : t -> int -> float
+(** All-time peak load on server measure [i] — for feasibility
+    checking in tests ([<= B_i] must hold when streams are small). *)
+
+val peak_user_load : t -> user:int -> measure:int -> float
+(** All-time peak load on a user capacity measure. *)

@@ -1,0 +1,62 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let check inst =
+  if I.m inst <> 1 then invalid_arg "Skew_reduce: requires m = 1";
+  if I.mc inst > 1 then invalid_arg "Skew_reduce: requires mc <= 1"
+
+(* Band index (0-based) of ratio r >= 1: band i holds ratios in
+   [2^i, 2^(i+1)); the paper's 1-based band i+1. *)
+let band_of_ratio r = int_of_float (Prelude.Float_ops.log2 r)
+
+let sub_instances inst =
+  check inst;
+  if I.mc inst = 0 then [| inst |]
+  else begin
+    let inst = Mmd.Skew.normalize_loads inst in
+    let alpha = Mmd.Skew.local_skew inst in
+    let bands = 1 + band_of_ratio alpha in
+    let ns = I.num_streams inst and nu = I.num_users inst in
+    let server_cost =
+      Array.init ns (fun s -> [| I.server_cost inst s 0 |])
+    in
+    let budget = [| I.budget inst 0 |] in
+    let load =
+      Array.init nu (fun u ->
+          Array.init ns (fun s -> [| I.load inst u s 0 |]))
+    in
+    let capacity = Array.init nu (fun u -> [| I.capacity inst u 0 |]) in
+    Array.init bands (fun band ->
+        let utility =
+          Array.init nu (fun u ->
+              Array.init ns (fun s ->
+                  let w = I.utility inst u s and k = I.load inst u s 0 in
+                  if w <= 0. || k <= 0. then 0.
+                  else begin
+                    (* Guard against a ratio landing exactly on the top
+                       boundary through float rounding. *)
+                    let b = min (band_of_ratio (w /. k)) (bands - 1) in
+                    if b = band then k else 0.
+                  end))
+        in
+        let utility_cap = Array.init nu (fun u -> I.capacity inst u 0) in
+        I.create
+          ~name:(Printf.sprintf "%s/band%d" (I.name inst) band)
+          ~server_cost ~budget ~load ~capacity ~utility ~utility_cap ())
+  end
+
+let run ?(solver = Greedy_fixed.run_feasible) inst =
+  check inst;
+  let subs = sub_instances inst in
+  let best = ref (A.empty ~num_users:(I.num_users inst)) in
+  let best_value = ref (-1.) in
+  Array.iter
+    (fun sub ->
+      let a = solver sub in
+      let value = A.utility inst a in
+      if value > !best_value then begin
+        best := a;
+        best_value := value
+      end)
+    subs;
+  !best

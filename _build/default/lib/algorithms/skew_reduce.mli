@@ -1,0 +1,30 @@
+(** Classify-and-select reduction from arbitrary local skew to unit
+    skew (§3, Theorem 3.1).
+
+    An SMD instance with local skew [α] is split into
+    [t = 1 + ⌊log α⌋] sub-instances: sub-instance [i] keeps exactly the
+    user–stream pairs whose utility-per-load ratio lies in
+    [[2^(i-1), 2^i)], replaces their utility by the load ([w^i_u(S) =
+    k_u(S)]) and the utility cap by the capacity ([W^i_u = K_u]), so
+    each sub-instance has unit skew. Solving each with a unit-skew
+    solver and keeping the best (by original utility) loses only an
+    [O(log 2α)] factor. *)
+
+val sub_instances : Mmd.Instance.t -> Mmd.Instance.t array
+(** The band sub-instances [I_1 .. I_t], built after the §3 load
+    normalization. Pairs with zero load and positive utility belong to
+    no band and are dropped (they can be re-added for free afterwards;
+    see {!Solve.add_free_pairs}). With [mc = 0] the result is the
+    single original instance (skew is vacuous).
+
+    @raise Invalid_argument when [m <> 1] or [mc > 1]. *)
+
+val run :
+  ?solver:(Mmd.Instance.t -> Mmd.Assignment.t) ->
+  Mmd.Instance.t ->
+  Mmd.Assignment.t
+(** Solve every band with [solver] (default
+    {!Greedy_fixed.run_feasible}) and return the assignment with the
+    largest utility under the {e original} instance objective.
+
+    @raise Invalid_argument when [m <> 1] or [mc > 1]. *)

@@ -1,0 +1,130 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let zero_load inst u s =
+  let zero = ref true in
+  for j = 0 to I.mc inst - 1 do
+    if I.load inst u s j > 0. then zero := false
+  done;
+  !zero
+
+let add_free_pairs inst a =
+  List.fold_left
+    (fun acc s ->
+      Array.fold_left
+        (fun acc u ->
+          if (not (A.assigns acc u s)) && zero_load inst u s then
+            A.add acc ~user:u ~stream:s
+          else acc)
+        acc (I.interested_users inst s))
+    a (A.range a)
+
+let full_pipeline ?(unit_solver = Greedy_fixed.run_feasible) inst =
+  let reduced = Mmd_reduce.to_smd inst in
+  let smd_solution = Skew_reduce.run ~solver:unit_solver reduced.instance in
+  let lifted = Mmd_reduce.lift reduced smd_solution in
+  add_free_pairs inst lifted
+
+(* The worst-case-safe pipeline can lose to simple order heuristics on
+   easy instances (its decomposition stages discard streams a direct
+   admission pass would keep). [best_of] runs the guaranteed pipeline
+   alongside cheap feasible heuristics and returns the best — keeping
+   the Theorem 1.1 guarantee while recovering average-case value. *)
+let admit_by_order inst order =
+  let m = I.m inst and mc = I.mc inst in
+  let used = Array.make m 0. in
+  let cap_used =
+    Array.init (I.num_users inst) (fun _ -> Array.make mc 0.)
+  in
+  let sets = Array.make (I.num_users inst) [] in
+  Array.iter
+    (fun s ->
+      let server_ok = ref true in
+      for i = 0 to m - 1 do
+        if
+          not
+            (Prelude.Float_ops.leq
+               (used.(i) +. I.server_cost inst s i)
+               (I.budget inst i))
+        then server_ok := false
+      done;
+      if !server_ok then begin
+        let takers =
+          Array.to_list (I.interested_users inst s)
+          |> List.filter (fun u ->
+                 let ok = ref true in
+                 for j = 0 to mc - 1 do
+                   if
+                     not
+                       (Prelude.Float_ops.leq
+                          (cap_used.(u).(j) +. I.load inst u s j)
+                          (I.capacity inst u j))
+                   then ok := false
+                 done;
+                 !ok)
+        in
+        if takers <> [] then begin
+          for i = 0 to m - 1 do
+            used.(i) <- used.(i) +. I.server_cost inst s i
+          done;
+          List.iter
+            (fun u ->
+              sets.(u) <- s :: sets.(u);
+              for j = 0 to mc - 1 do
+                cap_used.(u).(j) <- cap_used.(u).(j) +. I.load inst u s j
+              done)
+            takers
+        end
+      end)
+    order;
+  A.of_sets sets
+
+let best_of inst =
+  let by_utility =
+    let order = Array.init (I.num_streams inst) Fun.id in
+    Array.sort
+      (fun s1 s2 ->
+        compare
+          (I.stream_total_utility inst s2)
+          (I.stream_total_utility inst s1))
+      order;
+    admit_by_order inst order
+  in
+  let candidates =
+    [ full_pipeline inst; Online_allocate.run_offline inst; by_utility ]
+  in
+  List.fold_left
+    (fun (bw, ba) a ->
+      let w = A.utility inst a in
+      if w > bw then (w, a) else (bw, ba))
+    (-1., A.empty ~num_users:(I.num_users inst))
+    candidates
+  |> snd
+
+type algorithm =
+  | Greedy_basic
+  | Greedy_fixed
+  | Sviridenko
+  | Skew_classify
+  | Pipeline
+  | Online
+  | Best_of
+
+let algorithm_names =
+  [ ("greedy", Greedy_basic);
+    ("fixed-greedy", Greedy_fixed);
+    ("sviridenko", Sviridenko);
+    ("skew-classify", Skew_classify);
+    ("pipeline", Pipeline);
+    ("online", Online);
+    ("best-of", Best_of) ]
+
+let run algorithm inst =
+  match algorithm with
+  | Greedy_basic -> (Greedy.run inst).assignment
+  | Greedy_fixed -> Greedy_fixed.run_feasible inst
+  | Sviridenko -> Sviridenko.run_feasible inst
+  | Skew_classify -> Skew_reduce.run inst
+  | Pipeline -> full_pipeline inst
+  | Online -> Online_allocate.run_offline inst
+  | Best_of -> best_of inst

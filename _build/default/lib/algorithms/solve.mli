@@ -1,0 +1,46 @@
+(** End-to-end solvers for general MMD instances.
+
+    {!full_pipeline} is the Theorem 1.1 algorithm: reduce the [m]
+    budgets and [m_c] capacities to one of each (§4), classify-and-
+    select over the skew bands (§3), solve each unit-skew band with the
+    fixed greedy (§2), and lift the winner back through the output
+    transformation. Overall guarantee:
+    [O(m·m_c·log(2α·m_c))]-approximation in [O(n²)] time. *)
+
+val add_free_pairs : Mmd.Instance.t -> Mmd.Assignment.t -> Mmd.Assignment.t
+(** For every stream already in the assignment's range, also assign it
+    to every user that values it and on whom it induces zero load in
+    every capacity measure. A strict, always-feasible improvement (the
+    stream is already paid for at the server). *)
+
+val full_pipeline :
+  ?unit_solver:(Mmd.Instance.t -> Mmd.Assignment.t) ->
+  Mmd.Instance.t ->
+  Mmd.Assignment.t
+(** The Theorem 1.1 pipeline. [unit_solver] solves unit-skew SMD
+    instances (default {!Greedy_fixed.run_feasible}; pass
+    {!Sviridenko.run_feasible} for better constants at higher cost).
+    The result is always feasible for the input instance. *)
+
+val best_of : Mmd.Instance.t -> Mmd.Assignment.t
+(** The practical ensemble: best of {!full_pipeline}, the online
+    allocator, and a utility-ordered feasible admission pass. Keeps
+    the Theorem 1.1 worst-case guarantee (it can only improve on the
+    pipeline) while recovering the average-case value the reduction
+    stages sometimes discard. Always feasible. *)
+
+type algorithm =
+  | Greedy_basic      (** Algorithm 1 directly (semi-feasible; SMD only) *)
+  | Greedy_fixed      (** Theorem 2.8 (SMD only) *)
+  | Sviridenko        (** Theorem 2.10 (SMD only) *)
+  | Skew_classify     (** Theorem 3.1 (single budget only) *)
+  | Pipeline          (** Theorem 1.1, any instance *)
+  | Online            (** Algorithm 2, streams offered in id order *)
+  | Best_of           (** {!best_of}: pipeline + heuristics ensemble *)
+
+val algorithm_names : (string * algorithm) list
+(** CLI-friendly names for each algorithm. *)
+
+val run : algorithm -> Mmd.Instance.t -> Mmd.Assignment.t
+(** Dispatch. @raise Invalid_argument when the algorithm's shape
+    preconditions (see above) do not hold for the instance. *)

@@ -1,0 +1,71 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let check_preconditions inst max_enum_size =
+  if I.m inst <> 1 then invalid_arg "Sviridenko: requires m = 1";
+  if I.mc inst > 1 then invalid_arg "Sviridenko: requires mc <= 1";
+  if max_enum_size < 1 || max_enum_size > 3 then
+    invalid_arg "Sviridenko: max_enum_size must be in [1, 3]"
+
+let cost inst s = I.server_cost inst s 0
+
+let fits inst streams =
+  let total = List.fold_left (fun acc s -> acc +. cost inst s) 0. streams in
+  Prelude.Float_ops.leq total (I.budget inst 0)
+
+(* All budget-feasible subsets of cardinality in [1, k], as lists. *)
+let feasible_subsets inst k =
+  let ns = I.num_streams inst in
+  let acc = ref [] in
+  for a = 0 to ns - 1 do
+    if fits inst [ a ] then begin
+      acc := [ a ] :: !acc;
+      if k >= 2 then
+        for b = a + 1 to ns - 1 do
+          if fits inst [ a; b ] then begin
+            acc := [ a; b ] :: !acc;
+            if k >= 3 then
+              for c = b + 1 to ns - 1 do
+                if fits inst [ a; b; c ] then acc := [ a; b; c ] :: !acc
+              done
+          end
+        done
+    end
+  done;
+  !acc
+
+(* Candidate solutions: every feasible set of size < k as-is, every
+   feasible set of size exactly k completed greedily. [refine] maps a
+   greedy result to the candidate assignments extracted from it. *)
+let candidates inst max_enum_size refine =
+  let subsets = feasible_subsets inst max_enum_size in
+  let from_subset streams =
+    if List.length streams = max_enum_size then
+      refine (Greedy.run ~initial_streams:streams inst)
+    else [ Feasible_repair.trim_caps inst (A.of_range inst streams) ]
+  in
+  (A.empty ~num_users:(I.num_users inst) :: refine (Greedy.run inst))
+  @ List.concat_map from_subset subsets
+
+let best inst assignments =
+  List.fold_left
+    (fun (bw, ba) a ->
+      let w = A.utility inst a in
+      if w > bw then (w, a) else (bw, ba))
+    (-1., A.empty ~num_users:(I.num_users inst))
+    assignments
+  |> snd
+
+let run_augmented ?(max_enum_size = 3) inst =
+  check_preconditions inst max_enum_size;
+  best inst
+    (candidates inst max_enum_size (fun (g : Greedy.t) -> [ g.assignment ]))
+
+let run_feasible ?(max_enum_size = 3) inst =
+  check_preconditions inst max_enum_size;
+  let refine (g : Greedy.t) =
+    let a1, a2 = Greedy_fixed.split_last g in
+    if A.is_feasible inst g.assignment then [ g.assignment; a1; a2 ]
+    else [ a1; a2 ]
+  in
+  best inst (Greedy_fixed.best_single inst :: candidates inst max_enum_size refine)

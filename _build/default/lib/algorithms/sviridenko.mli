@@ -1,0 +1,28 @@
+(** Partial enumeration + greedy (§2.3), after Sviridenko's algorithm
+    for maximizing a monotone submodular function under a knapsack
+    constraint.
+
+    Enumerates every budget-feasible stream set of size at most three;
+    sets of size exactly three are completed greedily (Algorithm 1
+    seeded with the triple). The best resulting solution is an
+    [e/(e-1)]-approximation in the resource-augmentation model
+    (Theorem 2.9) and, after the Theorem 2.8-style last-stream split,
+    a [2e/(e-1)]-approximation with full feasibility (Theorem 2.10).
+
+    Running time is [O(|S|³ · |S| · n)] — polynomial but heavy; intended
+    for moderate instance sizes. [max_enum_size] can lower the
+    enumeration cardinality (1 or 2) to trade quality for speed. *)
+
+val run_augmented :
+  ?max_enum_size:int -> Mmd.Instance.t -> Mmd.Assignment.t
+(** Theorem 2.9 variant: semi-feasible (caps may be exceeded by one
+    stream per user). [max_enum_size] defaults to 3 and must be in
+    [[1, 3]].
+
+    @raise Invalid_argument when [m <> 1] or [mc > 1]. *)
+
+val run_feasible : ?max_enum_size:int -> Mmd.Instance.t -> Mmd.Assignment.t
+(** Theorem 2.10 variant: fully feasible output via the last-stream
+    split of each greedy completion.
+
+    @raise Invalid_argument when [m <> 1] or [mc > 1]. *)

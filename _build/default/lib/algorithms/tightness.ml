@@ -1,0 +1,61 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+(* Stream layout (chosen so that the ascending-id interval decomposition
+   reproduces the paper's adversarial grouping):
+   - streams 0 .. mc-1 ("small"): cost (1/2+ε)/mc in server measure m-1,
+     load 1/2+ε' on the user's capacity measure j, utility 1/mc;
+   - streams mc .. mc+m-2 ("big"): stream mc+i costs 1/2+ε in server
+     measure i, no user load, utility 1. *)
+let instance ~m ~mc =
+  if m < 1 || mc < 1 then invalid_arg "Tightness.instance: need m, mc >= 1";
+  let ns = m + mc - 1 in
+  let eps = 1. /. float_of_int (max 4 (m * m)) in
+  let eps' = 1. /. float_of_int (max 4 (mc * mc)) in
+  let server_cost =
+    Array.init ns (fun j ->
+        Array.init m (fun i ->
+            if j < mc && i = m - 1 then (0.5 +. eps) /. float_of_int mc
+            else if j >= mc && i = j - mc then 0.5 +. eps
+            else 0.))
+  in
+  let budget = Array.make m 1. in
+  let load =
+    [| Array.init ns (fun j ->
+           Array.init mc (fun i -> if j < mc && j = i then 0.5 +. eps' else 0.))
+    |]
+  in
+  let capacity = [| Array.make mc 1. |] in
+  let utility =
+    [| Array.init ns (fun j ->
+           if j < mc then 1. /. float_of_int mc else 1.)
+    |]
+  in
+  let utility_cap = [| infinity |] in
+  I.create
+    ~name:(Printf.sprintf "tightness-m%d-mc%d" m mc)
+    ~server_cost ~budget ~load ~capacity ~utility ~utility_cap ()
+
+let optimal_assignment inst =
+  A.of_range inst (List.init (I.num_streams inst) Fun.id)
+
+(* Among groups within a whisker of the best utility, keep the first —
+   on this instance that is the all-small-streams group, whose
+   user-side decomposition then loses another factor mc. *)
+let adversarial_choose ~group_utilities =
+  let best = Prelude.Float_ops.fmax_array group_utilities in
+  let chosen = ref (Array.length group_utilities - 1) in
+  for i = Array.length group_utilities - 1 downto 0 do
+    if Prelude.Float_ops.geq group_utilities.(i) (best /. (1. +. 1e-9)) then
+      chosen := i
+  done;
+  !chosen
+
+let worst_case_ratio ~m ~mc =
+  let inst = instance ~m ~mc in
+  let opt = optimal_assignment inst in
+  let opt_value = A.utility inst opt in
+  let reduced = Mmd_reduce.to_smd inst in
+  let lifted = Mmd_reduce.lift ~choose:adversarial_choose reduced opt in
+  let lifted_value = A.utility inst lifted in
+  if lifted_value <= 0. then infinity else opt_value /. lifted_value

@@ -1,0 +1,32 @@
+(** The §4.2 tightness construction for Theorem 4.3.
+
+    A unit-skew MMD instance with [m] server budgets, a single user
+    with [m_c] capacity measures, and [m + m_c − 1] streams on which the
+    §4 reduction-and-decomposition can lose a full [Θ(m·m_c)] factor:
+
+    - streams [0 .. m_c−1] ("small") each consume [(1/2 + ε)/m_c] of
+      budget [m−1], load the user's capacity measure [j] by [1/2 + ε'],
+      and have utility [1/m_c];
+    - streams [m_c .. m_c+m−2] ("big") each consume [1/2 + ε] of their
+      own budget and have utility 1;
+    - all budgets and capacities are 1; [ε ~ 1/m²], [ε' ~ 1/m_c²].
+
+    Transmitting and assigning everything is feasible, so [OPT = m]. *)
+
+val instance : m:int -> mc:int -> Mmd.Instance.t
+(** Build the instance. Requires [m >= 1] and [mc >= 1].
+    @raise Invalid_argument otherwise. *)
+
+val optimal_assignment : Mmd.Instance.t -> Mmd.Assignment.t
+(** Every stream to every interested user — the optimal (feasible)
+    solution of the tightness instance. *)
+
+val adversarial_choose : group_utilities:float array -> int
+(** The worst-case group choice permitted by the Theorem 4.3 analysis:
+    among groups within a [1 + 1e-9] factor of the best utility, pick
+    the {e first} (which, on this instance, is the group of small
+    streams whose user-side decomposition loses another [m_c]). *)
+
+val worst_case_ratio : m:int -> mc:int -> float
+(** [OPT / w(lift(OPT))] with the adversarial chooser — the measured
+    deterioration of the reduction on this instance. *)

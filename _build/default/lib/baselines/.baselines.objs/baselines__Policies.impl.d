@@ -1,0 +1,1 @@
+lib/baselines/policies.ml: Array Fun List Mmd Prelude Usage

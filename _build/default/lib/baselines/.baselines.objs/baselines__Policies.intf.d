@@ -1,0 +1,1 @@
+lib/baselines/policies.mli: Mmd Prelude

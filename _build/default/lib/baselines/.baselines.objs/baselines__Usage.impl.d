@@ -1,0 +1,1 @@
+lib/baselines/usage.ml: Array Float List Mmd Option Prelude

@@ -1,0 +1,33 @@
+module I = Mmd.Instance
+
+let admit_in_order ?margin ~order inst =
+  let usage = Usage.create inst in
+  Array.iter
+    (fun s ->
+      if Usage.server_fits ?margin usage s then begin
+        let users =
+          Array.to_list (I.interested_users inst s)
+          |> List.filter (fun u ->
+                 Usage.user_fits ?margin usage ~user:u ~stream:s)
+        in
+        if users <> [] then Usage.admit usage ~stream:s ~users
+      end)
+    order;
+  Usage.assignment usage
+
+let threshold ?margin inst =
+  admit_in_order ?margin ~order:(Array.init (I.num_streams inst) Fun.id) inst
+
+let random_order rng inst =
+  admit_in_order ~order:(Prelude.Rng.permutation rng (I.num_streams inst))
+    inst
+
+let utility_order inst =
+  let order = Array.init (I.num_streams inst) Fun.id in
+  Array.sort
+    (fun s1 s2 ->
+      compare
+        (I.stream_total_utility inst s2)
+        (I.stream_total_utility inst s1))
+    order;
+  admit_in_order ~order inst

@@ -1,0 +1,129 @@
+module I = Mmd.Instance
+module F = Prelude.Float_ops
+
+type t = {
+  inst : I.t;
+  budget_used : float array;
+  capacity_used : float array array;
+  stream_users : int list option array;  (* Some users = admitted *)
+}
+
+let create inst =
+  { inst;
+    budget_used = Array.make (I.m inst) 0.;
+    capacity_used =
+      Array.init (I.num_users inst) (fun _ -> Array.make (I.mc inst) 0.);
+    stream_users = Array.make (I.num_streams inst) None }
+
+let instance t = t.inst
+
+let server_fits ?(margin = 1.) t s =
+  let ok = ref true in
+  for i = 0 to I.m t.inst - 1 do
+    let b = I.budget t.inst i in
+    if b < infinity then
+      if
+        not
+          (F.leq
+             (t.budget_used.(i) +. I.server_cost t.inst s i)
+             (margin *. b))
+      then ok := false
+  done;
+  !ok
+
+let user_fits ?(margin = 1.) t ~user ~stream =
+  let ok = ref true in
+  for j = 0 to I.mc t.inst - 1 do
+    let k = I.capacity t.inst user j in
+    if k < infinity then
+      if
+        not
+          (F.leq
+             (t.capacity_used.(user).(j) +. I.load t.inst user stream j)
+             (margin *. k))
+      then ok := false
+  done;
+  !ok
+
+let admit t ~stream ~users =
+  (match t.stream_users.(stream) with
+  | Some _ -> invalid_arg "Usage.admit: stream already admitted"
+  | None -> ());
+  t.stream_users.(stream) <- Some users;
+  for i = 0 to I.m t.inst - 1 do
+    t.budget_used.(i) <- t.budget_used.(i) +. I.server_cost t.inst stream i
+  done;
+  List.iter
+    (fun u ->
+      for j = 0 to I.mc t.inst - 1 do
+        t.capacity_used.(u).(j) <-
+          t.capacity_used.(u).(j) +. I.load t.inst u stream j
+      done)
+    users
+
+let release t stream =
+  match t.stream_users.(stream) with
+  | None -> ()
+  | Some users ->
+      t.stream_users.(stream) <- None;
+      for i = 0 to I.m t.inst - 1 do
+        t.budget_used.(i) <-
+          Float.max 0.
+            (t.budget_used.(i) -. I.server_cost t.inst stream i)
+      done;
+      List.iter
+        (fun u ->
+          for j = 0 to I.mc t.inst - 1 do
+            t.capacity_used.(u).(j) <-
+              Float.max 0.
+                (t.capacity_used.(u).(j) -. I.load t.inst u stream j)
+          done)
+        users
+
+let add_viewer t ~stream ~user =
+  match t.stream_users.(stream) with
+  | None -> admit t ~stream ~users:[ user ]
+  | Some users ->
+      if List.mem user users then
+        invalid_arg "Usage.add_viewer: user already views the stream";
+      t.stream_users.(stream) <- Some (user :: users);
+      for j = 0 to I.mc t.inst - 1 do
+        t.capacity_used.(user).(j) <-
+          t.capacity_used.(user).(j) +. I.load t.inst user stream j
+      done
+
+let remove_viewer t ~stream ~user =
+  match t.stream_users.(stream) with
+  | None -> ()
+  | Some users when not (List.mem user users) -> ()
+  | Some users -> (
+      for j = 0 to I.mc t.inst - 1 do
+        t.capacity_used.(user).(j) <-
+          Float.max 0.
+            (t.capacity_used.(user).(j) -. I.load t.inst user stream j)
+      done;
+      match List.filter (fun u -> u <> user) users with
+      | [] ->
+          (* Last viewer gone: release the server charge via [release],
+             which expects the user list already emptied. *)
+          t.stream_users.(stream) <- Some [];
+          release t stream
+      | remaining -> t.stream_users.(stream) <- Some remaining)
+
+let viewer_count t s =
+  match t.stream_users.(s) with None -> 0 | Some users -> List.length users
+
+let admitted t s = t.stream_users.(s) <> None
+let users_of t s = Option.value ~default:[] t.stream_users.(s)
+let budget_used t i = t.budget_used.(i)
+let capacity_used t ~user ~measure = t.capacity_used.(user).(measure)
+
+let assignment t =
+  let sets = Array.make (I.num_users t.inst) [] in
+  Array.iteri
+    (fun s users ->
+      match users with
+      | None -> ()
+      | Some users -> List.iter (fun u -> sets.(u) <- s :: sets.(u)) users)
+    t.stream_users;
+  Mmd.Assignment.of_sets sets

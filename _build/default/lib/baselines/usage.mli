@@ -1,0 +1,51 @@
+(** Mutable resource-usage tracker shared by the baseline policies and
+    the simulator: server budget consumption and per-user capacity
+    consumption, with admit/release bookkeeping. *)
+
+type t
+
+val create : Mmd.Instance.t -> t
+(** Fresh tracker, all usage zero. *)
+
+val instance : t -> Mmd.Instance.t
+
+val server_fits : ?margin:float -> t -> int -> bool
+(** Would transmitting stream [s] keep every finite budget within
+    [margin] (default 1.0) of its cap? *)
+
+val user_fits : ?margin:float -> t -> user:int -> stream:int -> bool
+(** Would delivering [stream] keep every finite capacity of [user]
+    within [margin] of its cap? *)
+
+val admit : t -> stream:int -> users:int list -> unit
+(** Record the admission: charge server budgets once and each listed
+    user's capacities. @raise Invalid_argument if the stream is
+    already admitted. *)
+
+val release : t -> int -> unit
+(** Undo an admission (no-op if the stream is not admitted). *)
+
+val add_viewer : t -> stream:int -> user:int -> unit
+(** Viewer-granularity admission: charge the server once when the
+    stream first goes on the wire, then each joining viewer's
+    capacities. @raise Invalid_argument if the user already views the
+    stream. *)
+
+val remove_viewer : t -> stream:int -> user:int -> unit
+(** The viewer leaves; the stream is released when its last viewer
+    leaves. No-op for a non-viewer. *)
+
+val viewer_count : t -> int -> int
+(** Number of users currently receiving the stream. *)
+
+val admitted : t -> int -> bool
+val users_of : t -> int -> int list
+(** Users currently receiving the stream. *)
+
+val budget_used : t -> int -> float
+(** Current consumption of server measure [i]. *)
+
+val capacity_used : t -> user:int -> measure:int -> float
+
+val assignment : t -> Mmd.Assignment.t
+(** Snapshot of the current assignment. *)

@@ -1,0 +1,1 @@
+lib/exact/bnb_lp.ml: Array Brute_force Float Fun List Lp_relax Lp_round Mmd Prelude Simplex

@@ -1,0 +1,1 @@
+lib/exact/bnb_lp.mli: Mmd

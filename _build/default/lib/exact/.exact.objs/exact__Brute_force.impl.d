@@ -1,0 +1,1 @@
+lib/exact/brute_force.ml: Array Float List Mmd Prelude Printf

@@ -1,0 +1,1 @@
+lib/exact/brute_force.mli: Mmd

@@ -1,0 +1,1 @@
+lib/exact/lp_relax.ml: Array Fun List Mmd Simplex

@@ -1,0 +1,1 @@
+lib/exact/lp_round.ml: Array Fun List Lp_relax Mmd Prelude

@@ -1,0 +1,1 @@
+lib/exact/lp_round.mli: Mmd

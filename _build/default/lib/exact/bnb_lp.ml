@@ -1,0 +1,195 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+type result = {
+  value : float;
+  assignment : Mmd.Assignment.t;
+  optimal : bool;
+  nodes : int;
+}
+
+type decision = In | Out | Free
+
+(* LP upper bound for a partial decision vector. Streams decided Out
+   are removed; streams decided In contribute their cost to the RHS and
+   keep their y-variables (coupled to 1 instead of to x). Returns
+   [neg_infinity] when the In set alone violates a budget. *)
+let lp_bound inst decision =
+  let ns = I.num_streams inst and nu = I.num_users inst in
+  let m = I.m inst and mc = I.mc inst in
+  let finite x = x < infinity in
+  (* Residual budgets after the In set. *)
+  let residual = Array.init m (I.budget inst) in
+  let infeasible = ref false in
+  for s = 0 to ns - 1 do
+    if decision.(s) = In then
+      for i = 0 to m - 1 do
+        if finite residual.(i) then begin
+          residual.(i) <- residual.(i) -. I.server_cost inst s i;
+          if residual.(i) < -1e-9 then infeasible := true
+        end
+      done
+  done;
+  if !infeasible then neg_infinity
+  else begin
+    Array.iteri
+      (fun i r -> if finite r then residual.(i) <- Float.max 0. r)
+      residual;
+    (* x-variables for Free streams only. *)
+    let x_index = Array.make ns (-1) in
+    let nx = ref 0 in
+    for s = 0 to ns - 1 do
+      if decision.(s) = Free then begin
+        x_index.(s) <- !nx;
+        incr nx
+      end
+    done;
+    let nx = !nx in
+    let edges =
+      Array.of_list
+        (List.concat_map
+           (fun u ->
+             Array.to_list (I.interesting_streams inst u)
+             |> List.filter (fun s -> decision.(s) <> Out)
+             |> List.map (fun s -> (u, s)))
+           (List.init nu Fun.id))
+    in
+    let ne = Array.length edges in
+    let nv = nx + ne in
+    let y_index e = nx + e in
+    let c = Array.make nv 0. in
+    Array.iteri (fun e (u, s) -> c.(y_index e) <- I.utility inst u s) edges;
+    let rows = ref [] and rhs = ref [] in
+    let add_row row b =
+      rows := row :: !rows;
+      rhs := b :: !rhs
+    in
+    for i = 0 to m - 1 do
+      if finite (I.budget inst i) then begin
+        let row = Array.make nv 0. in
+        for s = 0 to ns - 1 do
+          if decision.(s) = Free then
+            row.(x_index.(s)) <- I.server_cost inst s i
+        done;
+        add_row row residual.(i)
+      end
+    done;
+    Array.iteri
+      (fun e (_u, s) ->
+        let row = Array.make nv 0. in
+        row.(y_index e) <- 1.;
+        if decision.(s) = Free then begin
+          row.(x_index.(s)) <- -1.;
+          add_row row 0.
+        end
+        else add_row row 1. (* In: y <= 1 *))
+      edges;
+    for u = 0 to nu - 1 do
+      for j = 0 to mc - 1 do
+        if finite (I.capacity inst u j) then begin
+          let row = Array.make nv 0. in
+          Array.iteri
+            (fun e (u', s) ->
+              if u' = u then row.(y_index e) <- I.load inst u s j)
+            edges;
+          add_row row (I.capacity inst u j)
+        end
+      done;
+      if finite (I.utility_cap inst u) then begin
+        let row = Array.make nv 0. in
+        Array.iteri
+          (fun e (u', s) ->
+            if u' = u then row.(y_index e) <- I.utility inst u s)
+          edges;
+        add_row row (I.utility_cap inst u)
+      end
+    done;
+    for s = 0 to ns - 1 do
+      if decision.(s) = Free then begin
+        let row = Array.make nv 0. in
+        row.(x_index.(s)) <- 1.;
+        add_row row 1.
+      end
+    done;
+    let a = Array.of_list (List.rev !rows) in
+    let b = Array.of_list (List.rev !rhs) in
+    match Simplex.maximize ~c ~a ~b () with
+    | Unbounded -> assert false
+    | Optimal { objective; _ } -> objective
+  end
+
+(* Exact leaf value: per-user optimum over the In set; [None] when the
+   In set itself violates a budget (the only constraint the per-user
+   solver does not enforce). *)
+let leaf_value inst decision =
+  let avail = Array.map (fun d -> d = In) decision in
+  let feasible = ref true in
+  for i = 0 to I.m inst - 1 do
+    let used = ref 0. in
+    Array.iteri
+      (fun s live -> if live then used := !used +. I.server_cost inst s i)
+      avail;
+    if not (Prelude.Float_ops.leq !used (I.budget inst i)) then
+      feasible := false
+  done;
+  if not !feasible then None
+  else begin
+    let sets = Array.make (I.num_users inst) [] in
+    let total = ref 0. in
+    for u = 0 to I.num_users inst - 1 do
+      let v, set = Brute_force.best_user_selection inst u avail in
+      total := !total +. v;
+      sets.(u) <- set
+    done;
+    Some (!total, A.of_sets sets)
+  end
+
+let solve ?(max_nodes = 20_000) inst =
+  let ns = I.num_streams inst in
+  (* Incumbent: the LP rounding heuristic. *)
+  let seed = Lp_round.run inst in
+  let best_value = ref (A.utility inst seed.Lp_round.assignment) in
+  let best = ref seed.Lp_round.assignment in
+  let nodes = ref 0 in
+  let exhausted = ref true in
+  (* Branch order: root LP fraction descending. *)
+  let root_lp = Lp_relax.solve inst in
+  let order = Array.init ns Fun.id in
+  Array.sort
+    (fun s1 s2 ->
+      compare root_lp.Lp_relax.stream_fraction.(s2)
+        root_lp.Lp_relax.stream_fraction.(s1))
+    order;
+  let decision = Array.make ns Free in
+  let rec go depth =
+    if !nodes >= max_nodes then exhausted := false
+    else begin
+      incr nodes;
+      if depth = ns then begin
+        match leaf_value inst decision with
+        | Some (value, assignment) when value > !best_value ->
+            best_value := value;
+            best := assignment
+        | Some _ | None -> ()
+      end
+      else begin
+        let bound = lp_bound inst decision in
+        if bound > !best_value +. 1e-9 then begin
+          let s = order.(depth) in
+          decision.(s) <- In;
+          (* In-branch only if the In set remains budget-feasible;
+             lp_bound reports neg_infinity otherwise and the recursion
+             prunes immediately, so no separate check is needed. *)
+          go (depth + 1);
+          decision.(s) <- Out;
+          go (depth + 1);
+          decision.(s) <- Free
+        end
+      end
+    end
+  in
+  go 0;
+  { value = !best_value;
+    assignment = !best;
+    optimal = !exhausted;
+    nodes = !nodes }

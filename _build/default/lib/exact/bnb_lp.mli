@@ -1,0 +1,24 @@
+(** Branch-and-bound exact solver with LP bounding.
+
+    Branches on streams (transmit / don't transmit) in the order of the
+    root LP's fractional values; each node is bounded by the LP
+    relaxation of its residual subproblem and pruned against the
+    incumbent (initialized from {!Lp_round}). Leaves are evaluated by
+    the exact per-user selection of {!Brute_force}.
+
+    Reaches exact optima noticeably beyond {!Brute_force}'s comfortable
+    range (the LP bound prunes most of the tree), at the price of one
+    simplex solve per node. The node budget makes it an anytime
+    algorithm: when exhausted, the incumbent is returned with
+    [optimal = false]. *)
+
+type result = {
+  value : float;
+  assignment : Mmd.Assignment.t;
+  optimal : bool;   (** true when the search space was exhausted *)
+  nodes : int;      (** branch-and-bound nodes expanded *)
+}
+
+val solve : ?max_nodes:int -> Mmd.Instance.t -> result
+(** Solve. [max_nodes] defaults to 20_000. The returned assignment is
+    always feasible. *)

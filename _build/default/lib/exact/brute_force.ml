@@ -1,0 +1,139 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module F = Prelude.Float_ops
+
+(* Exact best per-user selection from the transmitted set [avail]:
+   maximize min(W_u, Σw) subject to every capacity measure. DFS over
+   the user's interested streams within [avail], sorted by descending
+   utility, pruned by the remaining-utility bound. *)
+let best_user_selection inst u avail =
+  let streams =
+    Array.to_list (I.interesting_streams inst u)
+    |> List.filter (fun s -> avail.(s))
+    |> List.sort (fun s1 s2 ->
+           compare (I.utility inst u s2) (I.utility inst u s1))
+    |> Array.of_list
+  in
+  let n = Array.length streams in
+  let mc = I.mc inst in
+  let cap_w = I.utility_cap inst u in
+  (* suffix_sum.(i) = total utility of streams.(i..). *)
+  let suffix_sum = Array.make (n + 1) 0. in
+  for i = n - 1 downto 0 do
+    suffix_sum.(i) <- suffix_sum.(i + 1) +. I.utility inst u streams.(i)
+  done;
+  let best_value = ref 0. and best_set = ref [] in
+  let used = Array.make mc 0. in
+  let chosen = ref [] in
+  let rec go i acc_w =
+    let value = Float.min cap_w acc_w in
+    if value > !best_value then begin
+      best_value := value;
+      best_set := !chosen
+    end;
+    if i < n && F.lt value cap_w
+       && Float.min cap_w (acc_w +. suffix_sum.(i)) > !best_value
+    then begin
+      let s = streams.(i) in
+      (* Branch 1: take s if it fits every capacity. *)
+      let fits = ref true in
+      for j = 0 to mc - 1 do
+        if
+          not
+            (F.leq (used.(j) +. I.load inst u s j) (I.capacity inst u j))
+        then fits := false
+      done;
+      if !fits then begin
+        for j = 0 to mc - 1 do
+          used.(j) <- used.(j) +. I.load inst u s j
+        done;
+        chosen := s :: !chosen;
+        go (i + 1) (acc_w +. I.utility inst u s);
+        chosen := List.tl !chosen;
+        for j = 0 to mc - 1 do
+          used.(j) <- used.(j) -. I.load inst u s j
+        done
+      end;
+      (* Branch 2: skip s. *)
+      go (i + 1) acc_w
+    end
+  in
+  go 0 0.;
+  (!best_value, !best_set)
+
+(* Value of the transmitted set [avail] = sum of per-user optima, and
+   the witnessing assignment sets. *)
+let evaluate inst avail =
+  let nu = I.num_users inst in
+  let sets = Array.make nu [] in
+  let total = ref 0. in
+  for u = 0 to nu - 1 do
+    let value, set = best_user_selection inst u avail in
+    total := !total +. value;
+    sets.(u) <- set
+  done;
+  (!total, sets)
+
+(* Optimistic bound with streams [i..] still undecided: every user gets
+   everything they are interested in among decided-in and undecided
+   streams, capped by W_u (capacities ignored). *)
+let optimistic_bound inst avail i =
+  let nu = I.num_users inst in
+  let total = ref 0. in
+  for u = 0 to nu - 1 do
+    let w = ref 0. in
+    Array.iter
+      (fun s ->
+        if s >= i || avail.(s) then w := !w +. I.utility inst u s)
+      (I.interesting_streams inst u);
+    total := !total +. Float.min !w (I.utility_cap inst u)
+  done;
+  !total
+
+let solve ?(max_streams = 20) inst =
+  let ns = I.num_streams inst in
+  if ns > max_streams then
+    invalid_arg
+      (Printf.sprintf "Brute_force.solve: %d streams exceeds max_streams=%d"
+         ns max_streams);
+  let m = I.m inst in
+  let avail = Array.make ns false in
+  let used = Array.make m 0. in
+  let best_value = ref (-1.) and best_sets = ref (Array.make 0 []) in
+  let rec go s =
+    if s = ns then begin
+      let value, sets = evaluate inst avail in
+      if value > !best_value then begin
+        best_value := value;
+        best_sets := sets
+      end
+    end
+    else if optimistic_bound inst avail s <= !best_value then ()
+    else begin
+      (* Branch 1: transmit stream s if it fits every budget. *)
+      let fits = ref true in
+      for i = 0 to m - 1 do
+        if not (F.leq (used.(i) +. I.server_cost inst s i) (I.budget inst i))
+        then fits := false
+      done;
+      if !fits then begin
+        for i = 0 to m - 1 do
+          used.(i) <- used.(i) +. I.server_cost inst s i
+        done;
+        avail.(s) <- true;
+        go (s + 1);
+        avail.(s) <- false;
+        for i = 0 to m - 1 do
+          used.(i) <- used.(i) -. I.server_cost inst s i
+        done
+      end;
+      (* Branch 2: do not transmit s. *)
+      go (s + 1)
+    end
+  in
+  go 0;
+  let sets = !best_sets in
+  let sets =
+    if Array.length sets = 0 then Array.make (I.num_users inst) [] else sets
+  in
+  (Float.max 0. !best_value, A.of_sets sets)

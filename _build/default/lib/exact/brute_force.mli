@@ -1,0 +1,28 @@
+(** Exact MMD solver by exhaustive search with pruning.
+
+    Enumerates server-side stream sets depth-first (pruning on budget
+    infeasibility and on an optimistic utility bound), and for each set
+    computes the exact optimal user-side selection per user by a
+    branch-and-bound over that user's interested streams under all
+    capacity measures.
+
+    The objective is the paper's capped utility
+    [Σ_u min(W_u, w_u(A(u)))], with all constraints enforced strictly
+    (a fully feasible optimum). Intended for small instances — the
+    reference OPT in the approximation-ratio experiments. *)
+
+val best_user_selection :
+  Mmd.Instance.t -> int -> bool array -> float * int list
+(** [best_user_selection inst u avail] — the exact optimal selection
+    for user [u] out of the transmitted set (characteristic vector
+    [avail]): maximizes [min(W_u, Σw)] under all capacity measures.
+    Exposed for reuse by other exact solvers. *)
+
+val solve :
+  ?max_streams:int -> Mmd.Instance.t -> float * Mmd.Assignment.t
+(** [solve inst] returns the optimum value and an optimal assignment.
+    [max_streams] (default 20) guards against accidental exponential
+    blow-ups.
+
+    @raise Invalid_argument when the instance has more streams than
+    [max_streams]. *)

@@ -1,0 +1,32 @@
+let solve ~values ~weights ~capacity =
+  let n = Array.length values in
+  if Array.length weights <> n then
+    invalid_arg "Knapsack.solve: mismatched lengths";
+  if capacity < 0 then invalid_arg "Knapsack.solve: negative capacity";
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Knapsack.solve: negative weight")
+    weights;
+  Array.iter
+    (fun v ->
+      if v < 0. then invalid_arg "Knapsack.solve: negative value")
+    values;
+  (* best.(i).(w) = best value using items [0, i) within weight w. *)
+  let best = Array.make_matrix (n + 1) (capacity + 1) 0. in
+  for i = 1 to n do
+    for w = 0 to capacity do
+      best.(i).(w) <- best.(i - 1).(w);
+      if weights.(i - 1) <= w then begin
+        let take = best.(i - 1).(w - weights.(i - 1)) +. values.(i - 1) in
+        if take > best.(i).(w) then best.(i).(w) <- take
+      end
+    done
+  done;
+  let chosen = Array.make n false in
+  let w = ref capacity in
+  for i = n downto 1 do
+    if best.(i).(!w) <> best.(i - 1).(!w) then begin
+      chosen.(i - 1) <- true;
+      w := !w - weights.(i - 1)
+    end
+  done;
+  (best.(n).(capacity), chosen)

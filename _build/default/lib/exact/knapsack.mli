@@ -1,0 +1,15 @@
+(** Classic 0/1 knapsack with integer weights, by dynamic programming.
+
+    A cross-checking substrate: single-user MMD with one capacity
+    measure and integer loads is exactly this problem, which gives the
+    test suite an independently verifiable oracle. *)
+
+val solve :
+  values:float array -> weights:int array -> capacity:int ->
+  float * bool array
+(** [solve ~values ~weights ~capacity] returns the maximum total value
+    of a subset whose weight sum is at most [capacity], and the chosen
+    subset as a characteristic vector. [O(n·capacity)] time and space.
+
+    @raise Invalid_argument on mismatched lengths, negative weights,
+    values, or capacity. *)

@@ -1,0 +1,105 @@
+module I = Mmd.Instance
+
+type t = {
+  upper_bound : float;
+  stream_fraction : float array;
+  budget_shadow_price : float array;
+  capacity_shadow_price : float array array;
+}
+
+let finite x = x < infinity
+
+(* Row bookkeeping so duals can be routed back to their resource. *)
+type row_tag = Budget of int | Capacity of int * int | Other
+
+let solve inst =
+  let ns = I.num_streams inst and nu = I.num_users inst in
+  let m = I.m inst and mc = I.mc inst in
+  (* Edge list: one y-variable per positive-utility (user, stream). *)
+  let edges =
+    Array.of_list
+      (List.concat_map
+         (fun u ->
+           Array.to_list (I.interesting_streams inst u)
+           |> List.map (fun s -> (u, s)))
+         (List.init nu Fun.id))
+  in
+  let ne = Array.length edges in
+  let nv = ns + ne in
+  let y_index e = ns + e in
+  let c = Array.make nv 0. in
+  Array.iteri (fun e (u, s) -> c.(y_index e) <- I.utility inst u s) edges;
+  let rows = ref [] and rhs = ref [] and tags = ref [] in
+  let add_row ?(tag = Other) row b =
+    rows := row :: !rows;
+    rhs := b :: !rhs;
+    tags := tag :: !tags
+  in
+  (* Server budgets. *)
+  for i = 0 to m - 1 do
+    if finite (I.budget inst i) then begin
+      let row = Array.make nv 0. in
+      for s = 0 to ns - 1 do
+        row.(s) <- I.server_cost inst s i
+      done;
+      add_row ~tag:(Budget i) row (I.budget inst i)
+    end
+  done;
+  (* Coupling y <= x. *)
+  Array.iteri
+    (fun e (_u, s) ->
+      let row = Array.make nv 0. in
+      row.(y_index e) <- 1.;
+      row.(s) <- -1.;
+      add_row row 0.)
+    edges;
+  (* User capacities and utility caps. *)
+  for u = 0 to nu - 1 do
+    for j = 0 to mc - 1 do
+      if finite (I.capacity inst u j) then begin
+        let row = Array.make nv 0. in
+        Array.iteri
+          (fun e (u', s) ->
+            if u' = u then row.(y_index e) <- I.load inst u s j)
+          edges;
+        add_row ~tag:(Capacity (u, j)) row (I.capacity inst u j)
+      end
+    done;
+    if finite (I.utility_cap inst u) then begin
+      let row = Array.make nv 0. in
+      Array.iteri
+        (fun e (u', s) ->
+          if u' = u then row.(y_index e) <- I.utility inst u s)
+        edges;
+      add_row row (I.utility_cap inst u)
+    end
+  done;
+  (* x <= 1. *)
+  for s = 0 to ns - 1 do
+    let row = Array.make nv 0. in
+    row.(s) <- 1.;
+    add_row row 1.
+  done;
+  let a = Array.of_list (List.rev !rows) in
+  let b = Array.of_list (List.rev !rhs) in
+  let tags = Array.of_list (List.rev !tags) in
+  match Simplex.maximize ~c ~a ~b () with
+  | Unbounded ->
+      (* Impossible: the polytope lies in [0,1]^nv. *)
+      assert false
+  | Optimal { objective; solution; duals } ->
+      let budget_shadow_price = Array.make m 0. in
+      let capacity_shadow_price =
+        Array.init nu (fun _ -> Array.make mc 0.)
+      in
+      Array.iteri
+        (fun row dual ->
+          match tags.(row) with
+          | Budget i -> budget_shadow_price.(i) <- dual
+          | Capacity (u, j) -> capacity_shadow_price.(u).(j) <- dual
+          | Other -> ())
+        duals;
+      { upper_bound = objective;
+        stream_fraction = Array.sub solution 0 ns;
+        budget_shadow_price;
+        capacity_shadow_price }

@@ -1,0 +1,30 @@
+(** LP relaxation of MMD — an efficiently computable upper bound on the
+    optimal utility, used to measure approximation ratios on instances
+    too large for exact search.
+
+    Variables: [x_S ∈ [0,1]] (stream transmitted fractionally) and
+    [y_{u,S} ∈ [0, x_S]] for every positive-utility pair. Constraints:
+    every finite server budget on [x], every finite user capacity on
+    [y], and each finite utility cap [W_u] as a linear cap on
+    [Σ_S w_u(S)·y_{u,S}] (the LP image of the paper's capped
+    objective). The LP value dominates the utility of every feasible
+    {e and} every semi-feasible integral assignment.
+
+    The solution also carries {e shadow prices}: the marginal utility
+    of one more unit of each budget or capacity — which resource an
+    operator should grow first. *)
+
+type t = {
+  upper_bound : float;            (** the LP optimum *)
+  stream_fraction : float array;  (** optimal [x] values per stream *)
+  budget_shadow_price : float array;
+      (** per server measure: marginal utility per unit of budget;
+          [0.] for infinite or non-binding budgets *)
+  capacity_shadow_price : float array array;
+      (** per user per capacity measure, likewise *)
+}
+
+val solve : Mmd.Instance.t -> t
+(** Build and solve the relaxation.
+    @raise Invalid_argument if the simplex exceeds its iteration budget
+    (pathological inputs only). *)

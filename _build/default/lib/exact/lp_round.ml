@@ -1,0 +1,78 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module F = Prelude.Float_ops
+
+type t = { assignment : Mmd.Assignment.t; lp_bound : float }
+
+let run inst =
+  let lp = Lp_relax.solve inst in
+  let ns = I.num_streams inst in
+  let m = I.m inst and mc = I.mc inst in
+  (* Order: fractional x_S descending, then total utility density. *)
+  let density s =
+    let c = ref 0. in
+    for i = 0 to m - 1 do
+      let b = I.budget inst i in
+      if b > 0. && b < infinity then c := !c +. (I.server_cost inst s i /. b)
+    done;
+    if !c <= 0. then infinity else I.stream_total_utility inst s /. !c
+  in
+  let order = Array.init ns Fun.id in
+  Array.sort
+    (fun s1 s2 ->
+      match
+        compare lp.Lp_relax.stream_fraction.(s2)
+          lp.Lp_relax.stream_fraction.(s1)
+      with
+      | 0 -> compare (density s2) (density s1)
+      | c -> c)
+    order;
+  let used = Array.make m 0. in
+  let cap_used = Array.init (I.num_users inst) (fun _ -> Array.make mc 0.) in
+  let sets = Array.make (I.num_users inst) [] in
+  Array.iter
+    (fun s ->
+      if lp.Lp_relax.stream_fraction.(s) > 1e-9 then begin
+        let fits = ref true in
+        for i = 0 to m - 1 do
+          if not (F.leq (used.(i) +. I.server_cost inst s i) (I.budget inst i))
+          then fits := false
+        done;
+        if !fits then begin
+          (* Deliver to interested users, highest utility first, while
+             their capacities allow. *)
+          let takers =
+            Array.to_list (I.interested_users inst s)
+            |> List.sort (fun u1 u2 ->
+                   compare (I.utility inst u2 s) (I.utility inst u1 s))
+            |> List.filter (fun u ->
+                   let ok = ref true in
+                   for j = 0 to mc - 1 do
+                     if
+                       not
+                         (F.leq
+                            (cap_used.(u).(j) +. I.load inst u s j)
+                            (I.capacity inst u j))
+                     then ok := false
+                   done;
+                   if !ok then
+                     for j = 0 to mc - 1 do
+                       cap_used.(u).(j) <-
+                         cap_used.(u).(j) +. I.load inst u s j
+                     done;
+                   !ok)
+          in
+          if takers <> [] then begin
+            for i = 0 to m - 1 do
+              used.(i) <- used.(i) +. I.server_cost inst s i
+            done;
+            List.iter (fun u -> sets.(u) <- s :: sets.(u)) takers
+          end
+          else
+            (* Nobody took it: release the tentative capacity. We only
+               charged users that said yes, so nothing to undo. *)
+            ()
+        end
+      end)
+    order;
+  { assignment = A.of_sets sets; lp_bound = lp.Lp_relax.upper_bound }

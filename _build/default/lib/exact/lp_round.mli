@@ -1,0 +1,22 @@
+(** LP-guided rounding heuristic.
+
+    The paper's related work cites Ageev–Sviridenko's pipage rounding
+    for coverage-type LPs; this module is the practical cousin: solve
+    the MMD LP relaxation ({!Lp_relax}), order streams by their
+    fractional transmission value [x_S] (ties broken by LP-weighted
+    utility density), then admit greedily in that order subject to
+    every budget, delivering each admitted stream to interested users
+    whose capacities fit (highest utility first).
+
+    No worst-case guarantee beyond feasibility is claimed — it is a
+    strong average-case algorithm measured against the guaranteed ones
+    in experiment E1 — but the LP value it starts from certifies an
+    upper bound, so its reported ratio is always exact. *)
+
+type t = {
+  assignment : Mmd.Assignment.t;  (** feasible rounded assignment *)
+  lp_bound : float;               (** the LP optimum used for rounding *)
+}
+
+val run : Mmd.Instance.t -> t
+(** Solve the relaxation and round. The result is always feasible. *)

@@ -1,0 +1,127 @@
+type result =
+  | Optimal of { objective : float; solution : float array;
+                 duals : float array }
+  | Unbounded
+
+let pivot_eps = 1e-10
+
+(* Tableau layout: [rows] constraint rows over [cols = n + rows] columns
+   (structural variables then slacks), plus a rhs column and an
+   objective row holding reduced costs (negated, so we search for
+   positive entries). *)
+let maximize ?max_iters ~c ~a ~b () =
+  let rows = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> rows then
+    invalid_arg "Simplex.maximize: |b| <> rows of a";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.maximize: ragged constraint matrix";
+      if b.(i) < 0. then invalid_arg "Simplex.maximize: negative rhs")
+    a;
+  let cols = n + rows in
+  let max_iters =
+    match max_iters with Some k -> k | None -> 50 * (rows + cols)
+  in
+  let tab = Array.make_matrix rows (cols + 1) 0. in
+  for i = 0 to rows - 1 do
+    Array.blit a.(i) 0 tab.(i) 0 n;
+    tab.(i).(n + i) <- 1.;
+    tab.(i).(cols) <- b.(i)
+  done;
+  (* Objective row: z.(j) is the reduced cost of column j. *)
+  let z = Array.make (cols + 1) 0. in
+  Array.blit c 0 z 0 n;
+  let basis = Array.init rows (fun i -> n + i) in
+  let choose_entering ~bland =
+    if bland then begin
+      let j = ref (-1) in
+      (try
+         for col = 0 to cols - 1 do
+           if z.(col) > pivot_eps then begin
+             j := col;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !j
+    end
+    else begin
+      let j = ref (-1) and best = ref pivot_eps in
+      for col = 0 to cols - 1 do
+        if z.(col) > !best then begin
+          best := z.(col);
+          j := col
+        end
+      done;
+      !j
+    end
+  in
+  let choose_leaving ~bland col =
+    let row = ref (-1) and best_ratio = ref infinity in
+    for i = 0 to rows - 1 do
+      let coeff = tab.(i).(col) in
+      if coeff > pivot_eps then begin
+        let ratio = tab.(i).(cols) /. coeff in
+        if
+          ratio < !best_ratio -. pivot_eps
+          || (ratio < !best_ratio +. pivot_eps
+              && !row >= 0
+              && bland
+              && basis.(i) < basis.(!row))
+        then begin
+          best_ratio := ratio;
+          row := i
+        end
+      end
+    done;
+    !row
+  in
+  let do_pivot row col =
+    let p = tab.(row).(col) in
+    for j = 0 to cols do
+      tab.(row).(j) <- tab.(row).(j) /. p
+    done;
+    for i = 0 to rows - 1 do
+      if i <> row then begin
+        let f = tab.(i).(col) in
+        if f <> 0. then
+          for j = 0 to cols do
+            tab.(i).(j) <- tab.(i).(j) -. (f *. tab.(row).(j))
+          done
+      end
+    done;
+    let f = z.(col) in
+    if f <> 0. then
+      for j = 0 to cols do
+        z.(j) <- z.(j) -. (f *. tab.(row).(j))
+      done;
+    basis.(row) <- col
+  in
+  let bland_threshold = 10 * (rows + cols) in
+  let rec iterate iter =
+    if iter > max_iters then
+      invalid_arg "Simplex.maximize: iteration limit exceeded";
+    let bland = iter > bland_threshold in
+    let col = choose_entering ~bland in
+    if col < 0 then begin
+      (* Optimal: read the solution off the basis; the dual of row i is
+         the negated reduced cost of its slack column. *)
+      let solution = Array.make n 0. in
+      Array.iteri
+        (fun i v -> if v < n then solution.(v) <- tab.(i).(cols))
+        basis;
+      let duals = Array.init rows (fun i -> Float.max 0. (-.z.(n + i))) in
+      Optimal { objective = -.z.(cols); solution; duals }
+    end
+    else begin
+      let row = choose_leaving ~bland col in
+      if row < 0 then Unbounded
+      else begin
+        do_pivot row col;
+        iterate (iter + 1)
+      end
+    end
+  in
+  iterate 0

@@ -1,0 +1,38 @@
+(** Dense tableau simplex for linear programs in the standard form
+
+    {v maximize c·x  subject to  A·x <= b,  x >= 0,  b >= 0 v}
+
+    Because every right-hand side is non-negative, the all-slack basis
+    is feasible and no phase-1 is needed — which is exactly the shape of
+    the MMD LP relaxation (all constraints are resource caps). Vendored
+    because no LP solver package is available offline (see DESIGN.md).
+
+    Pivoting uses Dantzig's rule with an automatic switch to Bland's
+    rule (which cannot cycle) after a degeneracy threshold. *)
+
+type result =
+  | Optimal of {
+      objective : float;
+      solution : float array;
+      duals : float array;
+          (** one dual value (shadow price) per constraint row: the
+              rate at which the optimum would grow per unit of extra
+              right-hand side. Non-negative; zero on slack rows
+              (complementary slackness). *)
+    }
+  | Unbounded  (** the objective is unbounded above on the polytope *)
+
+val maximize :
+  ?max_iters:int ->
+  c:float array ->
+  a:float array array ->
+  b:float array ->
+  unit ->
+  result
+(** Solve. [a] has one row per constraint, [c] one entry per variable,
+    [b] one entry per constraint. [max_iters] defaults to
+    [50 · (rows + cols)].
+
+    @raise Invalid_argument on dimension mismatch, a negative [b]
+    entry, or iteration exhaustion (which indicates a bug or an
+    adversarial instance, not a normal outcome). *)

@@ -1,0 +1,1 @@
+lib/mmd/analysis.ml: Array Float Format Instance List Prelude Skew

@@ -1,0 +1,1 @@
+lib/mmd/analysis.mli: Format Instance

@@ -1,0 +1,1 @@
+lib/mmd/assignment.ml: Array Float Format Instance List Prelude

@@ -1,0 +1,1 @@
+lib/mmd/assignment.mli: Format Instance

@@ -1,0 +1,1 @@
+lib/mmd/builder.ml: Array Float Hashtbl Instance List

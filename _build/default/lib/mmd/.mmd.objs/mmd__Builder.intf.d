@@ -1,0 +1,1 @@
+lib/mmd/builder.mli: Instance

@@ -1,0 +1,1 @@
+lib/mmd/instance.ml: Array Float Format Printf

@@ -1,0 +1,1 @@
+lib/mmd/instance.mli: Format

@@ -1,0 +1,1 @@
+lib/mmd/io.ml: Array Assignment Buffer Fun Instance List Printf String

@@ -1,0 +1,1 @@
+lib/mmd/io.mli: Assignment Instance

@@ -1,0 +1,1 @@
+lib/mmd/presolve.ml: Array Assignment Fun Instance List

@@ -1,0 +1,1 @@
+lib/mmd/presolve.mli: Assignment Instance

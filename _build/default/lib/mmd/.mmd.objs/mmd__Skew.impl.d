@@ -1,0 +1,1 @@
+lib/mmd/skew.ml: Array Float Instance

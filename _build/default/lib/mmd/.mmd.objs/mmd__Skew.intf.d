@@ -1,0 +1,1 @@
+lib/mmd/skew.mli: Instance

@@ -1,0 +1,160 @@
+type budget_stats = {
+  measure : int;
+  budget : float;
+  total_cost : float;
+  tightness : float;
+  max_stream_fraction : float;
+}
+
+type t = {
+  num_streams : int;
+  num_users : int;
+  m : int;
+  mc : int;
+  size : int;
+  density : float;
+  local_skew : float;
+  global_skew : float;
+  mu : float;
+  small_streams : bool;
+  budgets : budget_stats list;
+  total_utility : float;
+  mean_capacity_tightness : float;
+}
+
+let budget_stats inst i =
+  let budget = Instance.budget inst i in
+  let total = ref 0. and biggest = ref 0. in
+  for s = 0 to Instance.num_streams inst - 1 do
+    let c = Instance.server_cost inst s i in
+    total := !total +. c;
+    biggest := Float.max !biggest c
+  done;
+  { measure = i;
+    budget;
+    total_cost = !total;
+    tightness = (if budget < infinity && budget > 0. then !total /. budget else 0.);
+    max_stream_fraction =
+      (if budget < infinity && budget > 0. then !biggest /. budget else 0.) }
+
+let analyze inst =
+  let ns = Instance.num_streams inst and nu = Instance.num_users inst in
+  let m = Instance.m inst and mc = Instance.mc inst in
+  let edges =
+    let acc = ref 0 in
+    for s = 0 to ns - 1 do
+      acc := !acc + Array.length (Instance.interested_users inst s)
+    done;
+    !acc
+  in
+  let density =
+    if ns = 0 || nu = 0 then 0.
+    else float_of_int edges /. float_of_int (ns * nu)
+  in
+  let local_skew = Skew.local_skew inst in
+  let norm = Skew.global_normalization inst in
+  let mu = (2. *. norm.Skew.gamma *. norm.Skew.denom) +. 2. in
+  let log_mu = Prelude.Float_ops.log2 mu in
+  let small_streams =
+    let ok = ref true in
+    for s = 0 to ns - 1 do
+      for i = 0 to m - 1 do
+        let b = Instance.budget inst i in
+        if b < infinity && Instance.server_cost inst s i > b /. log_mu then
+          ok := false
+      done;
+      for u = 0 to nu - 1 do
+        if Instance.utility inst u s > 0. then
+          for j = 0 to mc - 1 do
+            let k = Instance.capacity inst u j in
+            if k < infinity && Instance.load inst u s j > k /. log_mu then
+              ok := false
+          done
+      done
+    done;
+    !ok
+  in
+  let total_utility =
+    let acc = ref 0. in
+    for u = 0 to nu - 1 do
+      let w = ref 0. in
+      Array.iter
+        (fun s -> w := !w +. Instance.utility inst u s)
+        (Instance.interesting_streams inst u);
+      acc := !acc +. Float.min !w (Instance.utility_cap inst u)
+    done;
+    !acc
+  in
+  let mean_capacity_tightness =
+    if mc = 0 || nu = 0 then 0.
+    else begin
+      let acc = ref 0. and count = ref 0 in
+      for u = 0 to nu - 1 do
+        for j = 0 to mc - 1 do
+          let k = Instance.capacity inst u j in
+          if k > 0. && k < infinity then begin
+            let load = ref 0. in
+            Array.iter
+              (fun s -> load := !load +. Instance.load inst u s j)
+              (Instance.interesting_streams inst u);
+            acc := !acc +. (!load /. k);
+            incr count
+          end
+        done
+      done;
+      if !count = 0 then 0. else !acc /. float_of_int !count
+    end
+  in
+  { num_streams = ns;
+    num_users = nu;
+    m;
+    mc;
+    size = Instance.size inst;
+    density;
+    local_skew;
+    global_skew = norm.Skew.gamma;
+    mu;
+    small_streams;
+    budgets = List.init m (budget_stats inst);
+    total_utility;
+    mean_capacity_tightness }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d streams x %d users (m=%d, mc=%d, n=%d)@,\
+     density: %.1f%% of user-stream pairs@,\
+     local skew alpha = %.3g, global skew gamma = %.3g, mu = %.3g@,\
+     small-stream precondition (Lemma 5.1): %b@,\
+     total cappable utility: %.4g@,\
+     mean capacity tightness: %.2f@,"
+    t.num_streams t.num_users t.m t.mc t.size
+    (100. *. t.density)
+    t.local_skew t.global_skew t.mu t.small_streams t.total_utility
+    t.mean_capacity_tightness;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf
+        "budget %d: cap %.4g, catalog cost %.4g (tightness %.2fx), \
+         biggest stream %.1f%%@,"
+        b.measure b.budget b.total_cost b.tightness
+        (100. *. b.max_stream_fraction))
+    t.budgets;
+  Format.fprintf ppf "@]"
+
+let recommend t =
+  let binding =
+    List.exists (fun b -> b.tightness > 1.) t.budgets
+    || t.mean_capacity_tightness > 1.
+  in
+  if not binding then
+    "nothing binds: transmit everything (any algorithm is optimal)"
+  else if t.m = 1 && t.mc <= 1 then
+    if t.local_skew <= 1. +. 1e-9 then
+      "single budget, unit skew: fixed greedy (Theorem 2.8) or \
+       sviridenko (Theorem 2.10) for a better constant"
+    else
+      "single budget, skewed: classify-and-select (Theorem 3.1)"
+  else if t.small_streams then
+    "multi-budget with small streams: online allocate (Theorem 5.4) \
+     or the full pipeline (Theorem 1.1)"
+  else "multi-budget: full pipeline (Theorem 1.1)"

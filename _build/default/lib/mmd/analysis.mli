@@ -1,0 +1,48 @@
+(** Descriptive analysis of an instance — what a operator would want to
+    know before choosing an algorithm: how tight the budgets are, how
+    skewed the utilities, how dense the interest graph. Used by the
+    [mmd_solve --stats] CLI and the experiment harness. *)
+
+type budget_stats = {
+  measure : int;
+  budget : float;
+  total_cost : float;      (** cost of transmitting everything *)
+  tightness : float;       (** [total_cost / budget]; >1 means the
+                               budget binds, [0] for infinite budgets *)
+  max_stream_fraction : float;
+      (** largest single stream as a fraction of the budget — the
+          §5 small-stream driver *)
+}
+
+type t = {
+  num_streams : int;
+  num_users : int;
+  m : int;
+  mc : int;
+  size : int;              (** the paper's input length n *)
+  density : float;         (** fraction of (user, stream) pairs with
+                               positive utility *)
+  local_skew : float;      (** α of §3 *)
+  global_skew : float;     (** γ of §5 *)
+  mu : float;              (** µ = 2γ(m + |U|m_c) + 2 of §5 *)
+  small_streams : bool;    (** Lemma 5.1 precondition *)
+  budgets : budget_stats list;
+  total_utility : float;   (** Σ_u min(W_u, Σ_S w_u(S)) — utility if
+                               everything were transmitted *)
+  mean_capacity_tightness : float;
+      (** average over users and measures of
+          (total interested load) / capacity; 0 when [mc = 0] *)
+}
+
+val analyze : Instance.t -> t
+(** Compute all statistics. Cost: one pass over the instance plus the
+    skew computations. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)
+
+val recommend : t -> string
+(** A one-line algorithm recommendation: unit-skew single-budget
+    instances get the fixed greedy; skewed single-budget ones
+    classify-and-select; multi-budget ones the full pipeline; and
+    small-stream instances are flagged as online-capable. *)

@@ -1,0 +1,132 @@
+type t = { sets : int list array (* per user, sorted ascending, no dups *) }
+
+let sort_dedup streams =
+  List.sort_uniq compare streams
+
+let empty ~num_users = { sets = Array.make num_users [] }
+
+let of_sets sets = { sets = Array.map sort_dedup sets }
+
+let of_range inst streams =
+  let streams = sort_dedup streams in
+  let sets = Array.make (Instance.num_users inst) [] in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun u -> sets.(u) <- s :: sets.(u))
+        (Instance.interested_users inst s))
+    streams;
+  { sets = Array.map List.rev sets }
+
+let user_streams t u = t.sets.(u)
+let assigns t u s = List.mem s t.sets.(u)
+let num_users t = Array.length t.sets
+
+let range t =
+  Array.fold_left (fun acc streams -> List.rev_append streams acc) [] t.sets
+  |> sort_dedup
+
+let add t ~user ~stream =
+  if List.mem stream t.sets.(user) then t
+  else begin
+    let sets = Array.copy t.sets in
+    sets.(user) <- sort_dedup (stream :: sets.(user));
+    { sets }
+  end
+
+let restrict_users t keep =
+  { sets = Array.mapi (fun u streams -> List.filter (keep u) streams) t.sets }
+
+let restrict_range t keep =
+  restrict_users t (fun _u s -> keep s)
+
+let union a b =
+  if Array.length a.sets <> Array.length b.sets then
+    invalid_arg "Assignment.union: user counts differ";
+  { sets =
+      Array.mapi (fun u sa -> sort_dedup (List.rev_append sa b.sets.(u)))
+        a.sets }
+
+let server_cost inst t i =
+  List.fold_left (fun acc s -> acc +. Instance.server_cost inst s i) 0.
+    (range t)
+
+let user_load inst t u j =
+  List.fold_left (fun acc s -> acc +. Instance.load inst u s j) 0. t.sets.(u)
+
+let user_utility inst t u =
+  List.fold_left (fun acc s -> acc +. Instance.utility inst u s) 0. t.sets.(u)
+
+let utility inst t =
+  let total = ref 0. in
+  for u = 0 to Array.length t.sets - 1 do
+    total :=
+      !total +. Float.min (Instance.utility_cap inst u) (user_utility inst t u)
+  done;
+  !total
+
+let uncapped_utility inst t =
+  let total = ref 0. in
+  for u = 0 to Array.length t.sets - 1 do
+    total := !total +. user_utility inst t u
+  done;
+  !total
+
+type violation =
+  | Budget_exceeded of { measure : int; cost : float; budget : float }
+  | Capacity_exceeded of
+      { user : int; measure : int; load : float; capacity : float }
+  | Utility_cap_exceeded of { user : int; utility : float; cap : float }
+
+let violations ?(eps = Prelude.Float_ops.default_eps) ?(check_caps = false)
+    inst t =
+  let acc = ref [] in
+  for i = Instance.m inst - 1 downto 0 do
+    let cost = server_cost inst t i in
+    let budget = Instance.budget inst i in
+    if not (Prelude.Float_ops.leq ~eps cost budget) then
+      acc := Budget_exceeded { measure = i; cost; budget } :: !acc
+  done;
+  for u = Array.length t.sets - 1 downto 0 do
+    for j = Instance.mc inst - 1 downto 0 do
+      let load = user_load inst t u j in
+      let capacity = Instance.capacity inst u j in
+      if not (Prelude.Float_ops.leq ~eps load capacity) then
+        acc := Capacity_exceeded { user = u; measure = j; load; capacity }
+               :: !acc
+    done;
+    if check_caps then begin
+      let w = user_utility inst t u in
+      let cap = Instance.utility_cap inst u in
+      if not (Prelude.Float_ops.leq ~eps w cap) then
+        acc := Utility_cap_exceeded { user = u; utility = w; cap } :: !acc
+    end
+  done;
+  !acc
+
+let is_feasible ?eps inst t = violations ?eps ~check_caps:false inst t = []
+
+let pp_violation ppf = function
+  | Budget_exceeded { measure; cost; budget } ->
+      Format.fprintf ppf "server budget %d exceeded: cost %g > budget %g"
+        measure cost budget
+  | Capacity_exceeded { user; measure; load; capacity } ->
+      Format.fprintf ppf "user %d capacity %d exceeded: load %g > cap %g"
+        user measure load capacity
+  | Utility_cap_exceeded { user; utility; cap } ->
+      Format.fprintf ppf "user %d utility cap exceeded: %g > %g" user utility
+        cap
+
+let pp ppf t =
+  Array.iteri
+    (fun u streams ->
+      if streams <> [] then begin
+        Format.fprintf ppf "u%d <- {" u;
+        List.iteri
+          (fun idx s ->
+            if idx > 0 then Format.pp_print_string ppf ", ";
+            Format.fprintf ppf "%d" s)
+          streams;
+        Format.fprintf ppf "}@ "
+      end)
+    t.sets

@@ -1,0 +1,93 @@
+(** Assignments of streams to users, and their costs and utilities.
+
+    An assignment [A] maps each user [u] to a set of streams [A(u)]
+    (Fig. 2 of the paper). Its {e range} [S(A)] is the set of streams
+    the server must transmit. The paper distinguishes:
+
+    - {e feasible} assignments, which satisfy every server budget and
+      user capacity constraint, and
+    - {e semi-feasible} assignments (§2), which satisfy the server
+      budgets but may overflow each user's utility cap by at most one
+      stream; their utility is the capped sum
+      [Σ_u min(W_u, w_u(A(u)))].
+
+    {!utility} always computes the capped (semi-feasible) objective,
+    which coincides with the plain sum on feasible assignments whose
+    users are within their caps. *)
+
+type t
+(** An immutable assignment over a fixed instance shape. *)
+
+val empty : num_users:int -> t
+(** Assignment with [A(u) = ∅] for every user. *)
+
+val of_sets : int list array -> t
+(** Build from per-user stream lists (duplicates are removed). *)
+
+val of_range : Instance.t -> int list -> t
+(** [of_range inst streams] assigns every stream in [streams] to every
+    interested user (all [u] with [w_u(S) > 0]). This is the canonical
+    completion used throughout §2: once the server transmits [S],
+    giving it to more interested users never hurts the capped
+    objective. *)
+
+val user_streams : t -> int -> int list
+(** Streams assigned to user [u], ascending. *)
+
+val assigns : t -> int -> int -> bool
+(** [assigns a u s] — does user [u] receive stream [s]? *)
+
+val range : t -> int list
+(** [S(A)]: streams assigned to at least one user, ascending. *)
+
+val num_users : t -> int
+
+val add : t -> user:int -> stream:int -> t
+(** Functional update: give [stream] to [user]. *)
+
+val restrict_users : t -> (int -> int -> bool) -> t
+(** [restrict_users a keep] drops stream [s] from user [u] whenever
+    [keep u s] is false. *)
+
+val restrict_range : t -> (int -> bool) -> t
+(** Keep only streams [s] with [keep s], for every user. *)
+
+val union : t -> t -> t
+(** Pointwise union of per-user sets. Requires equal user counts. *)
+
+(** {1 Measures against an instance} *)
+
+val server_cost : Instance.t -> t -> int -> float
+(** [c_i(A)]: cost of the range in measure [i]. *)
+
+val user_load : Instance.t -> t -> int -> int -> float
+(** [k^u_j(A)]: load of [A(u)] on user [u] in measure [j]. *)
+
+val user_utility : Instance.t -> t -> int -> float
+(** Uncapped per-user utility [w_u(A(u))]. *)
+
+val utility : Instance.t -> t -> float
+(** Capped objective [w(A) = Σ_u min (W_u, w_u(A(u)))]. *)
+
+val uncapped_utility : Instance.t -> t -> float
+(** Plain sum [Σ_u w_u(A(u))], with no utility caps applied. *)
+
+type violation =
+  | Budget_exceeded of { measure : int; cost : float; budget : float }
+  | Capacity_exceeded of
+      { user : int; measure : int; load : float; capacity : float }
+  | Utility_cap_exceeded of { user : int; utility : float; cap : float }
+
+val violations :
+  ?eps:float -> ?check_caps:bool -> Instance.t -> t -> violation list
+(** All constraint violations, with tolerance [eps]
+    (default {!Prelude.Float_ops.default_eps}). When [check_caps] is
+    true (default false) utility caps [W_u] are also treated as hard
+    constraints — the paper treats them as objective caps, not
+    feasibility constraints, so the default matches the paper. *)
+
+val is_feasible : ?eps:float -> Instance.t -> t -> bool
+(** [violations] is empty (with [check_caps:false]). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type stream = int
+type user = int
+
+type user_record = {
+  capacities : float array;
+  utility_cap : float;
+  (* stream -> (utility, loads) *)
+  interests : (int, float * float array) Hashtbl.t;
+}
+
+type t = {
+  name : string;
+  m : int;
+  mc : int;
+  mutable budgets : float array;
+  mutable streams_rev : float array list;  (* costs, newest first *)
+  mutable num_streams : int;
+  mutable users_rev : user_record list;    (* newest first *)
+  mutable num_users : int;
+}
+
+let create ?(name = "built") ~m ~mc () =
+  if m < 1 then invalid_arg "Builder.create: m < 1";
+  if mc < 0 then invalid_arg "Builder.create: mc < 0";
+  { name;
+    m;
+    mc;
+    budgets = Array.make m infinity;
+    streams_rev = [];
+    num_streams = 0;
+    users_rev = [];
+    num_users = 0 }
+
+let set_budgets t budgets =
+  if Array.length budgets <> t.m then
+    invalid_arg "Builder.set_budgets: length <> m";
+  Array.iter
+    (fun b ->
+      if b < 0. || Float.is_nan b then
+        invalid_arg "Builder.set_budgets: negative budget")
+    budgets;
+  t.budgets <- Array.copy budgets
+
+let add_stream t ~costs =
+  if Array.length costs <> t.m then
+    invalid_arg "Builder.add_stream: costs length <> m";
+  Array.iter
+    (fun c ->
+      if c < 0. || Float.is_nan c then
+        invalid_arg "Builder.add_stream: negative cost")
+    costs;
+  t.streams_rev <- Array.copy costs :: t.streams_rev;
+  t.num_streams <- t.num_streams + 1;
+  t.num_streams - 1
+
+let add_user t ?(utility_cap = infinity) ~capacities () =
+  if Array.length capacities <> t.mc then
+    invalid_arg "Builder.add_user: capacities length <> mc";
+  Array.iter
+    (fun k ->
+      if k < 0. || Float.is_nan k then
+        invalid_arg "Builder.add_user: negative capacity")
+    capacities;
+  if utility_cap < 0. then invalid_arg "Builder.add_user: negative cap";
+  t.users_rev <-
+    { capacities = Array.copy capacities;
+      utility_cap;
+      interests = Hashtbl.create 8 }
+    :: t.users_rev;
+  t.num_users <- t.num_users + 1;
+  t.num_users - 1
+
+let nth_user t u =
+  if u < 0 || u >= t.num_users then
+    invalid_arg "Builder: unknown user handle";
+  List.nth t.users_rev (t.num_users - 1 - u)
+
+let interest t ~user ~stream ~utility ?loads () =
+  if stream < 0 || stream >= t.num_streams then
+    invalid_arg "Builder.interest: unknown stream handle";
+  if utility < 0. || Float.is_nan utility then
+    invalid_arg "Builder.interest: negative utility";
+  let loads =
+    match loads with
+    | None -> Array.make t.mc 0.
+    | Some l ->
+        if Array.length l <> t.mc then
+          invalid_arg "Builder.interest: loads length <> mc";
+        Array.iter
+          (fun k ->
+            if k < 0. || Float.is_nan k then
+              invalid_arg "Builder.interest: negative load")
+          l;
+        Array.copy l
+  in
+  let record = nth_user t user in
+  Hashtbl.replace record.interests stream (utility, loads)
+
+let num_streams t = t.num_streams
+let num_users t = t.num_users
+
+let build t =
+  let streams = Array.of_list (List.rev t.streams_rev) in
+  let users = Array.of_list (List.rev t.users_rev) in
+  let ns = t.num_streams in
+  let utility =
+    Array.map
+      (fun record ->
+        Array.init ns (fun s ->
+            match Hashtbl.find_opt record.interests s with
+            | Some (w, _) -> w
+            | None -> 0.))
+      users
+  in
+  let load =
+    Array.map
+      (fun record ->
+        Array.init ns (fun s ->
+            match Hashtbl.find_opt record.interests s with
+            | Some (_, loads) -> Array.copy loads
+            | None -> Array.make t.mc 0.))
+      users
+  in
+  Instance.create ~name:t.name ~server_cost:streams ~budget:t.budgets
+    ~load
+    ~capacity:(Array.map (fun r -> Array.copy r.capacities) users)
+    ~utility
+    ~utility_cap:(Array.map (fun r -> r.utility_cap) users)
+    ()

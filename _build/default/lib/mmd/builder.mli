@@ -1,0 +1,60 @@
+(** Incremental instance construction.
+
+    {!Instance.create} wants complete dense arrays, which is awkward
+    for hand-built or programmatically-grown instances. The builder
+    collects streams, users and interests in any order and produces
+    the dense instance at the end:
+
+    {[
+      let b = Builder.create ~m:2 ~mc:1 () in
+      Builder.set_budgets b [| 100.; 20. |];
+      let news = Builder.add_stream b ~costs:[| 8.; 1. |] in
+      let alice = Builder.add_user b ~capacities:[| 25. |] () in
+      Builder.interest b ~user:alice ~stream:news ~utility:3.
+        ~loads:[| 8. |];
+      let instance = Builder.build b
+    ]} *)
+
+type t
+
+type stream = private int
+(** Stream handle (the stream's id in the built instance). *)
+
+type user = private int
+(** User handle (the user's id in the built instance). *)
+
+val create : ?name:string -> m:int -> mc:int -> unit -> t
+(** Fresh builder with [m] server measures and [mc] capacity measures
+    per user. Budgets default to [infinity] until {!set_budgets}.
+    @raise Invalid_argument when [m < 1] or [mc < 0]. *)
+
+val set_budgets : t -> float array -> unit
+(** Set all [m] budgets. @raise Invalid_argument on length mismatch. *)
+
+val add_stream : t -> costs:float array -> stream
+(** Register a stream with its [m] server costs.
+    @raise Invalid_argument on length mismatch or negative costs. *)
+
+val add_user :
+  t -> ?utility_cap:float -> capacities:float array -> unit -> user
+(** Register a user with its [mc] capacities and optional utility cap
+    [W_u] (default unbounded).
+    @raise Invalid_argument on length mismatch. *)
+
+val interest :
+  t -> user:user -> stream:stream -> utility:float ->
+  ?loads:float array -> unit -> unit
+(** Declare that the user values the stream. [loads] defaults to all
+    zeros (no capacity consumption); when [mc = 0] it must be absent
+    or empty. Declaring the same pair twice replaces the previous
+    values. @raise Invalid_argument on negative utility, bad loads, or
+    unknown handles. *)
+
+val num_streams : t -> int
+val num_users : t -> int
+
+val build : t -> Instance.t
+(** Produce the instance. The builder remains usable (building again
+    after more additions yields a bigger instance).
+    @raise Invalid_argument if some stream's cost exceeds a budget —
+    same validation as {!Instance.create}. *)

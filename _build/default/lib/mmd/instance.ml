@@ -1,0 +1,166 @@
+type t = {
+  name : string;
+  num_streams : int;
+  num_users : int;
+  m : int;
+  mc : int;
+  server_cost : float array array;      (* stream × m *)
+  budget : float array;                 (* m *)
+  load : float array array array;       (* user × stream × mc *)
+  capacity : float array array;         (* user × mc *)
+  utility : float array array;          (* user × stream *)
+  utility_cap : float array;            (* user *)
+  interested_users : int array array;   (* stream -> users, ascending *)
+  interesting_streams : int array array;(* user -> streams, ascending *)
+  stream_total_utility : float array;   (* stream *)
+}
+
+let check_nonneg what x =
+  if x < 0. || Float.is_nan x then
+    invalid_arg (Printf.sprintf "Instance.create: negative or NaN %s" what)
+
+let create ?(name = "unnamed") ~server_cost ~budget ~load ~capacity ~utility
+    ~utility_cap () =
+  let num_streams = Array.length server_cost in
+  let m = Array.length budget in
+  let num_users = Array.length utility in
+  let mc =
+    if num_users = 0 then 0 else Array.length capacity.(0)
+  in
+  if Array.length capacity <> num_users then
+    invalid_arg "Instance.create: capacity rows <> num_users";
+  if Array.length load <> num_users then
+    invalid_arg "Instance.create: load rows <> num_users";
+  if Array.length utility_cap <> num_users then
+    invalid_arg "Instance.create: utility_cap length <> num_users";
+  Array.iteri
+    (fun s costs ->
+      if Array.length costs <> m then
+        invalid_arg "Instance.create: server_cost row length <> m";
+      Array.iteri
+        (fun i c ->
+          check_nonneg "server cost" c;
+          if c > budget.(i) then
+            invalid_arg
+              (Printf.sprintf
+                 "Instance.create: c_%d(S_%d) = %g exceeds budget %g" i s c
+                 budget.(i)))
+        costs)
+    server_cost;
+  Array.iter (fun b -> check_nonneg "budget" b) budget;
+  Array.iteri
+    (fun u caps ->
+      if Array.length caps <> mc then
+        invalid_arg "Instance.create: ragged capacity rows";
+      Array.iter (fun k -> check_nonneg "capacity" k) caps;
+      if Array.length load.(u) <> num_streams then
+        invalid_arg "Instance.create: load row length <> num_streams";
+      Array.iter
+        (fun per_stream ->
+          if Array.length per_stream <> mc then
+            invalid_arg "Instance.create: load entry length <> mc";
+          Array.iter (fun k -> check_nonneg "load" k) per_stream)
+        load.(u);
+      if Array.length utility.(u) <> num_streams then
+        invalid_arg "Instance.create: utility row length <> num_streams";
+      Array.iter (fun w -> check_nonneg "utility" w) utility.(u);
+      check_nonneg "utility cap" utility_cap.(u))
+    capacity;
+  (* Enforce the paper's assumption: a stream that individually violates
+     some capacity of a user yields zero utility for that user. *)
+  let utility = Array.map Array.copy utility in
+  for u = 0 to num_users - 1 do
+    for s = 0 to num_streams - 1 do
+      let violates = ref false in
+      for j = 0 to mc - 1 do
+        if load.(u).(s).(j) > capacity.(u).(j) then violates := true
+      done;
+      if !violates then utility.(u).(s) <- 0.
+    done
+  done;
+  let interested_users =
+    Array.init num_streams (fun s ->
+        let acc = ref [] in
+        for u = num_users - 1 downto 0 do
+          if utility.(u).(s) > 0. then acc := u :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let interesting_streams =
+    Array.init num_users (fun u ->
+        let acc = ref [] in
+        for s = num_streams - 1 downto 0 do
+          if utility.(u).(s) > 0. then acc := s :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let stream_total_utility =
+    Array.init num_streams (fun s ->
+        Array.fold_left
+          (fun acc u -> acc +. utility.(u).(s))
+          0. interested_users.(s))
+  in
+  { name; num_streams; num_users; m; mc; server_cost; budget; load;
+    capacity; utility; utility_cap; interested_users; interesting_streams;
+    stream_total_utility }
+
+let name t = t.name
+let num_streams t = t.num_streams
+let num_users t = t.num_users
+let m t = t.m
+let mc t = t.mc
+let server_cost t s i = t.server_cost.(s).(i)
+let budget t i = t.budget.(i)
+let load t u s j = t.load.(u).(s).(j)
+let capacity t u j = t.capacity.(u).(j)
+let utility t u s = t.utility.(u).(s)
+let utility_cap t u = t.utility_cap.(u)
+let interested_users t s = t.interested_users.(s)
+let interesting_streams t u = t.interesting_streams.(u)
+let stream_total_utility t s = t.stream_total_utility.(s)
+
+let size t =
+  let edges =
+    Array.fold_left
+      (fun acc users -> acc + Array.length users)
+      0 t.interested_users
+  in
+  edges + t.num_streams + t.num_users
+
+let max_server_cost t i =
+  let best = ref 0. in
+  for s = 0 to t.num_streams - 1 do
+    best := Float.max !best t.server_cost.(s).(i)
+  done;
+  !best
+
+let is_smd_shaped t = t.m = 1 && t.mc <= 1
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d streams, %d users, m=%d, mc=%d" t.name
+    t.num_streams t.num_users t.m t.mc
+
+let pp_detail ppf t =
+  pp ppf t;
+  Format.fprintf ppf "@.budgets: @[%a@]@."
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf b -> Format.fprintf ppf "%g" b))
+    t.budget;
+  for s = 0 to t.num_streams - 1 do
+    Format.fprintf ppf "stream %d: costs" s;
+    Array.iter (fun c -> Format.fprintf ppf " %g" c) t.server_cost.(s);
+    Format.fprintf ppf "@."
+  done;
+  for u = 0 to t.num_users - 1 do
+    Format.fprintf ppf "user %d: W=%g caps" u t.utility_cap.(u);
+    Array.iter (fun k -> Format.fprintf ppf " %g" k) t.capacity.(u);
+    Format.fprintf ppf "@.";
+    for s = 0 to t.num_streams - 1 do
+      if t.utility.(u).(s) > 0. then begin
+        Format.fprintf ppf "  w(%d)=%g loads" s t.utility.(u).(s);
+        Array.iter (fun k -> Format.fprintf ppf " %g" k) t.load.(u).(s);
+        Format.fprintf ppf "@."
+      end
+    done
+  done

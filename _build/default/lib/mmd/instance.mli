@@ -1,0 +1,103 @@
+(** The Multi-budget Multi-client Distribution (MMD) problem instance.
+
+    Mirrors the formal definition in §1.1 of Patt-Shamir & Rawitz:
+    - a set of streams [0 .. num_streams-1] and users [0 .. num_users-1];
+    - [m] server cost measures: stream [s] costs [server_cost s i] in
+      measure [i], capped by budget [budget i] (may be [infinity]);
+    - [mc] user capacity measures: stream [s] loads user [u] by
+      [load u s j] in measure [j], capped by [capacity u j];
+    - utilities [utility u s >= 0], with per-user utility cap
+      [utility_cap u] (the bound [W_u] of §2; [infinity] when absent).
+
+    The paper's standing assumptions are enforced by {!create}:
+    [server_cost s i <= budget i] for all [s, i], and [utility u s = 0]
+    whenever some load exceeds the corresponding capacity. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create :
+  ?name:string ->
+  server_cost:float array array ->
+  budget:float array ->
+  load:float array array array ->
+  capacity:float array array ->
+  utility:float array array ->
+  utility_cap:float array ->
+  unit ->
+  t
+(** Build and validate an instance.
+
+    Dimensions: [server_cost] is [num_streams × m]; [budget] is [m];
+    [load] is [num_users × num_streams × mc]; [capacity] is
+    [num_users × mc]; [utility] is [num_users × num_streams];
+    [utility_cap] is [num_users]. [mc = 0] (no user capacities) is
+    allowed, in which case [load] rows are empty arrays.
+
+    Utilities of streams that individually violate a user capacity are
+    forced to [0] (the paper's assumption [w_u(S) = 0] if
+    [k^u_j(S) > K^u_j]).
+
+    @raise Invalid_argument on inconsistent dimensions, negative costs,
+    loads, utilities, budgets or capacities, or a stream whose server
+    cost exceeds a budget. *)
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val num_streams : t -> int
+val num_users : t -> int
+
+val m : t -> int
+(** Number of server cost measures. *)
+
+val mc : t -> int
+(** Number of user capacity measures. *)
+
+val server_cost : t -> int -> int -> float
+(** [server_cost t s i] is [c_i(S_s)]. *)
+
+val budget : t -> int -> float
+(** [budget t i] is [B_i]. *)
+
+val load : t -> int -> int -> int -> float
+(** [load t u s j] is [k^u_j(S_s)]. *)
+
+val capacity : t -> int -> int -> float
+(** [capacity t u j] is [K^u_j]. *)
+
+val utility : t -> int -> int -> float
+(** [utility t u s] is [w_u(S_s)]. *)
+
+val utility_cap : t -> int -> float
+(** [utility_cap t u] is [W_u]. *)
+
+val interested_users : t -> int -> int array
+(** Users [u] with [utility t u s > 0], ascending. Precomputed. *)
+
+val interesting_streams : t -> int -> int array
+(** Streams [s] with [utility t u s > 0], ascending. Precomputed. *)
+
+val stream_total_utility : t -> int -> float
+(** [w(S)] — sum of [utility u s] over all users. Precomputed. *)
+
+(** {1 Derived quantities} *)
+
+val size : t -> int
+(** The input length [n] used in the paper's bounds: number of
+    user–stream pairs with positive utility, plus streams and users. *)
+
+val max_server_cost : t -> int -> float
+(** [max_server_cost t i] is [max_S c_i(S)]. *)
+
+val is_smd_shaped : t -> bool
+(** True when [m = 1] and [mc <= 1] — the instance is directly an SMD
+    instance (§2–3). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line summary (name and dimensions). *)
+
+val pp_detail : Format.formatter -> t -> unit
+(** Full dump of costs, budgets, loads, capacities and utilities;
+    intended for debugging small instances. *)

@@ -1,0 +1,49 @@
+(** Textual instance format: parsing and printing.
+
+    The format is line-based; [#] starts a comment and blank lines are
+    ignored. Numbers may be ["inf"] for unbounded budgets and caps.
+
+    {v
+    mmd <name>
+    dims <num_streams> <num_users> <m> <mc>
+    budget <B_1> ... <B_m>
+    stream <s> <c_1> ... <c_m>          # one line per stream
+    user <u> <W_u> <K_1> ... <K_mc>     # one line per user
+    edge <u> <s> <w> <k_1> ... <k_mc>   # positive-utility pair
+    v}
+
+    [stream] lines may be omitted for zero-cost streams, [user] lines
+    for users with all caps infinite, and only positive-utility pairs
+    need [edge] lines. *)
+
+val to_string : Instance.t -> string
+(** Serialize an instance; [of_string (to_string i)] reconstructs an
+    instance equal to [i] up to float printing precision. *)
+
+val of_string : string -> Instance.t
+(** Parse. @raise Failure with a line-numbered message on syntax or
+    dimension errors. *)
+
+val write_file : string -> Instance.t -> unit
+(** Write to a file path. *)
+
+val read_file : string -> Instance.t
+(** Read from a file path. @raise Failure on parse errors, [Sys_error]
+    on IO errors. *)
+
+(** {1 Assignments}
+
+    Assignments serialize as one line per non-empty user:
+    {v
+    plan
+    user <u> <s1> <s2> ...
+    v} *)
+
+val assignment_to_string : Assignment.t -> string
+
+val assignment_of_string : num_users:int -> string -> Assignment.t
+(** Parse; users absent from the text receive the empty set.
+    @raise Failure on malformed input or ids outside [num_users]. *)
+
+val write_assignment : string -> Assignment.t -> unit
+val read_assignment : string -> num_users:int -> Assignment.t

@@ -1,0 +1,79 @@
+type t = {
+  reduced : Instance.t;
+  kept_streams : int array;
+  kept_users : int array;
+  dropped_streams : int list;
+  dropped_users : int list;
+}
+
+let run inst =
+  let ns = Instance.num_streams inst and nu = Instance.num_users inst in
+  let m = Instance.m inst and mc = Instance.mc inst in
+  let stream_useless s =
+    Array.length (Instance.interested_users inst s) = 0
+  in
+  let user_uninterested u =
+    Array.length (Instance.interesting_streams inst u) = 0
+  in
+  let kept_streams =
+    Array.of_list
+      (List.filter (fun s -> not (stream_useless s)) (List.init ns Fun.id))
+  in
+  let kept_users =
+    Array.of_list
+      (List.filter (fun u -> not (user_uninterested u)) (List.init nu Fun.id))
+  in
+  let dropped_streams =
+    List.filter stream_useless (List.init ns Fun.id)
+  in
+  let dropped_users =
+    List.filter user_uninterested (List.init nu Fun.id)
+  in
+  let reduced =
+    Instance.create
+      ~name:(Instance.name inst ^ "/presolved")
+      ~server_cost:
+        (Array.map
+           (fun s -> Array.init m (fun i -> Instance.server_cost inst s i))
+           kept_streams)
+      ~budget:(Array.init m (Instance.budget inst))
+      ~load:
+        (Array.map
+           (fun u ->
+             Array.map
+               (fun s -> Array.init mc (fun j -> Instance.load inst u s j))
+               kept_streams)
+           kept_users)
+      ~capacity:
+        (Array.map
+           (fun u -> Array.init mc (fun j -> Instance.capacity inst u j))
+           kept_users)
+      ~utility:
+        (Array.map
+           (fun u ->
+             Array.map (fun s -> Instance.utility inst u s) kept_streams)
+           kept_users)
+      ~utility_cap:(Array.map (Instance.utility_cap inst) kept_users)
+      ()
+  in
+  { reduced; kept_streams; kept_users; dropped_streams; dropped_users }
+
+let lift t a =
+  let num_original_users =
+    Array.length t.kept_users + List.length t.dropped_users
+  in
+  let sets = Array.make num_original_users [] in
+  Array.iteri
+    (fun u' original_u ->
+      sets.(original_u) <-
+        List.map (fun s -> t.kept_streams.(s)) (Assignment.user_streams a u'))
+    t.kept_users;
+  Assignment.of_sets sets
+
+let solve_with solver inst =
+  let p = run inst in
+  if
+    Array.length p.kept_streams = Instance.num_streams inst
+    && Array.length p.kept_users = Instance.num_users inst
+  then solver inst
+  else lift p (solver p.reduced)

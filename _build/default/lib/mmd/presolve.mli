@@ -1,0 +1,38 @@
+(** Instance presolve: value-preserving reductions applied before any
+    solver.
+
+    Only reductions that are sound for the 0/1 selection semantics are
+    applied (classic dominance is {e not}: when the budget admits both
+    of two "twin" streams, taking both can beat taking either, exactly
+    as in 0/1 knapsack):
+
+    - {e valueless streams} — no user has positive utility for them;
+      they can only consume budget, so no optimal solution needs them;
+    - {e interest-less users} — zero utility for every stream; they
+      contribute nothing to any objective and no constraint of theirs
+      can bind a positive-utility decision.
+
+    The mappings back to original stream and user ids are retained so
+    solutions lift exactly. *)
+
+type t = {
+  reduced : Instance.t;        (** the presolved instance *)
+  kept_streams : int array;    (** reduced stream id -> original id *)
+  kept_users : int array;      (** reduced user id -> original id *)
+  dropped_streams : int list;  (** original ids removed as valueless *)
+  dropped_users : int list;    (** original ids removed as interest-less *)
+}
+
+val run : Instance.t -> t
+(** Apply both reductions. [O(n)] over the utility matrix. *)
+
+val lift : t -> Assignment.t -> Assignment.t
+(** Translate an assignment on the reduced instance back to original
+    stream and user ids (dropped users receive the empty set). *)
+
+val solve_with :
+  (Instance.t -> Assignment.t) -> Instance.t -> Assignment.t
+(** [solve_with solver inst]: presolve, solve the reduced instance,
+    lift. The lifted assignment's utility on [inst] equals the
+    solver's on the reduced instance. Falls back to solving directly
+    when nothing reduces. *)

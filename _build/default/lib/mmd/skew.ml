@@ -1,0 +1,131 @@
+(* Ratio extremes of w_u(S) / k^u_j(S) over streams with w > 0, k > 0.
+   Returns None when no stream qualifies for (u, j). *)
+let ratio_extremes inst u j =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      let k = Instance.load inst u s j in
+      if k > 0. then begin
+        let r = Instance.utility inst u s /. k in
+        if r < !lo then lo := r;
+        if r > !hi then hi := r
+      end)
+    (Instance.interesting_streams inst u);
+  if !hi < 0. then None else Some (!lo, !hi)
+
+let local_skew inst =
+  let skew = ref 1. in
+  for u = 0 to Instance.num_users inst - 1 do
+    for j = 0 to Instance.mc inst - 1 do
+      match ratio_extremes inst u j with
+      | None -> ()
+      | Some (lo, hi) -> skew := Float.max !skew (hi /. lo)
+    done
+  done;
+  !skew
+
+let normalize_loads inst =
+  let num_users = Instance.num_users inst in
+  let num_streams = Instance.num_streams inst in
+  let mc = Instance.mc inst in
+  let factor = Array.make_matrix num_users mc 1. in
+  for u = 0 to num_users - 1 do
+    for j = 0 to mc - 1 do
+      match ratio_extremes inst u j with
+      | None -> ()
+      | Some (lo, _hi) -> factor.(u).(j) <- lo
+    done
+  done;
+  let load =
+    Array.init num_users (fun u ->
+        Array.init num_streams (fun s ->
+            Array.init mc (fun j ->
+                Instance.load inst u s j *. factor.(u).(j))))
+  in
+  let capacity =
+    Array.init num_users (fun u ->
+        Array.init mc (fun j -> Instance.capacity inst u j *. factor.(u).(j)))
+  in
+  Instance.create
+    ~name:(Instance.name inst ^ "/normalized")
+    ~server_cost:
+      (Array.init num_streams (fun s ->
+           Array.init (Instance.m inst) (fun i ->
+               Instance.server_cost inst s i)))
+    ~budget:(Array.init (Instance.m inst) (Instance.budget inst))
+    ~load ~capacity
+    ~utility:
+      (Array.init num_users (fun u ->
+           Array.init num_streams (fun s -> Instance.utility inst u s)))
+    ~utility_cap:(Array.init num_users (Instance.utility_cap inst))
+    ()
+
+type global_normalization = {
+  gamma : float;
+  denom : float;
+  server_scale : float array;
+  user_scale : float array array;
+}
+
+(* Per equation (1): over nonempty X ⊆ {u : w_u(S) > 0}, the numerator
+   Σ_{u∈X} w_u(S) ranges between the smallest positive utility and the
+   total utility of the stream; the cost c_i(S) is fixed. So the
+   per-measure extremes of the (1)-ratio are governed by
+   w_min(S)/c_i(S) and w_tot(S)/c_i(S). *)
+let global_normalization inst =
+  let num_streams = Instance.num_streams inst in
+  let m = Instance.m inst and mc = Instance.mc inst in
+  let num_users = Instance.num_users inst in
+  let denom = float_of_int (m + (num_users * mc)) in
+  let denom = if denom = 0. then 1. else denom in
+  let w_min = Array.make num_streams infinity in
+  let w_tot = Array.make num_streams 0. in
+  for s = 0 to num_streams - 1 do
+    Array.iter
+      (fun u ->
+        let w = Instance.utility inst u s in
+        if w < w_min.(s) then w_min.(s) <- w;
+        w_tot.(s) <- w_tot.(s) +. w)
+      (Instance.interested_users inst s)
+  done;
+  (* For one cost dimension with per-stream costs [cost s], the scale
+     that makes the smallest (1)-ratio exactly 1 and the resulting
+     largest ratio. *)
+  let dimension cost =
+    let lo = ref infinity in
+    for s = 0 to num_streams - 1 do
+      let c = cost s in
+      if c > 0. && w_tot.(s) > 0. then begin
+        let r = w_min.(s) /. (denom *. c) in
+        if r < !lo then lo := r
+      end
+    done;
+    if !lo = infinity then (1., 1.)
+    else begin
+      let scale = !lo in
+      let hi = ref 1. in
+      for s = 0 to num_streams - 1 do
+        let c = cost s *. scale in
+        if c > 0. && w_tot.(s) > 0. then begin
+          let r = w_tot.(s) /. (denom *. c) in
+          if r > !hi then hi := r
+        end
+      done;
+      (scale, !hi)
+    end
+  in
+  let gamma = ref 1. in
+  let server_scale =
+    Array.init m (fun i ->
+        let scale, hi = dimension (fun s -> Instance.server_cost inst s i) in
+        gamma := Float.max !gamma hi;
+        scale)
+  in
+  let user_scale =
+    Array.init num_users (fun u ->
+        Array.init mc (fun j ->
+            let scale, hi = dimension (fun s -> Instance.load inst u s j) in
+            gamma := Float.max !gamma hi;
+            scale))
+  in
+  { gamma = !gamma; denom; server_scale; user_scale }

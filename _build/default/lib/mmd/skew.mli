@@ -1,0 +1,45 @@
+(** Local and global skew of an instance (§3 and §5 of the paper).
+
+    The {e local skew} compares, per user [u] and capacity measure [j],
+    the best and worst utility-per-unit-load ratios [w_u(S) / k^u_j(S)]
+    over streams with positive utility. The paper normalizes loads so
+    the smallest such ratio is 1; then
+    [α = max_{u,S,j} w_u(S) / k^u_j(S)].
+
+    The {e global skew} [γ] (§5, equation (1)) compares the best and
+    worst streams in utility per unit cost, over all server cost
+    measures and user capacity measures jointly, with the numerator
+    ranging over arbitrary subsets of interested users. *)
+
+val local_skew : Instance.t -> float
+(** The local skew [α >= 1]. Streams with zero load in a measure are
+    ignored for that measure (they never constrain it); an instance with
+    [mc = 0], or where no user/measure has two comparable streams,
+    has skew [1]. *)
+
+val normalize_loads : Instance.t -> Instance.t
+(** Rescale every load function [k^u_j] (and capacity [K^u_j]) by the
+    per-[(u,j)] factor that makes the smallest positive ratio
+    [w_u(S)/k^u_j(S)] equal to 1, as prescribed at the start of §3.
+    Leaves [(u,j)] pairs with no positive-load positive-utility stream
+    untouched. The returned instance is equivalent (same feasible
+    assignments, same utilities). *)
+
+type global_normalization = {
+  gamma : float;
+      (** the global skew [γ >= 1] after per-measure normalization *)
+  denom : float;  (** the [m + |U|·m_c] factor of equation (1) *)
+  server_scale : float array;
+      (** per server measure [i]: factor [t_i] such that costs
+          [t_i · c_i] satisfy the lower bound of (1) with equality;
+          [1.] for measures with no positive-cost stream *)
+  user_scale : float array array;
+      (** per user [u], per capacity measure [j]: the analogous factor
+          for the load function [k^u_j] *)
+}
+
+val global_normalization : Instance.t -> global_normalization
+(** Compute [γ] and the normalization factors of equation (1),
+    treating each user capacity measure as a virtual server budget as
+    §5 prescribes. Streams with no interested user are ignored.
+    [gamma] is [1.] for degenerate instances (no costs at all). *)

@@ -1,0 +1,1 @@
+lib/prelude/float_ops.mli:

@@ -1,0 +1,1 @@
+lib/prelude/profile.ml: Float List Map Option

@@ -1,0 +1,1 @@
+lib/prelude/sampling.mli: Rng

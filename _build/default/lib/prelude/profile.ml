@@ -1,0 +1,66 @@
+(* Delta encoding: [deltas] maps a breakpoint time to the change of the
+   profile value at that time. The value at τ is the sum of deltas at
+   times <= τ (plus [base]). Queries scan the map — O(k) in the number
+   of breakpoints, which interval expiry and [prune_before] keep small
+   in simulations. *)
+
+module M = Map.Make (Float)
+
+type t = { mutable deltas : float M.t; mutable base : float }
+
+let create () = { deltas = M.empty; base = 0. }
+
+let add t ~start_time ~stop_time x =
+  if start_time > stop_time then
+    invalid_arg "Profile.add: start_time > stop_time";
+  if x <> 0. && start_time < stop_time then begin
+    let bump time dx =
+      t.deltas <-
+        M.update time
+          (fun prev ->
+            let v = Option.value ~default:0. prev +. dx in
+            if v = 0. then None else Some v)
+          t.deltas
+    in
+    bump start_time x;
+    bump stop_time (-.x)
+  end
+
+let value_at t time =
+  M.fold
+    (fun bp dx acc -> if bp <= time then acc +. dx else acc)
+    t.deltas t.base
+
+let max_over t ~start_time ~stop_time =
+  (* The maximum over [start, stop) is attained either at start or at a
+     breakpoint inside the interval. *)
+  let best = ref (value_at t start_time) in
+  let running = ref t.base in
+  M.iter
+    (fun bp dx ->
+      running := !running +. dx;
+      if bp > start_time && bp < stop_time then
+        best := Float.max !best !running)
+    t.deltas;
+  !best
+
+let max_value t =
+  let best = ref (Float.max 0. t.base) in
+  let running = ref t.base in
+  M.iter
+    (fun _ dx ->
+      running := !running +. dx;
+      best := Float.max !best !running)
+    t.deltas;
+  !best
+
+let breakpoints t = List.map fst (M.bindings t.deltas)
+
+let prune_before t time =
+  let before, at, after = M.split time t.deltas in
+  let folded = M.fold (fun _ dx acc -> acc +. dx) before t.base in
+  let folded =
+    match at with Some dx -> folded +. dx | None -> folded
+  in
+  t.base <- folded;
+  t.deltas <- after

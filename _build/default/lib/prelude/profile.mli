@@ -1,0 +1,36 @@
+(** Piecewise-constant resource profiles over continuous time.
+
+    Tracks a quantity (e.g. bandwidth in use) as a step function of
+    time, supporting interval bookings and interval queries. Substrate
+    for the temporal online allocator (streams of finite duration,
+    footnote 1 of the paper) — a booking charges the profile over
+    [[start, stop)) and expires automatically afterwards. *)
+
+type t
+(** Mutable profile; initially identically zero. *)
+
+val create : unit -> t
+
+val add : t -> start_time:float -> stop_time:float -> float -> unit
+(** [add t ~start_time ~stop_time x] adds [x] over [[start_time,
+    stop_time)). Negative [x] subtracts (used to cancel a booking).
+    Requires [start_time <= stop_time] (equal = no-op). *)
+
+val value_at : t -> float -> float
+(** The profile value at an instant (right-continuous: the value on
+    [[τ, next breakpoint))). *)
+
+val max_over : t -> start_time:float -> stop_time:float -> float
+(** Maximum value attained on [[start_time, stop_time)). Returns
+    [value_at t start_time] when the interval is empty. *)
+
+val max_value : t -> float
+(** Global maximum over all time. At least [0.]. *)
+
+val breakpoints : t -> float list
+(** Times at which the profile may change, ascending. For tests. *)
+
+val prune_before : t -> float -> unit
+(** Forget structure strictly before the given time (folds it into the
+    starting value); queries before that time become invalid. Keeps
+    long simulations compact. *)

@@ -1,0 +1,93 @@
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Sampling.exponential: rate <= 0";
+  let u = Rng.float rng 1. in
+  -.log (1. -. u) /. rate
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Sampling.pareto: shape and scale must be positive";
+  let u = Rng.float rng 1. in
+  scale /. ((1. -. u) ** (1. /. shape))
+
+let normal rng ~mean ~stddev =
+  if stddev < 0. then invalid_arg "Sampling.normal: stddev < 0";
+  let u1 = 1. -. Rng.float rng 1. (* avoid log 0 *)
+  and u2 = Rng.float rng 1. in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let log_normal rng ~mu ~sigma = exp (normal rng ~mean:mu ~stddev:sigma)
+
+let uniform_log rng ~lo ~hi =
+  if not (0. < lo && lo < hi) then
+    invalid_arg "Sampling.uniform_log: need 0 < lo < hi";
+  exp (Rng.uniform rng ~lo:(log lo) ~hi:(log hi))
+
+type zipf = { cdf : float array }
+
+let zipf ~n ~s =
+  if n < 1 then invalid_arg "Sampling.zipf: n < 1";
+  if s < 0. then invalid_arg "Sampling.zipf: s < 0";
+  let weights =
+    Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s))
+  in
+  let total = Float_ops.kahan_sum weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.;
+  { cdf }
+
+(* Binary search for the first index whose cdf value is >= u. *)
+let search_cdf cdf u =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length cdf - 1)
+
+let zipf_draw rng z = search_cdf z.cdf (Rng.float rng 1.)
+
+let zipf_pmf z i =
+  if i < 0 || i >= Array.length z.cdf then
+    invalid_arg "Sampling.zipf_pmf: rank out of range";
+  if i = 0 then z.cdf.(0) else z.cdf.(i) -. z.cdf.(i - 1)
+
+let categorical rng weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Sampling.categorical: empty";
+  let total = ref 0. in
+  Array.iter
+    (fun w ->
+      if w < 0. then invalid_arg "Sampling.categorical: negative weight";
+      total := !total +. w)
+    weights;
+  if !total <= 0. then invalid_arg "Sampling.categorical: zero total";
+  let u = Rng.float rng !total in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.
+
+let poisson rng ~mean =
+  if mean < 0. then invalid_arg "Sampling.poisson: mean < 0";
+  if mean = 0. then 0
+  else if mean > 500. then
+    (* Normal approximation with continuity correction. *)
+    let x = normal rng ~mean ~stddev:(sqrt mean) in
+    max 0 (int_of_float (Float.round x))
+  else
+    let limit = exp (-.mean) in
+    let rec go k p =
+      let p = p *. Rng.float rng 1. in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.

@@ -1,0 +1,43 @@
+(** Random variate generation for workload synthesis.
+
+    All samplers take an explicit {!Rng.t}; none touch global state. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential variate with the given [rate] (mean [1/rate]).
+    Requires [rate > 0]. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto (type I) variate: support [[scale, ∞)], tail exponent [shape].
+    Requires [shape > 0] and [scale > 0]. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Gaussian variate (Box–Muller). Requires [stddev >= 0]. *)
+
+val log_normal : Rng.t -> mu:float -> sigma:float -> float
+(** Log-normal variate: [exp(N(mu, sigma))]. *)
+
+val uniform_log : Rng.t -> lo:float -> hi:float -> float
+(** Log-uniform variate in [[lo, hi]]: uniform in the exponent, so each
+    decade is equally likely. Requires [0 < lo < hi]. *)
+
+type zipf
+(** Precomputed Zipf distribution over ranks [1..n]. *)
+
+val zipf : n:int -> s:float -> zipf
+(** [zipf ~n ~s] builds a Zipf law with [n] ranks and exponent [s >= 0]
+    ([s = 0] is uniform). Requires [n >= 1]. *)
+
+val zipf_draw : Rng.t -> zipf -> int
+(** Sample a rank in [[0, n-1]] (0-based; rank 0 is the most popular). *)
+
+val zipf_pmf : zipf -> int -> float
+(** Probability of 0-based rank [i]. *)
+
+val categorical : Rng.t -> float array -> int
+(** [categorical t weights] samples an index with probability
+    proportional to [weights.(i)]. Requires non-negative weights with a
+    positive sum. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson variate. Requires [mean >= 0]. Uses Knuth's method for small
+    means and a normal approximation above 500. *)

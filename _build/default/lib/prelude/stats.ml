@@ -1,0 +1,69 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Float_ops.kahan_sum xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    let sq = Array.map (fun x -> (x -. m) ** 2.) xs in
+    sqrt (Float_ops.kahan_sum sq /. float_of_int (n - 1))
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float rank in
+  let frac = rank -. float_of_int lo in
+  if lo >= n - 1 then sorted.(n - 1)
+  else sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let logs =
+      Array.map
+        (fun x ->
+          if x <= 0. then
+            invalid_arg "Stats.geometric_mean: non-positive value";
+          log x)
+        xs
+    in
+    exp (Float_ops.kahan_sum logs /. float_of_int n)
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then
+    { count = 0; mean = nan; stddev = nan; min = nan; max = nan;
+      p50 = nan; p90 = nan; p99 = nan }
+  else
+    { count = n;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = Float_ops.fmin_array xs;
+      max = Float_ops.fmax_array xs;
+      p50 = percentile xs 50.;
+      p90 = percentile xs 90.;
+      p99 = percentile xs 99. }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "mean=%.4g sd=%.4g p50=%.4g p90=%.4g p99=%.4g min=%.4g max=%.4g (n=%d)"
+    s.mean s.stddev s.p50 s.p90 s.p99 s.min s.max s.count

@@ -1,0 +1,35 @@
+(** Descriptive statistics for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** Summary of a sample. All fields are [nan] when [count = 0] except
+    [count] itself. *)
+
+val summarize : float array -> summary
+(** Compute a full summary. Does not mutate the input. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on empty input. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; [0.] when fewer than two points. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [[0,100]], linear interpolation between
+    order statistics. @raise Invalid_argument on empty input or [p]
+    outside the range. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive values. @raise Invalid_argument if any
+    value is non-positive; [nan] on empty input. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Render as ["mean=… sd=… p50=… p90=… p99=… min=… max=… (n=…)"]. *)

@@ -1,0 +1,73 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?title columns =
+  { title;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri
+      (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  List.iter (function Cells cs -> update cs | Rule -> ()) rows;
+  let buf = Buffer.create 256 in
+  let render_cells cells =
+    List.iteri
+      (fun i c ->
+        let align = List.nth t.aligns i in
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let rule_line () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  render_cells t.headers;
+  rule_line ();
+  List.iter (function Cells cs -> render_cells cs | Rule -> rule_line ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t); print_newline ()
+
+let cell_f x = Printf.sprintf "%.4g" x
+let cell_ratio x = Printf.sprintf "%.3f" x
+let cell_i = string_of_int

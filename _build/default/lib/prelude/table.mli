@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints every experiment as an aligned ASCII
+    table so that EXPERIMENTS.md rows can be pasted verbatim. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. @raise Invalid_argument when the cell count differs
+    from the number of columns. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+(** Render to a string, columns padded to the widest cell. *)
+
+val print : t -> unit
+(** [render] then print to stdout followed by a newline. *)
+
+val cell_f : float -> string
+(** Canonical numeric cell: ["%.4g"]. *)
+
+val cell_ratio : float -> string
+(** Ratio cell: ["%.3f"]. *)
+
+val cell_i : int -> string
+(** Integer cell. *)

@@ -1,0 +1,1 @@
+lib/simnet/headend.ml: Array Baselines Des Float Fun List Mmd Policy Prelude Trace

@@ -1,0 +1,1 @@
+lib/simnet/headend.mli: Mmd Policy Prelude Trace

@@ -1,0 +1,1 @@
+lib/simnet/hierarchy.ml: Algorithms Fun List Mmd Workloads

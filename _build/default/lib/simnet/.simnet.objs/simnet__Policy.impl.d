@@ -1,0 +1,1 @@
+lib/simnet/policy.ml: Algorithms Array Baselines List Mmd

@@ -1,0 +1,1 @@
+lib/simnet/policy.mli: Mmd

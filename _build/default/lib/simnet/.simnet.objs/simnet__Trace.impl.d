@@ -1,0 +1,1 @@
+lib/simnet/trace.ml: Array Buffer Fun Hashtbl List Prelude Printf String

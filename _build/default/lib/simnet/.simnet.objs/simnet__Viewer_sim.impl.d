@@ -1,0 +1,1 @@
+lib/simnet/viewer_sim.ml: Algorithms Array Baselines Des Float List Mmd Prelude

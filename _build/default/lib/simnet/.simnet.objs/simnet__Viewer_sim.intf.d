@@ -1,0 +1,1 @@
+lib/simnet/viewer_sim.mli: Mmd Prelude

@@ -1,0 +1,41 @@
+type event = { time : float; seq : int; action : t -> unit }
+
+and t = {
+  queue : event Prelude.Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let compare_events e1 e2 =
+  match compare e1.time e2.time with 0 -> compare e1.seq e2.seq | c -> c
+
+let create () =
+  { queue = Prelude.Heap.create ~cmp:compare_events;
+    clock = 0.;
+    next_seq = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Des.schedule_at: time in the past";
+  Prelude.Heap.push t.queue { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay action =
+  if delay < 0. then invalid_arg "Des.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let run ?(until = infinity) t =
+  let rec loop () =
+    match Prelude.Heap.peek t.queue with
+    | None -> ()
+    | Some ev when ev.time > until -> t.clock <- until
+    | Some _ ->
+        let ev = Prelude.Heap.pop_exn t.queue in
+        t.clock <- ev.time;
+        ev.action t;
+        loop ()
+  in
+  loop ()
+
+let pending t = Prelude.Heap.length t.queue

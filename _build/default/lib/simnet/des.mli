@@ -1,0 +1,28 @@
+(** Minimal discrete-event simulation engine.
+
+    Events are closures ordered by (time, insertion sequence); ties
+    resolve in insertion order so runs are deterministic. *)
+
+type t
+
+val create : unit -> t
+(** Fresh engine at time 0. *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Enqueue an event [delay] time units from now. Requires
+    [delay >= 0]. Events may schedule further events. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Enqueue at an absolute time, which must not be in the past. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in order until the queue empties or the next event
+    is after [until] (events at exactly [until] are processed). The
+    clock is left at the last processed event's time, or at [until] if
+    it was reached. *)
+
+val pending : t -> int
+(** Events currently queued. *)

@@ -1,0 +1,221 @@
+module I = Mmd.Instance
+module R = Prelude.Rng
+module S = Prelude.Sampling
+
+type config = {
+  duration : float;
+  arrival_rate : float;
+  mean_lifetime : float;
+  popularity_skew : float;
+}
+
+let default_config =
+  { duration = 1000.;
+    arrival_rate = 0.5;
+    mean_lifetime = 120.;
+    popularity_skew = 0.8 }
+
+type metrics = {
+  offered : int;
+  accepted : int;
+  rejected : int;
+  utility_time : float;
+  mean_budget_utilization : float array;
+  peak_budget_utilization : float array;
+  violations : int;
+}
+
+(* Streams ranked by total utility; offers draw ranks from a Zipf law
+   so high-value content is requested more often, as in real catalogs. *)
+let popularity_order inst =
+  let order = Array.init (I.num_streams inst) Fun.id in
+  Array.sort
+    (fun s1 s2 ->
+      compare
+        (I.stream_total_utility inst s2)
+        (I.stream_total_utility inst s1))
+    order;
+  order
+
+(* Replay a recorded offer sequence against a policy. Departures are
+   processed from a heap before each offer, so resource accounting
+   matches the DES run exactly. *)
+let replay ~offers inst make_policy =
+  let policy = make_policy inst in
+  let usage = Baselines.Usage.create inst in
+  let departures =
+    Prelude.Heap.create
+      ~cmp:(fun (t1, _) (t2, _) -> compare (t1 : float) t2)
+  in
+  let offered = ref 0 and accepted = ref 0 and rejected = ref 0 in
+  let utility_time = ref 0. in
+  let violations = ref 0 in
+  let m = I.m inst in
+  let util_integral = Array.make m 0. in
+  let peak = Array.make m 0. in
+  let last_sample = ref 0. in
+  let last_time = ref 0. in
+  let horizon = ref 0. in
+  let sample_usage now =
+    let dt = now -. !last_sample in
+    last_sample := now;
+    for i = 0 to m - 1 do
+      let b = I.budget inst i in
+      if b > 0. && b < infinity then begin
+        let frac = Baselines.Usage.budget_used usage i /. b in
+        util_integral.(i) <- util_integral.(i) +. (frac *. dt);
+        if frac > peak.(i) then peak.(i) <- frac;
+        if not (Prelude.Float_ops.leq frac 1.) then incr violations
+      end
+    done
+  in
+  let process_departures_until now =
+    let rec go () =
+      match Prelude.Heap.peek departures with
+      | Some (t, s) when t <= now ->
+          ignore (Prelude.Heap.pop_exn departures);
+          sample_usage t;
+          policy.Policy.release s;
+          Baselines.Usage.release usage s;
+          go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  List.iter
+    (fun (time, s, duration) ->
+      if time < !last_time -. 1e-9 then
+        invalid_arg "Headend.replay: offers out of order";
+      if s < 0 || s >= I.num_streams inst || duration < 0. then
+        invalid_arg "Headend.replay: malformed offer";
+      last_time := time;
+      horizon := Float.max !horizon (time +. duration);
+      process_departures_until time;
+      if not (Baselines.Usage.admitted usage s) then begin
+        incr offered;
+        sample_usage time;
+        match policy.Policy.offer ~now:time ~duration s with
+        | [] -> incr rejected
+        | users ->
+            incr accepted;
+            Baselines.Usage.admit usage ~stream:s ~users;
+            let served =
+              List.fold_left
+                (fun acc u -> acc +. I.utility inst u s)
+                0. users
+            in
+            utility_time := !utility_time +. (served *. duration);
+            Prelude.Heap.push departures (time +. duration, s)
+      end)
+    offers;
+  process_departures_until !horizon;
+  sample_usage !horizon;
+  let span = Float.max !horizon 1e-9 in
+  { offered = !offered;
+    accepted = !accepted;
+    rejected = !rejected;
+    utility_time = !utility_time;
+    mean_budget_utilization = Array.map (fun x -> x /. span) util_integral;
+    peak_budget_utilization = peak;
+    violations = !violations }
+
+let run ~rng ?(config = default_config) ?trace inst make_policy =
+  if I.num_streams inst = 0 then invalid_arg "Headend.run: empty catalog";
+  let record ev =
+    match trace with None -> () | Some t -> Trace.record t ev
+  in
+  let policy = make_policy inst in
+  let usage = Baselines.Usage.create inst in
+  let zipf = S.zipf ~n:(I.num_streams inst) ~s:config.popularity_skew in
+  let by_popularity = popularity_order inst in
+  let offered = ref 0 and accepted = ref 0 and rejected = ref 0 in
+  let utility_time = ref 0. in
+  let violations = ref 0 in
+  let m = I.m inst in
+  let util_integral = Array.make m 0. in
+  let peak = Array.make m 0. in
+  let last_sample = ref 0. in
+  let sample_usage des =
+    let now = Des.now des in
+    let dt = now -. !last_sample in
+    last_sample := now;
+    for i = 0 to m - 1 do
+      let b = I.budget inst i in
+      if b > 0. && b < infinity then begin
+        let frac = Baselines.Usage.budget_used usage i /. b in
+        util_integral.(i) <- util_integral.(i) +. (frac *. dt);
+        if frac > peak.(i) then peak.(i) <- frac;
+        if not (Prelude.Float_ops.leq frac 1.) then incr violations
+      end
+    done
+  in
+  let check_user_capacities () =
+    for u = 0 to I.num_users inst - 1 do
+      for j = 0 to I.mc inst - 1 do
+        let k = I.capacity inst u j in
+        if k < infinity then
+          if
+            not
+              (Prelude.Float_ops.leq
+                 (Baselines.Usage.capacity_used usage ~user:u ~measure:j)
+                 k)
+          then incr violations
+      done
+    done
+  in
+  let des = Des.create () in
+  let rec arrival des =
+    sample_usage des;
+    let rank = S.zipf_draw rng zipf in
+    let s = by_popularity.(rank) in
+    if not (Baselines.Usage.admitted usage s) then begin
+      incr offered;
+      (* The session length is known at arrival (footnote 1), so it is
+         drawn before the offer and handed to the policy. *)
+      let lifetime = S.exponential rng ~rate:(1. /. config.mean_lifetime) in
+      let ends = Float.min (Des.now des +. lifetime) config.duration in
+      let duration = ends -. Des.now des in
+      record (Trace.Offered { time = Des.now des; stream = s; duration });
+      match policy.Policy.offer ~now:(Des.now des) ~duration s with
+      | [] ->
+          incr rejected;
+          record (Trace.Rejected { time = Des.now des; stream = s })
+      | users ->
+          incr accepted;
+          Baselines.Usage.admit usage ~stream:s ~users;
+          check_user_capacities ();
+          let served =
+            List.fold_left
+              (fun acc u -> acc +. I.utility inst u s)
+              0. users
+          in
+          utility_time := !utility_time +. (served *. (ends -. Des.now des));
+          record
+            (Trace.Accepted
+               { time = Des.now des; stream = s; users;
+                 served_utility = served });
+          Des.schedule des
+            ~delay:(ends -. Des.now des)
+            (fun des ->
+              sample_usage des;
+              policy.Policy.release s;
+              Baselines.Usage.release usage s;
+              record (Trace.Departed { time = Des.now des; stream = s }))
+    end;
+    let gap = S.exponential rng ~rate:config.arrival_rate in
+    if Des.now des +. gap <= config.duration then
+      Des.schedule des ~delay:gap arrival
+  in
+  Des.schedule des ~delay:(S.exponential rng ~rate:config.arrival_rate)
+    arrival;
+  Des.run ~until:config.duration des;
+  let mean_budget_utilization =
+    Array.map (fun x -> x /. config.duration) util_integral
+  in
+  { offered = !offered;
+    accepted = !accepted;
+    rejected = !rejected;
+    utility_time = !utility_time;
+    mean_budget_utilization;
+    peak_budget_utilization = peak;
+    violations = !violations }

@@ -1,0 +1,61 @@
+(** Head-end session simulation: stream arrivals and departures over a
+    fixed catalog, driven by an admission policy.
+
+    Stream offers arrive as a Poisson process; each offer draws a
+    catalog stream (Zipf over total utility rank, so popular content
+    is requested more often). An accepted stream stays up for an
+    exponentially distributed lifetime, then departs and its resources
+    are released. Utility accrues as (sum of served user utilities) ×
+    (time served) — "viewer-value-time". *)
+
+type config = {
+  duration : float;       (** simulated time horizon *)
+  arrival_rate : float;   (** stream offers per time unit *)
+  mean_lifetime : float;  (** mean admitted-stream session length *)
+  popularity_skew : float;(** Zipf exponent over catalog rank *)
+}
+
+val default_config : config
+(** duration 1000, rate 0.5, lifetime 120, skew 0.8. *)
+
+type metrics = {
+  offered : int;           (** total stream offers *)
+  accepted : int;          (** offers the policy accepted *)
+  rejected : int;
+  utility_time : float;    (** Σ served-utility × service duration *)
+  mean_budget_utilization : float array;
+      (** time-averaged budget use per server measure, as a fraction
+          of the budget (0 for infinite budgets) *)
+  peak_budget_utilization : float array;
+  violations : int;
+      (** events at which some budget or capacity was observed above
+          its cap (should be 0 for strict policies) *)
+}
+
+val run :
+  rng:Prelude.Rng.t ->
+  ?config:config ->
+  ?trace:Trace.t ->
+  Mmd.Instance.t ->
+  (Mmd.Instance.t -> Policy.t) ->
+  metrics
+(** Simulate [make_policy inst] against the generated session workload.
+    The simulator tracks resource usage independently of the policy,
+    so feasibility accounting cannot be gamed by a buggy policy.
+    When [trace] is given, every offer/accept/reject/depart event is
+    recorded into it. *)
+
+val replay :
+  offers:(float * int * float) list ->
+  Mmd.Instance.t ->
+  (Mmd.Instance.t -> Policy.t) ->
+  metrics
+(** Re-run a recorded offer workload — (time, stream, duration)
+    triples, e.g. {!Trace.offers} of an earlier run — against a
+    (possibly different) policy, with the same independent resource
+    accounting as {!run}. Offers must be in non-decreasing time order.
+    An offer for a stream still live from an earlier acceptance is
+    skipped without counting, matching {!run}'s treatment of arrivals
+    for already-admitted streams.
+
+    @raise Invalid_argument on out-of-order or malformed offers. *)

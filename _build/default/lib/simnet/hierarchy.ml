@@ -1,0 +1,37 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+type result = {
+  trunk_plan : Mmd.Assignment.t;
+  leaf_plans : (int * Mmd.Instance.t * Mmd.Assignment.t) list;
+  trunk_utility : float;
+  leaf_utility : float;
+}
+
+let plan ?(trunk_solver = Algorithms.Solve.best_of)
+    ?(leaf_solver = fun inst -> Algorithms.Skew_reduce.run inst) ~trunk
+    ~households () =
+  let trunk_plan = trunk_solver trunk in
+  let leaf_plans =
+    List.filter_map
+      (fun gateway ->
+        match A.user_streams trunk_plan gateway with
+        | [] -> None
+        | received ->
+            let full = households ~gateway in
+            if I.num_streams full <> I.num_streams trunk then
+              invalid_arg
+                "Hierarchy.plan: households catalog size mismatch";
+            let restricted =
+              Workloads.Perturb.restrict_streams full received
+            in
+            Some (gateway, restricted, leaf_solver restricted))
+      (List.init (I.num_users trunk) Fun.id)
+  in
+  { trunk_plan;
+    leaf_plans;
+    trunk_utility = A.utility trunk trunk_plan;
+    leaf_utility =
+      List.fold_left
+        (fun acc (_, inst, a) -> acc +. A.utility inst a)
+        0. leaf_plans }

@@ -1,0 +1,38 @@
+(** Two-tier hierarchical planning — Fig. 1 of the paper composed with
+    itself: "the server can be a cable head-end serving video gateways,
+    or a video gateway serving households."
+
+    Tier 1 solves the head-end instance (gateways are its users); then,
+    for every gateway, tier 2 solves a households instance whose
+    catalog is restricted to the channels that gateway received.
+
+    The leaf instances are generally {e skewed} (household demand is
+    unrelated to channel bitrates), so the default leaf solver is the
+    §3 classify-and-select, not the unit-skew greedy. *)
+
+type result = {
+  trunk_plan : Mmd.Assignment.t;
+      (** tier-1 assignment on the trunk instance *)
+  leaf_plans : (int * Mmd.Instance.t * Mmd.Assignment.t) list;
+      (** per gateway with a non-empty feed: (gateway, its restricted
+          households instance, its plan) *)
+  trunk_utility : float;
+  leaf_utility : float;  (** summed across gateways *)
+}
+
+val plan :
+  ?trunk_solver:(Mmd.Instance.t -> Mmd.Assignment.t) ->
+  ?leaf_solver:(Mmd.Instance.t -> Mmd.Assignment.t) ->
+  trunk:Mmd.Instance.t ->
+  households:(gateway:int -> Mmd.Instance.t) ->
+  unit ->
+  result
+(** [plan ~trunk ~households ()] plans both tiers. [households ~gateway]
+    must return a full-catalog households instance for that gateway
+    (e.g. {!Workloads.Scenarios.gateway_households}); the hierarchy
+    restricts it to the gateway's tier-1 feed. Defaults:
+    [trunk_solver] = {!Algorithms.Solve.best_of},
+    [leaf_solver] = {!Algorithms.Skew_reduce.run}.
+
+    @raise Invalid_argument if a households instance's stream count
+    differs from the trunk catalog's. *)

@@ -1,0 +1,86 @@
+module I = Mmd.Instance
+
+type t = {
+  name : string;
+  offer : now:float -> duration:float -> int -> int list;
+  release : int -> unit;
+}
+
+let online_allocate ?strict inst =
+  let state = Algorithms.Online_allocate.create ?strict inst in
+  { name = "online-allocate";
+    offer =
+      (fun ~now:_ ~duration:_ s -> Algorithms.Online_allocate.offer state s);
+    release = (fun s -> Algorithms.Online_allocate.release state s) }
+
+let online_temporal ?strict inst =
+  let state = Algorithms.Online_temporal.create ?strict inst in
+  { name = "online-temporal";
+    offer =
+      (fun ~now ~duration s ->
+        Algorithms.Online_temporal.offer state ~stream:s ~now ~duration);
+    (* Bookings expire on their own at the duration the simulator
+       announced, so departures need no action. *)
+    release = (fun _ -> ()) }
+
+let threshold_offer ?margin usage s =
+  let inst = Baselines.Usage.instance usage in
+  if Baselines.Usage.admitted usage s then []
+  else if not (Baselines.Usage.server_fits ?margin usage s) then []
+  else begin
+    let users =
+      Array.to_list (I.interested_users inst s)
+      |> List.filter (fun u ->
+             Baselines.Usage.user_fits ?margin usage ~user:u ~stream:s)
+    in
+    if users = [] then []
+    else begin
+      Baselines.Usage.admit usage ~stream:s ~users;
+      users
+    end
+  end
+
+let threshold ?margin inst =
+  let usage = Baselines.Usage.create inst in
+  { name = "threshold";
+    offer = (fun ~now:_ ~duration:_ s -> threshold_offer ?margin usage s);
+    release = (fun s -> Baselines.Usage.release usage s) }
+
+let greedy_effectiveness ?(min_effectiveness = 0.) inst =
+  let usage = Baselines.Usage.create inst in
+  let offer ~now:_ ~duration:_ s =
+    (* Normalized residual cost of transmitting s: sum over finite
+       budgets of cost / remaining headroom. *)
+    let cost = ref 0. and infeasible = ref false in
+    for i = 0 to I.m inst - 1 do
+      let b = I.budget inst i in
+      if b < infinity then begin
+        let left = b -. Baselines.Usage.budget_used usage i in
+        let c = I.server_cost inst s i in
+        if c > 0. then
+          if left <= 0. then infeasible := true
+          else cost := !cost +. (c /. left)
+      end
+    done;
+    if !infeasible then []
+    else begin
+      let value = I.stream_total_utility inst s in
+      let effective = !cost = 0. || value /. !cost >= min_effectiveness in
+      if effective then threshold_offer usage s else []
+    end
+  in
+  { name = "greedy-effectiveness";
+    offer;
+    release = (fun s -> Baselines.Usage.release usage s) }
+
+let static_plan plan inst =
+  ignore inst;
+  { name = "static-plan";
+    offer =
+      (fun ~now:_ ~duration:_ s ->
+        let users = ref [] in
+        for u = Mmd.Assignment.num_users plan - 1 downto 0 do
+          if Mmd.Assignment.assigns plan u s then users := u :: !users
+        done;
+        !users);
+    release = (fun _ -> ()) }

@@ -1,0 +1,43 @@
+(** Online admission policies for the head-end simulation.
+
+    A policy is created per simulation run over a fixed instance
+    (treating the instance's streams as the catalog) and is offered
+    stream arrivals one at a time. Offers carry the arrival time and
+    the session duration — known on arrival, as footnote 1 of the
+    paper assumes; stateless policies simply ignore them. Accepted
+    streams are released when their session ends. *)
+
+type t = {
+  name : string;
+  offer : now:float -> duration:float -> int -> int list;
+      (** stream arrives; returns the users it is delivered to
+          ([[]] = rejected) *)
+  release : int -> unit;  (** stream departs (no-op for policies whose
+                              bookings expire by themselves) *)
+}
+
+val online_allocate : ?strict:bool -> Mmd.Instance.t -> t
+(** Algorithm 2 (§5) as an online policy; ignores durations (each
+    stream holds resources until released). *)
+
+val online_temporal : ?strict:bool -> Mmd.Instance.t -> t
+(** The footnote-1 temporal allocator: admission charges exponential
+    costs against the peak load over the known booking interval, and
+    bookings expire on their own. *)
+
+val threshold : ?margin:float -> Mmd.Instance.t -> t
+(** Industry-style threshold admission: accept while all resources stay
+    under [margin] (default 1.0) of their caps; deliver to every
+    interested user whose capacities fit. Utility-blind. *)
+
+val greedy_effectiveness : ?min_effectiveness:float -> Mmd.Instance.t -> t
+(** A practical middle ground: threshold admission, but a stream is
+    only accepted when its utility per unit of normalized residual
+    budget exceeds [min_effectiveness] (default 0) — an online shadow
+    of the paper's offline cost-effectiveness rule. *)
+
+val static_plan : Mmd.Assignment.t -> Mmd.Instance.t -> t
+(** Admit exactly the streams (and user deliveries) of a precomputed
+    offline plan — e.g. {!Algorithms.Solve.full_pipeline} output — and
+    reject everything else. Models planning-ahead against the online
+    policies. *)

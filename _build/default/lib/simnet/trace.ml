@@ -1,0 +1,194 @@
+type event =
+  | Offered of { time : float; stream : int; duration : float }
+  | Accepted of { time : float; stream : int; users : int list;
+                  served_utility : float }
+  | Rejected of { time : float; stream : int }
+  | Departed of { time : float; stream : int }
+
+type t = { mutable events_rev : event list; mutable count : int }
+
+let create () = { events_rev = []; count = 0 }
+
+let record t ev =
+  t.events_rev <- ev :: t.events_rev;
+  t.count <- t.count + 1
+
+let events t = List.rev t.events_rev
+let length t = t.count
+
+let offers t =
+  List.filter_map
+    (function
+      | Offered { time; stream; duration } -> Some (time, stream, duration)
+      | Accepted _ | Rejected _ | Departed _ -> None)
+    (events t)
+
+let time_of = function
+  | Offered { time; _ } | Accepted { time; _ } | Rejected { time; _ }
+  | Departed { time; _ } ->
+      time
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,kind,stream,duration,users,served_utility\n";
+  List.iter
+    (fun ev ->
+      let line =
+        match ev with
+        | Offered { time; stream; duration } ->
+            Printf.sprintf "%.6f,offered,%d,%.6f,," time stream duration
+        | Accepted { time; stream; users; served_utility } ->
+            Printf.sprintf "%.6f,accepted,%d,,%s,%.6f" time stream
+              (String.concat ";" (List.map string_of_int users))
+              served_utility
+        | Rejected { time; stream } ->
+            Printf.sprintf "%.6f,rejected,%d,,," time stream
+        | Departed { time; stream } ->
+            Printf.sprintf "%.6f,departed,%d,,," time stream
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let of_csv text =
+  let t = create () in
+  let parse_float what lineno s =
+    match float_of_string_opt s with
+    | Some x -> x
+    | None ->
+        failwith
+          (Printf.sprintf "Trace.of_csv: line %d: bad %s %S" lineno what s)
+  in
+  let parse_int what lineno s =
+    match int_of_string_opt s with
+    | Some x -> x
+    | None ->
+        failwith
+          (Printf.sprintf "Trace.of_csv: line %d: bad %s %S" lineno what s)
+  in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      if line <> "" && not (String.length line >= 4 && String.sub line 0 4 = "time")
+      then begin
+        match String.split_on_char ',' line with
+        | [ time; "offered"; stream; duration; _; _ ] ->
+            record t
+              (Offered
+                 { time = parse_float "time" lineno time;
+                   stream = parse_int "stream" lineno stream;
+                   duration = parse_float "duration" lineno duration })
+        | [ time; "accepted"; stream; _; users; served ] ->
+            let users =
+              if users = "" then []
+              else
+                String.split_on_char ';' users
+                |> List.map (parse_int "user" lineno)
+            in
+            record t
+              (Accepted
+                 { time = parse_float "time" lineno time;
+                   stream = parse_int "stream" lineno stream;
+                   users;
+                   served_utility = parse_float "utility" lineno served })
+        | [ time; "rejected"; stream; _; _; _ ] ->
+            record t
+              (Rejected
+                 { time = parse_float "time" lineno time;
+                   stream = parse_int "stream" lineno stream })
+        | [ time; "departed"; stream; _; _; _ ] ->
+            record t
+              (Departed
+                 { time = parse_float "time" lineno time;
+                   stream = parse_int "stream" lineno stream })
+        | _ ->
+            failwith
+              (Printf.sprintf "Trace.of_csv: line %d: malformed row" lineno)
+      end)
+    (String.split_on_char '\n' text);
+  t
+
+let write_csv path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))
+
+let read_csv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_csv (really_input_string ic len))
+
+type summary = {
+  offered : int;
+  accepted : int;
+  rejected : int;
+  departed : int;
+  mean_session_length : float;
+  acceptance_by_quarter : float array;
+}
+
+let summarize t =
+  let evs = events t in
+  let offered = ref 0 and accepted = ref 0 in
+  let rejected = ref 0 and departed = ref 0 in
+  let accept_time = Hashtbl.create 16 in
+  let sessions = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Offered _ -> incr offered
+      | Accepted { time; stream; _ } ->
+          incr accepted;
+          Hashtbl.replace accept_time stream time
+      | Rejected _ -> incr rejected
+      | Departed { time; stream } -> (
+          incr departed;
+          match Hashtbl.find_opt accept_time stream with
+          | Some start ->
+              sessions := (time -. start) :: !sessions;
+              Hashtbl.remove accept_time stream
+          | None -> ()))
+    evs;
+  let span =
+    match evs with
+    | [] -> 0.
+    | first :: _ ->
+        let last = List.fold_left (fun _ ev -> time_of ev) 0. evs in
+        last -. time_of first
+  in
+  let quarter_offered = Array.make 4 0 and quarter_accepted = Array.make 4 0 in
+  (match evs with
+  | [] -> ()
+  | first :: _ ->
+      let t0 = time_of first in
+      let bucket time =
+        if span <= 0. then 0
+        else min 3 (int_of_float (4. *. (time -. t0) /. span))
+      in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Offered { time; _ } ->
+              let b = bucket time in
+              quarter_offered.(b) <- quarter_offered.(b) + 1
+          | Accepted { time; _ } ->
+              let b = bucket time in
+              quarter_accepted.(b) <- quarter_accepted.(b) + 1
+          | Rejected _ | Departed _ -> ())
+        evs);
+  { offered = !offered;
+    accepted = !accepted;
+    rejected = !rejected;
+    departed = !departed;
+    mean_session_length = Prelude.Stats.mean (Array.of_list !sessions);
+    acceptance_by_quarter =
+      Array.init 4 (fun q ->
+          if quarter_offered.(q) = 0 then 0.
+          else
+            float_of_int quarter_accepted.(q)
+            /. float_of_int quarter_offered.(q)) }

@@ -1,0 +1,57 @@
+(** Event traces of head-end simulation runs: recording, CSV
+    import/export, summaries, and replay support.
+
+    A trace captures the full offered workload (arrival times, streams,
+    session durations) plus the policy's decisions, so a recorded run
+    can be {e replayed} against a different policy
+    ({!Headend.replay}) for an apples-to-apples comparison. *)
+
+type event =
+  | Offered of { time : float; stream : int; duration : float }
+  | Accepted of { time : float; stream : int; users : int list;
+                  served_utility : float }
+  | Rejected of { time : float; stream : int }
+  | Departed of { time : float; stream : int }
+
+type t
+(** A mutable recorder. *)
+
+val create : unit -> t
+val record : t -> event -> unit
+
+val events : t -> event list
+(** All events in recording order. *)
+
+val length : t -> int
+
+val offers : t -> (float * int * float) list
+(** The offered workload: (time, stream, duration) triples in order —
+    the replayable part of the trace. *)
+
+val to_csv : t -> string
+(** One line per event:
+    [time,kind,stream,duration,users,served_utility] with users
+    separated by [';']. Header line included. *)
+
+val of_csv : string -> t
+(** Parse {!to_csv} output. @raise Failure on malformed input. *)
+
+val write_csv : string -> t -> unit
+(** Write {!to_csv} to a file. *)
+
+val read_csv : string -> t
+(** Read and parse a CSV trace file. *)
+
+type summary = {
+  offered : int;
+  accepted : int;
+  rejected : int;
+  departed : int;
+  mean_session_length : float;
+      (** mean accepted-to-departed duration (completed sessions only;
+          [nan] when none completed) *)
+  acceptance_by_quarter : float array;
+      (** acceptance rate in each quarter of the trace's time span *)
+}
+
+val summarize : t -> summary

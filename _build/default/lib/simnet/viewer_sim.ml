@@ -1,0 +1,148 @@
+module I = Mmd.Instance
+module R = Prelude.Rng
+module S = Prelude.Sampling
+module U = Baselines.Usage
+
+type policy = {
+  name : string;
+  request : user:int -> stream:int -> bool;
+  leave : user:int -> stream:int -> unit;
+}
+
+let online_policy ?strict inst =
+  let state = Algorithms.Online_allocate.create ?strict inst in
+  { name = "online-allocate";
+    request =
+      (fun ~user ~stream ->
+        Algorithms.Online_allocate.offer_user state ~user ~stream);
+    leave =
+      (fun ~user ~stream ->
+        Algorithms.Online_allocate.release_user state ~user ~stream) }
+
+let threshold_policy ?margin inst =
+  let usage = U.create inst in
+  { name = "threshold";
+    request =
+      (fun ~user ~stream ->
+        let server_ok =
+          U.admitted usage stream || U.server_fits ?margin usage stream
+        in
+        if
+          server_ok
+          && U.user_fits ?margin usage ~user ~stream
+          && not (List.mem user (U.users_of usage stream))
+        then begin
+          U.add_viewer usage ~stream ~user;
+          true
+        end
+        else false);
+    leave = (fun ~user ~stream -> U.remove_viewer usage ~stream ~user) }
+
+type config = {
+  duration : float;
+  request_rate : float;
+  mean_watch_time : float;
+}
+
+let default_config =
+  { duration = 1000.; request_rate = 2.; mean_watch_time = 60. }
+
+type metrics = {
+  requests : int;
+  admitted : int;
+  denied : int;
+  utility_time : float;
+  peak_streams : int;
+  peak_budget_utilization : float array;
+  violations : int;
+}
+
+let run ~rng ?(config = default_config) inst make_policy =
+  if I.num_streams inst = 0 || I.num_users inst = 0 then
+    invalid_arg "Viewer_sim.run: empty instance";
+  let policy = make_policy inst in
+  let usage = U.create inst in
+  let requests = ref 0 and admitted = ref 0 and denied = ref 0 in
+  let utility_time = ref 0. in
+  let violations = ref 0 in
+  let peak_streams = ref 0 in
+  let m = I.m inst in
+  let peak = Array.make m 0. in
+  let check_state () =
+    for i = 0 to m - 1 do
+      let b = I.budget inst i in
+      if b > 0. && b < infinity then begin
+        let frac = U.budget_used usage i /. b in
+        if frac > peak.(i) then peak.(i) <- frac;
+        if not (Prelude.Float_ops.leq frac 1.) then incr violations
+      end
+    done;
+    for u = 0 to I.num_users inst - 1 do
+      for j = 0 to I.mc inst - 1 do
+        let k = I.capacity inst u j in
+        if k < infinity then
+          if
+            not
+              (Prelude.Float_ops.leq
+                 (U.capacity_used usage ~user:u ~measure:j)
+                 k)
+          then incr violations
+      done
+    done
+  in
+  (* Draw a stream for a user, weighted by utility. *)
+  let draw_stream u =
+    let streams = I.interesting_streams inst u in
+    if Array.length streams = 0 then None
+    else begin
+      let weights =
+        Array.map (fun s -> I.utility inst u s) streams
+      in
+      Some streams.(S.categorical rng weights)
+    end
+  in
+  let des = Des.create () in
+  let rec arrival des =
+    let u = R.int rng (I.num_users inst) in
+    (match draw_stream u with
+    | None -> ()
+    | Some s ->
+        if not (List.mem u (U.users_of usage s)) then begin
+          incr requests;
+          if policy.request ~user:u ~stream:s then begin
+            incr admitted;
+            U.add_viewer usage ~stream:s ~user:u;
+            let count = ref 0 in
+            for s' = 0 to I.num_streams inst - 1 do
+              if U.admitted usage s' then incr count
+            done;
+            peak_streams := max !peak_streams !count;
+            check_state ();
+            let watch =
+              S.exponential rng ~rate:(1. /. config.mean_watch_time)
+            in
+            let ends = Float.min (Des.now des +. watch) config.duration in
+            utility_time :=
+              !utility_time +. (I.utility inst u s *. (ends -. Des.now des));
+            Des.schedule des
+              ~delay:(ends -. Des.now des)
+              (fun _ ->
+                policy.leave ~user:u ~stream:s;
+                U.remove_viewer usage ~stream:s ~user:u)
+          end
+          else incr denied
+        end);
+    let gap = S.exponential rng ~rate:config.request_rate in
+    if Des.now des +. gap <= config.duration then
+      Des.schedule des ~delay:gap arrival
+  in
+  Des.schedule des ~delay:(S.exponential rng ~rate:config.request_rate)
+    arrival;
+  Des.run ~until:config.duration des;
+  { requests = !requests;
+    admitted = !admitted;
+    denied = !denied;
+    utility_time = !utility_time;
+    peak_streams = !peak_streams;
+    peak_budget_utilization = peak;
+    violations = !violations }

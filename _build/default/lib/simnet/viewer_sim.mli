@@ -1,0 +1,55 @@
+(** Viewer-session simulation: individual (user, stream) requests over
+    a multicast head-end — the demand pattern the paper's introduction
+    actually describes (clients tune in and out; a transmitted stream
+    is shared by everyone watching it).
+
+    Requests arrive as a Poisson process; each picks a user uniformly
+    and a stream from that user's interests with probability
+    proportional to utility. An admitted viewer watches for an
+    exponential time; the server charge is paid only while at least
+    one viewer watches (multicast). Utility accrues per viewer-second
+    as [w_u(S)]. *)
+
+type policy = {
+  name : string;
+  request : user:int -> stream:int -> bool;
+      (** admit or deny one viewer request *)
+  leave : user:int -> stream:int -> unit;  (** the viewer departs *)
+}
+
+val online_policy : ?strict:bool -> Mmd.Instance.t -> policy
+(** Per-viewer Algorithm 2 ({!Algorithms.Online_allocate.offer_user}). *)
+
+val threshold_policy : ?margin:float -> Mmd.Instance.t -> policy
+(** Viewer-granularity threshold admission: admit when the stream (if
+    new) fits every budget under the margin and the viewer fits their
+    own capacities. Utility-blind. *)
+
+type config = {
+  duration : float;
+  request_rate : float;   (** viewer requests per time unit *)
+  mean_watch_time : float;
+}
+
+val default_config : config
+(** duration 1000, rate 2.0, watch time 60. *)
+
+type metrics = {
+  requests : int;
+  admitted : int;
+  denied : int;
+  utility_time : float;        (** Σ over viewers of w_u(S) × watch time *)
+  peak_streams : int;          (** max concurrently transmitted streams *)
+  peak_budget_utilization : float array;
+  violations : int;
+}
+
+val run :
+  rng:Prelude.Rng.t ->
+  ?config:config ->
+  Mmd.Instance.t ->
+  (Mmd.Instance.t -> policy) ->
+  metrics
+(** Simulate. Resource accounting is tracked independently of the
+    policy (violations counted against the instance's budgets and
+    capacities). *)

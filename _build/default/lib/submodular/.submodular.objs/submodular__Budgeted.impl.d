@@ -1,0 +1,1 @@
+lib/submodular/budgeted.ml: Array Fn List Prelude Printf

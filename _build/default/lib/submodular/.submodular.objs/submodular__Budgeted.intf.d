@@ -1,0 +1,1 @@
+lib/submodular/budgeted.mli: Fn

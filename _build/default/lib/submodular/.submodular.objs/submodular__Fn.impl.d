@@ -1,0 +1,1 @@
+lib/submodular/fn.ml: Array Float List Mmd Prelude Printf

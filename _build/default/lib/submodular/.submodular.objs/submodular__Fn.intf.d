@@ -1,0 +1,1 @@
+lib/submodular/fn.mli: Mmd Prelude

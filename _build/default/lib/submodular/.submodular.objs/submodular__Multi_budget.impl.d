@@ -1,0 +1,1 @@
+lib/submodular/multi_budget.ml: Algorithms Array Budgeted Fn Fun List Partial_enum Prelude Printf

@@ -1,0 +1,1 @@
+lib/submodular/multi_budget.mli: Fn

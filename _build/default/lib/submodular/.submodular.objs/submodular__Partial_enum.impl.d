@@ -1,0 +1,1 @@
+lib/submodular/partial_enum.ml: Budgeted Fn List

@@ -1,0 +1,1 @@
+lib/submodular/partial_enum.mli: Budgeted Fn

@@ -1,0 +1,1 @@
+lib/submodular/reductions.ml: Algorithms Array Budgeted Float Fn List Mmd

@@ -1,0 +1,1 @@
+lib/submodular/reductions.mli: Fn Mmd

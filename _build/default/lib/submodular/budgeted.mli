@@ -1,0 +1,47 @@
+(** Budgeted maximization of a monotone submodular function:
+    [max f(T)] subject to [Σ_{x∈T} cost(x) <= budget].
+
+    Two greedy engines produce identical outputs:
+    - {!greedy} re-evaluates every candidate's marginal each round
+      (the textbook algorithm, [O(n²)] oracle calls);
+    - {!lazy_greedy} uses Minoux's lazy evaluation — stale marginals
+      sit in a max-heap and only the top is refreshed — typically
+      near-linear oracle calls. Correctness relies on submodularity
+      (marginals only shrink), which is why {!Fn.check} exists.
+
+    [greedy_plus_best_single] adds the §2.2 fix (compare with the best
+    affordable singleton) for a [2e/(e−1)] guarantee without partial
+    enumeration. *)
+
+type result = {
+  chosen : int list;      (** selected ground elements, ascending *)
+  value : float;          (** [f(chosen)] *)
+  oracle_calls : int;     (** number of [f] evaluations performed *)
+}
+
+val greedy :
+  f:Fn.t -> cost:(int -> float) -> budget:float -> unit -> result
+(** Plain cost-effectiveness greedy. Elements with zero marginal are
+    never added. @raise Invalid_argument on a negative budget or
+    negative costs. *)
+
+val lazy_greedy :
+  f:Fn.t -> cost:(int -> float) -> budget:float -> unit -> result
+(** Minoux-accelerated greedy; same output as {!greedy} (up to ties on
+    exactly equal cost-effectiveness, broken by element id in both). *)
+
+val best_single : f:Fn.t -> cost:(int -> float) -> budget:float -> result
+(** The best affordable singleton. *)
+
+val greedy_plus_best_single :
+  ?engine:[ `Plain | `Lazy ] ->
+  f:Fn.t -> cost:(int -> float) -> budget:float -> unit -> result
+(** Better of greedy and {!best_single} — the §2.2 fix, a
+    [2e/(e−1)]-approximation for monotone submodular [f]. *)
+
+val brute_force :
+  ?max_ground:int -> f:Fn.t -> cost:(int -> float) -> budget:float -> unit
+  -> result
+(** Exact optimum by exhaustive search with monotonicity pruning.
+    Guarded by [max_ground] (default 22).
+    @raise Invalid_argument above the guard. *)

@@ -1,0 +1,168 @@
+type t = {
+  ground_size : int;
+  eval : int list -> float;
+  name : string;
+}
+
+let normalize set = List.sort_uniq compare set
+
+let eval f set = f.eval (normalize set)
+
+let marginal f ~base x =
+  let base = normalize base in
+  if List.mem x base then 0.
+  else f.eval (normalize (x :: base)) -. f.eval base
+
+let modular ?(name = "modular") weights =
+  Array.iter
+    (fun w ->
+      if w < 0. then invalid_arg "Fn.modular: negative weight")
+    weights;
+  { ground_size = Array.length weights;
+    eval =
+      (fun set ->
+        List.fold_left (fun acc x -> acc +. weights.(x)) 0.
+          (normalize set));
+    name }
+
+let coverage ?(name = "coverage") ~weights ~sets () =
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Fn.coverage: negative weight")
+    weights;
+  let items = Array.length weights in
+  Array.iter
+    (List.iter (fun item ->
+         if item < 0 || item >= items then
+           invalid_arg "Fn.coverage: item out of range"))
+    sets;
+  { ground_size = Array.length sets;
+    eval =
+      (fun set ->
+        let covered = Array.make items false in
+        List.iter
+          (fun i -> List.iter (fun item -> covered.(item) <- true) sets.(i))
+          (normalize set);
+        let total = ref 0. in
+        Array.iteri
+          (fun item hit -> if hit then total := !total +. weights.(item))
+          covered;
+        !total);
+    name }
+
+let facility_location ?(name = "facility-location") ~affinities () =
+  let clients = Array.length affinities in
+  let ground = if clients = 0 then 0 else Array.length affinities.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> ground then
+        invalid_arg "Fn.facility_location: ragged affinities";
+      Array.iter
+        (fun a ->
+          if a < 0. then
+            invalid_arg "Fn.facility_location: negative affinity")
+        row)
+    affinities;
+  { ground_size = ground;
+    eval =
+      (fun set ->
+        let set = normalize set in
+        let total = ref 0. in
+        for j = 0 to clients - 1 do
+          let best = ref 0. in
+          List.iter
+            (fun i -> if affinities.(j).(i) > !best then best := affinities.(j).(i))
+            set;
+          total := !total +. !best
+        done;
+        !total);
+    name }
+
+let of_mmd inst =
+  let module I = Mmd.Instance in
+  let nu = I.num_users inst in
+  let cap u =
+    if I.mc inst >= 1 then
+      Float.min (I.utility_cap inst u) (I.capacity inst u 0)
+    else I.utility_cap inst u
+  in
+  let caps = Array.init nu cap in
+  { ground_size = I.num_streams inst;
+    eval =
+      (fun set ->
+        let set = normalize set in
+        let total = ref 0. in
+        for u = 0 to nu - 1 do
+          let w =
+            List.fold_left
+              (fun acc s -> acc +. I.utility inst u s)
+              0. set
+          in
+          total := !total +. Float.min caps.(u) w
+        done;
+        !total);
+    name = "mmd:" ^ I.name inst }
+
+let truncate ~cap f =
+  if cap < 0. then invalid_arg "Fn.truncate: negative cap";
+  { f with
+    eval = (fun set -> Float.min cap (f.eval set));
+    name = Printf.sprintf "min(%g, %s)" cap f.name }
+
+let sum ?(name = "sum") fns =
+  match fns with
+  | [] -> invalid_arg "Fn.sum: empty list"
+  | first :: rest ->
+      List.iter
+        (fun f ->
+          if f.ground_size <> first.ground_size then
+            invalid_arg "Fn.sum: mismatched ground sizes")
+        rest;
+      { ground_size = first.ground_size;
+        eval =
+          (fun set ->
+            List.fold_left (fun acc f -> acc +. f.eval set) 0. fns);
+        name }
+
+let scale c f =
+  if c < 0. then invalid_arg "Fn.scale: negative factor";
+  { f with
+    eval = (fun set -> c *. f.eval set);
+    name = Printf.sprintf "%g*%s" c f.name }
+
+type violation = {
+  kind : [ `Submodularity | `Monotonicity | `Nonnegativity ];
+  witness : int list * int list;
+}
+
+let random_subset rng n =
+  let acc = ref [] in
+  for x = 0 to n - 1 do
+    if Prelude.Rng.bool rng then acc := x :: !acc
+  done;
+  List.rev !acc
+
+let union a b = List.sort_uniq compare (a @ b)
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+let check ?(trials = 200) rng f =
+  let eps = 1e-9 in
+  let tolerant_geq a b = a +. (eps *. Float.max 1. (Float.abs b)) >= b in
+  let rec go i =
+    if i = trials then None
+    else begin
+      let t1 = random_subset rng f.ground_size in
+      let t2 = random_subset rng f.ground_size in
+      let f1 = f.eval t1 and f2 = f.eval t2 in
+      if f1 < -.eps || f2 < -.eps then
+        Some { kind = `Nonnegativity; witness = (t1, t2) }
+      else if not (tolerant_geq (f.eval (union t1 t2)) f1 && f1 >= 0.)
+      then Some { kind = `Monotonicity; witness = (t1, union t1 t2) }
+      else if
+        not
+          (tolerant_geq (f1 +. f2)
+             (f.eval (union t1 t2) +. f.eval (inter t1 t2)))
+      then Some { kind = `Submodularity; witness = (t1, t2) }
+      else go (i + 1)
+    end
+  in
+  go 0

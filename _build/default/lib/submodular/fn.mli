@@ -1,0 +1,75 @@
+(** Monotone submodular set functions over a finite ground set.
+
+    The paper's closing remark of §4 observes that its machinery —
+    greedy with partial enumeration (Sviridenko) plus the
+    multiple-to-single budget reduction — maximizes {e any}
+    nonnegative, nondecreasing, submodular, polynomially computable
+    set function under [m] knapsack constraints with an [O(m)] factor.
+    This library implements that claim generically; the MMD utility of
+    Lemma 2.1 is one instance ({!of_mmd}).
+
+    Sets are given as sorted lists of ground elements
+    [0 .. ground_size - 1]; evaluation receives arbitrary lists and
+    must ignore duplicates. *)
+
+type t = {
+  ground_size : int;
+  eval : int list -> float;  (** [f(T)]; must treat input as a set *)
+  name : string;
+}
+
+val eval : t -> int list -> float
+(** Evaluate (sorts and dedups first, so callers may pass any list). *)
+
+val marginal : t -> base:int list -> int -> float
+(** [marginal f ~base x] is [f(base ∪ {x}) − f(base)]. *)
+
+(** {1 Constructors} *)
+
+val modular : ?name:string -> float array -> t
+(** Additive function [f(T) = Σ_{x∈T} w.(x)]; weights must be
+    non-negative. *)
+
+val coverage :
+  ?name:string -> weights:float array -> sets:int list array -> unit -> t
+(** Weighted coverage: ground element [i] is the set [sets.(i)] of
+    items; [f(T) = Σ (weights of items covered by ∪_{i∈T} sets.(i))].
+    The objective of Budgeted Maximum Coverage (Khuller–Moss–Naor). *)
+
+val facility_location :
+  ?name:string -> affinities:float array array -> unit -> t
+(** Facility location: [affinities.(j).(i)] is client [j]'s affinity
+    for facility [i] (the ground element);
+    [f(T) = Σ_j max_{i∈T} affinities.(j).(i)] (0 for empty [T]).
+    Monotone submodular; models placing replicas/caches where each
+    client is served by its best open facility. Requires non-negative
+    affinities and rectangular input. *)
+
+val of_mmd : Mmd.Instance.t -> t
+(** The Lemma 2.1 utility: ground set = streams,
+    [f(T) = Σ_u min(W_u, Σ_{S∈T} w_u(S))] (with the per-user cap
+    [min(W_u, K_u)] when [mc = 1], matching the §2 preliminaries). *)
+
+val truncate : cap:float -> t -> t
+(** [min(cap, f)] — monotone and submodular whenever [f] is.
+    Requires [cap >= 0]. *)
+
+val sum : ?name:string -> t list -> t
+(** Pointwise sum; all functions must share the ground size.
+    @raise Invalid_argument otherwise (or on an empty list). *)
+
+val scale : float -> t -> t
+(** [c·f] for [c >= 0]. *)
+
+(** {1 Verification (randomized)} *)
+
+type violation = {
+  kind : [ `Submodularity | `Monotonicity | `Nonnegativity ];
+  witness : int list * int list;
+}
+
+val check :
+  ?trials:int -> Prelude.Rng.t -> t -> violation option
+(** Randomized check of the three properties on random set pairs:
+    returns the first violated property with its witness sets, or
+    [None] if all trials pass. A [None] is evidence, not proof. *)

@@ -1,0 +1,36 @@
+(** Monotone submodular maximization under [m] knapsack constraints —
+    the generalization the paper sketches at the end of §4.
+
+    The [m] constraints are normalized and summed into one
+    ([c(x) = Σ_i c_i(x)/B_i], budget [m]); the single-budget problem is
+    solved by {!Partial_enum} (or the cheaper greedy); and the solution
+    is decomposed by the §4 interval walk into groups that each satisfy
+    every original budget, keeping the best group. Overall: an [O(m)]
+    approximation, as the paper claims. *)
+
+type instance = {
+  f : Fn.t;
+  costs : (int -> float) array;  (** per constraint [i], cost of [x] *)
+  budgets : float array;
+}
+
+type result = {
+  chosen : int list;
+  value : float;
+  groups_considered : int;
+      (** groups produced by the output decomposition *)
+}
+
+val solve :
+  ?solver:[ `Greedy | `Partial_enum ] ->
+  instance ->
+  result
+(** Solve ([`Partial_enum] by default; [`Greedy] trades the constant
+    for speed). The result satisfies every budget.
+
+    @raise Invalid_argument on dimension mismatch, negative data, or
+    an element more expensive than a budget (such elements can never
+    be chosen and must be pre-filtered by the caller). *)
+
+val is_feasible : instance -> int list -> bool
+(** Does the set satisfy every budget (with tolerance)? *)

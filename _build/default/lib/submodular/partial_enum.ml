@@ -1,0 +1,80 @@
+(* Greedy completion of a seed set: run the budgeted greedy on the
+   residual function g(T) = f(seed ∪ T) with the remaining budget,
+   restricted to elements outside the seed (by making them free to
+   skip: elements in the seed get zero marginal automatically). *)
+
+let complete ~engine ~f ~cost ~budget seed =
+  let seed_cost = List.fold_left (fun acc x -> acc +. cost x) 0. seed in
+  let residual : Fn.t =
+    { f with
+      Fn.eval = (fun set -> f.Fn.eval (List.sort_uniq compare (seed @ set)));
+      Fn.name = f.Fn.name ^ "|seed" }
+  in
+  let blocked x = List.mem x seed in
+  let cost' x = if blocked x then infinity else cost x in
+  let remaining = budget -. seed_cost in
+  let result =
+    match engine with
+    | `Plain -> Budgeted.greedy ~f:residual ~cost:cost' ~budget:remaining ()
+    | `Lazy ->
+        Budgeted.lazy_greedy ~f:residual ~cost:cost' ~budget:remaining ()
+  in
+  let chosen = List.sort_uniq compare (seed @ result.Budgeted.chosen) in
+  { Budgeted.chosen;
+    value = f.Fn.eval chosen;
+    oracle_calls = result.Budgeted.oracle_calls }
+
+let feasible_subsets ~cost ~budget n k =
+  let fits set =
+    List.fold_left (fun acc x -> acc +. cost x) 0. set <= budget +. 1e-12
+  in
+  let acc = ref [] in
+  for a = 0 to n - 1 do
+    if fits [ a ] then begin
+      acc := [ a ] :: !acc;
+      if k >= 2 then
+        for b = a + 1 to n - 1 do
+          if fits [ a; b ] then begin
+            acc := [ a; b ] :: !acc;
+            if k >= 3 then
+              for c = b + 1 to n - 1 do
+                if fits [ a; b; c ] then acc := [ a; b; c ] :: !acc
+              done
+          end
+        done
+    end
+  done;
+  !acc
+
+let run ?(max_enum_size = 3) ?(engine = `Lazy) ~f ~cost ~budget () =
+  if max_enum_size < 1 || max_enum_size > 3 then
+    invalid_arg "Partial_enum.run: max_enum_size must be in [1, 3]";
+  if budget < 0. then invalid_arg "Partial_enum.run: negative budget";
+  let n = f.Fn.ground_size in
+  let total_calls = ref 0 in
+  let consider best (candidate : Budgeted.result) =
+    total_calls := !total_calls + candidate.Budgeted.oracle_calls;
+    if candidate.Budgeted.value > best.Budgeted.value then candidate
+    else best
+  in
+  let empty =
+    { Budgeted.chosen = []; value = f.Fn.eval []; oracle_calls = 0 }
+  in
+  let best = ref empty in
+  List.iter
+    (fun seed ->
+      let candidate =
+        if List.length seed = max_enum_size then
+          complete ~engine ~f ~cost ~budget seed
+        else
+          { Budgeted.chosen = seed;
+            value = f.Fn.eval seed;
+            oracle_calls = 1 }
+      in
+      best := consider !best candidate)
+    (feasible_subsets ~cost ~budget n max_enum_size);
+  (* Also the unseeded greedy, so small instances are covered even
+     when no set reaches the enumeration size. *)
+  let unseeded = complete ~engine ~f ~cost ~budget [] in
+  best := consider !best unseeded;
+  { !best with oracle_calls = !total_calls }

@@ -1,0 +1,20 @@
+(** Sviridenko's partial-enumeration algorithm for maximizing a
+    monotone submodular function under one knapsack constraint —
+    the generic form of §2.3.
+
+    Every feasible set of size < 3 is a candidate; every feasible
+    triple is completed greedily. Guarantee: [e/(e−1)]-approximation
+    (Sviridenko 2004), at [O(n³)] greedy completions. *)
+
+val run :
+  ?max_enum_size:int ->
+  ?engine:[ `Plain | `Lazy ] ->
+  f:Fn.t ->
+  cost:(int -> float) ->
+  budget:float ->
+  unit ->
+  Budgeted.result
+(** [max_enum_size] (default 3, in [[1,3]]) trades quality for time;
+    [engine] selects the greedy used for completions (default
+    [`Lazy]). @raise Invalid_argument on bad [max_enum_size], budget
+    or costs. *)

@@ -1,0 +1,142 @@
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+type budgeted_coverage = {
+  item_weights : float array;
+  sets : int list array;
+  set_costs : float array;
+  budget : float;
+}
+
+let coverage_to_mmd bc =
+  let num_items = Array.length bc.item_weights in
+  let num_sets = Array.length bc.sets in
+  if Array.length bc.set_costs <> num_sets then
+    invalid_arg "Reductions.coverage_to_mmd: |set_costs| <> |sets|";
+  let budget =
+    (* Every set must be individually admissible in a valid MMD
+       instance; a set more expensive than the budget can simply never
+       be picked, so clamping is harmless only if we exclude it —
+       give it the budget's cost + mark it useless via zero utility. *)
+    bc.budget
+  in
+  let server_cost =
+    Array.map
+      (fun c -> [| Float.min c budget |])
+      bc.set_costs
+  in
+  let utility =
+    Array.init num_items (fun item ->
+        Array.init num_sets (fun set ->
+            if bc.set_costs.(set) > budget +. 1e-12 then 0.
+            else if List.mem item bc.sets.(set) then bc.item_weights.(item)
+            else 0.))
+  in
+  I.create ~name:"budgeted-coverage"
+    ~server_cost
+    ~budget:[| budget |]
+    ~load:(Array.init num_items (fun _ -> Array.init num_sets (fun _ -> [||])))
+    ~capacity:(Array.init num_items (fun _ -> [||]))
+    ~utility
+    ~utility_cap:(Array.copy bc.item_weights)
+    ()
+
+let coverage_fn bc =
+  Fn.coverage ~weights:bc.item_weights ~sets:bc.sets ()
+
+let solve_coverage_via_mmd bc =
+  let inst = coverage_to_mmd bc in
+  let a = Algorithms.Greedy_fixed.run_feasible inst in
+  (A.range a, A.utility inst a)
+
+let solve_coverage_direct bc =
+  let f = coverage_fn bc in
+  let r =
+    Budgeted.greedy_plus_best_single ~f
+      ~cost:(fun s ->
+        if bc.set_costs.(s) > bc.budget +. 1e-12 then infinity
+        else bc.set_costs.(s))
+      ~budget:bc.budget ()
+  in
+  (r.Budgeted.chosen, r.Budgeted.value)
+
+type group_coverage = {
+  g_item_weights : float array;
+  g_sets : int list array;
+  group_of : int array;
+  groups : int;
+  group_budget : float;
+}
+
+let group_to_mmd gc =
+  let num_items = Array.length gc.g_item_weights in
+  let num_sets = Array.length gc.g_sets in
+  if Array.length gc.group_of <> num_sets then
+    invalid_arg "Reductions.group_to_mmd: |group_of| <> |sets|";
+  Array.iter
+    (fun g ->
+      if g < 0 || g >= gc.groups then
+        invalid_arg "Reductions.group_to_mmd: group id out of range")
+    gc.group_of;
+  (* m = groups + 1 budgets: measure g < groups caps group g at one
+     set; the last measure caps the total number of sets. *)
+  let m = gc.groups + 1 in
+  let server_cost =
+    Array.init num_sets (fun s ->
+        Array.init m (fun i ->
+            if i < gc.groups then if gc.group_of.(s) = i then 1. else 0.
+            else 1.))
+  in
+  let budget =
+    Array.init m (fun i ->
+        if i < gc.groups then 1. else Float.max 1. gc.group_budget)
+  in
+  let utility =
+    Array.init num_items (fun item ->
+        Array.init num_sets (fun set ->
+            if List.mem item gc.g_sets.(set) then gc.g_item_weights.(item)
+            else 0.))
+  in
+  I.create ~name:"group-coverage"
+    ~server_cost ~budget
+    ~load:(Array.init num_items (fun _ -> Array.init num_sets (fun _ -> [||])))
+    ~capacity:(Array.init num_items (fun _ -> [||]))
+    ~utility
+    ~utility_cap:(Array.copy gc.g_item_weights)
+    ()
+
+let solve_group_via_mmd gc =
+  let inst = group_to_mmd gc in
+  let a = Algorithms.Solve.full_pipeline inst in
+  (A.range a, A.utility inst a)
+
+let solve_group_direct gc =
+  let f = Fn.coverage ~weights:gc.g_item_weights ~sets:gc.g_sets () in
+  let num_sets = Array.length gc.g_sets in
+  let group_taken = Array.make gc.groups false in
+  let chosen = ref [] and value = ref (Fn.eval f []) in
+  let remaining = ref (int_of_float gc.group_budget) in
+  let rec loop () =
+    if !remaining > 0 then begin
+      let best = ref (-1) and best_gain = ref 1e-12 in
+      for s = 0 to num_sets - 1 do
+        if (not group_taken.(gc.group_of.(s))) && not (List.mem s !chosen)
+        then begin
+          let gain = Fn.eval f (s :: !chosen) -. !value in
+          if gain > !best_gain then begin
+            best := s;
+            best_gain := gain
+          end
+        end
+      done;
+      if !best >= 0 then begin
+        chosen := !best :: !chosen;
+        value := !value +. !best_gain;
+        group_taken.(gc.group_of.(!best)) <- true;
+        decr remaining;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  (List.sort compare !chosen, !value)

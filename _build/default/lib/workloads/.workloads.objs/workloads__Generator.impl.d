@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Array Float Mmd Prelude Printf

@@ -1,0 +1,1 @@
+lib/workloads/perturb.ml: Array Float Fun List Mmd Option Prelude

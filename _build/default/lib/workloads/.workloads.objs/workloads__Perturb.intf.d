@@ -1,0 +1,1 @@
+lib/workloads/perturb.mli: Mmd Prelude

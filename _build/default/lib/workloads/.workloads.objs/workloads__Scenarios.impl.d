@@ -1,0 +1,1 @@
+lib/workloads/scenarios.ml: Array Float Mmd Prelude

@@ -1,0 +1,143 @@
+module I = Mmd.Instance
+module S = Prelude.Sampling
+
+type params = {
+  num_streams : int;
+  num_users : int;
+  m : int;
+  mc : int;
+  density : float;
+  cost_range : float * float;
+  utility_range : float * float;
+  budget_fraction : float;
+  capacity_fraction : float;
+  utility_cap_fraction : float option;
+  skew : float;
+}
+
+let default =
+  { num_streams = 40;
+    num_users = 10;
+    m = 1;
+    mc = 1;
+    density = 0.3;
+    cost_range = (1., 10.);
+    utility_range = (1., 10.);
+    budget_fraction = 0.3;
+    capacity_fraction = 0.5;
+    utility_cap_fraction = None;
+    skew = 1. }
+
+let validate p =
+  if p.num_streams < 1 || p.num_users < 1 then
+    invalid_arg "Generator: need at least one stream and one user";
+  if p.m < 1 || p.mc < 0 then invalid_arg "Generator: need m >= 1, mc >= 0";
+  if not (p.density > 0. && p.density <= 1.) then
+    invalid_arg "Generator: density must be in (0, 1]";
+  let check_range what (lo, hi) =
+    if not (0. < lo && lo <= hi) then
+      invalid_arg (Printf.sprintf "Generator: bad %s range" what)
+  in
+  check_range "cost" p.cost_range;
+  check_range "utility" p.utility_range;
+  if p.budget_fraction <= 0. || p.capacity_fraction <= 0. then
+    invalid_arg "Generator: fractions must be positive";
+  if p.skew < 1. then invalid_arg "Generator: skew must be >= 1"
+
+let draw_in rng (lo, hi) =
+  if lo = hi then lo else S.uniform_log rng ~lo ~hi
+
+let instance ?(name = "random") rng p =
+  validate p;
+  let server_cost =
+    Array.init p.num_streams (fun _ ->
+        Array.init p.m (fun _ -> draw_in rng p.cost_range))
+  in
+  let budget =
+    Array.init p.m (fun i ->
+        let total = ref 0. and biggest = ref 0. in
+        Array.iter
+          (fun costs ->
+            total := !total +. costs.(i);
+            biggest := Float.max !biggest costs.(i))
+          server_cost;
+        Float.max (!total *. p.budget_fraction) !biggest)
+  in
+  let utility =
+    Array.init p.num_users (fun _ ->
+        Array.init p.num_streams (fun _ ->
+            if Prelude.Rng.float rng 1. < p.density then
+              draw_in rng p.utility_range
+            else 0.))
+  in
+  (* Loads: utility divided by a ratio in [1, skew], so the local skew
+     of the instance is at most [p.skew] (and close to it for skew>1). *)
+  let load =
+    Array.init p.num_users (fun u ->
+        Array.init p.num_streams (fun s ->
+            Array.init p.mc (fun _ ->
+                let w = utility.(u).(s) in
+                if w = 0. then 0.
+                else if p.skew = 1. then w
+                else w /. S.uniform_log rng ~lo:1. ~hi:p.skew)))
+  in
+  let capacity =
+    Array.init p.num_users (fun u ->
+        Array.init p.mc (fun j ->
+            let total = ref 0. and biggest = ref 0. in
+            for s = 0 to p.num_streams - 1 do
+              total := !total +. load.(u).(s).(j);
+              biggest := Float.max !biggest load.(u).(s).(j)
+            done;
+            Float.max (!total *. p.capacity_fraction) !biggest))
+  in
+  let utility_cap =
+    Array.init p.num_users (fun u ->
+        match p.utility_cap_fraction with
+        | None -> infinity
+        | Some f ->
+            let total = Array.fold_left ( +. ) 0. utility.(u) in
+            total *. f)
+  in
+  I.create ~name ~server_cost ~budget ~load ~capacity ~utility ~utility_cap ()
+
+let smd_unit_skew ?(name = "smd-unit") rng ~num_streams ~num_users =
+  instance ~name rng { default with num_streams; num_users }
+
+let small_streams ?(name = "small-streams") rng p =
+  let base = instance ~name rng p in
+  (* γ (and hence µ) depends only on utilities and costs, not on
+     budgets or capacities, so one adjustment pass suffices. *)
+  let norm = Mmd.Skew.global_normalization base in
+  let mu = (2. *. norm.gamma *. norm.denom) +. 2. in
+  let lm = Prelude.Float_ops.log2 mu in
+  let slack = 1.01 *. lm in
+  let ns = I.num_streams base and nu = I.num_users base in
+  let budget =
+    Array.init p.m (fun i ->
+        Float.max (I.budget base i) (slack *. I.max_server_cost base i))
+  in
+  let capacity =
+    Array.init nu (fun u ->
+        Array.init p.mc (fun j ->
+            let biggest = ref 0. in
+            for s = 0 to ns - 1 do
+              biggest := Float.max !biggest (I.load base u s j)
+            done;
+            Float.max (I.capacity base u j) (slack *. !biggest)))
+  in
+  I.create ~name
+    ~server_cost:
+      (Array.init ns (fun s ->
+           Array.init p.m (fun i -> I.server_cost base s i)))
+    ~budget
+    ~load:
+      (Array.init nu (fun u ->
+           Array.init ns (fun s ->
+               Array.init p.mc (fun j -> I.load base u s j))))
+    ~capacity
+    ~utility:
+      (Array.init nu (fun u ->
+           Array.init ns (fun s -> I.utility base u s)))
+    ~utility_cap:(Array.init nu (I.utility_cap base))
+    ()

@@ -1,0 +1,57 @@
+(** Parametric random MMD/SMD instance generators.
+
+    All generators draw through an explicit {!Prelude.Rng.t} and produce
+    valid instances (every stream fits every budget; utilities of
+    capacity-violating pairs zeroed by construction). *)
+
+type params = {
+  num_streams : int;
+  num_users : int;
+  m : int;  (** server budget measures (>= 1) *)
+  mc : int;  (** user capacity measures (>= 0) *)
+  density : float;
+      (** probability that a given user is interested in a given
+          stream, in [(0, 1]] *)
+  cost_range : float * float;
+      (** per-measure stream costs are log-uniform in this range *)
+  utility_range : float * float;
+      (** positive utilities are log-uniform in this range *)
+  budget_fraction : float;
+      (** each budget is this fraction of the total cost in its
+          measure (clamped up so every stream still fits) *)
+  capacity_fraction : float;
+      (** each user capacity is this fraction of the user's total
+          interested load in that measure *)
+  utility_cap_fraction : float option;
+      (** [W_u] as a fraction of the user's total interest;
+          [None] = unbounded *)
+  skew : float;
+      (** target local skew: utility-per-load ratios are log-uniform
+          in [[1, skew]]; [1.] produces unit-skew instances (loads
+          equal to utilities) *)
+}
+
+val default : params
+(** 40 streams, 10 users, [m = 1], [mc = 1], density 0.3, unit skew,
+    budget fraction 0.3, capacity fraction 0.5, no utility caps. *)
+
+val instance : ?name:string -> Prelude.Rng.t -> params -> Mmd.Instance.t
+(** Draw an instance. @raise Invalid_argument on nonsensical
+    parameters (non-positive sizes, density outside [(0,1]], ranges
+    with [lo > hi] or non-positive bounds, skew < 1). *)
+
+val smd_unit_skew :
+  ?name:string ->
+  Prelude.Rng.t ->
+  num_streams:int ->
+  num_users:int ->
+  Mmd.Instance.t
+(** Shorthand: {!default} with the given sizes — the §2 setting
+    (single budget, unit skew). *)
+
+val small_streams :
+  ?name:string -> Prelude.Rng.t -> params -> Mmd.Instance.t
+(** Like {!instance}, but afterwards raises every budget and capacity
+    so that the §5 small-stream precondition
+    [c_i(S) <= B_i / log µ] holds (µ is computed from the generated
+    utilities and costs, so a single adjustment pass suffices). *)

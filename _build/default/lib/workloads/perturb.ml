@@ -1,0 +1,122 @@
+module I = Mmd.Instance
+
+(* Rebuild an instance from transformed components. *)
+let rebuild ?name inst ~server_cost ~budget ~load ~capacity ~utility
+    ~utility_cap =
+  I.create
+    ~name:(Option.value ~default:(I.name inst) name)
+    ~server_cost ~budget ~load ~capacity ~utility ~utility_cap ()
+
+let parts inst =
+  let ns = I.num_streams inst and nu = I.num_users inst in
+  let m = I.m inst and mc = I.mc inst in
+  ( Array.init ns (fun s -> Array.init m (fun i -> I.server_cost inst s i)),
+    Array.init m (I.budget inst),
+    Array.init nu (fun u ->
+        Array.init ns (fun s -> Array.init mc (fun j -> I.load inst u s j))),
+    Array.init nu (fun u -> Array.init mc (fun j -> I.capacity inst u j)),
+    Array.init nu (fun u -> Array.init ns (fun s -> I.utility inst u s)),
+    Array.init nu (I.utility_cap inst) )
+
+let scale_budgets factor inst =
+  if factor <= 0. then invalid_arg "Perturb.scale_budgets: factor <= 0";
+  let server_cost, budget, load, capacity, utility, utility_cap =
+    parts inst
+  in
+  let budget =
+    Array.mapi
+      (fun i b ->
+        if b = infinity then b
+        else Float.max (factor *. b) (I.max_server_cost inst i))
+      budget
+  in
+  rebuild ~name:(I.name inst ^ "/budgets") inst ~server_cost ~budget ~load
+    ~capacity ~utility ~utility_cap
+
+let scale_capacities factor inst =
+  if factor <= 0. then invalid_arg "Perturb.scale_capacities: factor <= 0";
+  let server_cost, budget, load, capacity, utility, utility_cap =
+    parts inst
+  in
+  let capacity = Array.map (Array.map (fun k -> factor *. k)) capacity in
+  rebuild ~name:(I.name inst ^ "/capacities") inst ~server_cost ~budget ~load
+    ~capacity ~utility ~utility_cap
+
+let check_rel rel =
+  if rel < 0. || rel >= 1. then
+    invalid_arg "Perturb: rel must be in [0, 1)"
+
+let jitter_utilities rng ~rel inst =
+  check_rel rel;
+  let server_cost, budget, load, capacity, utility, utility_cap =
+    parts inst
+  in
+  let utility =
+    Array.map
+      (Array.map (fun w ->
+           if w <= 0. || rel = 0. then w
+           else w *. Prelude.Rng.uniform rng ~lo:(1. -. rel) ~hi:(1. +. rel)))
+      utility
+  in
+  rebuild ~name:(I.name inst ^ "/jitter-w") inst ~server_cost ~budget ~load
+    ~capacity ~utility ~utility_cap
+
+let jitter_costs rng ~rel inst =
+  check_rel rel;
+  let server_cost, budget, load, capacity, utility, utility_cap =
+    parts inst
+  in
+  let server_cost =
+    Array.map
+      (fun costs ->
+        Array.mapi
+          (fun i c ->
+            if c <= 0. || rel = 0. then c
+            else
+              Float.min budget.(i)
+                (c *. Prelude.Rng.uniform rng ~lo:(1. -. rel) ~hi:(1. +. rel)))
+          costs)
+      server_cost
+  in
+  rebuild ~name:(I.name inst ^ "/jitter-c") inst ~server_cost ~budget ~load
+    ~capacity ~utility ~utility_cap
+
+let restrict_streams inst kept =
+  let ns = I.num_streams inst in
+  let kept = List.sort_uniq compare kept in
+  if kept = [] then invalid_arg "Perturb.restrict_streams: empty selection";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= ns then
+        invalid_arg "Perturb.restrict_streams: stream out of range")
+    kept;
+  let kept = Array.of_list kept in
+  let nu = I.num_users inst and m = I.m inst and mc = I.mc inst in
+  rebuild ~name:(I.name inst ^ "/restricted") inst
+    ~server_cost:
+      (Array.map
+         (fun s -> Array.init m (fun i -> I.server_cost inst s i))
+         kept)
+    ~budget:(Array.init m (I.budget inst))
+    ~load:
+      (Array.init nu (fun u ->
+           Array.map
+             (fun s -> Array.init mc (fun j -> I.load inst u s j))
+             kept))
+    ~capacity:
+      (Array.init nu (fun u -> Array.init mc (fun j -> I.capacity inst u j)))
+    ~utility:
+      (Array.init nu (fun u -> Array.map (fun s -> I.utility inst u s) kept))
+    ~utility_cap:(Array.init nu (I.utility_cap inst))
+
+let drop_streams rng ~keep inst =
+  if not (keep > 0. && keep <= 1.) then
+    invalid_arg "Perturb.drop_streams: keep must be in (0, 1]";
+  let ns = I.num_streams inst in
+  let kept =
+    List.filter
+      (fun _ -> Prelude.Rng.float rng 1. < keep)
+      (List.init ns Fun.id)
+  in
+  let kept = if kept = [] then [ Prelude.Rng.int rng ns ] else kept in
+  restrict_streams inst kept

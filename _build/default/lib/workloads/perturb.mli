@@ -1,0 +1,40 @@
+(** Instance perturbations for sensitivity analysis.
+
+    Operators plan against forecasts; these transforms model forecast
+    error (demand jitter), capacity upgrades/downgrades, and catalog
+    churn, so experiments can measure how robust a plan is (see the
+    E10 experiment). All transforms return fresh instances and leave
+    the input untouched. *)
+
+val scale_budgets : float -> Mmd.Instance.t -> Mmd.Instance.t
+(** Multiply every finite server budget by the factor (clamped so every
+    stream remains individually admissible, as the model requires).
+    Requires a positive factor. *)
+
+val scale_capacities : float -> Mmd.Instance.t -> Mmd.Instance.t
+(** Multiply every user capacity by the factor. A stream loading a
+    user above the shrunk capacity loses its utility for that user —
+    the model's zeroing rule is re-applied on reconstruction.
+    Requires a positive factor. *)
+
+val jitter_utilities :
+  Prelude.Rng.t -> rel:float -> Mmd.Instance.t -> Mmd.Instance.t
+(** Multiply every positive utility by an independent uniform factor in
+    [[1-rel, 1+rel]] — multiplicative forecast error. Requires
+    [0 <= rel < 1]. *)
+
+val jitter_costs :
+  Prelude.Rng.t -> rel:float -> Mmd.Instance.t -> Mmd.Instance.t
+(** Same for server costs (e.g. re-encoded bitrates), clamped to stay
+    within each budget. Requires [0 <= rel < 1]. *)
+
+val drop_streams :
+  Prelude.Rng.t -> keep:float -> Mmd.Instance.t -> Mmd.Instance.t
+(** Keep each stream independently with probability [keep] (at least
+    one stream always survives); stream ids are compacted. Models
+    catalog churn. Requires [0 < keep <= 1]. *)
+
+val restrict_streams : Mmd.Instance.t -> int list -> Mmd.Instance.t
+(** Keep exactly the given stream ids (deduplicated, ascending in the
+    result). @raise Invalid_argument on out-of-range ids or an empty
+    selection. *)

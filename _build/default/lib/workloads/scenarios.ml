@@ -1,0 +1,174 @@
+module I = Mmd.Instance
+module S = Prelude.Sampling
+module R = Prelude.Rng
+
+type bitrate_class = SD | HD | UHD
+
+let bitrate_mbps = function SD -> 3. | HD -> 8. | UHD -> 16.
+
+let random_class rng =
+  (* Roughly today's catalog mix: mostly HD, some SD, a few UHD. *)
+  match S.categorical rng [| 0.25; 0.6; 0.15 |] with
+  | 0 -> SD
+  | 1 -> HD
+  | _ -> UHD
+
+(* Zipf-popular utilities: channel ranked r has base popularity
+   pmf(r); each user scales it by an audience factor and perturbs it,
+   dropping channels it does not watch at all. *)
+let zipf_utilities rng ~num_channels ~num_users ~exponent ~audience_range
+    ~watch_probability =
+  let z = S.zipf ~n:num_channels ~s:exponent in
+  let rank = R.permutation rng num_channels in
+  Array.init num_users (fun _ ->
+      let audience =
+        S.uniform_log rng
+          ~lo:(fst audience_range)
+          ~hi:(snd audience_range)
+      in
+      Array.init num_channels (fun ch ->
+          if R.float rng 1. < watch_probability then begin
+            let base = S.zipf_pmf z rank.(ch) *. float_of_int num_channels in
+            let noise = S.uniform_log rng ~lo:0.7 ~hi:1.4 in
+            audience *. base *. noise
+          end
+          else 0.))
+
+let cable_headend rng ~num_channels ~num_gateways =
+  if num_channels < 1 || num_gateways < 1 then
+    invalid_arg "Scenarios.cable_headend: need positive sizes";
+  let classes = Array.init num_channels (fun _ -> random_class rng) in
+  let bitrate ch = bitrate_mbps classes.(ch) in
+  (* Measures: 0 = egress bandwidth, 1 = processing, 2 = input ports. *)
+  let server_cost =
+    Array.init num_channels (fun ch ->
+        [| bitrate ch; 0.4 *. bitrate ch; 1. |])
+  in
+  let total_bitrate =
+    Array.fold_left (fun acc c -> acc +. c.(0)) 0. server_cost
+  in
+  let budget =
+    [| Float.max 16. (0.35 *. total_bitrate);
+       Float.max 7. (0.4 *. 0.4 *. total_bitrate);
+       Float.max 1. (float_of_int num_channels /. 2.) |]
+  in
+  let utility =
+    zipf_utilities rng ~num_channels ~num_users:num_gateways ~exponent:0.9
+      ~audience_range:(10., 400.) ~watch_probability:0.6
+  in
+  (* Gateway downlink: between 2 and 6 HD streams' worth. *)
+  let load =
+    Array.init num_gateways (fun _ ->
+        Array.init num_channels (fun ch -> [| bitrate ch |]))
+  in
+  let capacity =
+    Array.init num_gateways (fun _ ->
+        [| Float.max 16. (R.uniform rng ~lo:16. ~hi:48.) |])
+  in
+  let utility_cap =
+    Array.init num_gateways (fun u ->
+        let total = Array.fold_left ( +. ) 0. utility.(u) in
+        0.7 *. total)
+  in
+  I.create ~name:"cable-headend" ~server_cost ~budget ~load ~capacity
+    ~utility ~utility_cap ()
+
+let iptv_district rng ~num_channels ~num_subscribers =
+  if num_channels < 1 || num_subscribers < 1 then
+    invalid_arg "Scenarios.iptv_district: need positive sizes";
+  let classes = Array.init num_channels (fun _ -> random_class rng) in
+  let bitrate ch = bitrate_mbps classes.(ch) in
+  (* Measures: 0 = egress bandwidth, 1 = multicast group slots. *)
+  let server_cost =
+    Array.init num_channels (fun ch -> [| bitrate ch; 1. |])
+  in
+  let total_bitrate =
+    Array.fold_left (fun acc c -> acc +. c.(0)) 0. server_cost
+  in
+  let budget =
+    [| Float.max 16. (0.3 *. total_bitrate);
+       Float.max 1. (0.4 *. float_of_int num_channels) |]
+  in
+  let utility =
+    zipf_utilities rng ~num_channels ~num_users:num_subscribers
+      ~exponent:1.1 ~audience_range:(1., 8.) ~watch_probability:0.35
+  in
+  (* Capacities: downlink bandwidth and decoder sessions (3 per box). *)
+  let load =
+    Array.init num_subscribers (fun _ ->
+        Array.init num_channels (fun ch -> [| bitrate ch; 1. |]))
+  in
+  let capacity =
+    Array.init num_subscribers (fun _ ->
+        [| R.uniform rng ~lo:20. ~hi:50.; 3. |])
+  in
+  let utility_cap = Array.make num_subscribers infinity in
+  I.create ~name:"iptv-district" ~server_cost ~budget ~load ~capacity
+    ~utility ~utility_cap ()
+
+let gateway_households rng ~catalog ~num_households ~rebroadcast_budget =
+  if num_households < 1 then
+    invalid_arg "Scenarios.gateway_households: need households";
+  if rebroadcast_budget <= 0. then
+    invalid_arg "Scenarios.gateway_households: need a positive budget";
+  let num_channels = I.num_streams catalog in
+  let bitrate ch = I.server_cost catalog ch 0 in
+  let budget =
+    (* Every channel must stay individually admissible. *)
+    let biggest = ref 0. in
+    for ch = 0 to num_channels - 1 do
+      biggest := Float.max !biggest (bitrate ch)
+    done;
+    Float.max rebroadcast_budget !biggest
+  in
+  let z = S.zipf ~n:(max 1 num_channels) ~s:1.0 in
+  let utility =
+    Array.init num_households (fun _ ->
+        Array.init num_channels (fun ch ->
+            if R.float rng 1. < 0.5 then
+              100. *. S.zipf_pmf z ch *. R.uniform rng ~lo:0.5 ~hi:1.5
+            else 0.))
+  in
+  I.create ~name:"gateway-households"
+    ~server_cost:(Array.init num_channels (fun ch -> [| bitrate ch |]))
+    ~budget:[| budget |]
+    ~load:
+      (Array.init num_households (fun _ ->
+           Array.init num_channels (fun ch -> [| bitrate ch |])))
+    ~capacity:
+      (Array.init num_households (fun _ ->
+           [| R.uniform rng ~lo:10. ~hi:25. |]))
+    ~utility
+    ~utility_cap:(Array.make num_households infinity)
+    ()
+
+let campus_cdn rng ~num_videos ~num_halls =
+  if num_videos < 1 || num_halls < 1 then
+    invalid_arg "Scenarios.campus_cdn: need positive sizes";
+  (* Video sizes in GB, Pareto-distributed (most lectures small, a few
+     long events large). *)
+  let size =
+    Array.init num_videos (fun _ ->
+        Float.min 40. (S.pareto rng ~shape:1.3 ~scale:0.5))
+  in
+  let server_cost = Array.init num_videos (fun v -> [| size.(v) |]) in
+  let total_size = Array.fold_left ( +. ) 0. size in
+  let budget = [| Float.max (Prelude.Float_ops.fmax_array size)
+                    (0.25 *. total_size) |] in
+  let utility =
+    zipf_utilities rng ~num_channels:num_videos ~num_users:num_halls
+      ~exponent:0.8 ~audience_range:(5., 100.) ~watch_probability:0.5
+  in
+  (* Storage load is the video size — independent of utility, so the
+     utility-per-load ratio (the local skew driver) varies widely. *)
+  let load =
+    Array.init num_halls (fun _ ->
+        Array.init num_videos (fun v -> [| size.(v) |]))
+  in
+  let capacity =
+    Array.init num_halls (fun _ ->
+        [| Float.max 40. (0.3 *. total_size *. R.uniform rng ~lo:0.5 ~hi:1.5) |])
+  in
+  let utility_cap = Array.make num_halls infinity in
+  I.create ~name:"campus-cdn" ~server_cost ~budget ~load ~capacity ~utility
+    ~utility_cap ()

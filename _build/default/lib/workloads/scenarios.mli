@@ -1,0 +1,58 @@
+(** Video-distribution scenario builders — the workloads the paper's
+    introduction motivates (cable head-ends, IPTV, campus CDNs), built
+    on standard modelling assumptions: Zipf channel popularity and
+    SD/HD/UHD bitrate classes.
+
+    These stand in for the production traces the original deployment
+    setting would supply (see the substitution table in DESIGN.md):
+    the algorithms only ever observe (cost, load, utility) vectors. *)
+
+type bitrate_class = SD | HD | UHD
+
+val bitrate_mbps : bitrate_class -> float
+(** Nominal stream bitrate: SD 3.0, HD 8.0, UHD 16.0 Mb/s. *)
+
+val cable_headend :
+  Prelude.Rng.t ->
+  num_channels:int ->
+  num_gateways:int ->
+  Mmd.Instance.t
+(** A DOCSIS cable head-end serving neighbourhood video gateways.
+    Three server measures ([m = 3]): egress bandwidth (sum of admitted
+    bitrates, budget ~35% of catalog), processing bandwidth
+    (transcoding cost proportional to bitrate, budget ~40%), and input
+    ports (one per stream, budget ~half the catalog). Each gateway has
+    one capacity measure ([mc = 1]): downlink bandwidth, loaded by the
+    stream bitrate. Gateway utilities follow a Zipf popularity law
+    (exponent 0.9) over channels scaled by a per-gateway audience
+    size; utility caps model bounded per-gateway revenue. *)
+
+val iptv_district :
+  Prelude.Rng.t -> num_channels:int -> num_subscribers:int -> Mmd.Instance.t
+(** An IPTV service with per-subscriber set-top boxes. Two server
+    measures: egress bandwidth and multicast group slots. Two user
+    capacity measures ([mc = 2]): downlink bandwidth and decoder
+    sessions (each stream loads exactly one session; a box decodes at
+    most 3). *)
+
+val gateway_households :
+  Prelude.Rng.t ->
+  catalog:Mmd.Instance.t ->
+  num_households:int ->
+  rebroadcast_budget:float ->
+  Mmd.Instance.t
+(** The second tier of Fig. 1: a neighbourhood gateway re-distributing
+    channels to households. Streams mirror [catalog]'s (same ids, same
+    bitrates = [catalog]'s first server cost measure); single server
+    budget = the gateway's re-broadcast bandwidth; each household has a
+    bounded downlink ([mc = 1]) and Zipf-ish per-channel demand.
+    Restrict to the channels the gateway actually receives with
+    {!Perturb.restrict_streams}. *)
+
+val campus_cdn :
+  Prelude.Rng.t -> num_videos:int -> num_halls:int -> Mmd.Instance.t
+(** A campus CDN pushing lecture/event videos to residence-hall caches:
+    single server measure (origin egress), single user measure (cache
+    storage), moderate skew — utilities reflect hall-specific demand
+    while storage load reflects video size, so utility-per-load varies
+    across halls (exercises the §3 classify-and-select path). *)

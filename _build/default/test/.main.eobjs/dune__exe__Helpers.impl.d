@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Mmd Prelude QCheck2 QCheck_alcotest String Workloads

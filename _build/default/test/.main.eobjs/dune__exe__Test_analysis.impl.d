@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Algorithms Format Helpers Mmd Prelude QCheck2 Workloads

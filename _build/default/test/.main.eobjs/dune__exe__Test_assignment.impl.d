@@ -1,0 +1,1 @@
+test/test_assignment.ml: Alcotest Format Fun Helpers List Mmd QCheck2

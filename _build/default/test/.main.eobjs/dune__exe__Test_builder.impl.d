@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Algorithms Helpers List Mmd Prelude QCheck2

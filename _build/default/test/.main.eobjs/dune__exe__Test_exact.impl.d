@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Algorithms Array Exact Helpers List Mmd Prelude QCheck2 Workloads

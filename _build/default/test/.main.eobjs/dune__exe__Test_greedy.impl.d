@@ -1,0 +1,1 @@
+test/test_greedy.ml: Alcotest Algorithms Array Exact Float Fun Helpers List Mmd Prelude QCheck2 Workloads

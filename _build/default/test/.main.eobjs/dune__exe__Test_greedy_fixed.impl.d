@@ -1,0 +1,1 @@
+test/test_greedy_fixed.ml: Alcotest Algorithms Exact Float Helpers List Mmd Prelude QCheck2 Workloads

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Algorithms Helpers List Mmd Prelude QCheck2 Simnet Workloads

@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Format Helpers Mmd Prelude QCheck2 String

@@ -1,0 +1,1 @@
+test/test_metamorphic.ml: Algorithms Array Exact Helpers List Mmd Prelude QCheck2

@@ -1,0 +1,1 @@
+test/test_mmd_reduce.ml: Alcotest Algorithms Array Exact Fun Helpers List Mmd Prelude QCheck2

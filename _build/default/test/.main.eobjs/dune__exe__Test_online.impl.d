@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Algorithms Array Exact Fun Helpers List Mmd Prelude QCheck2 Workloads

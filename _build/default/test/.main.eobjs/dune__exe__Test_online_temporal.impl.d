@@ -1,0 +1,1 @@
+test/test_online_temporal.ml: Alcotest Algorithms Array Helpers Mmd Prelude QCheck2 Simnet Workloads

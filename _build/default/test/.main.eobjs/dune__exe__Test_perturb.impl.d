@@ -1,0 +1,1 @@
+test/test_perturb.ml: Alcotest Algorithms Helpers List Mmd Prelude QCheck2 Workloads

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Float Fun Helpers List Prelude QCheck2 String

@@ -1,0 +1,1 @@
+test/test_presolve.ml: Alcotest Algorithms Exact Helpers Mmd Prelude QCheck2 Workloads

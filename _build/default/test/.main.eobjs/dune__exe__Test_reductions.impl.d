@@ -1,0 +1,1 @@
+test/test_reductions.ml: Array Exact Float Fun Helpers List Mmd Prelude QCheck2 Submodular

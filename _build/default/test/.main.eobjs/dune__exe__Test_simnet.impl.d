@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Helpers List Mmd Prelude Simnet Workloads

@@ -1,0 +1,1 @@
+test/test_skew.ml: Array Float Helpers Mmd Prelude QCheck2

@@ -1,0 +1,1 @@
+test/test_skew_reduce.ml: Alcotest Algorithms Array Exact Float Helpers Mmd Prelude QCheck2

@@ -1,0 +1,1 @@
+test/test_solve.ml: Algorithms Exact Float Helpers List Mmd Prelude QCheck2

@@ -1,0 +1,1 @@
+test/test_submodular.ml: Alcotest Array Float Fun Helpers List Prelude QCheck2 Submodular Workloads

@@ -1,0 +1,1 @@
+test/test_sviridenko.ml: Alcotest Algorithms Exact Float Helpers Mmd QCheck2

@@ -1,0 +1,1 @@
+test/test_tightness.ml: Alcotest Algorithms Exact Helpers List Mmd QCheck2

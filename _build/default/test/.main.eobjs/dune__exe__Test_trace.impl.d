@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Float Helpers List Prelude Simnet String Sys Workloads

@@ -1,0 +1,1 @@
+test/test_viewer_sim.ml: Alcotest Algorithms Array Baselines Helpers Mmd Prelude QCheck2 Simnet Workloads

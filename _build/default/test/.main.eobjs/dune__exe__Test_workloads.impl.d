@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Algorithms Helpers List Mmd Prelude QCheck2 Workloads

@@ -1,0 +1,50 @@
+(* Shared helpers for the test suites. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Build a small SMD instance directly from per-user utility rows
+   (unit skew: loads equal utilities, capacity = utility cap). *)
+let smd ?(budget = infinity) ?caps ~costs ~utilities () =
+  let ns = Array.length costs in
+  let nu = Array.length utilities in
+  let caps = match caps with Some c -> c | None -> Array.make nu infinity in
+  Mmd.Instance.create ~name:"test-smd"
+    ~server_cost:(Array.map (fun c -> [| c |]) costs)
+    ~budget:[| budget |]
+    ~load:
+      (Array.init nu (fun u ->
+           Array.init ns (fun s -> [| utilities.(u).(s) |])))
+    ~capacity:(Array.map (fun k -> [| k |]) caps)
+    ~utility:utilities
+    ~utility_cap:(Array.copy caps)
+    ()
+
+(* A deterministic family of small random unit-skew SMD instances. *)
+let random_smd ~seed ~num_streams ~num_users =
+  let rng = Prelude.Rng.create seed in
+  Workloads.Generator.smd_unit_skew rng ~num_streams ~num_users
+
+(* A deterministic family of small random MMD instances. *)
+let random_mmd ~seed ~num_streams ~num_users ~m ~mc ~skew =
+  let rng = Prelude.Rng.create seed in
+  Workloads.Generator.instance rng
+    { Workloads.Generator.default with num_streams; num_users; m; mc; skew }
+
+let utility = Mmd.Assignment.utility
+let is_feasible inst a = Mmd.Assignment.is_feasible inst a
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "vdmc"
+    [ ("prelude", Test_prelude.suite);
+      ("instance", Test_instance.suite);
+      ("assignment", Test_assignment.suite);
+      ("skew", Test_skew.suite);
+      ("greedy", Test_greedy.suite);
+      ("greedy-fixed", Test_greedy_fixed.suite);
+      ("sviridenko", Test_sviridenko.suite);
+      ("skew-reduce", Test_skew_reduce.suite);
+      ("mmd-reduce", Test_mmd_reduce.suite);
+      ("online", Test_online.suite);
+      ("tightness", Test_tightness.suite);
+      ("exact", Test_exact.suite);
+      ("solve", Test_solve.suite);
+      ("baselines", Test_baselines.suite);
+      ("workloads", Test_workloads.suite);
+      ("simnet", Test_simnet.suite);
+      ("submodular", Test_submodular.suite);
+      ("reductions", Test_reductions.suite);
+      ("analysis", Test_analysis.suite);
+      ("trace", Test_trace.suite);
+      ("profile", Test_profile.suite);
+      ("online-temporal", Test_online_temporal.suite);
+      ("perturb", Test_perturb.suite);
+      ("metamorphic", Test_metamorphic.suite);
+      ("presolve", Test_presolve.suite);
+      ("hierarchy", Test_hierarchy.suite);
+      ("builder", Test_builder.suite);
+      ("viewer-sim", Test_viewer_sim.suite) ]

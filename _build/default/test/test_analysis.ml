@@ -1,0 +1,101 @@
+open Helpers
+module An = Mmd.Analysis
+
+let test_basic_fields () =
+  let t =
+    smd ~budget:6. ~caps:[| 4.; 4. |]
+      ~costs:[| 2.; 3.; 5. |]
+      ~utilities:[| [| 1.; 2.; 0. |]; [| 0.; 1.; 1. |] |]
+      ()
+  in
+  let a = An.analyze t in
+  check_int "streams" 3 a.An.num_streams;
+  check_int "users" 2 a.An.num_users;
+  check_float "density" (4. /. 6.) a.An.density;
+  check_float "unit skew" 1. a.An.local_skew;
+  (match a.An.budgets with
+  | [ b ] ->
+      check_float "total cost" 10. b.An.total_cost;
+      check_float "tightness" (10. /. 6.) b.An.tightness;
+      check_float "biggest" (5. /. 6.) b.An.max_stream_fraction
+  | _ -> Alcotest.fail "expected one budget");
+  check_bool "gamma >= 1" true (a.An.global_skew >= 1.)
+
+let test_total_utility_capped () =
+  let t =
+    smd ~budget:10. ~caps:[| 3. |] ~costs:[| 1.; 1. |]
+      ~utilities:[| [| 2.; 2. |] |] ()
+  in
+  let a = An.analyze t in
+  check_float "capped total" 3. a.An.total_utility
+
+let test_infinite_budget () =
+  let t =
+    Mmd.Instance.create
+      ~server_cost:[| [| 1. |] |]
+      ~budget:[| infinity |]
+      ~load:[| [| [| 1. |] |] |]
+      ~capacity:[| [| 5. |] |]
+      ~utility:[| [| 2. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  let a = An.analyze t in
+  (match a.An.budgets with
+  | [ b ] -> check_float "infinite budget tightness" 0. b.An.tightness
+  | _ -> Alcotest.fail "expected one budget");
+  check_bool "recommendation mentions optimality" true
+    (contains (An.recommend a) "transmit everything")
+
+let test_recommendations () =
+  (* unit-skew SMD with binding budget *)
+  let smd_inst = random_smd ~seed:3 ~num_streams:10 ~num_users:4 in
+  check_bool "fixed greedy recommended" true
+    (contains (An.recommend (An.analyze smd_inst)) "fixed greedy");
+  (* skewed SMD *)
+  let skewed =
+    random_mmd ~seed:3 ~num_streams:10 ~num_users:4 ~m:1 ~mc:1 ~skew:16.
+  in
+  check_bool "classify recommended" true
+    (contains (An.recommend (An.analyze skewed)) "classify");
+  (* multi-budget *)
+  let multi =
+    random_mmd ~seed:3 ~num_streams:10 ~num_users:4 ~m:3 ~mc:2 ~skew:2.
+  in
+  check_bool "pipeline recommended" true
+    (contains (An.recommend (An.analyze multi)) "pipeline")
+
+let test_small_streams_flag () =
+  let rng = Prelude.Rng.create 5 in
+  let small =
+    Workloads.Generator.small_streams rng
+      { Workloads.Generator.default with num_streams = 20; num_users = 5 }
+  in
+  check_bool "small detected" true (An.analyze small).An.small_streams
+
+let test_pp_smoke () =
+  let t = random_smd ~seed:9 ~num_streams:8 ~num_users:3 in
+  let s = Format.asprintf "%a" An.pp (An.analyze t) in
+  check_bool "mentions density" true (contains s "density");
+  check_bool "mentions budget" true (contains s "budget 0")
+
+let mu_agrees_with_online =
+  qtest ~count:30 "analysis mu agrees with Online_allocate"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_mmd ~seed ~num_streams:10 ~num_users:4 ~m:2 ~mc:1 ~skew:2. in
+      let a = An.analyze t in
+      let st = Algorithms.Online_allocate.create t in
+      Prelude.Float_ops.approx_equal ~eps:1e-6 a.An.mu
+        (Algorithms.Online_allocate.mu st)
+      && a.An.small_streams
+         = Algorithms.Online_allocate.small_streams_ok st)
+
+let suite =
+  [ ("basic fields", `Quick, test_basic_fields);
+    ("capped total utility", `Quick, test_total_utility_capped);
+    ("infinite budget", `Quick, test_infinite_budget);
+    ("recommendations", `Quick, test_recommendations);
+    ("small streams flag", `Quick, test_small_streams_flag);
+    ("pp smoke", `Quick, test_pp_smoke);
+    mu_agrees_with_online ]

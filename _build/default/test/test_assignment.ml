@@ -1,0 +1,126 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+(* Note: helpers tie load = utility and capacity = cap, and the model
+   zeroes utilities of streams that individually violate a capacity —
+   so every single utility here is kept below its user's cap. *)
+let inst () =
+  smd ~budget:10.
+    ~caps:[| 5.; 3. |]
+    ~costs:[| 2.; 3.; 4. |]
+    ~utilities:[| [| 1.; 2.; 3. |]; [| 2.; 0.; 2. |] |]
+    ()
+
+let test_empty () =
+  let a = A.empty ~num_users:2 in
+  Alcotest.(check (list int)) "no range" [] (A.range a);
+  check_float "zero utility" 0. (utility (inst ()) a)
+
+let test_of_sets_dedup () =
+  let a = A.of_sets [| [ 2; 0; 2 ]; [] |] in
+  Alcotest.(check (list int)) "dedup + sort" [ 0; 2 ] (A.user_streams a 0);
+  check_bool "assigns" true (A.assigns a 0 2);
+  check_bool "not assigned" false (A.assigns a 1 2)
+
+let test_of_range () =
+  let t = inst () in
+  let a = A.of_range t [ 1; 2 ] in
+  (* user 1 has zero utility for stream 1, so only stream 2. *)
+  Alcotest.(check (list int)) "user0" [ 1; 2 ] (A.user_streams a 0);
+  Alcotest.(check (list int)) "user1" [ 2 ] (A.user_streams a 1);
+  Alcotest.(check (list int)) "range" [ 1; 2 ] (A.range a)
+
+let test_costs_and_utility () =
+  let t = inst () in
+  let a = A.of_range t [ 0; 2 ] in
+  check_float "server cost of range" 6. (A.server_cost t a 0);
+  check_float "user0 load" 4. (A.user_load t a 0 0);
+  check_float "user0 utility uncapped" 4. (A.user_utility t a 0);
+  (* caps: user0 capped at 5 (4 < 5), user1 at 3 (2+2 = 4 > 3). *)
+  check_float "capped utility" (4. +. 3.) (utility t a);
+  check_float "uncapped total" 8. (A.uncapped_utility t a)
+
+let test_add_restrict_union () =
+  let a = A.empty ~num_users:2 in
+  let a = A.add a ~user:0 ~stream:1 in
+  let a = A.add a ~user:1 ~stream:2 in
+  let a = A.add a ~user:0 ~stream:1 in
+  Alcotest.(check (list int)) "add idempotent" [ 1 ] (A.user_streams a 0);
+  let b = A.restrict_range a (fun s -> s = 2) in
+  Alcotest.(check (list int)) "restricted user0" [] (A.user_streams b 0);
+  Alcotest.(check (list int)) "restricted user1" [ 2 ] (A.user_streams b 1);
+  let u = A.union a b in
+  Alcotest.(check (list int)) "union" [ 1 ] (A.user_streams u 0);
+  Alcotest.(check (list int)) "union u1" [ 2 ] (A.user_streams u 1)
+
+let test_violations () =
+  let t = inst () in
+  (* Range {0,1,2} costs 9 <= 10 ok; user0 load 6 > cap 5 and user1
+     load 4 > cap 3. *)
+  let a = A.of_range t [ 0; 1; 2 ] in
+  let v = A.violations t a in
+  check_int "two violations" 2 (List.length v);
+  check_bool "both are capacity violations" true
+    (List.for_all
+       (function A.Capacity_exceeded _ -> true | _ -> false)
+       v);
+  check_bool "infeasible" false (A.is_feasible t a);
+  (* With caps checked, both users' utility overflows also flag. *)
+  let v' = A.violations ~check_caps:true t a in
+  check_int "cap violations appear" 4 (List.length v')
+
+let test_budget_violation () =
+  let t =
+    smd ~budget:5. ~costs:[| 3.; 3. |] ~utilities:[| [| 1.; 1. |] |] ()
+  in
+  let a = A.of_range t [ 0; 1 ] in
+  (match A.violations t a with
+  | [ A.Budget_exceeded { measure = 0; cost; budget } ] ->
+      check_float "cost" 6. cost;
+      check_float "budget" 5. budget
+  | _ -> Alcotest.fail "expected budget violation");
+  let msg = Format.asprintf "%a" A.pp_violation (List.hd (A.violations t a)) in
+  check_bool "violation message" true (contains msg "budget")
+
+let test_feasibility_tolerance () =
+  let t =
+    smd ~budget:1. ~costs:[| 0.1; 0.2; 0.3; 0.4 |]
+      ~utilities:[| [| 1.; 1.; 1.; 1. |] |]
+      ()
+  in
+  (* 0.1 +. 0.2 +. 0.3 +. 0.4 has float residue just above 1.0. *)
+  let a = A.of_range t [ 0; 1; 2; 3 ] in
+  check_bool "tolerant feasibility" true (A.is_feasible t a)
+
+let restrict_qcheck =
+  qtest "restrict_range never increases utility"
+    QCheck2.Gen.(pair (int_range 1 10) (int_range 0 100))
+    (fun (ns, seed) ->
+      let t = random_smd ~seed ~num_streams:ns ~num_users:3 in
+      let a = A.of_range t (List.init ns Fun.id) in
+      let b = A.restrict_range a (fun s -> s mod 2 = 0) in
+      utility t b <= utility t a +. 1e-9)
+
+let union_qcheck =
+  qtest "union dominates both operands"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:8 ~num_users:3 in
+      let a = A.of_range t [ 0; 2; 4 ] in
+      let b = A.of_range t [ 1; 2; 5 ] in
+      let u = A.union a b in
+      utility t u +. 1e-9 >= utility t a
+      && utility t u +. 1e-9 >= utility t b)
+
+let suite =
+  [ ("empty", `Quick, test_empty);
+    ("of_sets dedup", `Quick, test_of_sets_dedup);
+    ("of_range", `Quick, test_of_range);
+    ("costs and utility", `Quick, test_costs_and_utility);
+    ("add / restrict / union", `Quick, test_add_restrict_union);
+    ("violations", `Quick, test_violations);
+    ("budget violation", `Quick, test_budget_violation);
+    ("feasibility tolerance", `Quick, test_feasibility_tolerance);
+    restrict_qcheck;
+    union_qcheck ]

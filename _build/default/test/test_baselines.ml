@@ -1,0 +1,123 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module B = Baselines.Policies
+module U = Baselines.Usage
+
+(* ---------- Usage tracker ---------- *)
+
+let inst () =
+  smd ~budget:5. ~caps:[| 4. |] ~costs:[| 2.; 2.; 2. |]
+    ~utilities:[| [| 3.; 3.; 3. |] |]
+    ()
+
+let test_usage_admit_release () =
+  let t = inst () in
+  let u = U.create t in
+  check_bool "fits initially" true (U.server_fits u 0);
+  U.admit u ~stream:0 ~users:[ 0 ];
+  check_bool "admitted" true (U.admitted u 0);
+  Alcotest.(check (list int)) "users recorded" [ 0 ] (U.users_of u 0);
+  check_float "budget used" 2. (U.budget_used u 0);
+  check_float "capacity used" 3. (U.capacity_used u ~user:0 ~measure:0);
+  U.admit u ~stream:1 ~users:[ 0 ];
+  check_bool "third stream does not fit" false (U.server_fits u 2);
+  U.release u 0;
+  check_float "released budget" 2. (U.budget_used u 0);
+  check_bool "fits again" true (U.server_fits u 2);
+  U.release u 0 (* no-op *);
+  check_float "double release harmless" 2. (U.budget_used u 0)
+
+let test_usage_double_admit () =
+  let t = inst () in
+  let u = U.create t in
+  U.admit u ~stream:0 ~users:[];
+  match U.admit u ~stream:0 ~users:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected double-admit rejection"
+
+let test_usage_margin () =
+  let t = inst () in
+  let u = U.create t in
+  (* margin 0.5: only 2.5 of the budget usable; one stream of cost 2
+     fits, two do not. *)
+  check_bool "fits under margin" true (U.server_fits ~margin:0.5 u 0);
+  U.admit u ~stream:0 ~users:[ 0 ];
+  check_bool "second violates margin" false (U.server_fits ~margin:0.5 u 1);
+  check_bool "second fine without margin" true (U.server_fits u 1)
+
+let test_usage_assignment_snapshot () =
+  let t = inst () in
+  let u = U.create t in
+  U.admit u ~stream:2 ~users:[ 0 ];
+  let a = U.assignment u in
+  Alcotest.(check (list int)) "snapshot" [ 2 ] (A.user_streams a 0)
+
+(* ---------- Policies ---------- *)
+
+let test_threshold_fcfs () =
+  let t = inst () in
+  (* Budget 5, each stream costs 2: streams 0 and 1 admitted, 2 not.
+     User capacity 4 takes streams 0 (load 3) but not 1 (3+3=6>4). *)
+  let a = B.threshold t in
+  Alcotest.(check (list int)) "user got first fitting stream" [ 0 ]
+    (A.user_streams a 0);
+  check_bool "feasible" true (is_feasible t a)
+
+let test_threshold_skips_unwanted () =
+  (* A stream nobody can take is not charged to the budget. *)
+  let t =
+    smd ~budget:2. ~caps:[| 1. |] ~costs:[| 2.; 2. |]
+      ~utilities:[| [| 5.; 0.5 |] |] ()
+  in
+  (* Stream 0: utility 5 > capacity 1 -> zeroed by the model; nobody
+     interested. Stream 1 fits. *)
+  let a = B.threshold t in
+  Alcotest.(check (list int)) "second stream served" [ 1 ] (A.user_streams a 0)
+
+let test_utility_order_beats_fcfs_when_order_is_bad () =
+  (* FCFS admits a cheap worthless stream that blocks a valuable one;
+     utility ordering fixes it. *)
+  let t =
+    smd ~budget:2. ~costs:[| 2.; 2. |] ~utilities:[| [| 0.1; 9. |] |] ()
+  in
+  let fcfs = B.threshold t in
+  let by_utility = B.utility_order t in
+  check_float "fcfs trapped" 0.1 (utility t fcfs);
+  check_float "utility order recovers" 9. (utility t by_utility)
+
+let threshold_feasible =
+  qtest ~count:60 "threshold admission is always feasible"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 3))
+    (fun (seed, m) ->
+      let t = random_mmd ~seed ~num_streams:12 ~num_users:4 ~m ~mc:1 ~skew:2. in
+      is_feasible t (B.threshold t))
+
+let random_order_feasible =
+  qtest ~count:40 "random-order admission is always feasible"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 1000))
+    (fun (seed, rseed) ->
+      let t = random_mmd ~seed ~num_streams:12 ~num_users:4 ~m:2 ~mc:1 ~skew:2. in
+      let rng = Prelude.Rng.create rseed in
+      is_feasible t (B.random_order rng t))
+
+let margin_respected =
+  qtest ~count:40 "usage never exceeds the safety margin"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:12 ~num_users:4 in
+      let margin = 0.6 in
+      let a = B.threshold ~margin t in
+      Prelude.Float_ops.leq (A.server_cost t a 0) (margin *. I.budget t 0))
+
+let suite =
+  [ ("usage admit/release", `Quick, test_usage_admit_release);
+    ("usage double admit", `Quick, test_usage_double_admit);
+    ("usage margin", `Quick, test_usage_margin);
+    ("usage snapshot", `Quick, test_usage_assignment_snapshot);
+    ("threshold fcfs", `Quick, test_threshold_fcfs);
+    ("threshold skips unwanted", `Quick, test_threshold_skips_unwanted);
+    ("utility order fixes bad order", `Quick, test_utility_order_beats_fcfs_when_order_is_bad);
+    threshold_feasible;
+    random_order_feasible;
+    margin_respected ]

@@ -1,0 +1,117 @@
+open Helpers
+module B = Mmd.Builder
+module I = Mmd.Instance
+
+let sample () =
+  let b = B.create ~name:"built" ~m:2 ~mc:1 () in
+  B.set_budgets b [| 10.; 4. |];
+  let s0 = B.add_stream b ~costs:[| 3.; 1. |] in
+  let s1 = B.add_stream b ~costs:[| 5.; 2. |] in
+  let u0 = B.add_user b ~capacities:[| 6. |] () in
+  let u1 = B.add_user b ~utility_cap:4. ~capacities:[| 9. |] () in
+  B.interest b ~user:u0 ~stream:s0 ~utility:2. ~loads:[| 3. |] ();
+  B.interest b ~user:u1 ~stream:s1 ~utility:5. ~loads:[| 4. |] ();
+  (b, s0, s1, u0, u1)
+
+let test_build_basic () =
+  let b, s0, s1, u0, u1 = sample () in
+  let s0 = (s0 : B.stream :> int) and s1 = (s1 : B.stream :> int) in
+  let u0 = (u0 : B.user :> int) and u1 = (u1 : B.user :> int) in
+  let t = B.build b in
+  check_int "streams" 2 (I.num_streams t);
+  check_int "users" 2 (I.num_users t);
+  check_float "budget" 10. (I.budget t 0);
+  check_float "cost" 5. (I.server_cost t s1 0);
+  check_float "utility" 2. (I.utility t u0 s0);
+  check_float "default zero utility" 0. (I.utility t u0 s1);
+  check_float "load" 4. (I.load t u1 s1 0);
+  check_float "cap" 4. (I.utility_cap t u1);
+  check_float "uncapped user" infinity (I.utility_cap t u0)
+
+let test_interest_replacement () =
+  let b, s0, _, u0, _ = sample () in
+  B.interest b ~user:u0 ~stream:s0 ~utility:9. ~loads:[| 1. |] ();
+  let t = B.build b in
+  let s0 = (s0 : B.stream :> int) and u0 = (u0 : B.user :> int) in
+  check_float "replaced utility" 9. (I.utility t u0 s0);
+  check_float "replaced load" 1. (I.load t u0 s0 0)
+
+let test_incremental_rebuild () =
+  let b, _, _, _, _ = sample () in
+  let t1 = B.build b in
+  let _ = B.add_stream b ~costs:[| 1.; 1. |] in
+  let t2 = B.build b in
+  check_int "first build" 2 (I.num_streams t1);
+  check_int "second build grows" 3 (I.num_streams t2)
+
+let test_validation () =
+  let b = B.create ~m:1 ~mc:0 () in
+  (match B.add_stream b ~costs:[| 1.; 2. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cost arity rejection");
+  (match B.add_user b ~capacities:[| 1. |] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected capacity arity rejection");
+  let s = B.add_stream b ~costs:[| 3. |] in
+  let u = B.add_user b ~capacities:[||] () in
+  (match B.interest b ~user:u ~stream:s ~utility:(-1.) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected negative utility rejection");
+  (* Budget violation caught at build time. *)
+  B.set_budgets b [| 2. |];
+  match B.build b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected build-time budget validation"
+
+let test_mc_zero () =
+  let b = B.create ~m:1 ~mc:0 () in
+  B.set_budgets b [| 5. |];
+  let s = B.add_stream b ~costs:[| 1. |] in
+  let u = B.add_user b ~capacities:[||] () in
+  B.interest b ~user:u ~stream:s ~utility:7. ();
+  let t = B.build b in
+  check_int "mc" 0 (I.mc t);
+  check_float "utility" 7. (I.utility t 0 0)
+
+let built_instances_solve =
+  qtest ~count:25 "randomly built instances solve end to end"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let b = B.create ~m:1 ~mc:1 () in
+      let ns = 3 + Prelude.Rng.int rng 6 in
+      let nu = 2 + Prelude.Rng.int rng 3 in
+      let streams =
+        List.init ns (fun _ ->
+            B.add_stream b ~costs:[| Prelude.Rng.uniform rng ~lo:1. ~hi:5. |])
+      in
+      let users =
+        List.init nu (fun _ ->
+            B.add_user b
+              ~capacities:[| Prelude.Rng.uniform rng ~lo:5. ~hi:15. |]
+              ())
+      in
+      List.iter
+        (fun u ->
+          List.iter
+            (fun s ->
+              if Prelude.Rng.bool rng then begin
+                let w = Prelude.Rng.uniform rng ~lo:1. ~hi:4. in
+                B.interest b ~user:u ~stream:s ~utility:w ~loads:[| w |] ()
+              end)
+            streams)
+        users;
+      B.set_budgets b [| 10. |];
+      match B.build b with
+      | exception Invalid_argument _ -> true (* a cost above the budget *)
+      | t ->
+          let a = Algorithms.Greedy_fixed.run_feasible t in
+          Mmd.Assignment.is_feasible t a)
+
+let suite =
+  [ ("build basic", `Quick, test_build_basic);
+    ("interest replacement", `Quick, test_interest_replacement);
+    ("incremental rebuild", `Quick, test_incremental_rebuild);
+    ("validation", `Quick, test_validation);
+    ("mc = 0", `Quick, test_mc_zero);
+    built_instances_solve ]

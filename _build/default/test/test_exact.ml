@@ -1,0 +1,389 @@
+open Helpers
+module BF = Exact.Brute_force
+module A = Mmd.Assignment
+
+(* ---------- Simplex ---------- *)
+
+let test_simplex_basic () =
+  (* max 3x + 2y st x + y <= 4, x <= 2 -> x=2, y=2, obj 10 *)
+  match
+    Exact.Simplex.maximize ~c:[| 3.; 2. |]
+      ~a:[| [| 1.; 1. |]; [| 1.; 0. |] |]
+      ~b:[| 4.; 2. |] ()
+  with
+  | Exact.Simplex.Optimal { objective; solution; _ } ->
+      check_float_loose "objective" 10. objective;
+      check_float_loose "x" 2. solution.(0);
+      check_float_loose "y" 2. solution.(1)
+  | Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_degenerate () =
+  (* Redundant constraints with ties. *)
+  match
+    Exact.Simplex.maximize ~c:[| 1.; 1. |]
+      ~a:[| [| 1.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |]
+      ~b:[| 1.; 1.; 1.; 2. |] ()
+  with
+  | Exact.Simplex.Optimal { objective; _ } ->
+      check_float_loose "objective" 2. objective
+  | Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_unbounded () =
+  match
+    Exact.Simplex.maximize ~c:[| 1. |] ~a:[| [| -1. |] |] ~b:[| 1. |] ()
+  with
+  | Exact.Simplex.Unbounded -> ()
+  | Optimal _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_zero_objective () =
+  match
+    Exact.Simplex.maximize ~c:[| 0.; 0. |] ~a:[| [| 1.; 1. |] |] ~b:[| 1. |] ()
+  with
+  | Exact.Simplex.Optimal { objective; _ } -> check_float "zero" 0. objective
+  | Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_errors () =
+  (match
+     Exact.Simplex.maximize ~c:[| 1. |] ~a:[| [| 1. |] |] ~b:[| -1. |] ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected negative-rhs rejection");
+  match Exact.Simplex.maximize ~c:[| 1. |] ~a:[| [| 1.; 2. |] |] ~b:[| 1. |] ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected ragged-matrix rejection"
+
+(* Fractional knapsack has a closed-form greedy optimum — an
+   independent oracle for the simplex. *)
+let fractional_knapsack_oracle values weights capacity =
+  let items =
+    List.init (Array.length values) (fun i -> (values.(i), weights.(i)))
+    |> List.sort (fun (v1, w1) (v2, w2) -> compare (v2 *. w1) (v1 *. w2))
+  in
+  let rec go acc cap = function
+    | [] -> acc
+    | (v, w) :: rest ->
+        if w <= 0. then go (acc +. v) cap rest
+        else if w <= cap then go (acc +. v) (cap -. w) rest
+        else acc +. (v *. cap /. w)
+  in
+  go 0. capacity items
+
+let simplex_vs_fractional_knapsack =
+  qtest ~count:60 "simplex matches the fractional knapsack oracle"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let n = 1 + Prelude.Rng.int rng 8 in
+      let values = Array.init n (fun _ -> Prelude.Rng.uniform rng ~lo:0.1 ~hi:10.) in
+      let weights = Array.init n (fun _ -> Prelude.Rng.uniform rng ~lo:0.1 ~hi:5.) in
+      let capacity = Prelude.Rng.uniform rng ~lo:0.5 ~hi:10. in
+      (* max v.x st w.x <= capacity, x <= 1 per item *)
+      let a =
+        Array.append [| weights |]
+          (Array.init n (fun i ->
+               Array.init n (fun j -> if i = j then 1. else 0.)))
+      in
+      let b = Array.append [| capacity |] (Array.make n 1.) in
+      match Exact.Simplex.maximize ~c:values ~a ~b () with
+      | Exact.Simplex.Optimal { objective; _ } ->
+          Prelude.Float_ops.approx_equal ~eps:1e-6 objective
+            (fractional_knapsack_oracle values weights capacity)
+      | Unbounded -> false)
+
+(* LP duality: strong duality (c·x = b·y) and dual feasibility
+   (yᵀA >= c, y >= 0) must hold at the reported optimum. *)
+let simplex_duality =
+  qtest ~count:60 "simplex duals satisfy strong duality and feasibility"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let n = 1 + Prelude.Rng.int rng 6 in
+      let rows = 1 + Prelude.Rng.int rng 6 in
+      let c = Array.init n (fun _ -> Prelude.Rng.uniform rng ~lo:0.1 ~hi:5.) in
+      let a =
+        Array.init rows (fun _ ->
+            Array.init n (fun _ -> Prelude.Rng.uniform rng ~lo:0.1 ~hi:3.))
+      in
+      let b =
+        Array.init rows (fun _ -> Prelude.Rng.uniform rng ~lo:0.5 ~hi:8.)
+      in
+      match Exact.Simplex.maximize ~c ~a ~b () with
+      | Exact.Simplex.Unbounded -> false (* positive rows: impossible *)
+      | Exact.Simplex.Optimal { objective; duals; _ } ->
+          let dual_objective = ref 0. in
+          Array.iteri
+            (fun i y -> dual_objective := !dual_objective +. (y *. b.(i)))
+            duals;
+          let dual_feasible = ref true in
+          for j = 0 to n - 1 do
+            let yta = ref 0. in
+            for i = 0 to rows - 1 do
+              yta := !yta +. (duals.(i) *. a.(i).(j))
+            done;
+            if !yta +. 1e-6 < c.(j) then dual_feasible := false
+          done;
+          Array.for_all (fun y -> y >= 0.) duals
+          && !dual_feasible
+          && Prelude.Float_ops.approx_equal ~eps:1e-6 objective
+               !dual_objective)
+
+let lp_shadow_prices_sane =
+  qtest ~count:30 "LP shadow prices: zero on slack budgets, nonneg on all"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:10 ~num_users:3 ~m:2 ~mc:1 ~skew:2.
+      in
+      let lp = Exact.Lp_relax.solve t in
+      let ok = ref true in
+      for i = 0 to Mmd.Instance.m t - 1 do
+        let price = lp.Exact.Lp_relax.budget_shadow_price.(i) in
+        if price < 0. then ok := false;
+        (* Complementary slackness: positive price => budget binds. *)
+        let used = ref 0. in
+        for s = 0 to Mmd.Instance.num_streams t - 1 do
+          used :=
+            !used
+            +. (lp.Exact.Lp_relax.stream_fraction.(s)
+                *. Mmd.Instance.server_cost t s i)
+        done;
+        if
+          price > 1e-6
+          && not
+               (Prelude.Float_ops.approx_equal ~eps:1e-5 !used
+                  (Mmd.Instance.budget t i))
+        then ok := false
+      done;
+      !ok)
+
+(* ---------- Knapsack DP ---------- *)
+
+let test_knapsack_basic () =
+  let value, chosen =
+    Exact.Knapsack.solve
+      ~values:[| 60.; 100.; 120. |]
+      ~weights:[| 10; 20; 30 |]
+      ~capacity:50
+  in
+  check_float "classic 220" 220. value;
+  Alcotest.(check (array bool)) "picks items 1,2" [| false; true; true |] chosen
+
+let test_knapsack_zero_capacity () =
+  let value, chosen =
+    Exact.Knapsack.solve ~values:[| 5. |] ~weights:[| 1 |] ~capacity:0
+  in
+  check_float "nothing fits" 0. value;
+  Alcotest.(check (array bool)) "nothing chosen" [| false |] chosen
+
+let test_knapsack_errors () =
+  match
+    Exact.Knapsack.solve ~values:[| 1. |] ~weights:[| 1; 2 |] ~capacity:3
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected length mismatch"
+
+(* Knapsack DP vs brute force on single-user integer instances. *)
+let knapsack_vs_brute_force =
+  qtest ~count:40 "knapsack DP agrees with the MMD brute force"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let n = 1 + Prelude.Rng.int rng 8 in
+      let weights = Array.init n (fun _ -> 1 + Prelude.Rng.int rng 8) in
+      let values =
+        Array.init n (fun _ -> float_of_int (1 + Prelude.Rng.int rng 20))
+      in
+      let capacity = 1 + Prelude.Rng.int rng 20 in
+      let dp, _ = Exact.Knapsack.solve ~values ~weights ~capacity in
+      (* Same problem as MMD: one user, free server, capacity K. *)
+      let inst =
+        Mmd.Instance.create
+          ~server_cost:(Array.init n (fun _ -> [| 0. |]))
+          ~budget:[| 1. |]
+          ~load:
+            [| Array.init n (fun s -> [| float_of_int weights.(s) |]) |]
+          ~capacity:[| [| float_of_int capacity |] |]
+          ~utility:[| values |]
+          ~utility_cap:[| infinity |]
+          ()
+      in
+      let opt, a = BF.solve inst in
+      Prelude.Float_ops.approx_equal opt dp && is_feasible inst a)
+
+(* ---------- Brute force ---------- *)
+
+let test_brute_force_trivial () =
+  let t = smd ~budget:10. ~costs:[| 1.; 1. |] ~utilities:[| [| 2.; 3. |] |] () in
+  let opt, a = BF.solve t in
+  check_float "takes both" 5. opt;
+  check_bool "feasible" true (is_feasible t a)
+
+let test_brute_force_budget_binds () =
+  let t = smd ~budget:1. ~costs:[| 1.; 1. |] ~utilities:[| [| 2.; 3. |] |] () in
+  let opt, _ = BF.solve t in
+  check_float "best single" 3. opt
+
+let test_brute_force_caps_bind () =
+  let t =
+    smd ~budget:10. ~caps:[| 4. |] ~costs:[| 1.; 1. |]
+      ~utilities:[| [| 3.; 3. |] |] ()
+  in
+  let opt, a = BF.solve t in
+  (* Capacity 4 admits only one stream of load 3 (two would load 6);
+     capped objective of one stream = 3. *)
+  check_float "capacity-bound optimum" 3. opt;
+  check_bool "feasible" true (is_feasible t a)
+
+let test_brute_force_guard () =
+  let t = random_smd ~seed:1 ~num_streams:25 ~num_users:2 in
+  match BF.solve ~max_streams:20 t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected max_streams guard"
+
+let brute_force_dominates_heuristics =
+  qtest ~count:50 "brute force dominates every heuristic"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:8 ~num_users:3 ~m:2 ~mc:1 ~skew:2.
+      in
+      let opt, a = BF.solve t in
+      let pipeline = Algorithms.Solve.full_pipeline t in
+      is_feasible t a
+      && Prelude.Float_ops.geq opt (utility t a)
+      && opt +. 1e-9 >= utility t pipeline)
+
+(* ---------- LP relaxation ---------- *)
+
+let lp_dominates_opt =
+  qtest ~count:40 "LP upper-bounds the exact optimum"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:8 ~num_users:3 ~m:2 ~mc:2 ~skew:2.
+      in
+      let opt, _ = BF.solve t in
+      let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+      lp +. 1e-6 >= opt)
+
+let test_lp_integral_case () =
+  (* Everything fits: LP = sum of utilities. *)
+  let t =
+    smd ~budget:100. ~costs:[| 1.; 2. |] ~utilities:[| [| 2.; 3. |] |] ()
+  in
+  let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+  check_float_loose "tight LP" 5. lp
+
+let test_lp_fractional_streams () =
+  let t = smd ~budget:1. ~costs:[| 1. |] ~utilities:[| [| 4. |] |] () in
+  let r = Exact.Lp_relax.solve t in
+  check_float_loose "x = 1" 1. r.Exact.Lp_relax.stream_fraction.(0)
+
+(* ---------- Branch and bound with LP bounding ---------- *)
+
+let bnb_matches_brute_force =
+  qtest ~count:25 "Bnb_lp finds the same optimum as brute force"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:9 ~num_users:3 ~m:2 ~mc:1 ~skew:2.
+      in
+      let opt, _ = BF.solve t in
+      let r = Exact.Bnb_lp.solve t in
+      r.Exact.Bnb_lp.optimal
+      && Prelude.Float_ops.approx_equal ~eps:1e-6 opt r.Exact.Bnb_lp.value
+      && is_feasible t r.Exact.Bnb_lp.assignment)
+
+let bnb_anytime =
+  qtest ~count:20 "Bnb_lp with a tiny node budget is still feasible"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:10 ~num_users:3 ~m:2 ~mc:1 ~skew:2.
+      in
+      let r = Exact.Bnb_lp.solve ~max_nodes:5 t in
+      is_feasible t r.Exact.Bnb_lp.assignment && r.Exact.Bnb_lp.nodes <= 5)
+
+let bnb_anytime_monotone =
+  qtest ~count:15 "more B&B nodes never yield a worse incumbent"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:10 ~num_users:3 ~m:2 ~mc:1 ~skew:2.
+      in
+      let small = Exact.Bnb_lp.solve ~max_nodes:20 t in
+      let big = Exact.Bnb_lp.solve ~max_nodes:5000 t in
+      big.Exact.Bnb_lp.value +. 1e-9 >= small.Exact.Bnb_lp.value)
+
+let test_bnb_prunes () =
+  (* On a loose instance (everything fits) the LP bound equals the
+     leaf value immediately; the tree should stay tiny. *)
+  let t =
+    smd ~budget:100. ~costs:[| 1.; 2.; 3. |] ~utilities:[| [| 1.; 2.; 3. |] |]
+      ()
+  in
+  let r = Exact.Bnb_lp.solve t in
+  check_bool "optimal" true r.Exact.Bnb_lp.optimal;
+  check_float_loose "value" 6. r.Exact.Bnb_lp.value;
+  check_bool "few nodes" true (r.Exact.Bnb_lp.nodes <= 3)
+
+(* ---------- LP rounding ---------- *)
+
+let lp_round_feasible =
+  qtest ~count:40 "LP rounding is always feasible and below its bound"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:12 ~num_users:4 ~m:2 ~mc:2 ~skew:2.
+      in
+      let r = Exact.Lp_round.run t in
+      is_feasible t r.Exact.Lp_round.assignment
+      && utility t r.Exact.Lp_round.assignment
+         <= r.Exact.Lp_round.lp_bound +. 1e-6)
+
+let lp_round_near_opt_when_integral =
+  qtest ~count:20 "LP rounding recovers the optimum when nothing binds"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let t =
+        Workloads.Generator.instance rng
+          { Workloads.Generator.default with
+            num_streams = 8;
+            num_users = 3;
+            budget_fraction = 2.;      (* budget exceeds total cost *)
+            capacity_fraction = 2. }
+      in
+      let r = Exact.Lp_round.run t in
+      Prelude.Float_ops.approx_equal ~eps:1e-6
+        (utility t r.Exact.Lp_round.assignment)
+        r.Exact.Lp_round.lp_bound)
+
+let suite =
+  [ ("simplex basic", `Quick, test_simplex_basic);
+    ("simplex degenerate", `Quick, test_simplex_degenerate);
+    ("simplex unbounded", `Quick, test_simplex_unbounded);
+    ("simplex zero objective", `Quick, test_simplex_zero_objective);
+    ("simplex input errors", `Quick, test_simplex_errors);
+    simplex_vs_fractional_knapsack;
+    simplex_duality;
+    lp_shadow_prices_sane;
+    ("knapsack basic", `Quick, test_knapsack_basic);
+    ("knapsack zero capacity", `Quick, test_knapsack_zero_capacity);
+    ("knapsack errors", `Quick, test_knapsack_errors);
+    knapsack_vs_brute_force;
+    ("brute force trivial", `Quick, test_brute_force_trivial);
+    ("brute force budget binds", `Quick, test_brute_force_budget_binds);
+    ("brute force caps bind", `Quick, test_brute_force_caps_bind);
+    ("brute force guard", `Quick, test_brute_force_guard);
+    brute_force_dominates_heuristics;
+    lp_dominates_opt;
+    ("lp integral case", `Quick, test_lp_integral_case);
+    ("lp fractional streams", `Quick, test_lp_fractional_streams);
+    lp_round_feasible;
+    lp_round_near_opt_when_integral;
+    bnb_matches_brute_force;
+    bnb_anytime;
+    bnb_anytime_monotone;
+    ("bnb prunes loose instances", `Quick, test_bnb_prunes) ]

@@ -1,0 +1,107 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module GF = Algorithms.Greedy_fixed
+
+(* The §2.2 motivating pathology: a tiny cost-effective stream blocks a
+   budget-filling, far more valuable one. Basic greedy keeps only the
+   tiny one; the fix recovers the big one via A_max. *)
+let blocking_instance () =
+  smd ~budget:10.
+    ~costs:[| 0.1; 10. |]
+    (* densities: 1/0.1 = 10 vs 50/10 = 5 *)
+    ~utilities:[| [| 1.; 50. |] |]
+    ()
+
+let test_fix_beats_basic_greedy () =
+  let t = blocking_instance () in
+  let basic = (Algorithms.Greedy.run t).Algorithms.Greedy.assignment in
+  let fixed = GF.run_feasible t in
+  check_float "basic trapped" 1. (utility t basic);
+  check_float "fixed recovers" 50. (utility t fixed)
+
+let test_best_single () =
+  (* Capacity is ample (no utility zeroing); W_u caps the objective. *)
+  let t =
+    I.create
+      ~server_cost:[| [| 1. |]; [| 1. |] |]
+      ~budget:[| 10. |]
+      ~load:[| [| [| 9. |]; [| 1. |] |]; [| [| 0. |]; [| 4. |] |] |]
+      ~capacity:[| [| 100. |]; [| 100. |] |]
+      ~utility:[| [| 9.; 1. |]; [| 0.; 4. |] |]
+      ~utility_cap:[| 5.; infinity |]
+      ()
+  in
+  let a = GF.best_single t in
+  (* Stream 0 capped value = min(9,5) = 5; stream 1 = 1 + 4 = 5.
+     Tie: the later strictly-greater test keeps the first. *)
+  Alcotest.(check (list int)) "single stream" [ 0 ] (A.range a)
+
+let test_best_single_empty () =
+  let t = smd ~budget:1. ~costs:[| 1. |] ~utilities:[| [| 0. |] |] () in
+  Alcotest.(check (list int)) "no utility -> empty" [] (A.range (GF.best_single t))
+
+let test_split_last () =
+  let t =
+    smd ~budget:10. ~caps:[| 7. |]
+      ~costs:[| 1.; 1.; 1. |]
+      ~utilities:[| [| 3.; 3.; 3. |] |]
+      ()
+  in
+  let g = Algorithms.Greedy.run t in
+  let a1, a2 = GF.split_last g in
+  check_int "a2 singleton" 1 (List.length (A.user_streams a2 0));
+  check_int "a1 has the rest" 2 (List.length (A.user_streams a1 0));
+  check_bool "partition"
+    true
+    (List.sort_uniq compare
+       (A.user_streams a1 0 @ A.user_streams a2 0)
+     = A.user_streams g.Algorithms.Greedy.assignment 0);
+  (* w(A1) + w(A2) >= w(A) (proof of Theorem 2.8). *)
+  check_bool "subadditive split" true
+    (utility t a1 +. utility t a2 +. 1e-9
+     >= utility t g.Algorithms.Greedy.assignment)
+
+let feasible_qcheck =
+  qtest ~count:80 "run_feasible output is always feasible"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let t =
+        Workloads.Generator.instance rng
+          { Workloads.Generator.default with
+            num_streams = 12;
+            num_users = 4;
+            capacity_fraction = 0.3;
+            utility_cap_fraction = Some 0.5 }
+      in
+      is_feasible t (GF.run_feasible t))
+
+(* Theorem 2.8: 3e/(e-1)-approximation. *)
+let theorem_2_8 =
+  qtest ~count:60 "run_feasible within 3e/(e-1) of OPT"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:9 ~num_users:4 in
+      let opt, _ = Exact.Brute_force.solve t in
+      let a = GF.run_feasible t in
+      let e = Float.exp 1. in
+      utility t a *. (3. *. e /. (e -. 1.)) +. 1e-9 >= opt)
+
+(* The augmented variant dominates the feasible one by construction. *)
+let augmented_dominates =
+  qtest ~count:60 "run_augmented >= run_feasible"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:10 ~num_users:4 in
+      utility t (GF.run_augmented t) +. 1e-9
+      >= utility t (GF.run_feasible t))
+
+let suite =
+  [ ("fix beats basic greedy", `Quick, test_fix_beats_basic_greedy);
+    ("best single", `Quick, test_best_single);
+    ("best single empty", `Quick, test_best_single_empty);
+    ("split last", `Quick, test_split_last);
+    feasible_qcheck;
+    theorem_2_8;
+    augmented_dominates ]

@@ -1,0 +1,83 @@
+open Helpers
+module H = Simnet.Hierarchy
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let setup seed =
+  let rng = Prelude.Rng.create seed in
+  let trunk =
+    Workloads.Scenarios.cable_headend rng ~num_channels:25 ~num_gateways:5
+  in
+  let household_rng = Prelude.Rng.split rng in
+  let households ~gateway =
+    let rng = Prelude.Rng.create (seed + (1000 * (gateway + 1))) in
+    ignore household_rng;
+    Workloads.Scenarios.gateway_households rng ~catalog:trunk
+      ~num_households:6
+      ~rebroadcast_budget:(I.capacity trunk gateway 0)
+  in
+  (trunk, households)
+
+let test_plan_shape () =
+  let trunk, households = setup 1 in
+  let r = H.plan ~trunk ~households () in
+  check_bool "trunk utility positive" true (r.H.trunk_utility > 0.);
+  check_bool "some gateways fed" true (r.H.leaf_plans <> []);
+  check_bool "leaf utility positive" true (r.H.leaf_utility > 0.);
+  List.iter
+    (fun (gateway, inst, plan) ->
+      check_bool "gateway id valid" true
+        (gateway >= 0 && gateway < I.num_users trunk);
+      (* A leaf catalog is exactly the gateway's tier-1 feed. *)
+      check_int "leaf catalog = feed size"
+        (List.length (A.user_streams r.H.trunk_plan gateway))
+        (I.num_streams inst);
+      check_bool "leaf plan feasible" true (A.is_feasible inst plan))
+    r.H.leaf_plans
+
+let test_unfed_gateways_skipped () =
+  let trunk, households = setup 2 in
+  let r = H.plan ~trunk ~households () in
+  let fed = List.map (fun (g, _, _) -> g) r.H.leaf_plans in
+  for g = 0 to I.num_users trunk - 1 do
+    let feed = A.user_streams r.H.trunk_plan g in
+    check_bool "fed iff nonempty feed" true (List.mem g fed = (feed <> []))
+  done
+
+let test_custom_solvers () =
+  let trunk, households = setup 3 in
+  let r =
+    H.plan
+      ~trunk_solver:Algorithms.Solve.full_pipeline
+      ~leaf_solver:(fun inst -> Algorithms.Skew_reduce.run inst)
+      ~trunk ~households ()
+  in
+  check_bool "works with pipeline trunk solver" true (r.H.trunk_utility > 0.)
+
+let test_catalog_mismatch_rejected () =
+  let trunk, _ = setup 4 in
+  let bad_households ~gateway:_ =
+    let rng = Prelude.Rng.create 0 in
+    Workloads.Scenarios.cable_headend rng ~num_channels:3 ~num_gateways:2
+  in
+  match H.plan ~trunk ~households:bad_households () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected catalog mismatch rejection"
+
+let hierarchy_end_to_end_feasible =
+  qtest ~count:15 "both tiers always feasible"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let trunk, households = setup seed in
+      let r = H.plan ~trunk ~households () in
+      A.is_feasible trunk r.H.trunk_plan
+      && List.for_all
+           (fun (_, inst, plan) -> A.is_feasible inst plan)
+           r.H.leaf_plans)
+
+let suite =
+  [ ("plan shape", `Quick, test_plan_shape);
+    ("unfed gateways skipped", `Quick, test_unfed_gateways_skipped);
+    ("custom solvers", `Quick, test_custom_solvers);
+    ("catalog mismatch rejected", `Quick, test_catalog_mismatch_rejected);
+    hierarchy_end_to_end_feasible ]

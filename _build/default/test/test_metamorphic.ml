@@ -1,0 +1,186 @@
+(* Metamorphic properties: transformations of an instance with a known
+   effect on the optimum and on deterministic algorithms. These catch
+   bookkeeping bugs (mixed-up indices, unit errors) that bound checks
+   cannot see. *)
+
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let rebuild inst ~f_cost ~f_budget ~f_load ~f_capacity ~f_utility ~f_cap =
+  let ns = I.num_streams inst and nu = I.num_users inst in
+  let m = I.m inst and mc = I.mc inst in
+  I.create ~name:(I.name inst ^ "/transformed")
+    ~server_cost:
+      (Array.init ns (fun s ->
+           Array.init m (fun i -> f_cost (I.server_cost inst s i))))
+    ~budget:(Array.init m (fun i -> f_budget (I.budget inst i)))
+    ~load:
+      (Array.init nu (fun u ->
+           Array.init ns (fun s ->
+               Array.init mc (fun j -> f_load (I.load inst u s j)))))
+    ~capacity:
+      (Array.init nu (fun u ->
+           Array.init mc (fun j -> f_capacity (I.capacity inst u j))))
+    ~utility:
+      (Array.init nu (fun u ->
+           Array.init ns (fun s -> f_utility (I.utility inst u s))))
+    ~utility_cap:(Array.init nu (fun u -> f_cap (I.utility_cap inst u)))
+    ()
+
+let id x = x
+let scale c x = if x = infinity then x else c *. x
+
+(* Scaling every utility-like quantity (w, W, loads, K) by c > 0 is a
+   unit change: the greedy makes identical decisions and the value
+   scales by c. *)
+let utility_scale_equivariance =
+  qtest ~count:40 "greedy value scales linearly with utility units"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 20))
+    (fun (seed, c10) ->
+      let c = float_of_int c10 /. 4. in
+      let t = random_smd ~seed ~num_streams:10 ~num_users:4 in
+      let t' =
+        rebuild t ~f_cost:id ~f_budget:id ~f_load:(scale c)
+          ~f_capacity:(scale c) ~f_utility:(scale c) ~f_cap:(scale c)
+      in
+      let w = utility t (Algorithms.Greedy_fixed.run_feasible t) in
+      let w' = utility t' (Algorithms.Greedy_fixed.run_feasible t') in
+      Prelude.Float_ops.approx_equal ~eps:1e-6 (c *. w) w')
+
+(* Scaling every cost and budget by c > 0 changes nothing at all. *)
+let cost_scale_invariance =
+  qtest ~count:40 "cost-and-budget rescaling leaves solutions unchanged"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 20))
+    (fun (seed, c10) ->
+      let c = float_of_int c10 /. 4. in
+      let t = random_smd ~seed ~num_streams:10 ~num_users:4 in
+      let t' =
+        rebuild t ~f_cost:(scale c) ~f_budget:(scale c) ~f_load:id
+          ~f_capacity:id ~f_utility:id ~f_cap:id
+      in
+      let w = utility t (Algorithms.Greedy_fixed.run_feasible t) in
+      let w' = utility t' (Algorithms.Greedy_fixed.run_feasible t') in
+      Prelude.Float_ops.approx_equal ~eps:1e-6 w w')
+
+(* The exact optimum is invariant under stream relabeling. *)
+let permutation_invariance_opt =
+  qtest ~count:25 "exact OPT is invariant under stream permutation"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 1000))
+    (fun (seed, pseed) ->
+      let t =
+        random_mmd ~seed ~num_streams:8 ~num_users:3 ~m:2 ~mc:1 ~skew:2.
+      in
+      let ns = I.num_streams t in
+      let perm = Prelude.Rng.permutation (Prelude.Rng.create pseed) ns in
+      let m = I.m t and mc = I.mc t and nu = I.num_users t in
+      let t' =
+        I.create ~name:"permuted"
+          ~server_cost:
+            (Array.init ns (fun s ->
+                 Array.init m (fun i -> I.server_cost t perm.(s) i)))
+          ~budget:(Array.init m (I.budget t))
+          ~load:
+            (Array.init nu (fun u ->
+                 Array.init ns (fun s ->
+                     Array.init mc (fun j -> I.load t u perm.(s) j))))
+          ~capacity:
+            (Array.init nu (fun u ->
+                 Array.init mc (fun j -> I.capacity t u j)))
+          ~utility:
+            (Array.init nu (fun u ->
+                 Array.init ns (fun s -> I.utility t u perm.(s))))
+          ~utility_cap:(Array.init nu (I.utility_cap t))
+          ()
+      in
+      let opt, _ = Exact.Brute_force.solve t in
+      let opt', _ = Exact.Brute_force.solve t' in
+      Prelude.Float_ops.approx_equal ~eps:1e-6 opt opt')
+
+(* The LP bound is likewise permutation-invariant. *)
+let permutation_invariance_lp =
+  qtest ~count:25 "LP bound is invariant under user permutation"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 1000))
+    (fun (seed, pseed) ->
+      let t =
+        random_mmd ~seed ~num_streams:8 ~num_users:4 ~m:1 ~mc:1 ~skew:2.
+      in
+      let nu = I.num_users t and ns = I.num_streams t in
+      let perm = Prelude.Rng.permutation (Prelude.Rng.create pseed) nu in
+      let t' =
+        I.create ~name:"user-permuted"
+          ~server_cost:
+            (Array.init ns (fun s -> [| I.server_cost t s 0 |]))
+          ~budget:[| I.budget t 0 |]
+          ~load:
+            (Array.init nu (fun u ->
+                 Array.init ns (fun s -> [| I.load t perm.(u) s 0 |])))
+          ~capacity:
+            (Array.init nu (fun u -> [| I.capacity t perm.(u) 0 |]))
+          ~utility:
+            (Array.init nu (fun u ->
+                 Array.init ns (fun s -> I.utility t perm.(u) s)))
+          ~utility_cap:(Array.init nu (fun u -> I.utility_cap t perm.(u)))
+          ()
+      in
+      let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+      let lp' = (Exact.Lp_relax.solve t').Exact.Lp_relax.upper_bound in
+      Prelude.Float_ops.approx_equal ~eps:1e-5 lp lp')
+
+(* Appending a worthless stream changes nothing. *)
+let padding_invariance =
+  qtest ~count:30 "zero-utility streams never change any result"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:8 ~num_users:3 in
+      let ns = I.num_streams t and nu = I.num_users t in
+      let pad arr extra = Array.append arr [| extra |] in
+      let t' =
+        I.create ~name:"padded"
+          ~server_cost:
+            (pad
+               (Array.init ns (fun s -> [| I.server_cost t s 0 |]))
+               [| 1. |])
+          ~budget:[| I.budget t 0 |]
+          ~load:
+            (Array.init nu (fun u ->
+                 pad
+                   (Array.init ns (fun s -> [| I.load t u s 0 |]))
+                   [| 1. |]))
+          ~capacity:(Array.init nu (fun u -> [| I.capacity t u 0 |]))
+          ~utility:
+            (Array.init nu (fun u ->
+                 pad (Array.init ns (fun s -> I.utility t u s)) 0.))
+          ~utility_cap:(Array.init nu (I.utility_cap t))
+          ()
+      in
+      let value alg inst = utility inst (alg inst) in
+      List.for_all
+        (fun alg ->
+          Prelude.Float_ops.approx_equal ~eps:1e-9 (value alg t)
+            (value alg t'))
+        [ Algorithms.Greedy_fixed.run_feasible;
+          (fun i -> Algorithms.Skew_reduce.run i);
+          (fun i -> Algorithms.Solve.full_pipeline i) ])
+
+(* Doubling the budget at least preserves the exact optimum. *)
+let budget_monotonicity_opt =
+  qtest ~count:25 "exact OPT is monotone in the budget"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:9 ~num_users:3 in
+      let t' =
+        rebuild t ~f_cost:id ~f_budget:(scale 2.) ~f_load:id ~f_capacity:id
+          ~f_utility:id ~f_cap:id
+      in
+      let opt, _ = Exact.Brute_force.solve t in
+      let opt', _ = Exact.Brute_force.solve t' in
+      opt' +. 1e-9 >= opt)
+
+let suite =
+  [ utility_scale_equivariance;
+    cost_scale_invariance;
+    permutation_invariance_opt;
+    permutation_invariance_lp;
+    padding_invariance;
+    budget_monotonicity_opt ]

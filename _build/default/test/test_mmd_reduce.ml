@@ -1,0 +1,182 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module MR = Algorithms.Mmd_reduce
+
+let mmd ~seed = random_mmd ~seed ~num_streams:10 ~num_users:4 ~m:3 ~mc:2 ~skew:2.
+
+let test_to_smd_shape () =
+  let t = mmd ~seed:1 in
+  let r = MR.to_smd t in
+  check_int "single budget" 1 (I.m r.MR.instance);
+  check_int "single capacity" 1 (I.mc r.MR.instance);
+  check_float "budget is m" 3. (I.budget r.MR.instance 0);
+  check_float "capacity is mc" 2. (I.capacity r.MR.instance 0 0)
+
+let test_to_smd_cost_identity () =
+  let t = mmd ~seed:2 in
+  let r = MR.to_smd t in
+  for s = 0 to I.num_streams t - 1 do
+    let expected = ref 0. in
+    for i = 0 to I.m t - 1 do
+      expected := !expected +. (I.server_cost t s i /. I.budget t i)
+    done;
+    check_float "c(S) = sum c_i/B_i" !expected (I.server_cost r.MR.instance s 0)
+  done
+
+let test_to_smd_infinite_budget_skipped () =
+  let t =
+    I.create
+      ~server_cost:[| [| 2.; 5. |] |]
+      ~budget:[| 4.; infinity |]
+      ~load:[| [| [||] |] |]
+      ~capacity:[| [||] |]
+      ~utility:[| [| 1. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  let r = MR.to_smd t in
+  check_float "only finite dims" 0.5 (I.server_cost r.MR.instance 0 0);
+  check_float "budget counts finite dims" 1. (I.budget r.MR.instance 0)
+
+let test_to_smd_preserves_utilities () =
+  let t = mmd ~seed:3 in
+  let r = MR.to_smd t in
+  for u = 0 to I.num_users t - 1 do
+    for s = 0 to I.num_streams t - 1 do
+      check_float "same utility" (I.utility t u s) (I.utility r.MR.instance u s)
+    done
+  done
+
+(* Lemma 4.2 (1) and (2): a feasible assignment for the reduced
+   instance exceeds no original budget by more than a factor m, and no
+   original capacity by more than a factor mc. *)
+let lemma_4_2_relaxed_feasibility =
+  qtest ~count:50 "reduced-feasible implies factor-m/mc original feasibility"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = mmd ~seed in
+      let r = MR.to_smd t in
+      let a = Algorithms.Skew_reduce.run r.MR.instance in
+      let ok = ref (is_feasible r.MR.instance a) in
+      for i = 0 to I.m t - 1 do
+        if
+          not
+            (Prelude.Float_ops.leq
+               (A.server_cost t a i)
+               (float_of_int (I.m t) *. I.budget t i))
+        then ok := false
+      done;
+      for u = 0 to I.num_users t - 1 do
+        for j = 0 to I.mc t - 1 do
+          if
+            not
+              (Prelude.Float_ops.leq
+                 (A.user_load t a u j)
+                 (float_of_int (I.mc t) *. I.capacity t u j))
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* Lemma 4.2 (3): the original optimum is feasible for the reduced
+   instance, so reduced OPT >= original OPT. *)
+let lemma_4_2_opt_dominates =
+  qtest ~count:25 "reduced OPT dominates original OPT"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:8 ~num_users:3 ~m:2 ~mc:2 ~skew:2.
+      in
+      let r = MR.to_smd t in
+      let opt, _ = Exact.Brute_force.solve t in
+      let opt_reduced, _ = Exact.Brute_force.solve r.MR.instance in
+      opt_reduced +. 1e-9 >= opt)
+
+(* ---------- decompose_by_cost ---------- *)
+
+let test_decompose_partition () =
+  let cost = function 0 -> 0.4 | 1 -> 0.4 | 2 -> 0.5 | _ -> 0.2 in
+  let groups = MR.decompose_by_cost ~cost ~limit:1. [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list (list int)))
+    "greedy walk groups" [ [ 0; 1 ]; [ 2; 3 ] ] groups
+
+let test_decompose_oversized_singleton () =
+  let cost = function 1 -> 2.5 | _ -> 0.3 in
+  let groups = MR.decompose_by_cost ~cost ~limit:1. [ 0; 1; 2 ] in
+  Alcotest.(check (list (list int)))
+    "oversized isolated" [ [ 0 ]; [ 1 ]; [ 2 ] ] groups
+
+let test_decompose_empty () =
+  Alcotest.(check (list (list int))) "empty" []
+    (MR.decompose_by_cost ~cost:(fun _ -> 1.) ~limit:1. [])
+
+let decompose_qcheck =
+  qtest ~count:100 "decomposition partitions and respects the limit"
+    QCheck2.Gen.(list_size (int_range 0 20) (float_range 0.01 3.))
+    (fun costs ->
+      let arr = Array.of_list costs in
+      let streams = List.init (Array.length arr) Fun.id in
+      let cost s = arr.(s) in
+      let groups = MR.decompose_by_cost ~cost ~limit:1. streams in
+      let flattened = List.concat groups in
+      flattened = streams
+      && List.for_all
+           (fun g ->
+             let total = List.fold_left (fun acc s -> acc +. cost s) 0. g in
+             Prelude.Float_ops.leq total 1. || List.length g = 1)
+           groups)
+
+let decompose_group_count =
+  qtest ~count:100 "group count is at most 2*total+1"
+    QCheck2.Gen.(list_size (int_range 0 30) (float_range 0.01 0.99))
+    (fun costs ->
+      let arr = Array.of_list costs in
+      let streams = List.init (Array.length arr) Fun.id in
+      let cost s = arr.(s) in
+      let total = Array.fold_left ( +. ) 0. arr in
+      let groups = MR.decompose_by_cost ~cost ~limit:1. streams in
+      float_of_int (List.length groups) <= (2. *. total) +. 1.)
+
+(* ---------- lift ---------- *)
+
+let lift_feasible =
+  qtest ~count:60 "lifted assignments are feasible for the original"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = mmd ~seed in
+      let r = MR.to_smd t in
+      let a = Algorithms.Skew_reduce.run r.MR.instance in
+      let lifted = MR.lift r a in
+      is_feasible t lifted)
+
+let lift_keeps_users_within_assignment =
+  qtest ~count:40 "lift only removes streams, never adds"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = mmd ~seed in
+      let r = MR.to_smd t in
+      let a = Algorithms.Skew_reduce.run r.MR.instance in
+      let lifted = MR.lift r a in
+      let ok = ref true in
+      for u = 0 to I.num_users t - 1 do
+        List.iter
+          (fun s -> if not (A.assigns a u s) then ok := false)
+          (A.user_streams lifted u)
+      done;
+      !ok)
+
+let suite =
+  [ ("to_smd shape", `Quick, test_to_smd_shape);
+    ("to_smd cost identity", `Quick, test_to_smd_cost_identity);
+    ("infinite budgets skipped", `Quick, test_to_smd_infinite_budget_skipped);
+    ("utilities preserved", `Quick, test_to_smd_preserves_utilities);
+    lemma_4_2_relaxed_feasibility;
+    lemma_4_2_opt_dominates;
+    ("decompose partition", `Quick, test_decompose_partition);
+    ("decompose oversized singleton", `Quick, test_decompose_oversized_singleton);
+    ("decompose empty", `Quick, test_decompose_empty);
+    decompose_qcheck;
+    decompose_group_count;
+    lift_feasible;
+    lift_keeps_users_within_assignment ]

@@ -1,0 +1,175 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module OA = Algorithms.Online_allocate
+
+let small ~seed ?(num_streams = 25) ?(num_users = 5) ?(m = 2) ?(mc = 1) () =
+  let rng = Prelude.Rng.create seed in
+  Workloads.Generator.small_streams rng
+    { Workloads.Generator.default with num_streams; num_users; m; mc }
+
+let test_parameters () =
+  let t = small ~seed:1 () in
+  let st = OA.create t in
+  check_bool "gamma >= 1" true (OA.gamma st >= 1.);
+  let denom = float_of_int (I.m t + (I.num_users t * I.mc t)) in
+  check_float "mu formula" ((2. *. OA.gamma st *. denom) +. 2.) (OA.mu st);
+  check_float "log mu" (Prelude.Float_ops.log2 (OA.mu st)) (OA.log_mu st);
+  check_bool "generator satisfies the small-stream condition" true
+    (OA.small_streams_ok st)
+
+let test_offer_accept_reject_cycle () =
+  let t = small ~seed:2 () in
+  let st = OA.create t in
+  let users = OA.offer st 0 in
+  (* First stream on an empty server: exponential costs are all zero,
+     so it must be accepted for every interested user. *)
+  Alcotest.(check (list int)) "first offer accepted for all interested"
+    (Array.to_list (I.interested_users t 0))
+    (List.sort compare users);
+  Alcotest.(check (list int)) "re-offer refused" [] (OA.offer st 0)
+
+let test_release () =
+  let t = small ~seed:3 () in
+  let st = OA.create t in
+  (* Pick a stream someone wants. *)
+  let s =
+    let rec find s =
+      if Array.length (I.interested_users t s) > 0 then s else find (s + 1)
+    in
+    find 0
+  in
+  let accepted = OA.offer st s in
+  check_bool "accepted" true (accepted <> []);
+  OA.release st s;
+  check_float "empty after release" 0. (OA.utility st);
+  (* Can be offered again after release. *)
+  check_bool "re-offer after release" true (OA.offer st s <> [])
+
+let test_out_of_range () =
+  let t = small ~seed:4 () in
+  let st = OA.create t in
+  match OA.offer st 999 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* Lemma 5.1: with small streams, no budget or capacity is violated —
+   even with the strict safety net disabled. *)
+let lemma_5_1 =
+  qtest ~count:50 "no constraint violations on small-stream instances"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 3))
+    (fun (seed, m) ->
+      let t = small ~seed ~m () in
+      let a = OA.run_offline ~strict:false t in
+      is_feasible t a)
+
+(* Theorem 5.4: (1 + 2 log mu)-competitive against the offline
+   optimum. Also: a feasible solution never exceeds the LP bound. *)
+let theorem_5_4 =
+  qtest ~count:30 "online within (1 + 2 log mu) of OPT, below LP"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = small ~seed ~num_streams:14 ~num_users:4 () in
+      let st = OA.create t in
+      let a = OA.run_offline ~strict:false t in
+      let opt, _ = Exact.Brute_force.solve t in
+      let lp = (Exact.Lp_relax.solve t).Exact.Lp_relax.upper_bound in
+      let bound = 1. +. (2. *. OA.log_mu st) in
+      let w = A.utility t a in
+      (w *. bound) +. 1e-6 >= opt && w <= lp +. 1e-6 && opt <= lp +. 1e-6)
+
+(* Order independence of the guarantee: any arrival order stays
+   feasible and within the bound. *)
+let arrival_order_robustness =
+  qtest ~count:30 "feasible under random arrival orders"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 100))
+    (fun (seed, order_seed) ->
+      let t = small ~seed ~num_streams:20 () in
+      let order =
+        Prelude.Rng.permutation (Prelude.Rng.create order_seed) 20
+      in
+      let a = OA.run_offline ~strict:false ~order t in
+      is_feasible t a)
+
+(* Strict mode never violates constraints even when the small-stream
+   precondition fails. *)
+let strict_mode_safety =
+  qtest ~count:50 "strict mode is always feasible"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      (* Deliberately NOT a small-stream instance. *)
+      let t =
+        random_mmd ~seed ~num_streams:15 ~num_users:4 ~m:2 ~mc:1 ~skew:1.
+      in
+      let a = OA.run_offline ~strict:true t in
+      is_feasible t a)
+
+let accepts_something =
+  qtest ~count:30 "online accepts nonzero utility when streams are small"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = small ~seed () in
+      A.utility t (OA.run_offline t) > 0.)
+
+(* White-box check of the exponential-cost rule on a hand-computed
+   instance: one budget, one user (with no capacity constraints), two
+   identical streams.
+
+   Instance: c(S) = 1, B = 2, w_u(S) = 10 for both streams.
+   Equation (1): denom = m + |U|*mc = 1; the only interested-user
+   subset is {u}, so every (1)-ratio is 10 / c'(S). The normalization
+   scale makes the minimal ratio 1: t = 10 (with denom 1), and
+   gamma = 1 (all ratios equal). Hence mu = 2*1*1 + 2 = 4.
+
+   Offer stream 0: L = 0, C(i) = 0, condition 0 <= 10 -> accept.
+   Offer stream 1: L = 1/2, marginal cost = t*c*(mu^L - 1)
+   = 10 * 1 * (4^0.5 - 1) = 10 <= w = 10 -> accept (boundary!).
+   After that L = 1: a third stream would cost 10*(4-1) = 30 > 10. *)
+let test_exponential_rule_by_hand () =
+  let t =
+    Mmd.Instance.create ~name:"hand"
+      ~server_cost:[| [| 1. |]; [| 1. |]; [| 1. |] |]
+      ~budget:[| 3. |]
+      ~load:[| [| [||]; [||]; [||] |] |]
+      ~capacity:[| [||] |]
+      ~utility:[| [| 10.; 10.; 10. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  let st = OA.create ~strict:false t in
+  check_float "gamma" 1. (OA.gamma st);
+  check_float "mu" 4. (OA.mu st);
+  Alcotest.(check (list int)) "first accepted" [ 0 ] (OA.offer st 0);
+  (* L = 1/3: cost 10*(4^(1/3)-1) ~ 5.87 <= 10 -> accept. *)
+  Alcotest.(check (list int)) "second accepted" [ 0 ] (OA.offer st 1);
+  (* L = 2/3: cost 10*(4^(2/3)-1) ~ 15.2 > 10 -> reject. *)
+  Alcotest.(check (list int)) "third rejected" [] (OA.offer st 2)
+
+let test_mu_scale () =
+  let t = small ~seed:8 () in
+  let base = OA.create t in
+  let doubled = OA.create ~mu_scale:2. t in
+  check_float "mu scales linearly" (2. *. OA.mu base) (OA.mu doubled);
+  (match OA.create ~mu_scale:0. t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected positive-scale requirement");
+  (* Even with an absurdly small µ, strict mode stays feasible. *)
+  let reckless = OA.create ~strict:true ~mu_scale:1e-6 t in
+  Array.iter
+    (fun s -> ignore (OA.offer reckless s))
+    (Array.init (I.num_streams t) Fun.id);
+  check_bool "strict mode survives tiny mu" true
+    (A.is_feasible t (OA.assignment reckless))
+
+let suite =
+  [ ("parameters", `Quick, test_parameters);
+    ("exponential rule by hand", `Quick, test_exponential_rule_by_hand);
+    ("mu scale", `Quick, test_mu_scale);
+    ("offer cycle", `Quick, test_offer_accept_reject_cycle);
+    ("release", `Quick, test_release);
+    ("offer out of range", `Quick, test_out_of_range);
+    lemma_5_1;
+    theorem_5_4;
+    arrival_order_robustness;
+    strict_mode_safety;
+    accepts_something ]

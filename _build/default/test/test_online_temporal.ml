@@ -1,0 +1,190 @@
+open Helpers
+module OT = Algorithms.Online_temporal
+module I = Mmd.Instance
+
+let small ~seed ?(num_streams = 20) ?(num_users = 5) ?(m = 2) () =
+  let rng = Prelude.Rng.create seed in
+  Workloads.Generator.small_streams rng
+    { Workloads.Generator.default with num_streams; num_users; m }
+
+let first_wanted t =
+  let rec find s =
+    if Array.length (I.interested_users t s) > 0 then s else find (s + 1)
+  in
+  find 0
+
+let test_parameters_match_static_allocator () =
+  let t = small ~seed:1 () in
+  let temporal = OT.create t in
+  let static = Algorithms.Online_allocate.create t in
+  check_float "same mu" (Algorithms.Online_allocate.mu static)
+    (OT.mu temporal);
+  check_float "same log mu" (Algorithms.Online_allocate.log_mu static)
+    (OT.log_mu temporal)
+
+let test_booking_and_expiry () =
+  let t = small ~seed:2 () in
+  let st = OT.create t in
+  let s = first_wanted t in
+  let users = OT.offer st ~stream:s ~now:0. ~duration:10. in
+  check_bool "accepted" true (users <> []);
+  (* The same stream can be booked again for a disjoint interval. *)
+  let users' = OT.offer st ~stream:s ~now:20. ~duration:5. in
+  check_bool "re-booked after expiry" true (users' <> []);
+  check_bool "utility-time accrues" true (OT.utility_time st > 0.)
+
+let test_zero_duration_rejected () =
+  let t = small ~seed:3 () in
+  let st = OT.create t in
+  Alcotest.(check (list int)) "zero duration"
+    []
+    (OT.offer st ~stream:(first_wanted t) ~now:0. ~duration:0.)
+
+let test_time_monotonicity_enforced () =
+  let t = small ~seed:4 () in
+  let st = OT.create t in
+  ignore (OT.offer st ~stream:0 ~now:5. ~duration:1.);
+  match OT.offer st ~stream:1 ~now:2. ~duration:1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected time-regression rejection"
+
+let test_cancel_releases () =
+  let t = small ~seed:5 () in
+  let st = OT.create t in
+  let s = first_wanted t in
+  let users = OT.offer st ~stream:s ~now:0. ~duration:100. in
+  check_bool "accepted" true (users <> []);
+  let before = OT.utility_time st in
+  (match OT.last_booking st with
+  | Some id -> OT.cancel st ~booking:id
+  | None -> Alcotest.fail "expected a booking id");
+  check_bool "utility-time reduced by cancel" true
+    (OT.utility_time st < before);
+  OT.cancel st ~booking:99 (* unknown id: no-op *)
+
+(* Lemma 5.1, temporal form: with small streams (strict off) no budget
+   is exceeded at any instant. *)
+let temporal_feasibility =
+  qtest ~count:40 "no instantaneous violation on small-stream sessions"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = small ~seed () in
+      let st = OT.create ~strict:false t in
+      let rng = Prelude.Rng.create (seed + 1) in
+      let now = ref 0. in
+      for _ = 1 to 60 do
+        now := !now +. Prelude.Rng.float rng 3.;
+        let s = Prelude.Rng.int rng (I.num_streams t) in
+        let d = 0.5 +. Prelude.Rng.float rng 20. in
+        ignore (OT.offer st ~stream:s ~now:!now ~duration:d)
+      done;
+      let ok = ref true in
+      for i = 0 to I.m t - 1 do
+        let b = I.budget t i in
+        if b < infinity then
+          if not (Prelude.Float_ops.leq (OT.peak_budget_load st i) b) then
+            ok := false
+      done;
+      for u = 0 to I.num_users t - 1 do
+        for j = 0 to I.mc t - 1 do
+          let k = I.capacity t u j in
+          if k < infinity then
+            if
+              not
+                (Prelude.Float_ops.leq
+                   (OT.peak_user_load st ~user:u ~measure:j)
+                   k)
+            then ok := false
+        done
+      done;
+      !ok)
+
+(* Strict mode never overflows even on non-small instances. *)
+let temporal_strict_safety =
+  qtest ~count:40 "strict temporal mode never overflows"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:12 ~num_users:4 ~m:2 ~mc:1 ~skew:1.
+      in
+      let st = OT.create ~strict:true t in
+      let rng = Prelude.Rng.create (seed + 1) in
+      let now = ref 0. in
+      for _ = 1 to 40 do
+        now := !now +. Prelude.Rng.float rng 2.;
+        let s = Prelude.Rng.int rng (I.num_streams t) in
+        ignore (OT.offer st ~stream:s ~now:!now
+                  ~duration:(1. +. Prelude.Rng.float rng 10.))
+      done;
+      let ok = ref true in
+      for i = 0 to I.m t - 1 do
+        if
+          not
+            (Prelude.Float_ops.leq (OT.peak_budget_load st i) (I.budget t i))
+        then ok := false
+      done;
+      !ok)
+
+(* Expiry frees capacity: after all bookings end, a fresh one of full
+   budget size is accepted again. *)
+let test_capacity_returns_after_expiry () =
+  let t =
+    smd ~budget:2. ~costs:[| 2.; 2. |] ~utilities:[| [| 5.; 5. |] |] ()
+  in
+  let st = OT.create t in
+  check_bool "first fills the budget" true
+    (OT.offer st ~stream:0 ~now:0. ~duration:10. <> []);
+  Alcotest.(check (list int)) "second rejected while live" []
+    (OT.offer st ~stream:1 ~now:5. ~duration:10.);
+  check_bool "accepted after expiry" true
+    (OT.offer st ~stream:1 ~now:11. ~duration:10. <> [])
+
+(* The simulator's temporal policy: same sanity as the others. *)
+let test_simulation_with_temporal_policy () =
+  let rng = Prelude.Rng.create 21 in
+  let inst =
+    Workloads.Scenarios.cable_headend rng ~num_channels:25 ~num_gateways:6
+  in
+  let metrics =
+    Simnet.Headend.run ~rng
+      ~config:
+        { Simnet.Headend.default_config with duration = 400.;
+          arrival_rate = 0.4 }
+      inst
+      (fun t -> Simnet.Policy.online_temporal t)
+  in
+  check_int "no violations" 0 metrics.Simnet.Headend.violations;
+  check_bool "accepts sessions" true (metrics.Simnet.Headend.accepted > 0);
+  check_bool "utility accrues" true (metrics.Simnet.Headend.utility_time > 0.)
+
+let test_static_plan_policy () =
+  let rng = Prelude.Rng.create 23 in
+  let inst =
+    Workloads.Scenarios.cable_headend rng ~num_channels:25 ~num_gateways:6
+  in
+  let plan = Algorithms.Solve.best_of inst in
+  let metrics =
+    Simnet.Headend.run ~rng
+      ~config:
+        { Simnet.Headend.default_config with duration = 400.;
+          arrival_rate = 0.4 }
+      inst
+      (Simnet.Policy.static_plan plan)
+  in
+  check_int "plan is feasible under churn" 0
+    metrics.Simnet.Headend.violations
+
+let suite =
+  [ ("parameters match static allocator", `Quick,
+     test_parameters_match_static_allocator);
+    ("booking and expiry", `Quick, test_booking_and_expiry);
+    ("zero duration", `Quick, test_zero_duration_rejected);
+    ("time monotonicity", `Quick, test_time_monotonicity_enforced);
+    ("cancel releases", `Quick, test_cancel_releases);
+    temporal_feasibility;
+    temporal_strict_safety;
+    ("capacity returns after expiry", `Quick,
+     test_capacity_returns_after_expiry);
+    ("simulation with temporal policy", `Quick,
+     test_simulation_with_temporal_policy);
+    ("static plan policy", `Quick, test_static_plan_policy) ]

@@ -1,0 +1,113 @@
+open Helpers
+module P = Workloads.Perturb
+module I = Mmd.Instance
+
+let base () = random_mmd ~seed:5 ~num_streams:10 ~num_users:4 ~m:2 ~mc:1 ~skew:2.
+
+let test_scale_budgets () =
+  let t = base () in
+  let up = P.scale_budgets 2. t in
+  check_float "doubled" (2. *. I.budget t 0) (I.budget up 0);
+  (* Shrinking clamps at the biggest stream. *)
+  let down = P.scale_budgets 0.001 t in
+  check_float "clamped at max stream" (I.max_server_cost t 0)
+    (I.budget down 0);
+  match P.scale_budgets 0. t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected factor rejection"
+
+let test_scale_capacities () =
+  let t = base () in
+  let up = P.scale_capacities 1.5 t in
+  check_float "scaled" (1.5 *. I.capacity t 0 0) (I.capacity up 0 0);
+  (* Utilities of streams that no longer fit get zeroed by the model. *)
+  let down = P.scale_capacities 0.01 t in
+  let some_zeroed = ref false in
+  for u = 0 to I.num_users t - 1 do
+    for s = 0 to I.num_streams t - 1 do
+      if I.utility t u s > 0. && I.utility down u s = 0. then
+        some_zeroed := true
+    done
+  done;
+  check_bool "shrinking re-applies the zeroing rule" true !some_zeroed
+
+let test_jitter_utilities () =
+  let t = base () in
+  let rng = Prelude.Rng.create 9 in
+  let j = P.jitter_utilities rng ~rel:0.2 t in
+  for u = 0 to I.num_users t - 1 do
+    for s = 0 to I.num_streams t - 1 do
+      let w = I.utility t u s and w' = I.utility j u s in
+      if w = 0. then check_float "zeros stay zero" 0. w'
+      else
+        check_bool "within band" true (w' >= 0.8 *. w && w' <= 1.2 *. w)
+    done
+  done;
+  (* rel = 0 is the identity. *)
+  let id = P.jitter_utilities rng ~rel:0. t in
+  check_float "identity" (I.utility t 0 0) (I.utility id 0 0);
+  match P.jitter_utilities rng ~rel:1. t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rel rejection"
+
+let test_jitter_costs_respect_budgets () =
+  let t = base () in
+  let rng = Prelude.Rng.create 10 in
+  let j = P.jitter_costs rng ~rel:0.4 t in
+  for s = 0 to I.num_streams t - 1 do
+    for i = 0 to I.m t - 1 do
+      check_bool "cost within budget" true
+        (I.server_cost j s i <= I.budget j i +. 1e-9)
+    done
+  done
+
+let test_restrict_streams () =
+  let t = base () in
+  let r = P.restrict_streams t [ 7; 2; 2; 5 ] in
+  check_int "three kept" 3 (I.num_streams r);
+  (* kept streams are [2; 5; 7] in order *)
+  check_float "utilities follow" (I.utility t 0 5) (I.utility r 0 1);
+  check_float "costs follow" (I.server_cost t 7 0) (I.server_cost r 2 0);
+  (match P.restrict_streams t [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected empty rejection");
+  match P.restrict_streams t [ 99 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected range rejection"
+
+let drop_keeps_validity =
+  qtest ~count:40 "drop_streams always yields a valid nonempty instance"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 10))
+    (fun (seed, tenths) ->
+      let t = base () in
+      let rng = Prelude.Rng.create seed in
+      let keep = float_of_int tenths /. 10. in
+      let d = P.drop_streams rng ~keep t in
+      I.num_streams d >= 1 && I.num_streams d <= I.num_streams t)
+
+let perturbed_instances_still_solve =
+  qtest ~count:30 "perturbed instances run through the pipeline"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = base () in
+      let rng = Prelude.Rng.create seed in
+      let variants =
+        [ P.jitter_utilities rng ~rel:0.3 t;
+          P.jitter_costs rng ~rel:0.3 t;
+          P.scale_capacities 0.7 t;
+          P.drop_streams rng ~keep:0.6 t ]
+      in
+      List.for_all
+        (fun v ->
+          let a = Algorithms.Solve.full_pipeline v in
+          is_feasible v a)
+        variants)
+
+let suite =
+  [ ("scale budgets", `Quick, test_scale_budgets);
+    ("scale capacities", `Quick, test_scale_capacities);
+    ("jitter utilities", `Quick, test_jitter_utilities);
+    ("jitter costs respect budgets", `Quick, test_jitter_costs_respect_budgets);
+    ("restrict streams", `Quick, test_restrict_streams);
+    drop_keeps_validity;
+    perturbed_instances_still_solve ]

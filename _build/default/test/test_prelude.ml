@@ -1,0 +1,295 @@
+open Helpers
+module F = Prelude.Float_ops
+module Rng = Prelude.Rng
+module S = Prelude.Sampling
+module Stats = Prelude.Stats
+module Heap = Prelude.Heap
+
+(* ---------- Float_ops ---------- *)
+
+let test_approx_equal () =
+  check_bool "equal" true (F.approx_equal 1. 1.);
+  check_bool "close" true (F.approx_equal 1. (1. +. 1e-12));
+  check_bool "far" false (F.approx_equal 1. 1.1);
+  check_bool "big scale" true (F.approx_equal 1e12 (1e12 +. 1e-3));
+  check_bool "inf = inf" true (F.approx_equal infinity infinity);
+  check_bool "inf <> finite" false (F.approx_equal infinity 1e300);
+  check_bool "nan" false (F.approx_equal nan nan)
+
+let test_leq () =
+  check_bool "plain" true (F.leq 1. 2.);
+  check_bool "equal" true (F.leq 2. 2.);
+  check_bool "tolerant" true (F.leq (2. +. 1e-12) 2.);
+  check_bool "violating" false (F.leq 2.1 2.);
+  check_bool "inf rhs" true (F.leq 1e300 infinity);
+  check_bool "inf both" true (F.leq infinity infinity);
+  check_bool "inf lhs" false (F.leq infinity 1e300);
+  check_bool "zero lt inf strict" true (F.lt 0. infinity);
+  check_bool "not lt itself" false (F.lt 2. 2.)
+
+let test_clamp () =
+  check_float "inside" 1.5 (F.clamp ~lo:1. ~hi:2. 1.5);
+  check_float "below" 1. (F.clamp ~lo:1. ~hi:2. 0.);
+  check_float "above" 2. (F.clamp ~lo:1. ~hi:2. 3.);
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Float_ops.clamp: lo > hi") (fun () ->
+      ignore (F.clamp ~lo:2. ~hi:1. 0.))
+
+let test_sums () =
+  check_float "sum" 6. (F.sum [| 1.; 2.; 3. |]);
+  check_float "kahan equals plain on easy input" 6.
+    (F.kahan_sum [| 1.; 2.; 3. |]);
+  (* Kahan keeps precision where the plain sum loses it. *)
+  let tricky = Array.init 10_000 (fun i -> if i = 0 then 1e9 else 1e-7) in
+  let kahan = F.kahan_sum tricky in
+  check_bool "kahan precise"
+    true
+    (Float.abs (kahan -. (1e9 +. (9999. *. 1e-7))) < 1e-6)
+
+let test_minmax () =
+  check_float "min" (-2.) (F.fmin_array [| 3.; -2.; 7. |]);
+  check_float "max" 7. (F.fmax_array [| 3.; -2.; 7. |]);
+  Alcotest.check_raises "empty min"
+    (Invalid_argument "Float_ops.fmin_array: empty") (fun () ->
+      ignore (F.fmin_array [||]))
+
+let test_log2 () =
+  check_float "log2 8" 3. (F.log2 8.);
+  check_float "log2 1" 0. (F.log2 1.)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  check_bool "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_copy_and_split () =
+  let a = Rng.create 1 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy same" (Rng.bits64 a) (Rng.bits64 b);
+  let c = Rng.split a in
+  check_bool "split independent" true (Rng.bits64 a <> Rng.bits64 c)
+
+let test_rng_ranges () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 5. in
+    check_bool "float in range" true (x >= 0. && x < 5.);
+    let n = Rng.int rng 17 in
+    check_bool "int in range" true (n >= 0 && n < 17);
+    let u = Rng.uniform rng ~lo:(-2.) ~hi:3. in
+    check_bool "uniform in range" true (u >= -2. && u < 3.)
+  done
+
+let test_rng_int_unbiased () =
+  (* Chi-squared-ish sanity: each bucket of [0,8) should get roughly
+     1/8 of the draws. *)
+  let rng = Rng.create 11 in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let k = Rng.int rng 8 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "bucket near uniform" true
+        (abs (c - (n / 8)) < n / 40))
+    counts
+
+let test_rng_permutation () =
+  let rng = Rng.create 5 in
+  let p = Rng.permutation rng 50 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 Fun.id) sorted
+
+let test_rng_errors () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "float bound" (Invalid_argument "Rng.float: bound <= 0")
+    (fun () -> ignore (Rng.float rng 0.));
+  Alcotest.check_raises "int bound" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int rng 0))
+
+(* ---------- Sampling ---------- *)
+
+let test_zipf_pmf () =
+  let z = S.zipf ~n:10 ~s:1. in
+  let total = ref 0. in
+  for i = 0 to 9 do
+    let p = S.zipf_pmf z i in
+    check_bool "pmf positive" true (p > 0.);
+    total := !total +. p
+  done;
+  check_float_loose "pmf sums to 1" 1. !total;
+  check_bool "rank 0 most popular" true
+    (S.zipf_pmf z 0 > S.zipf_pmf z 9)
+
+let test_zipf_uniform_when_s0 () =
+  let z = S.zipf ~n:4 ~s:0. in
+  check_float_loose "uniform pmf" 0.25 (S.zipf_pmf z 2)
+
+let test_zipf_draw_distribution () =
+  let rng = Rng.create 13 in
+  let z = S.zipf ~n:5 ~s:1.2 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let k = S.zipf_draw rng z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  for i = 0 to 4 do
+    let expect = S.zipf_pmf z i *. float_of_int n in
+    check_bool "draws match pmf" true
+      (Float.abs (float_of_int counts.(i) -. expect) < 0.1 *. expect +. 50.)
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 50_000 (fun _ -> S.exponential rng ~rate:2.) in
+  let mean = Stats.mean xs in
+  check_bool "mean near 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_normal_moments () =
+  let rng = Rng.create 19 in
+  let xs = Array.init 50_000 (fun _ -> S.normal rng ~mean:3. ~stddev:2.) in
+  check_bool "mean" true (Float.abs (Stats.mean xs -. 3.) < 0.05);
+  check_bool "stddev" true (Float.abs (Stats.stddev xs -. 2.) < 0.05)
+
+let test_pareto_support () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 1000 do
+    check_bool "pareto >= scale" true
+      (S.pareto rng ~shape:1.5 ~scale:2. >= 2.)
+  done
+
+let test_uniform_log_range () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 1000 do
+    let x = S.uniform_log rng ~lo:0.1 ~hi:100. in
+    check_bool "in range" true (x >= 0.1 && x <= 100.)
+  done
+
+let test_categorical () =
+  let rng = Rng.create 31 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 30_000 do
+    let k = S.categorical rng [| 1.; 2.; 7. |] in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "weights respected" true
+    (counts.(2) > counts.(1) && counts.(1) > counts.(0));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Sampling.categorical: zero total") (fun () ->
+      ignore (S.categorical rng [| 0.; 0. |]))
+
+let test_poisson_mean () =
+  let rng = Rng.create 37 in
+  let xs =
+    Array.init 20_000 (fun _ -> float_of_int (S.poisson rng ~mean:4.))
+  in
+  check_bool "poisson mean" true (Float.abs (Stats.mean xs -. 4.) < 0.1)
+
+(* ---------- Stats ---------- *)
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Stats.percentile xs 50.);
+  check_float "p0" 1. (Stats.percentile xs 0.);
+  check_float "p100" 5. (Stats.percentile xs 100.);
+  check_float "p25 interpolated" 2. (Stats.percentile xs 25.)
+
+let test_summary () =
+  let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_int "count" 8 s.Stats.count;
+  check_float "mean" 5. s.Stats.mean;
+  check_float "min" 2. s.Stats.min;
+  check_float "max" 9. s.Stats.max;
+  check_bool "sample sd" true (Float.abs (s.Stats.stddev -. 2.138) < 0.01)
+
+let test_geometric_mean () =
+  check_float_loose "gm" 2. (Stats.geometric_mean [| 1.; 2.; 4. |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive value") (fun () ->
+      ignore (Stats.geometric_mean [| 1.; 0. |]))
+
+(* ---------- Heap ---------- *)
+
+let test_heap_order () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  check_int "length" 7 (Heap.length h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (Heap.to_sorted_list h);
+  check_int "unchanged by drain copy" 7 (Heap.length h);
+  check_int "pop min" 1 (Heap.pop_exn h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare in
+  check_bool "empty" true (Heap.is_empty h);
+  check_bool "peek none" true (Heap.peek h = None);
+  check_bool "pop none" true (Heap.pop h = None);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let heap_qcheck =
+  qtest "heap drains sorted" QCheck2.Gen.(list int) (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let t =
+    Prelude.Table.create ~title:"T"
+      [ ("name", Prelude.Table.Left); ("value", Prelude.Table.Right) ]
+  in
+  Prelude.Table.add_row t [ "alpha"; "1" ];
+  Prelude.Table.add_row t [ "b"; "22" ];
+  let s = Prelude.Table.render t in
+  check_bool "has title" true (String.length s > 0 && s.[0] = 'T');
+  check_bool "aligns right column" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> l = "alpha      1") lines);
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Prelude.Table.add_row t [ "only-one" ])
+
+let suite =
+  [ ("approx_equal", `Quick, test_approx_equal);
+    ("leq / lt with infinities", `Quick, test_leq);
+    ("clamp", `Quick, test_clamp);
+    ("sum / kahan_sum", `Quick, test_sums);
+    ("fmin/fmax", `Quick, test_minmax);
+    ("log2", `Quick, test_log2);
+    ("rng determinism", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng copy and split", `Quick, test_rng_copy_and_split);
+    ("rng ranges", `Quick, test_rng_ranges);
+    ("rng int unbiased", `Slow, test_rng_int_unbiased);
+    ("rng permutation", `Quick, test_rng_permutation);
+    ("rng errors", `Quick, test_rng_errors);
+    ("zipf pmf", `Quick, test_zipf_pmf);
+    ("zipf s=0 uniform", `Quick, test_zipf_uniform_when_s0);
+    ("zipf draws match pmf", `Slow, test_zipf_draw_distribution);
+    ("exponential mean", `Slow, test_exponential_mean);
+    ("normal moments", `Slow, test_normal_moments);
+    ("pareto support", `Quick, test_pareto_support);
+    ("uniform_log range", `Quick, test_uniform_log_range);
+    ("categorical", `Quick, test_categorical);
+    ("poisson mean", `Slow, test_poisson_mean);
+    ("percentile", `Quick, test_percentile);
+    ("summary", `Quick, test_summary);
+    ("geometric mean", `Quick, test_geometric_mean);
+    ("heap order", `Quick, test_heap_order);
+    ("heap empty", `Quick, test_heap_empty);
+    heap_qcheck;
+    ("table render", `Quick, test_table_render) ]

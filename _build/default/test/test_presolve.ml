@@ -1,0 +1,95 @@
+open Helpers
+module P = Mmd.Presolve
+module I = Mmd.Instance
+module A = Mmd.Assignment
+
+let with_junk () =
+  (* Stream 1 is valueless; user 1 is interest-less. *)
+  I.create ~name:"junky"
+    ~server_cost:[| [| 1. |]; [| 2. |]; [| 1. |] |]
+    ~budget:[| 3. |]
+    ~load:
+      [| [| [| 1. |]; [| 0. |]; [| 2. |] |];
+         [| [| 0. |]; [| 0. |]; [| 0. |] |] |]
+    ~capacity:[| [| 5. |]; [| 5. |] |]
+    ~utility:[| [| 4.; 0.; 3. |]; [| 0.; 0.; 0. |] |]
+    ~utility_cap:[| infinity; infinity |]
+    ()
+
+let test_reductions () =
+  let p = P.run (with_junk ()) in
+  check_int "streams kept" 2 (I.num_streams p.P.reduced);
+  check_int "users kept" 1 (I.num_users p.P.reduced);
+  Alcotest.(check (list int)) "dropped stream" [ 1 ] p.P.dropped_streams;
+  Alcotest.(check (list int)) "dropped user" [ 1 ] p.P.dropped_users;
+  Alcotest.(check (array int)) "stream map" [| 0; 2 |] p.P.kept_streams;
+  Alcotest.(check (array int)) "user map" [| 0 |] p.P.kept_users
+
+let test_lift () =
+  let t = with_junk () in
+  let p = P.run t in
+  (* Reduced stream 1 is original stream 2. *)
+  let reduced_assignment = A.of_sets [| [ 0; 1 ] |] in
+  let lifted = P.lift p reduced_assignment in
+  check_int "original user count" 2 (A.num_users lifted);
+  Alcotest.(check (list int)) "mapped back" [ 0; 2 ] (A.user_streams lifted 0);
+  Alcotest.(check (list int)) "dropped user empty" [] (A.user_streams lifted 1);
+  check_float "utility preserved" 7. (utility t lifted)
+
+let test_no_reduction_passthrough () =
+  (* Full density: every stream valued, every user interested. *)
+  let rng = Prelude.Rng.create 3 in
+  let t =
+    Workloads.Generator.instance rng
+      { Workloads.Generator.default with
+        num_streams = 6;
+        num_users = 3;
+        density = 1. }
+  in
+  let p = P.run t in
+  check_int "all streams" 6 (I.num_streams p.P.reduced);
+  check_int "all users" 3 (I.num_users p.P.reduced)
+
+let presolve_preserves_optimum =
+  qtest ~count:30 "presolve preserves the exact optimum"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      (* Sparse instances produce valueless streams and idle users. *)
+      let t =
+        Workloads.Generator.instance rng
+          { Workloads.Generator.default with
+            num_streams = 9;
+            num_users = 4;
+            density = 0.15 }
+      in
+      let opt, _ = Exact.Brute_force.solve t in
+      let p = P.run t in
+      let opt_reduced, a = Exact.Brute_force.solve p.P.reduced in
+      let lifted = P.lift p a in
+      Prelude.Float_ops.approx_equal ~eps:1e-9 opt opt_reduced
+      && Prelude.Float_ops.approx_equal ~eps:1e-9 opt (utility t lifted)
+      && is_feasible t lifted)
+
+let solve_with_agrees =
+  qtest ~count:30 "solve_with equals solving the reduced instance"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let t =
+        Workloads.Generator.instance rng
+          { Workloads.Generator.default with
+            num_streams = 12;
+            num_users = 4;
+            density = 0.15 }
+      in
+      let via = P.solve_with Algorithms.Greedy_fixed.run_feasible t in
+      is_feasible t via
+      && utility t via > 0. = (Mmd.Instance.size t > Mmd.Instance.num_streams t + Mmd.Instance.num_users t))
+
+let suite =
+  [ ("reductions", `Quick, test_reductions);
+    ("lift", `Quick, test_lift);
+    ("no reduction passthrough", `Quick, test_no_reduction_passthrough);
+    presolve_preserves_optimum;
+    solve_with_agrees ]

@@ -1,0 +1,136 @@
+open Helpers
+module P = Prelude.Profile
+
+let test_empty () =
+  let p = P.create () in
+  check_float "zero everywhere" 0. (P.value_at p 5.);
+  check_float "zero max" 0. (P.max_value p);
+  check_float "zero interval max" 0. (P.max_over p ~start_time:0. ~stop_time:10.)
+
+let test_single_interval () =
+  let p = P.create () in
+  P.add p ~start_time:2. ~stop_time:5. 3.;
+  check_float "before" 0. (P.value_at p 1.);
+  check_float "at start" 3. (P.value_at p 2.);
+  check_float "inside" 3. (P.value_at p 4.);
+  check_float "at stop (right-open)" 0. (P.value_at p 5.);
+  check_float "after" 0. (P.value_at p 9.)
+
+let test_overlap () =
+  let p = P.create () in
+  P.add p ~start_time:0. ~stop_time:10. 1.;
+  P.add p ~start_time:3. ~stop_time:6. 2.;
+  P.add p ~start_time:5. ~stop_time:8. 4.;
+  check_float "stack of three" 7. (P.value_at p 5.);
+  check_float "max" 7. (P.max_value p);
+  check_float "interval max misses peak" 3.
+    (P.max_over p ~start_time:0. ~stop_time:5.);
+  check_float "interval max catches peak" 7.
+    (P.max_over p ~start_time:0. ~stop_time:10.);
+  check_float "interval starting mid-segment" 7.
+    (P.max_over p ~start_time:5.5 ~stop_time:5.6)
+
+let test_cancellation () =
+  let p = P.create () in
+  P.add p ~start_time:1. ~stop_time:4. 2.;
+  P.add p ~start_time:1. ~stop_time:4. (-2.);
+  check_float "cancelled" 0. (P.max_value p);
+  Alcotest.(check (list (float 0.))) "no residual breakpoints" []
+    (P.breakpoints p)
+
+let test_partial_cancel () =
+  let p = P.create () in
+  P.add p ~start_time:0. ~stop_time:10. 5.;
+  (* Cancel the tail from t=6. *)
+  P.add p ~start_time:6. ~stop_time:10. (-5.);
+  check_float "kept head" 5. (P.value_at p 3.);
+  check_float "cancelled tail" 0. (P.value_at p 7.)
+
+let test_errors () =
+  let p = P.create () in
+  (match P.add p ~start_time:5. ~stop_time:4. 1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected start > stop rejection");
+  (* Equal bounds are a no-op. *)
+  P.add p ~start_time:4. ~stop_time:4. 1.;
+  check_float "empty interval no-op" 0. (P.max_value p)
+
+let test_prune () =
+  let p = P.create () in
+  P.add p ~start_time:0. ~stop_time:4. 2.;
+  P.add p ~start_time:6. ~stop_time:9. 3.;
+  P.prune_before p 5.;
+  check_float "future preserved" 3. (P.value_at p 7.);
+  check_float "value after pruned interval" 0. (P.value_at p 5.);
+  check_int "old breakpoints gone" 2 (List.length (P.breakpoints p))
+
+(* Oracle: dense sampling against a brute-force step accumulation. *)
+let profile_matches_oracle =
+  qtest ~count:60 "profile agrees with a brute-force oracle"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let n = 1 + Prelude.Rng.int rng 15 in
+      let intervals =
+        Array.init n (fun _ ->
+            let a = Prelude.Rng.float rng 10. in
+            let b = a +. Prelude.Rng.float rng 5. in
+            let x = Prelude.Rng.uniform rng ~lo:(-3.) ~hi:3. in
+            (a, b, x))
+      in
+      let p = P.create () in
+      Array.iter
+        (fun (a, b, x) -> P.add p ~start_time:a ~stop_time:b x)
+        intervals;
+      let oracle t =
+        Array.fold_left
+          (fun acc (a, b, x) -> if a <= t && t < b then acc +. x else acc)
+          0. intervals
+      in
+      let ok = ref true in
+      for i = 0 to 60 do
+        let t = float_of_int i /. 4. in
+        if
+          not
+            (Prelude.Float_ops.approx_equal ~eps:1e-9 (P.value_at p t)
+               (oracle t))
+        then ok := false
+      done;
+      !ok)
+
+let prune_preserves_future =
+  qtest ~count:50 "pruning never changes values at or after the cut"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let p = P.create () and q = P.create () in
+      for _ = 1 to 10 do
+        let a = Prelude.Rng.float rng 10. in
+        let b = a +. Prelude.Rng.float rng 5. in
+        let x = Prelude.Rng.uniform rng ~lo:(-2.) ~hi:2. in
+        P.add p ~start_time:a ~stop_time:b x;
+        P.add q ~start_time:a ~stop_time:b x
+      done;
+      let cut = Prelude.Rng.float rng 12. in
+      P.prune_before q cut;
+      let ok = ref true in
+      for i = 0 to 40 do
+        let t = cut +. (float_of_int i /. 3.) in
+        if
+          not
+            (Prelude.Float_ops.approx_equal ~eps:1e-9 (P.value_at p t)
+               (P.value_at q t))
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [ ("empty", `Quick, test_empty);
+    prune_preserves_future;
+    ("single interval", `Quick, test_single_interval);
+    ("overlap", `Quick, test_overlap);
+    ("cancellation", `Quick, test_cancellation);
+    ("partial cancel", `Quick, test_partial_cancel);
+    ("errors", `Quick, test_errors);
+    ("prune", `Quick, test_prune);
+    profile_matches_oracle ]

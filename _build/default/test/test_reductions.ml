@@ -1,0 +1,142 @@
+open Helpers
+module R = Submodular.Reductions
+module Fn = Submodular.Fn
+module B = Submodular.Budgeted
+module I = Mmd.Instance
+
+let random_coverage seed =
+  let r = Prelude.Rng.create seed in
+  let items = 3 + Prelude.Rng.int r 6 in
+  let num_sets = 3 + Prelude.Rng.int r 6 in
+  { R.item_weights =
+      Array.init items (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:5.);
+    sets =
+      Array.init num_sets (fun _ ->
+          List.filter (fun _ -> Prelude.Rng.bool r) (List.init items Fun.id));
+    set_costs =
+      Array.init num_sets (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:3.);
+    budget = 1. +. Prelude.Rng.float r 5. }
+
+(* The reduction is objective-preserving: for every stream set T the
+   MMD capped utility equals the coverage weight. *)
+let coverage_objectives_agree =
+  qtest ~count:50 "MMD capped utility equals coverage weight on all sets"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let bc = random_coverage seed in
+      let inst = R.coverage_to_mmd bc in
+      let f = R.coverage_fn bc in
+      let num_sets = Array.length bc.R.sets in
+      let ok = ref true in
+      (* all subsets of affordable sets, up to 2^num_sets <= 512 *)
+      for mask = 0 to (1 lsl num_sets) - 1 do
+        let t =
+          List.filter
+            (fun s ->
+              mask land (1 lsl s) <> 0
+              && bc.R.set_costs.(s) <= bc.R.budget +. 1e-12)
+            (List.init num_sets Fun.id)
+        in
+        let via_mmd =
+          Mmd.Assignment.utility inst (Mmd.Assignment.of_range inst t)
+        in
+        if not (Prelude.Float_ops.approx_equal ~eps:1e-6 via_mmd (Fn.eval f t))
+        then ok := false
+      done;
+      !ok)
+
+(* Exact optima agree across the two formulations. *)
+let coverage_optima_agree =
+  qtest ~count:30 "exact optima agree between MMD and submodular forms"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let bc = random_coverage seed in
+      let inst = R.coverage_to_mmd bc in
+      let opt_mmd, _ = Exact.Brute_force.solve inst in
+      let opt_sub =
+        B.brute_force ~f:(R.coverage_fn bc)
+          ~cost:(fun s ->
+            if bc.R.set_costs.(s) > bc.R.budget +. 1e-12 then infinity
+            else bc.R.set_costs.(s))
+          ~budget:bc.R.budget ()
+      in
+      Prelude.Float_ops.approx_equal ~eps:1e-6 opt_mmd opt_sub.B.value)
+
+(* Both solution paths respect the budget and land within the proven
+   factor of each other. *)
+let coverage_solvers_comparable =
+  qtest ~count:30 "MMD-path and direct-path solvers are within 3e/(e-1)"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let bc = random_coverage seed in
+      let _, via_mmd = R.solve_coverage_via_mmd bc in
+      let _, direct = R.solve_coverage_direct bc in
+      let e = Float.exp 1. in
+      let factor = 3. *. e /. (e -. 1.) in
+      via_mmd *. factor +. 1e-9 >= direct
+      && direct *. factor +. 1e-9 >= via_mmd)
+
+let test_group_to_mmd_shape () =
+  let gc =
+    { R.g_item_weights = [| 1.; 2. |];
+      g_sets = [| [ 0 ]; [ 1 ]; [ 0; 1 ] |];
+      group_of = [| 0; 0; 1 |];
+      groups = 2;
+      group_budget = 2. }
+  in
+  let inst = R.group_to_mmd gc in
+  check_int "m = groups + 1" 3 (I.m inst);
+  check_float "group budget is 1" 1. (I.budget inst 0);
+  check_float "global budget" 2. (I.budget inst 2);
+  check_float "in-group cost" 1. (I.server_cost inst 0 0);
+  check_float "out-group cost" 0. (I.server_cost inst 0 1)
+
+let random_group_coverage seed =
+  let r = Prelude.Rng.create seed in
+  let items = 3 + Prelude.Rng.int r 5 in
+  let num_sets = 3 + Prelude.Rng.int r 5 in
+  let groups = 1 + Prelude.Rng.int r 3 in
+  { R.g_item_weights =
+      Array.init items (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:5.);
+    g_sets =
+      Array.init num_sets (fun _ ->
+          List.filter (fun _ -> Prelude.Rng.bool r) (List.init items Fun.id));
+    group_of = Array.init num_sets (fun _ -> Prelude.Rng.int r groups);
+    groups;
+    group_budget = float_of_int (1 + Prelude.Rng.int r groups) }
+
+let group_constraints_respected =
+  qtest ~count:40 "MMD pipeline respects the group constraints"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let gc = random_group_coverage seed in
+      let chosen, _ = R.solve_group_via_mmd gc in
+      (* at most one per group *)
+      let per_group = Array.make gc.R.groups 0 in
+      List.iter
+        (fun s ->
+          per_group.(gc.R.group_of.(s)) <- per_group.(gc.R.group_of.(s)) + 1)
+        chosen;
+      Array.for_all (fun c -> c <= 1) per_group
+      && float_of_int (List.length chosen) <= gc.R.group_budget +. 1e-9)
+
+let group_direct_respects_constraints =
+  qtest ~count:40 "direct group greedy respects the constraints"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let gc = random_group_coverage seed in
+      let chosen, value = R.solve_group_direct gc in
+      let per_group = Array.make gc.R.groups 0 in
+      List.iter
+        (fun s ->
+          per_group.(gc.R.group_of.(s)) <- per_group.(gc.R.group_of.(s)) + 1)
+        chosen;
+      Array.for_all (fun c -> c <= 1) per_group && value >= 0.)
+
+let suite =
+  [ coverage_objectives_agree;
+    coverage_optima_agree;
+    coverage_solvers_comparable;
+    ("group_to_mmd shape", `Quick, test_group_to_mmd_shape);
+    group_constraints_respected;
+    group_direct_respects_constraints ]

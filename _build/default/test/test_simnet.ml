@@ -1,0 +1,153 @@
+open Helpers
+module Des = Simnet.Des
+module Headend = Simnet.Headend
+module Policy = Simnet.Policy
+
+(* ---------- DES engine ---------- *)
+
+let test_event_order () =
+  let des = Des.create () in
+  let log = ref [] in
+  Des.schedule des ~delay:3. (fun _ -> log := 3 :: !log);
+  Des.schedule des ~delay:1. (fun _ -> log := 1 :: !log);
+  Des.schedule des ~delay:2. (fun _ -> log := 2 :: !log);
+  Des.run des;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check_float "clock at last event" 3. (Des.now des)
+
+let test_tie_insertion_order () =
+  let des = Des.create () in
+  let log = ref [] in
+  Des.schedule des ~delay:1. (fun _ -> log := "a" :: !log);
+  Des.schedule des ~delay:1. (fun _ -> log := "b" :: !log);
+  Des.run des;
+  Alcotest.(check (list string)) "ties in insertion order" [ "a"; "b" ]
+    (List.rev !log)
+
+let test_cascading_events () =
+  let des = Des.create () in
+  let count = ref 0 in
+  let rec tick des =
+    incr count;
+    if !count < 5 then Des.schedule des ~delay:1. tick
+  in
+  Des.schedule des ~delay:1. tick;
+  Des.run des;
+  check_int "events cascade" 5 !count;
+  check_float "clock" 5. (Des.now des)
+
+let test_run_until () =
+  let des = Des.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Des.schedule des ~delay:(float_of_int i) (fun _ -> incr count)
+  done;
+  Des.schedule des ~delay:100. (fun _ -> incr count);
+  Des.run ~until:50. des;
+  check_int "late event unprocessed" 10 !count;
+  check_int "still pending" 1 (Des.pending des);
+  check_float "clock clamped" 50. (Des.now des)
+
+let test_schedule_errors () =
+  let des = Des.create () in
+  (match Des.schedule des ~delay:(-1.) (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected negative-delay rejection");
+  Des.schedule des ~delay:5. (fun _ -> ());
+  Des.run des;
+  match Des.schedule_at des ~time:1. (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected past-time rejection"
+
+(* ---------- Policies ---------- *)
+
+let scenario seed =
+  let rng = Prelude.Rng.create seed in
+  Workloads.Scenarios.cable_headend rng ~num_channels:30 ~num_gateways:6
+
+let test_policy_release_restores () =
+  let t = scenario 1 in
+  let p = Policy.threshold t in
+  let s =
+    (* a stream someone wants *)
+    let rec find s =
+      if Array.length (Mmd.Instance.interested_users t s) > 0 then s
+      else find (s + 1)
+    in
+    find 0
+  in
+  let users = p.Policy.offer ~now:0. ~duration:10. s in
+  check_bool "accepted" true (users <> []);
+  p.Policy.release s;
+  let users' = p.Policy.offer ~now:1. ~duration:10. s in
+  Alcotest.(check (list int)) "same decision after release" users users'
+
+(* ---------- Headend simulation ---------- *)
+
+let run_sim ~seed policy =
+  let rng = Prelude.Rng.create seed in
+  let t = scenario seed in
+  Headend.run ~rng
+    ~config:
+      { Simnet.Headend.default_config with
+        duration = 500.;
+        arrival_rate = 0.3 }
+    t policy
+
+let test_sim_sanity () =
+  let m = run_sim ~seed:7 Policy.threshold in
+  check_int "accepted + rejected = offered" m.Headend.offered
+    (m.Headend.accepted + m.Headend.rejected);
+  check_bool "some offers" true (m.Headend.offered > 0);
+  check_bool "utility accrues" true (m.Headend.utility_time > 0.);
+  check_int "no violations" 0 m.Headend.violations;
+  Array.iter
+    (fun u -> check_bool "mean utilization in [0,1]" true (u >= 0. && u <= 1.))
+    m.Headend.mean_budget_utilization;
+  Array.iter
+    (fun u ->
+      check_bool "peak utilization within cap" true
+        (u >= 0. && u <= 1. +. 1e-9))
+    m.Headend.peak_budget_utilization
+
+let test_sim_deterministic () =
+  let a = run_sim ~seed:11 Policy.threshold in
+  let b = run_sim ~seed:11 Policy.threshold in
+  check_int "same offered" a.Headend.offered b.Headend.offered;
+  check_float "same utility" a.Headend.utility_time b.Headend.utility_time
+
+let test_sim_policies_all_feasible () =
+  List.iter
+    (fun make ->
+      let m = run_sim ~seed:13 make in
+      check_int "no violations" 0 m.Headend.violations)
+    [ Policy.threshold;
+      (fun t -> Policy.online_allocate t);
+      (fun t -> Policy.greedy_effectiveness t) ]
+
+let test_sim_online_beats_threshold_on_value () =
+  (* The headline systems claim: utility-aware admission extracts more
+     value than utility-blind threshold admission under churn. Not a
+     per-sample guarantee — compare aggregate value over a seed set. *)
+  let seeds = [ 7; 11; 13; 17; 23; 42; 99 ] in
+  let total make =
+    List.fold_left
+      (fun acc seed -> acc +. (run_sim ~seed make).Headend.utility_time)
+      0. seeds
+  in
+  let th = total Policy.threshold in
+  let oa = total (fun t -> Policy.online_allocate t) in
+  check_bool "online-allocate extracts more utility-time overall" true
+    (oa > th)
+
+let suite =
+  [ ("event order", `Quick, test_event_order);
+    ("tie insertion order", `Quick, test_tie_insertion_order);
+    ("cascading events", `Quick, test_cascading_events);
+    ("run until", `Quick, test_run_until);
+    ("schedule errors", `Quick, test_schedule_errors);
+    ("policy release restores", `Quick, test_policy_release_restores);
+    ("simulation sanity", `Quick, test_sim_sanity);
+    ("simulation deterministic", `Quick, test_sim_deterministic);
+    ("all policies feasible", `Quick, test_sim_policies_all_feasible);
+    ("online beats threshold", `Quick, test_sim_online_beats_threshold_on_value) ]

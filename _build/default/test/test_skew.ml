@@ -1,0 +1,157 @@
+open Helpers
+module I = Mmd.Instance
+module Skew = Mmd.Skew
+
+(* Instance with explicit loads distinct from utilities. *)
+let skewed_inst () =
+  I.create ~name:"skewed"
+    ~server_cost:[| [| 1. |]; [| 1. |]; [| 1. |] |]
+    ~budget:[| 10. |]
+    (* user 0 ratios w/k: 4/1=4, 2/2=1, 8/1=8  -> skew 8 *)
+    ~load:[| [| [| 1. |]; [| 2. |]; [| 1. |] |] |]
+    ~capacity:[| [| 10. |] |]
+    ~utility:[| [| 4.; 2.; 8. |] |]
+    ~utility_cap:[| infinity |]
+    ()
+
+let test_local_skew () =
+  check_float "skew 8" 8. (Skew.local_skew (skewed_inst ()));
+  let unit = random_smd ~seed:1 ~num_streams:10 ~num_users:4 in
+  check_float "unit-skew generator" 1. (Skew.local_skew unit)
+
+let test_local_skew_ignores_zero_loads () =
+  let t =
+    I.create
+      ~server_cost:[| [| 1. |]; [| 1. |] |]
+      ~budget:[| 10. |]
+      ~load:[| [| [| 0. |]; [| 2. |] |] |]
+      ~capacity:[| [| 10. |] |]
+      ~utility:[| [| 4.; 2. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  (* Only one comparable stream: skew 1. *)
+  check_float "zero loads skipped" 1. (Skew.local_skew t)
+
+let test_mc_zero_skew () =
+  let t =
+    I.create
+      ~server_cost:[| [| 1. |] |]
+      ~budget:[| 2. |]
+      ~load:[| [| [||] |] |]
+      ~capacity:[| [||] |]
+      ~utility:[| [| 3. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  check_float "mc=0 skew" 1. (Skew.local_skew t)
+
+let test_normalize_loads () =
+  (* Ratios 4, 2, 8: smallest is 2, so loads and capacity double. *)
+  let raw =
+    I.create
+      ~server_cost:[| [| 1. |]; [| 1. |]; [| 1. |] |]
+      ~budget:[| 10. |]
+      ~load:[| [| [| 1. |]; [| 1. |]; [| 1. |] |] |]
+      ~capacity:[| [| 10. |] |]
+      ~utility:[| [| 4.; 2.; 8. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  let t = Skew.normalize_loads raw in
+  let min_ratio = ref infinity in
+  for s = 0 to I.num_streams t - 1 do
+    let w = I.utility t 0 s and k = I.load t 0 s 0 in
+    if w > 0. && k > 0. then min_ratio := Float.min !min_ratio (w /. k)
+  done;
+  check_float "min ratio is 1" 1. !min_ratio;
+  check_float "skew preserved" (Skew.local_skew raw) (Skew.local_skew t);
+  check_float "loads doubled" 2. (I.load t 0 0 0);
+  check_float "capacity doubled" 20. (I.capacity t 0 0)
+
+let test_normalize_preserves_utilities () =
+  let before = skewed_inst () in
+  let after = Skew.normalize_loads before in
+  for s = 0 to 2 do
+    check_float "same utility" (I.utility before 0 s) (I.utility after 0 s)
+  done
+
+let test_global_normalization_basics () =
+  let t = skewed_inst () in
+  let g = Skew.global_normalization t in
+  check_bool "gamma >= 1" true (g.Skew.gamma >= 1.);
+  check_float "denom = m + |U| mc" 2. g.Skew.denom;
+  check_int "server scales" 1 (Array.length g.Skew.server_scale);
+  check_int "user scales" 1 (Array.length g.Skew.user_scale)
+
+(* After applying the scale factors, the equation-(1) lower bound is
+   exactly 1 and the upper bound is gamma. *)
+let test_global_normalization_tightness () =
+  let t = skewed_inst () in
+  let g = Skew.global_normalization t in
+  let denom = g.Skew.denom in
+  let lo = ref infinity and hi = ref 0. in
+  let consider cost_fn scale =
+    for s = 0 to I.num_streams t - 1 do
+      let c = cost_fn s *. scale in
+      if c > 0. then begin
+        let w_min = ref infinity and w_tot = ref 0. in
+        Array.iter
+          (fun u ->
+            let w = I.utility t u s in
+            w_min := Float.min !w_min w;
+            w_tot := !w_tot +. w)
+          (I.interested_users t s);
+        if !w_tot > 0. then begin
+          lo := Float.min !lo (!w_min /. (denom *. c));
+          hi := Float.max !hi (!w_tot /. (denom *. c))
+        end
+      end
+    done
+  in
+  consider (fun s -> I.server_cost t s 0) g.Skew.server_scale.(0);
+  consider (fun s -> I.load t 0 s 0) g.Skew.user_scale.(0).(0);
+  check_float_loose "lower bound is 1" 1. !lo;
+  check_float_loose "upper bound is gamma" g.Skew.gamma !hi
+
+let gamma_dominates_alpha =
+  qtest ~count:50 "global skew >= 1 on random instances"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:10 ~num_users:4 ~m:2 ~mc:1 ~skew:8.
+      in
+      let g = Skew.global_normalization t in
+      g.Skew.gamma >= 1.)
+
+let normalize_idempotent =
+  qtest ~count:50 "normalize_loads is idempotent"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:8 ~num_users:3 ~m:1 ~mc:1 ~skew:16.
+      in
+      let once = Skew.normalize_loads t in
+      let twice = Skew.normalize_loads once in
+      let ok = ref true in
+      for u = 0 to I.num_users t - 1 do
+        for s = 0 to I.num_streams t - 1 do
+          if
+            not
+              (Prelude.Float_ops.approx_equal ~eps:1e-6
+                 (I.load once u s 0) (I.load twice u s 0))
+          then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [ ("local skew", `Quick, test_local_skew);
+    ("zero loads skipped", `Quick, test_local_skew_ignores_zero_loads);
+    ("mc = 0 skew", `Quick, test_mc_zero_skew);
+    ("normalize loads", `Quick, test_normalize_loads);
+    ("normalize preserves utilities", `Quick, test_normalize_preserves_utilities);
+    ("global normalization basics", `Quick, test_global_normalization_basics);
+    ("global normalization tightness", `Quick, test_global_normalization_tightness);
+    gamma_dominates_alpha;
+    normalize_idempotent ]

@@ -1,0 +1,138 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module SR = Algorithms.Skew_reduce
+
+let skewed ~seed ~skew =
+  random_mmd ~seed ~num_streams:10 ~num_users:4 ~m:1 ~mc:1 ~skew
+
+let test_band_count () =
+  (* skew alpha in (2^(t-1), 2^t] yields at most 1 + floor(log alpha)
+     bands. *)
+  let t = skewed ~seed:3 ~skew:8. in
+  let alpha = Mmd.Skew.local_skew t in
+  let subs = SR.sub_instances t in
+  check_bool "band count"
+    true
+    (Array.length subs
+     = 1 + int_of_float (Prelude.Float_ops.log2 alpha)
+    || Array.length subs
+       = 1 + int_of_float (Float.round (Prelude.Float_ops.log2 alpha)))
+
+let test_bands_partition_pairs () =
+  let t = skewed ~seed:5 ~skew:16. in
+  let subs = SR.sub_instances t in
+  let normalized = Mmd.Skew.normalize_loads t in
+  for u = 0 to I.num_users t - 1 do
+    for s = 0 to I.num_streams t - 1 do
+      if I.utility normalized u s > 0. && I.load normalized u s 0 > 0. then begin
+        let hits =
+          Array.fold_left
+            (fun acc sub -> if I.utility sub u s > 0. then acc + 1 else acc)
+            0 subs
+        in
+        check_int "each pair in exactly one band" 1 hits
+      end
+    done
+  done
+
+let test_band_utilities_are_loads () =
+  let t = skewed ~seed:7 ~skew:8. in
+  let subs = SR.sub_instances t in
+  Array.iter
+    (fun sub ->
+      for u = 0 to I.num_users sub - 1 do
+        for s = 0 to I.num_streams sub - 1 do
+          let w = I.utility sub u s in
+          if w > 0. then
+            check_float "w^i = k" (I.load sub u s 0) w
+        done;
+        check_float "W^i = K" (I.capacity sub u 0) (I.utility_cap sub u)
+      done)
+    subs
+
+let test_unit_skew_single_band () =
+  let t = random_smd ~seed:11 ~num_streams:8 ~num_users:3 in
+  check_int "one band" 1 (Array.length (SR.sub_instances t))
+
+let test_mc_zero_passthrough () =
+  let t =
+    I.create
+      ~server_cost:[| [| 1. |]; [| 2. |] |]
+      ~budget:[| 2. |]
+      ~load:[| [| [||]; [||] |] |]
+      ~capacity:[| [||] |]
+      ~utility:[| [| 3.; 5. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  let subs = SR.sub_instances t in
+  check_int "single instance" 1 (Array.length subs);
+  let a = SR.run t in
+  check_bool "solves directly" true (utility t a > 0.)
+
+let test_precondition () =
+  let t = random_mmd ~seed:1 ~num_streams:4 ~num_users:2 ~m:2 ~mc:1 ~skew:2. in
+  match SR.run t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected m=1 precondition"
+
+let feasible_qcheck =
+  qtest ~count:60 "classify-and-select output is feasible"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 6))
+    (fun (seed, logskew) ->
+      let t = skewed ~seed ~skew:(Float.of_int (1 lsl logskew)) in
+      is_feasible t (SR.run t))
+
+(* Theorem 3.1: O(log 2α) approximation. Constant: the unit-skew
+   solver is 3e/(e-1), times 2·(#bands) from the band split. *)
+let theorem_3_1 =
+  qtest ~count:40 "skew classify within the Theorem 3.1 bound of OPT"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 1 5))
+    (fun (seed, logskew) ->
+      let t =
+        random_mmd ~seed ~num_streams:9 ~num_users:3 ~m:1 ~mc:1
+          ~skew:(Float.of_int (1 lsl logskew))
+      in
+      let opt, _ = Exact.Brute_force.solve t in
+      let a = SR.run t in
+      let alpha = Mmd.Skew.local_skew t in
+      let bands = 1. +. Float.of_int (int_of_float (Prelude.Float_ops.log2 alpha)) in
+      let e = Float.exp 1. in
+      let bound = 2. *. bands *. (3. *. e /. (e -. 1.)) in
+      utility t a *. bound +. 1e-9 >= opt)
+
+(* Power-of-two boundary: ratios exactly 1, 2, 4 after normalization.
+   Bands are [2^i, 2^{i+1}): ratio 1 -> band 0, ratio 2 -> band 1,
+   ratio 4 -> band 2; with alpha = 4 there are 1 + log2(4) = 3 bands. *)
+let test_band_boundaries () =
+  let t =
+    I.create ~name:"boundary"
+      ~server_cost:[| [| 1. |]; [| 1. |]; [| 1. |] |]
+      ~budget:[| 10. |]
+      ~load:[| [| [| 1. |]; [| 1. |]; [| 1. |] |] |]
+      ~capacity:[| [| 10. |] |]
+      ~utility:[| [| 1.; 2.; 4. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  check_float "alpha" 4. (Mmd.Skew.local_skew t);
+  let subs = SR.sub_instances t in
+  check_int "three bands" 3 (Array.length subs);
+  (* Each stream appears with positive utility in exactly its band. *)
+  check_bool "ratio-1 stream in band 0" true (I.utility subs.(0) 0 0 > 0.);
+  check_bool "ratio-2 stream in band 1" true (I.utility subs.(1) 0 1 > 0.);
+  check_bool "ratio-4 stream in band 2" true (I.utility subs.(2) 0 2 > 0.);
+  check_float "band 0 excludes ratio-2" 0. (I.utility subs.(0) 0 1);
+  check_float "band 2 excludes ratio-1" 0. (I.utility subs.(2) 0 0)
+
+let suite =
+  [ ("band count", `Quick, test_band_count);
+    ("band boundaries", `Quick, test_band_boundaries);
+    ("bands partition pairs", `Quick, test_bands_partition_pairs);
+    ("band utilities are loads", `Quick, test_band_utilities_are_loads);
+    ("unit skew single band", `Quick, test_unit_skew_single_band);
+    ("mc = 0 passthrough", `Quick, test_mc_zero_passthrough);
+    ("m = 1 precondition", `Quick, test_precondition);
+    feasible_qcheck;
+    theorem_3_1 ]

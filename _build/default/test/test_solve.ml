@@ -1,0 +1,126 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module S = Algorithms.Solve
+
+let test_add_free_pairs () =
+  (* Stream 0 in range, zero load on user 1 who values it: added. *)
+  let t =
+    I.create
+      ~server_cost:[| [| 1. |] |]
+      ~budget:[| 2. |]
+      ~load:[| [| [| 1. |] |]; [| [| 0. |] |] |]
+      ~capacity:[| [| 5. |]; [| 5. |] |]
+      ~utility:[| [| 2. |]; [| 3. |] |]
+      ~utility_cap:[| infinity; infinity |]
+      ()
+  in
+  let a = A.of_sets [| [ 0 ]; [] |] in
+  let a' = S.add_free_pairs t a in
+  check_bool "free pair added" true (A.assigns a' 1 0);
+  check_float "utility grows" 5. (utility t a');
+  (* Idempotent. *)
+  let a'' = S.add_free_pairs t a' in
+  check_float "idempotent" (utility t a') (utility t a'')
+
+let test_add_free_pairs_respects_loads () =
+  let t =
+    I.create
+      ~server_cost:[| [| 1. |] |]
+      ~budget:[| 2. |]
+      ~load:[| [| [| 1. |] |] |]
+      ~capacity:[| [| 5. |] |]
+      ~utility:[| [| 2. |] |]
+      ~utility_cap:[| infinity |]
+      ()
+  in
+  let a = A.empty ~num_users:1 in
+  (* Stream not in range: nothing to add for free. *)
+  let a' = S.add_free_pairs t a in
+  check_float "no range, no change" 0. (utility t a')
+
+let test_registry () =
+  check_int "seven algorithms" 7 (List.length S.algorithm_names);
+  check_bool "pipeline registered" true
+    (List.mem_assoc "pipeline" S.algorithm_names);
+  check_bool "ensemble registered" true
+    (List.mem_assoc "best-of" S.algorithm_names)
+
+let best_of_dominates_pipeline =
+  qtest ~count:40 "best_of is feasible and dominates the pipeline"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:12 ~num_users:4 ~m:3 ~mc:2 ~skew:4.
+      in
+      let ensemble = S.best_of t in
+      is_feasible t ensemble
+      && utility t ensemble +. 1e-9 >= utility t (S.full_pipeline t))
+
+let test_dispatch_on_smd () =
+  let t = random_smd ~seed:5 ~num_streams:8 ~num_users:3 in
+  List.iter
+    (fun (_, algo) ->
+      let a = S.run algo t in
+      check_bool "within budget" true
+        (Prelude.Float_ops.leq (A.server_cost t a 0) (I.budget t 0)))
+    S.algorithm_names
+
+let pipeline_feasible =
+  qtest ~count:60 "pipeline output is feasible on arbitrary MMD"
+    QCheck2.Gen.(pair (int_range 0 100_000) (pair (int_range 1 4) (int_range 0 3)))
+    (fun (seed, (m, mc)) ->
+      let t =
+        random_mmd ~seed ~num_streams:12 ~num_users:4 ~m ~mc ~skew:4.
+      in
+      is_feasible t (S.full_pipeline t))
+
+(* Theorem 1.1 / 4.4 with explicit constants: the pipeline loses at
+   most (2m-1)(2mc-1) from the reduction, 2·bands from the classify
+   step and 3e/(e-1) from the unit-skew solver. *)
+let theorem_4_4 =
+  qtest ~count:30 "pipeline within the Theorem 4.4 bound of OPT"
+    QCheck2.Gen.(pair (int_range 0 100_000) (pair (int_range 1 3) (int_range 1 2)))
+    (fun (seed, (m, mc)) ->
+      let t = random_mmd ~seed ~num_streams:9 ~num_users:3 ~m ~mc ~skew:2. in
+      let opt, _ = Exact.Brute_force.solve t in
+      let a = S.full_pipeline t in
+      let reduced = Algorithms.Mmd_reduce.to_smd t in
+      let alpha_s = Mmd.Skew.local_skew reduced.Algorithms.Mmd_reduce.instance in
+      let bands =
+        1. +. Float.of_int (int_of_float (Prelude.Float_ops.log2 alpha_s))
+      in
+      let e = Float.exp 1. in
+      (* Our greedy-walk decomposition yields at most 2r+1 groups for
+         total normalized cost r <= m (resp. mc), hence the (2m+1)
+         and (2mc+1) factors. *)
+      let bound =
+        float_of_int (((2 * m) + 1) * ((2 * mc) + 1))
+        *. (2. *. bands)
+        *. (3. *. e /. (e -. 1.))
+      in
+      (utility t a *. bound) +. 1e-9 >= opt)
+
+let pipeline_beats_nothing =
+  qtest ~count:40 "pipeline extracts positive utility whenever possible"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_mmd ~seed ~num_streams:10 ~num_users:3 ~m:2 ~mc:1 ~skew:2. in
+      utility t (S.full_pipeline t) > 0.)
+
+let test_pipeline_with_sviridenko_solver () =
+  let t = random_mmd ~seed:9 ~num_streams:8 ~num_users:3 ~m:2 ~mc:1 ~skew:2. in
+  let a = S.full_pipeline ~unit_solver:Algorithms.Sviridenko.run_feasible t in
+  check_bool "feasible" true (is_feasible t a);
+  check_bool "nonzero" true (utility t a > 0.)
+
+let suite =
+  [ ("add_free_pairs", `Quick, test_add_free_pairs);
+    ("add_free_pairs respects loads", `Quick, test_add_free_pairs_respects_loads);
+    ("registry", `Quick, test_registry);
+    ("dispatch on smd", `Quick, test_dispatch_on_smd);
+    pipeline_feasible;
+    theorem_4_4;
+    pipeline_beats_nothing;
+    best_of_dominates_pipeline;
+    ("pipeline with sviridenko", `Quick, test_pipeline_with_sviridenko_solver) ]

@@ -1,0 +1,330 @@
+open Helpers
+module Fn = Submodular.Fn
+module B = Submodular.Budgeted
+module PE = Submodular.Partial_enum
+module MB = Submodular.Multi_budget
+
+let rng () = Prelude.Rng.create 77
+
+(* ---------- Fn constructors and the checker ---------- *)
+
+let test_modular () =
+  let f = Fn.modular [| 1.; 2.; 3. |] in
+  check_float "value" 4. (Fn.eval f [ 0; 2 ]);
+  check_float "dedup" 4. (Fn.eval f [ 0; 2; 0 ]);
+  check_float "marginal" 2. (Fn.marginal f ~base:[ 0 ] 1);
+  check_float "marginal of member" 0. (Fn.marginal f ~base:[ 0 ] 0);
+  check_bool "passes checker" true (Fn.check (rng ()) f = None)
+
+let test_coverage () =
+  let f =
+    Fn.coverage ~weights:[| 5.; 3.; 2. |]
+      ~sets:[| [ 0; 1 ]; [ 1; 2 ]; [ 0 ] |] ()
+  in
+  check_float "single set" 8. (Fn.eval f [ 0 ]);
+  check_float "overlap not double-counted" 10. (Fn.eval f [ 0; 1 ]);
+  check_float "redundant set adds nothing" 10. (Fn.eval f [ 0; 1; 2 ]);
+  check_bool "passes checker" true (Fn.check (rng ()) f = None)
+
+let test_facility_location () =
+  let f =
+    Fn.facility_location
+      ~affinities:[| [| 3.; 1. |]; [| 0.; 5. |] |] ()
+  in
+  check_float "empty" 0. (Fn.eval f []);
+  check_float "one facility" 3. (Fn.eval f [ 0 ]);
+  check_float "each client served by its best" 8. (Fn.eval f [ 0; 1 ]);
+  check_bool "passes checker" true (Fn.check (rng ()) f = None);
+  match Fn.facility_location ~affinities:[| [| 1. |]; [| 1.; 2. |] |] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected ragged rejection"
+
+let facility_location_submodular =
+  qtest ~count:40 "random facility-location functions are submodular"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = Prelude.Rng.create seed in
+      let clients = 1 + Prelude.Rng.int r 6 in
+      let ground = 1 + Prelude.Rng.int r 6 in
+      let affinities =
+        Array.init clients (fun _ ->
+            Array.init ground (fun _ -> Prelude.Rng.float r 10.))
+      in
+      Fn.check ~trials:150 (Prelude.Rng.create (seed + 1))
+        (Fn.facility_location ~affinities ())
+      = None)
+
+(* Lemma 2.1 as an executable fact: the MMD capped utility is
+   nonnegative, nondecreasing and submodular. *)
+let lemma_2_1 =
+  qtest ~count:60 "Lemma 2.1: the MMD utility is monotone submodular"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let inst =
+        let r = Prelude.Rng.create seed in
+        Workloads.Generator.instance r
+          { Workloads.Generator.default with
+            num_streams = 8;
+            num_users = 4;
+            utility_cap_fraction = Some 0.4 }
+      in
+      Fn.check ~trials:100 (Prelude.Rng.create (seed + 1)) (Fn.of_mmd inst)
+      = None)
+
+let test_truncate_and_sum () =
+  let f = Fn.modular [| 2.; 2.; 2. |] in
+  let t = Fn.truncate ~cap:3. f in
+  check_float "truncated" 3. (Fn.eval t [ 0; 1 ]);
+  check_bool "truncate keeps submodularity" true (Fn.check (rng ()) t = None);
+  let s = Fn.sum [ f; t ] in
+  check_float "sum" 7. (Fn.eval s [ 0; 1 ]);
+  let sc = Fn.scale 2. f in
+  check_float "scale" 8. (Fn.eval sc [ 0; 1 ]);
+  (match Fn.sum [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected empty-sum rejection");
+  match Fn.sum [ f; Fn.modular [| 1. |] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected ground mismatch rejection"
+
+let test_checker_catches_non_submodular () =
+  (* f(T) = |T|^2 is supermodular: the checker must find a witness. *)
+  let bad =
+    { Fn.ground_size = 6;
+      eval =
+        (fun set ->
+          let n = List.length (List.sort_uniq compare set) in
+          float_of_int (n * n));
+      name = "supermodular" }
+  in
+  match Fn.check ~trials:500 (rng ()) bad with
+  | Some { Fn.kind = `Submodularity; _ } -> ()
+  | Some _ -> Alcotest.fail "wrong violation kind"
+  | None -> Alcotest.fail "checker missed a supermodular function"
+
+let test_checker_catches_non_monotone () =
+  let bad =
+    { Fn.ground_size = 5;
+      eval =
+        (fun set ->
+          let n = List.length (List.sort_uniq compare set) in
+          float_of_int (max 0 (3 - n)));
+      name = "decreasing" }
+  in
+  match Fn.check ~trials:500 (rng ()) bad with
+  | Some _ -> ()
+  | None -> Alcotest.fail "checker missed a decreasing function"
+
+(* ---------- Budgeted greedy engines ---------- *)
+
+let knapsackish () =
+  (* modular objective: budgeted greedy = classic knapsack greedy. *)
+  let f = Fn.modular [| 60.; 100.; 120. |] in
+  let cost = function 0 -> 10. | 1 -> 20. | _ -> 30. in
+  (f, cost)
+
+let test_greedy_modular () =
+  let f, cost = knapsackish () in
+  (* Densities 6, 5, 4: greedy takes items 0 and 1 (cost 30) and item 2
+     no longer fits — the classic greedy-vs-knapsack gap (OPT = 220). *)
+  let r = B.greedy ~f ~cost ~budget:50. () in
+  check_float "greedy answer" 160. r.B.value;
+  Alcotest.(check (list int)) "items" [ 0; 1 ] r.B.chosen;
+  let opt = B.brute_force ~f ~cost ~budget:50. () in
+  check_float "exact answer" 220. opt.B.value
+
+let test_best_single () =
+  let f, cost = knapsackish () in
+  let r = B.best_single ~f ~cost ~budget:25. in
+  Alcotest.(check (list int)) "affordable best" [ 1 ] r.B.chosen
+
+let test_zero_budget () =
+  let f, cost = knapsackish () in
+  let r = B.greedy ~f ~cost ~budget:0. () in
+  check_float "nothing" 0. r.B.value
+
+let lazy_matches_plain =
+  qtest ~count:60 "lazy greedy output equals plain greedy output"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = Prelude.Rng.create seed in
+      let items = 3 + Prelude.Rng.int r 15 in
+      let ground = 3 + Prelude.Rng.int r 12 in
+      let weights =
+        Array.init items (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:5.)
+      in
+      let sets =
+        Array.init ground (fun _ ->
+            List.filter
+              (fun _ -> Prelude.Rng.bool r)
+              (List.init items Fun.id))
+      in
+      let f = Fn.coverage ~weights ~sets () in
+      let costs =
+        Array.init ground (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:3.)
+      in
+      let budget = Prelude.Rng.uniform r ~lo:1. ~hi:8. in
+      let plain = B.greedy ~f ~cost:(Array.get costs) ~budget () in
+      let lzy = B.lazy_greedy ~f ~cost:(Array.get costs) ~budget () in
+      plain.B.chosen = lzy.B.chosen
+      && Prelude.Float_ops.approx_equal plain.B.value lzy.B.value)
+
+let lazy_saves_oracle_calls =
+  qtest ~count:20 "lazy greedy uses no more oracle calls than plain"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = Prelude.Rng.create seed in
+      let items = 30 and ground = 40 in
+      let weights = Array.init items (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:5.) in
+      let sets =
+        Array.init ground (fun _ ->
+            List.filter (fun _ -> Prelude.Rng.bool r) (List.init items Fun.id))
+      in
+      let f = Fn.coverage ~weights ~sets () in
+      let costs = Array.init ground (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:3.) in
+      let plain = B.greedy ~f ~cost:(Array.get costs) ~budget:10. () in
+      let lzy = B.lazy_greedy ~f ~cost:(Array.get costs) ~budget:10. () in
+      lzy.B.oracle_calls <= plain.B.oracle_calls)
+
+(* Sviridenko guarantee e/(e-1) vs brute force on coverage. *)
+let partial_enum_bound =
+  qtest ~count:30 "partial enumeration within e/(e-1) of OPT"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = Prelude.Rng.create seed in
+      let items = 3 + Prelude.Rng.int r 8 in
+      let ground = 3 + Prelude.Rng.int r 7 in
+      let weights = Array.init items (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:5.) in
+      let sets =
+        Array.init ground (fun _ ->
+            List.filter (fun _ -> Prelude.Rng.bool r) (List.init items Fun.id))
+      in
+      let f = Fn.coverage ~weights ~sets () in
+      let costs = Array.init ground (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:3.) in
+      let budget = Prelude.Rng.uniform r ~lo:1. ~hi:6. in
+      let opt = B.brute_force ~f ~cost:(Array.get costs) ~budget () in
+      let pe = PE.run ~f ~cost:(Array.get costs) ~budget () in
+      let e = Float.exp 1. in
+      (pe.B.value *. (e /. (e -. 1.))) +. 1e-9 >= opt.B.value)
+
+let greedy_plus_single_bound =
+  qtest ~count:30 "greedy + best single within 2e/(e-1) of OPT"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let r = Prelude.Rng.create seed in
+      let items = 3 + Prelude.Rng.int r 8 in
+      let ground = 3 + Prelude.Rng.int r 8 in
+      let weights = Array.init items (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:5.) in
+      let sets =
+        Array.init ground (fun _ ->
+            List.filter (fun _ -> Prelude.Rng.bool r) (List.init items Fun.id))
+      in
+      let f = Fn.coverage ~weights ~sets () in
+      let costs = Array.init ground (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:3.) in
+      let budget = Prelude.Rng.uniform r ~lo:1. ~hi:6. in
+      let opt = B.brute_force ~f ~cost:(Array.get costs) ~budget () in
+      let g = B.greedy_plus_best_single ~f ~cost:(Array.get costs) ~budget () in
+      let e = Float.exp 1. in
+      (g.B.value *. (2. *. e /. (e -. 1.))) +. 1e-9 >= opt.B.value)
+
+let test_brute_force_guard () =
+  let f = Fn.modular (Array.make 30 1.) in
+  match B.brute_force ~f ~cost:(fun _ -> 1.) ~budget:5. () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected ground-size guard"
+
+(* ---------- Multi-budget (the §4 closing remark) ---------- *)
+
+let random_mb_instance seed =
+  let r = Prelude.Rng.create seed in
+  let items = 3 + Prelude.Rng.int r 6 in
+  let ground = 3 + Prelude.Rng.int r 6 in
+  let m = 1 + Prelude.Rng.int r 3 in
+  let weights = Array.init items (fun _ -> Prelude.Rng.uniform r ~lo:0.5 ~hi:5.) in
+  let sets =
+    Array.init ground (fun _ ->
+        List.filter (fun _ -> Prelude.Rng.bool r) (List.init items Fun.id))
+  in
+  let f = Submodular.Fn.coverage ~weights ~sets () in
+  let cost_tbl =
+    Array.init m (fun _ ->
+        Array.init ground (fun _ -> Prelude.Rng.uniform r ~lo:0.2 ~hi:2.))
+  in
+  let budgets =
+    Array.init m (fun i ->
+        Float.max
+          (Prelude.Float_ops.fmax_array cost_tbl.(i))
+          (0.5 *. Prelude.Float_ops.sum cost_tbl.(i)))
+  in
+  { MB.f; costs = Array.map Array.get cost_tbl; budgets }
+
+let mb_feasible =
+  qtest ~count:40 "multi-budget solutions satisfy every budget"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let inst = random_mb_instance seed in
+      let r = MB.solve inst in
+      MB.is_feasible inst r.MB.chosen)
+
+(* O(m) bound with the concrete constants of our construction:
+   (2m+1) groups x e/(e-1) solver. OPT found by brute force over all
+   subsets meeting every budget. *)
+let mb_bound =
+  qtest ~count:25 "multi-budget within the O(m) bound of OPT"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let inst = random_mb_instance seed in
+      let m = Array.length inst.MB.budgets in
+      let ground = inst.MB.f.Fn.ground_size in
+      (* exact optimum by exhaustive search *)
+      let best = ref 0. in
+      let rec go x chosen =
+        if x = ground then begin
+          if MB.is_feasible inst chosen then
+            best := Float.max !best (Fn.eval inst.MB.f chosen)
+        end
+        else begin
+          go (x + 1) (x :: chosen);
+          go (x + 1) chosen
+        end
+      in
+      go 0 [];
+      let r = MB.solve inst in
+      let e = Float.exp 1. in
+      let bound = float_of_int ((2 * m) + 1) *. (e /. (e -. 1.)) in
+      (r.MB.value *. bound) +. 1e-9 >= !best)
+
+let test_mb_validation () =
+  let f = Fn.modular [| 1.; 1. |] in
+  (match
+     MB.solve { MB.f; costs = [| (fun _ -> 1.) |]; budgets = [||] }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity mismatch");
+  match
+    MB.solve
+      { MB.f; costs = [| (fun _ -> 5.) |]; budgets = [| 1. |] }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected oversized-element rejection"
+
+let suite =
+  [ ("modular fn", `Quick, test_modular);
+    ("coverage fn", `Quick, test_coverage);
+    ("facility location", `Quick, test_facility_location);
+    facility_location_submodular;
+    lemma_2_1;
+    ("truncate / sum / scale", `Quick, test_truncate_and_sum);
+    ("checker catches supermodular", `Quick, test_checker_catches_non_submodular);
+    ("checker catches decreasing", `Quick, test_checker_catches_non_monotone);
+    ("greedy on modular", `Quick, test_greedy_modular);
+    ("best single", `Quick, test_best_single);
+    ("zero budget", `Quick, test_zero_budget);
+    lazy_matches_plain;
+    lazy_saves_oracle_calls;
+    partial_enum_bound;
+    greedy_plus_single_bound;
+    ("brute force guard", `Quick, test_brute_force_guard);
+    mb_feasible;
+    mb_bound;
+    ("multi-budget validation", `Quick, test_mb_validation) ]

@@ -1,0 +1,78 @@
+open Helpers
+module A = Mmd.Assignment
+module Sv = Algorithms.Sviridenko
+
+(* Partial enumeration sees solutions greedy cannot reach: two big
+   streams that each lose the density race to a blocker. *)
+let enumeration_instance () =
+  smd ~budget:10.
+    ~costs:[| 0.1; 5.; 5. |]
+    (* densities: 10, 4.2, 4.2 — greedy takes the tiny stream first,
+       then can only fit one big one. *)
+    ~utilities:[| [| 1.; 21.; 21. |] |]
+    ()
+
+let test_beats_greedy_fixed () =
+  let t = enumeration_instance () in
+  let fixed = Algorithms.Greedy_fixed.run_feasible t in
+  let sv = Sv.run_feasible t in
+  check_float "fixed stuck below" 22. (utility t fixed);
+  check_float "enumeration finds the pair" 42. (utility t sv)
+
+let test_enum_size_one_still_works () =
+  let t = enumeration_instance () in
+  let sv = Sv.run_feasible ~max_enum_size:1 t in
+  check_bool "nonzero" true (utility t sv > 0.)
+
+let test_bad_enum_size () =
+  let t = enumeration_instance () in
+  (match Sv.run_feasible ~max_enum_size:0 t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match Sv.run_feasible ~max_enum_size:4 t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_empty_instance () =
+  let t = smd ~budget:1. ~costs:[| 1. |] ~utilities:[| [| 0. |] |] () in
+  check_float "empty optimum" 0. (utility t (Sv.run_feasible t))
+
+let dominates_greedy =
+  qtest ~count:40 "sviridenko >= fixed greedy"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:8 ~num_users:3 in
+      utility t (Sv.run_feasible t) +. 1e-9
+      >= utility t (Algorithms.Greedy_fixed.run_feasible t))
+
+(* Theorem 2.10: 2e/(e-1)-approximation, feasible. *)
+let theorem_2_10 =
+  qtest ~count:40 "run_feasible within 2e/(e-1) of OPT"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:8 ~num_users:3 in
+      let opt, _ = Exact.Brute_force.solve t in
+      let a = Sv.run_feasible t in
+      let e = Float.exp 1. in
+      is_feasible t a && (utility t a *. (2. *. e /. (e -. 1.)) +. 1e-9 >= opt))
+
+(* Theorem 2.9: e/(e-1) in the augmentation model; we verify against
+   the semi-feasible optimum upper-bounded by the LP. *)
+let theorem_2_9 =
+  qtest ~count:30 "run_augmented within e/(e-1) of the exact optimum"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_smd ~seed ~num_streams:7 ~num_users:3 in
+      let opt, _ = Exact.Brute_force.solve t in
+      let a = Sv.run_augmented t in
+      let e = Float.exp 1. in
+      utility t a *. (e /. (e -. 1.)) +. 1e-9 >= opt)
+
+let suite =
+  [ ("enumeration beats greedy", `Quick, test_beats_greedy_fixed);
+    ("enum size 1", `Quick, test_enum_size_one_still_works);
+    ("bad enum size", `Quick, test_bad_enum_size);
+    ("empty instance", `Quick, test_empty_instance);
+    dominates_greedy;
+    theorem_2_10;
+    theorem_2_9 ]

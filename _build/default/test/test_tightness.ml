@@ -1,0 +1,68 @@
+open Helpers
+module I = Mmd.Instance
+module A = Mmd.Assignment
+module T = Algorithms.Tightness
+
+let test_instance_shape () =
+  let t = T.instance ~m:3 ~mc:2 in
+  check_int "streams" 4 (I.num_streams t);
+  check_int "users" 1 (I.num_users t);
+  check_int "m" 3 (I.m t);
+  check_int "mc" 2 (I.mc t);
+  check_float "unit budgets" 1. (I.budget t 0);
+  check_float "unit capacities" 1. (I.capacity t 0 0)
+
+let test_optimum_is_m () =
+  List.iter
+    (fun (m, mc) ->
+      let t = T.instance ~m ~mc in
+      let a = T.optimal_assignment t in
+      check_bool "everything fits" true (is_feasible t a);
+      check_float_loose "OPT = m" (float_of_int m) (utility t a))
+    [ (1, 1); (2, 2); (3, 1); (1, 3); (4, 4) ]
+
+let test_exact_solver_agrees () =
+  let t = T.instance ~m:3 ~mc:2 in
+  let opt, _ = Exact.Brute_force.solve t in
+  check_float_loose "brute force finds m" 3. opt
+
+let test_worst_case_ratio_grid () =
+  List.iter
+    (fun (m, mc) ->
+      let ratio = T.worst_case_ratio ~m ~mc in
+      check_float_loose "ratio = m*mc" (float_of_int (m * mc)) ratio)
+    [ (1, 1); (2, 2); (2, 4); (4, 2); (5, 3); (6, 6) ]
+
+let test_unit_skew () =
+  (* The construction is stated for unit skew (§4.2). *)
+  let t = T.instance ~m:4 ~mc:3 in
+  check_bool "small local skew" true (Mmd.Skew.local_skew t <= 1. +. 1e-9)
+
+let test_bad_args () =
+  match T.instance ~m:0 ~mc:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let default_lift_not_worse =
+  qtest ~count:20 "default lift choice is at least as good as adversarial"
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 1 5))
+    (fun (m, mc) ->
+      let t = T.instance ~m ~mc in
+      let opt = T.optimal_assignment t in
+      let reduced = Algorithms.Mmd_reduce.to_smd t in
+      let default_lift = Algorithms.Mmd_reduce.lift reduced opt in
+      let adversarial =
+        Algorithms.Mmd_reduce.lift ~choose:T.adversarial_choose reduced opt
+      in
+      utility t default_lift +. 1e-9 >= utility t adversarial
+      && is_feasible t default_lift
+      && is_feasible t adversarial)
+
+let suite =
+  [ ("instance shape", `Quick, test_instance_shape);
+    ("optimum is m", `Quick, test_optimum_is_m);
+    ("exact solver agrees", `Quick, test_exact_solver_agrees);
+    ("worst-case ratio grid", `Quick, test_worst_case_ratio_grid);
+    ("unit skew", `Quick, test_unit_skew);
+    ("bad arguments", `Quick, test_bad_args);
+    default_lift_not_worse ]

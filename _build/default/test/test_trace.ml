@@ -1,0 +1,174 @@
+open Helpers
+module Tr = Simnet.Trace
+
+let sample () =
+  let t = Tr.create () in
+  Tr.record t (Tr.Offered { time = 0.; stream = 3; duration = 10. });
+  Tr.record t
+    (Tr.Accepted
+       { time = 0.; stream = 3; users = [ 0; 2 ]; served_utility = 5. });
+  Tr.record t (Tr.Offered { time = 1.; stream = 4; duration = 5. });
+  Tr.record t (Tr.Rejected { time = 1.; stream = 4 });
+  Tr.record t (Tr.Offered { time = 8.; stream = 5; duration = 2. });
+  Tr.record t
+    (Tr.Accepted { time = 8.; stream = 5; users = [ 1 ]; served_utility = 2. });
+  Tr.record t (Tr.Departed { time = 10.; stream = 3 });
+  t
+
+let test_recording_order () =
+  let t = sample () in
+  check_int "length" 7 (Tr.length t);
+  match Tr.events t with
+  | Tr.Offered { stream = 3; _ } :: _ -> ()
+  | _ -> Alcotest.fail "events out of order"
+
+let test_summary () =
+  let s = Tr.summarize (sample ()) in
+  check_int "offered" 3 s.Tr.offered;
+  check_int "accepted" 2 s.Tr.accepted;
+  check_int "rejected" 1 s.Tr.rejected;
+  check_int "departed" 1 s.Tr.departed;
+  check_float "session length" 10. s.Tr.mean_session_length;
+  (* first quarter: 2 offers 1 accept at t=0..2.5? offers at 0 and 1 ->
+     bucket 0 (span 10): 2 offered, 1 accepted. *)
+  check_float "q0 acceptance" 0.5 s.Tr.acceptance_by_quarter.(0)
+
+let test_summary_empty () =
+  let s = Tr.summarize (Tr.create ()) in
+  check_int "nothing" 0 s.Tr.offered;
+  check_bool "nan session" true (Float.is_nan s.Tr.mean_session_length)
+
+let test_csv () =
+  let csv = Tr.to_csv (sample ()) in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 7 events" 8 (List.length lines);
+  check_bool "header" true
+    (List.hd lines = "time,kind,stream,duration,users,served_utility");
+  check_bool "users joined" true (contains csv "0;2")
+
+let test_csv_roundtrip_file () =
+  let path = Filename.temp_file "vdmc" ".csv" in
+  Tr.write_csv path (sample ());
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file contents" (Tr.to_csv (sample ())) content
+
+let test_integration_with_headend () =
+  let rng = Prelude.Rng.create 3 in
+  let inst =
+    Workloads.Scenarios.cable_headend rng ~num_channels:20 ~num_gateways:5
+  in
+  let trace = Tr.create () in
+  let metrics =
+    Simnet.Headend.run ~rng
+      ~config:
+        { Simnet.Headend.default_config with duration = 300.;
+          arrival_rate = 0.3 }
+      ~trace inst Simnet.Policy.threshold
+  in
+  let s = Tr.summarize trace in
+  check_int "offers match metrics" metrics.Simnet.Headend.offered s.Tr.offered;
+  check_int "accepts match metrics" metrics.Simnet.Headend.accepted
+    s.Tr.accepted;
+  check_int "rejects match metrics" metrics.Simnet.Headend.rejected
+    s.Tr.rejected;
+  check_bool "departures happened" true (s.Tr.departed > 0);
+  check_bool "departures bounded by accepts" true
+    (s.Tr.departed <= s.Tr.accepted)
+
+let test_csv_parse_roundtrip () =
+  let t = sample () in
+  let t' = Tr.of_csv (Tr.to_csv t) in
+  check_int "same length" (Tr.length t) (Tr.length t');
+  Alcotest.(check (list (triple (float 1e-6) int (float 1e-6))))
+    "same offers" (Tr.offers t) (Tr.offers t');
+  match Tr.of_csv "garbage,row\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected malformed-row failure"
+
+let test_replay_consistency () =
+  (* Replaying a threshold run's own offer sequence against the same
+     policy must reproduce its decisions and utility-time. *)
+  let rng = Prelude.Rng.create 29 in
+  let inst =
+    Workloads.Scenarios.cable_headend rng ~num_channels:25 ~num_gateways:6
+  in
+  let trace = Tr.create () in
+  let original =
+    Simnet.Headend.run ~rng
+      ~config:
+        { Simnet.Headend.default_config with duration = 400.;
+          arrival_rate = 0.4 }
+      ~trace inst Simnet.Policy.threshold
+  in
+  let replayed =
+    Simnet.Headend.replay ~offers:(Tr.offers trace) inst
+      Simnet.Policy.threshold
+  in
+  check_int "same accepted" original.Simnet.Headend.accepted
+    replayed.Simnet.Headend.accepted;
+  check_int "same rejected" original.Simnet.Headend.rejected
+    replayed.Simnet.Headend.rejected;
+  check_bool "same utility-time" true
+    (Prelude.Float_ops.approx_equal ~eps:1e-6
+       original.Simnet.Headend.utility_time
+       replayed.Simnet.Headend.utility_time)
+
+let test_replay_cross_policy () =
+  (* Replay the same workload against different policies; all must be
+     violation-free and comparable on identical offers. *)
+  let rng = Prelude.Rng.create 31 in
+  let inst =
+    Workloads.Scenarios.cable_headend rng ~num_channels:25 ~num_gateways:6
+  in
+  let trace = Tr.create () in
+  ignore
+    (Simnet.Headend.run ~rng
+       ~config:
+         { Simnet.Headend.default_config with duration = 400.;
+           arrival_rate = 0.4 }
+       ~trace inst Simnet.Policy.threshold);
+  let offers = Tr.offers trace in
+  List.iter
+    (fun make ->
+      let m = Simnet.Headend.replay ~offers inst make in
+      check_int "no violations" 0 m.Simnet.Headend.violations;
+      check_bool "processes the workload" true
+        (m.Simnet.Headend.offered > 0))
+    [ Simnet.Policy.threshold;
+      (fun t -> Simnet.Policy.online_allocate t);
+      (fun t -> Simnet.Policy.online_temporal t) ]
+
+let test_replay_validation () =
+  let rng = Prelude.Rng.create 33 in
+  let inst =
+    Workloads.Scenarios.cable_headend rng ~num_channels:5 ~num_gateways:2
+  in
+  (match
+     Simnet.Headend.replay
+       ~offers:[ (5., 0, 1.); (1., 1, 1.) ]
+       inst Simnet.Policy.threshold
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected out-of-order rejection");
+  match
+    Simnet.Headend.replay ~offers:[ (0., 99, 1.) ] inst
+      Simnet.Policy.threshold
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bad-stream rejection"
+
+let suite =
+  [ ("recording order", `Quick, test_recording_order);
+    ("csv parse round-trip", `Quick, test_csv_parse_roundtrip);
+    ("replay consistency", `Quick, test_replay_consistency);
+    ("replay cross policy", `Quick, test_replay_cross_policy);
+    ("replay validation", `Quick, test_replay_validation);
+    ("summary", `Quick, test_summary);
+    ("summary empty", `Quick, test_summary_empty);
+    ("csv", `Quick, test_csv);
+    ("csv file", `Quick, test_csv_roundtrip_file);
+    ("headend integration", `Quick, test_integration_with_headend) ]

@@ -1,0 +1,142 @@
+open Helpers
+module V = Simnet.Viewer_sim
+module OA = Algorithms.Online_allocate
+module U = Baselines.Usage
+module I = Mmd.Instance
+
+(* ---------- Usage viewer bookkeeping ---------- *)
+
+let inst () =
+  smd ~budget:5. ~caps:[| 10.; 10. |] ~costs:[| 2.; 2. |]
+    ~utilities:[| [| 3.; 3. |]; [| 3.; 3. |] |]
+    ()
+
+let test_viewer_refcounting () =
+  let t = inst () in
+  let u = U.create t in
+  U.add_viewer u ~stream:0 ~user:0;
+  check_float "server charged once" 2. (U.budget_used u 0);
+  check_int "one viewer" 1 (U.viewer_count u 0);
+  U.add_viewer u ~stream:0 ~user:1;
+  check_float "still charged once" 2. (U.budget_used u 0);
+  check_int "two viewers" 2 (U.viewer_count u 0);
+  U.remove_viewer u ~stream:0 ~user:0;
+  check_float "stream stays up" 2. (U.budget_used u 0);
+  U.remove_viewer u ~stream:0 ~user:1;
+  check_float "last leave releases stream" 0. (U.budget_used u 0);
+  check_int "no viewers" 0 (U.viewer_count u 0);
+  check_bool "not admitted" false (U.admitted u 0)
+
+let test_double_view_rejected () =
+  let t = inst () in
+  let u = U.create t in
+  U.add_viewer u ~stream:0 ~user:0;
+  match U.add_viewer u ~stream:0 ~user:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected double-view rejection"
+
+(* ---------- offer_user / release_user ---------- *)
+
+let small ~seed =
+  let rng = Prelude.Rng.create seed in
+  Workloads.Generator.small_streams rng
+    { Workloads.Generator.default with num_streams = 15; num_users = 4 }
+
+let test_offer_user_join_free_at_server () =
+  let t = small ~seed:1 in
+  let st = OA.create t in
+  (* Find a stream two users want. *)
+  let s =
+    let rec find s =
+      if Array.length (I.interested_users t s) >= 2 then s else find (s + 1)
+    in
+    find 0
+  in
+  match Array.to_list (I.interested_users t s) with
+  | u1 :: u2 :: _ ->
+      check_bool "first viewer admitted" true (OA.offer_user st ~user:u1 ~stream:s);
+      check_bool "second joins" true (OA.offer_user st ~user:u2 ~stream:s);
+      check_bool "re-request denied" false (OA.offer_user st ~user:u1 ~stream:s);
+      OA.release_user st ~user:u1 ~stream:s;
+      OA.release_user st ~user:u2 ~stream:s;
+      check_float "all capacity returned" 0. (OA.utility st)
+  | _ -> Alcotest.fail "setup"
+
+let test_offer_user_zero_utility_denied () =
+  let t = small ~seed:2 in
+  let st = OA.create t in
+  (* Find a (user, stream) pair with zero utility. *)
+  let found = ref None in
+  for u = 0 to I.num_users t - 1 do
+    for s = 0 to I.num_streams t - 1 do
+      if !found = None && I.utility t u s = 0. then found := Some (u, s)
+    done
+  done;
+  match !found with
+  | Some (u, s) ->
+      check_bool "denied" false (OA.offer_user st ~user:u ~stream:s)
+  | None -> () (* dense instance: vacuous *)
+
+let offer_user_strict_feasible =
+  qtest ~count:30 "per-viewer strict admission never violates"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t =
+        random_mmd ~seed ~num_streams:12 ~num_users:4 ~m:2 ~mc:1 ~skew:1.
+      in
+      let st = OA.create ~strict:true t in
+      let rng = Prelude.Rng.create (seed + 7) in
+      for _ = 1 to 80 do
+        let u = Prelude.Rng.int rng (I.num_users t) in
+        let s = Prelude.Rng.int rng (I.num_streams t) in
+        if Prelude.Rng.float rng 1. < 0.7 then
+          ignore (OA.offer_user st ~user:u ~stream:s)
+        else OA.release_user st ~user:u ~stream:s
+      done;
+      is_feasible t (OA.assignment st))
+
+(* ---------- the simulator ---------- *)
+
+let scenario seed =
+  let rng = Prelude.Rng.create seed in
+  Workloads.Scenarios.cable_headend rng ~num_channels:25 ~num_gateways:8
+
+let run_sim ~seed make =
+  let rng = Prelude.Rng.create seed in
+  V.run ~rng
+    ~config:{ V.default_config with duration = 400.; request_rate = 1. }
+    (scenario seed) make
+
+let test_sim_sanity () =
+  let m = run_sim ~seed:5 (fun t -> V.threshold_policy t) in
+  check_int "admitted + denied = requests" m.V.requests
+    (m.V.admitted + m.V.denied);
+  check_bool "requests happen" true (m.V.requests > 0);
+  check_bool "utility accrues" true (m.V.utility_time > 0.);
+  check_int "no violations" 0 m.V.violations;
+  check_bool "streams transmitted" true (m.V.peak_streams > 0)
+
+let test_sim_online_policy_feasible () =
+  let m = run_sim ~seed:7 (fun t -> V.online_policy t) in
+  check_int "no violations" 0 m.V.violations;
+  Array.iter
+    (fun p -> check_bool "peak within budget" true (p <= 1. +. 1e-9))
+    m.V.peak_budget_utilization
+
+let test_sim_deterministic () =
+  let a = run_sim ~seed:11 (fun t -> V.threshold_policy t) in
+  let b = run_sim ~seed:11 (fun t -> V.threshold_policy t) in
+  check_int "same requests" a.V.requests b.V.requests;
+  check_float "same utility" a.V.utility_time b.V.utility_time
+
+let suite =
+  [ ("usage viewer refcounting", `Quick, test_viewer_refcounting);
+    ("double view rejected", `Quick, test_double_view_rejected);
+    ("offer_user join free at server", `Quick,
+     test_offer_user_join_free_at_server);
+    ("offer_user zero utility denied", `Quick,
+     test_offer_user_zero_utility_denied);
+    offer_user_strict_feasible;
+    ("viewer sim sanity", `Quick, test_sim_sanity);
+    ("viewer sim online feasible", `Quick, test_sim_online_policy_feasible);
+    ("viewer sim deterministic", `Quick, test_sim_deterministic) ]

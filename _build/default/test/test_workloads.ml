@@ -1,0 +1,124 @@
+open Helpers
+module I = Mmd.Instance
+module G = Workloads.Generator
+module Sc = Workloads.Scenarios
+
+let test_generator_shape () =
+  let rng = Prelude.Rng.create 1 in
+  let t =
+    G.instance rng
+      { G.default with num_streams = 7; num_users = 3; m = 2; mc = 2 }
+  in
+  check_int "streams" 7 (I.num_streams t);
+  check_int "users" 3 (I.num_users t);
+  check_int "m" 2 (I.m t);
+  check_int "mc" 2 (I.mc t)
+
+let test_generator_deterministic () =
+  let t1 = G.instance (Prelude.Rng.create 5) G.default in
+  let t2 = G.instance (Prelude.Rng.create 5) G.default in
+  let same = ref true in
+  for u = 0 to I.num_users t1 - 1 do
+    for s = 0 to I.num_streams t1 - 1 do
+      if I.utility t1 u s <> I.utility t2 u s then same := false
+    done
+  done;
+  check_bool "same seed same instance" true !same
+
+let test_generator_unit_skew () =
+  let t = G.smd_unit_skew (Prelude.Rng.create 2) ~num_streams:10 ~num_users:4 in
+  check_float "unit skew" 1. (Mmd.Skew.local_skew t)
+
+let test_generator_skew_bounded () =
+  let rng = Prelude.Rng.create 3 in
+  let t = G.instance rng { G.default with skew = 8. } in
+  check_bool "skew within target" true
+    (Mmd.Skew.local_skew t <= 8. +. 1e-6)
+
+let test_generator_validation () =
+  let rng = Prelude.Rng.create 1 in
+  (match G.instance rng { G.default with density = 0. } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected density rejection");
+  match G.instance rng { G.default with skew = 0.5 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected skew rejection"
+
+let every_budget_fits =
+  qtest ~count:50 "generated instances always validate"
+    QCheck2.Gen.(pair (int_range 0 100_000) (pair (int_range 1 4) (int_range 0 3)))
+    (fun (seed, (m, mc)) ->
+      (* Instance.create raises if any stream exceeds a budget, so
+         construction succeeding is the property. *)
+      let t = random_mmd ~seed ~num_streams:15 ~num_users:5 ~m ~mc ~skew:4. in
+      I.num_streams t = 15)
+
+let small_streams_precondition =
+  qtest ~count:30 "small_streams generator meets the Lemma 5.1 condition"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let t =
+        G.small_streams rng
+          { G.default with num_streams = 20; num_users = 5; m = 2 }
+      in
+      Algorithms.Online_allocate.small_streams_ok
+        (Algorithms.Online_allocate.create t))
+
+let test_cable_headend () =
+  let t = Sc.cable_headend (Prelude.Rng.create 7) ~num_channels:20 ~num_gateways:5 in
+  check_int "three server measures" 3 (I.m t);
+  check_int "one capacity measure" 1 (I.mc t);
+  check_int "channels" 20 (I.num_streams t);
+  (* port cost is 1 per channel *)
+  check_float "port cost" 1. (I.server_cost t 0 2)
+
+let test_iptv_district () =
+  let t = Sc.iptv_district (Prelude.Rng.create 8) ~num_channels:15 ~num_subscribers:6 in
+  check_int "two server measures" 2 (I.m t);
+  check_int "two capacity measures" 2 (I.mc t);
+  (* decoder sessions: load 1, capacity 3 *)
+  check_float "session load" 1. (I.load t 0 0 1);
+  check_float "session capacity" 3. (I.capacity t 0 1)
+
+let test_campus_cdn () =
+  let t = Sc.campus_cdn (Prelude.Rng.create 9) ~num_videos:25 ~num_halls:4 in
+  check_int "single budget" 1 (I.m t);
+  check_int "single capacity" 1 (I.mc t);
+  (* Utility and storage load are decoupled: expect real skew. *)
+  check_bool "nontrivial skew" true (Mmd.Skew.local_skew t > 1.)
+
+let test_bitrates () =
+  check_float "SD" 3. (Sc.bitrate_mbps Sc.SD);
+  check_float "HD" 8. (Sc.bitrate_mbps Sc.HD);
+  check_float "UHD" 16. (Sc.bitrate_mbps Sc.UHD)
+
+let scenarios_solvable =
+  qtest ~count:10 "every scenario runs through the full pipeline"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rng = Prelude.Rng.create seed in
+      let instances =
+        [ Sc.cable_headend rng ~num_channels:15 ~num_gateways:4;
+          Sc.iptv_district rng ~num_channels:15 ~num_subscribers:4;
+          Sc.campus_cdn rng ~num_videos:15 ~num_halls:4 ]
+      in
+      List.for_all
+        (fun t ->
+          let a = Algorithms.Solve.full_pipeline t in
+          is_feasible t a && utility t a > 0.)
+        instances)
+
+let suite =
+  [ ("generator shape", `Quick, test_generator_shape);
+    ("generator deterministic", `Quick, test_generator_deterministic);
+    ("generator unit skew", `Quick, test_generator_unit_skew);
+    ("generator skew bounded", `Quick, test_generator_skew_bounded);
+    ("generator validation", `Quick, test_generator_validation);
+    every_budget_fits;
+    small_streams_precondition;
+    ("cable headend", `Quick, test_cable_headend);
+    ("iptv district", `Quick, test_iptv_district);
+    ("campus cdn", `Quick, test_campus_cdn);
+    ("bitrates", `Quick, test_bitrates);
+    scenarios_solvable ]
