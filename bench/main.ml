@@ -20,6 +20,7 @@ let experiments =
     ("e11", E11_viewer_admission.run);
     ("e12", E12_presolve.run);
     ("e13", E13_mu_sensitivity.run);
+    ("e14", E14_engine_churn.run);
     ("micro", Microbench.run) ]
 
 let () =

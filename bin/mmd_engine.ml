@@ -1,0 +1,170 @@
+(* mmd_engine: run the incremental replanning engine against a churn
+   delta log.
+
+   The positional FILE is either an instance file (the initial world)
+   or an engine snapshot from a previous run (--snapshot-out); the two
+   are distinguished by content.
+
+   Examples:
+     mmd_engine instance.mmd --deltas churn.log
+     mmd_engine instance.mmd --gen-deltas 5000 --seed 7 --deltas-out churn.log
+     mmd_engine instance.mmd --deltas churn.log --epoch drift:0.05 --compare
+     mmd_engine snapshot.eng --deltas more-churn.log --snapshot-out snapshot.eng
+*)
+
+open Cmdliner
+module C = Engine.Controller
+
+let read_all path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
+    compare_scratch snapshot_out plan_out =
+  match
+    let policy =
+      match C.policy_of_string epoch with
+      | Ok p -> p
+      | Error msg -> failwith msg
+    in
+    let text = read_all file in
+    let ctrl =
+      if Engine.Snapshot.is_snapshot text then begin
+        let ctrl = Engine.Snapshot.load text in
+        Format.printf "restored snapshot: %d slots active, utility %.6g@."
+          (Engine.View.active_count (C.view ctrl))
+          (C.utility ctrl);
+        ctrl
+      end
+      else C.create ~policy (Mmd.Io.of_string text)
+    in
+    let deltas =
+      match (deltas_in, gen_deltas) with
+      | Some path, _ -> Engine.Delta.read_log path
+      | None, Some n ->
+          let rng = Prelude.Rng.create seed in
+          let log =
+            Engine.Churn.generate ~rng (C.view ctrl)
+              { Engine.Churn.default with deltas = n }
+          in
+          (match deltas_out with
+          | Some path ->
+              Engine.Delta.write_log path log;
+              Format.printf "wrote %d deltas to %s@." n path
+          | None -> ());
+          log
+      | None, None -> []
+    in
+    let t0 = Sys.time () in
+    C.apply_all ctrl deltas;
+    if not skip_final then C.replan ctrl;
+    let elapsed = Sys.time () -. t0 in
+    let n = List.length deltas in
+    Format.printf "applied %d deltas in %.3fs CPU (%.0f deltas/s)@." n elapsed
+      (if elapsed > 0. then float n /. elapsed else 0.);
+    Format.printf "plan: %d streams transmitted, utility %.6g@."
+      (List.length (Engine.Planner.admitted (C.planner ctrl)))
+      (C.utility ctrl);
+    Format.printf "%a@." Engine.Counters.pp_report (C.report ctrl);
+    if compare_scratch then begin
+      let scratch_util, scratch_evals = C.scratch (C.view ctrl) in
+      let gap =
+        if scratch_util > 0. then
+          100. *. (1. -. (C.utility ctrl /. scratch_util))
+        else 0.
+      in
+      Format.printf
+        "from-scratch eager solve: utility %.6g (engine gap %.2f%%), %d \
+         evals for one solve@."
+        scratch_util gap scratch_evals
+    end;
+    (match plan_out with
+    | Some path ->
+        Mmd.Io.write_assignment path (C.plan ctrl);
+        Format.printf "plan -> %s@." path
+    | None -> ());
+    match snapshot_out with
+    | Some path ->
+        Engine.Snapshot.write_file path ctrl;
+        Format.printf "snapshot -> %s@." path
+    | None -> ()
+  with
+  | () -> Ok ()
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+      Error (`Msg msg)
+
+let file =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE" ~doc:"Instance file or engine snapshot.")
+
+let deltas_in =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "d"; "deltas" ] ~docv:"LOG" ~doc:"Delta log to replay.")
+
+let gen_deltas =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gen-deltas" ] ~docv:"N"
+        ~doc:
+          "Generate a synthetic Zipf churn log of $(docv) deltas and replay \
+           it (ignored when $(b,--deltas) is given).")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Churn seed.")
+
+let deltas_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "deltas-out" ] ~docv:"FILE"
+        ~doc:"Write the generated churn log here.")
+
+let epoch =
+  Arg.(
+    value & opt string "every:64"
+    & info [ "epoch" ] ~docv:"POLICY"
+        ~doc:"Replan policy: $(b,every:N), $(b,drift:X) or $(b,manual).")
+
+let skip_final =
+  Arg.(
+    value & flag
+    & info [ "skip-final-replan" ]
+        ~doc:"Do not force a replan after the last delta.")
+
+let compare_scratch =
+  Arg.(
+    value & flag
+    & info [ "compare" ]
+        ~doc:
+          "Also solve the final state from scratch (eager greedy) and print \
+           the utility gap and per-solve evaluation cost.")
+
+let snapshot_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-out" ] ~docv:"FILE"
+        ~doc:"Write the engine state for a later resume.")
+
+let plan_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-out" ] ~docv:"FILE" ~doc:"Write the final plan.")
+
+let cmd =
+  let doc = "replay a churn delta log through the replanning engine" in
+  Cmd.v (Cmd.info "mmd_engine" ~doc)
+    Term.(
+      term_result
+        (const engine_run $ file $ deltas_in $ gen_deltas $ seed $ deltas_out
+       $ epoch $ skip_final $ compare_scratch $ snapshot_out $ plan_out))
+
+let () = exit (Cmd.eval cmd)

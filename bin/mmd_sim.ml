@@ -20,11 +20,12 @@ let make_policy name margin =
   | "temporal" -> Ok (fun t -> Simnet.Policy.online_temporal t)
   | "static-plan" ->
       Ok (fun t -> Simnet.Policy.static_plan (Algorithms.Solve.best_of t) t)
+  | "engine" -> Ok (fun t -> Simnet.Engine_driver.policy t)
   | other ->
       Error
         (Printf.sprintf
            "unknown policy %S (try: threshold, online, temporal, \
-            greedy-effectiveness, static-plan)"
+            greedy-effectiveness, static-plan, engine)"
            other)
 
 let sim_run file policy_name margin duration rate lifetime seed trace_out
@@ -94,7 +95,7 @@ let policy =
     & info [ "p"; "policy" ] ~docv:"NAME"
         ~doc:
           "Admission policy: threshold, online, temporal, \
-           greedy-effectiveness, static-plan.")
+           greedy-effectiveness, static-plan, engine.")
 
 let margin =
   Arg.(

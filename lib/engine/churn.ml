@@ -1,0 +1,153 @@
+module S = Prelude.Sampling
+
+type params = {
+  deltas : int;
+  join_weight : float;
+  leave_weight : float;
+  cost_weight : float;
+  budget_weight : float;
+  zipf_skew : float;
+  mean_interests : int;
+  cost_jitter : float;
+  budget_jitter : float;
+}
+
+let default =
+  { deltas = 1000;
+    join_weight = 10.;
+    leave_weight = 10.;
+    cost_weight = 1.;
+    budget_weight = 0.2;
+    zipf_skew = 0.8;
+    mean_interests = 4;
+    cost_jitter = 0.3;
+    budget_jitter = 0.1 }
+
+(* Catalog popularity: streams ranked by total utility over the active
+   population (most popular first), so Zipf rank 0 is the head. *)
+let popularity_ranking view =
+  let ns = View.num_streams view in
+  let totals = Array.make ns 0. in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun s -> totals.(s) <- totals.(s) +. View.utility view u s)
+        (View.interests view u))
+    (View.active_slots view);
+  let ranked = Array.init ns (fun s -> s) in
+  Array.sort
+    (fun s1 s2 ->
+      match compare totals.(s2) totals.(s1) with
+      | 0 -> compare s1 s2
+      | c -> c)
+    ranked;
+  ranked
+
+(* Utility scale of the current catalog, for drawing newcomer tastes. *)
+let utility_scale view =
+  let lo = ref infinity and hi = ref 0. in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun s ->
+          let w = View.utility view u s in
+          if w > 0. then begin
+            lo := Float.min !lo w;
+            hi := Float.max !hi w
+          end)
+        (View.interests view u))
+    (View.active_slots view);
+  if !hi <= 0. || !lo = infinity then (1., 10.)
+  else if !lo >= !hi then (!lo, !lo *. 2.)
+  else (!lo, !hi)
+
+let random_user rng view params =
+  let ns = View.num_streams view in
+  let mc = View.mc view in
+  let ranked = popularity_ranking view in
+  let zipf = S.zipf ~n:ns ~s:params.zipf_skew in
+  let wlo, whi = utility_scale view in
+  let want =
+    min ns (1 + S.poisson rng ~mean:(float (max 0 (params.mean_interests - 1))))
+  in
+  let chosen = Hashtbl.create want in
+  let tries = ref 0 in
+  while Hashtbl.length chosen < want && !tries < 50 * want do
+    incr tries;
+    Hashtbl.replace chosen ranked.(S.zipf_draw rng zipf) ()
+  done;
+  let interests =
+    Hashtbl.fold
+      (fun s () acc ->
+        let w = S.uniform_log rng ~lo:wlo ~hi:whi in
+        (* Unit-skew loads: each capacity measure is loaded by exactly
+           the utility, the §2 setting. *)
+        (s, w, Array.make mc w) :: acc)
+      chosen []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let total = List.fold_left (fun acc (_, w, _) -> acc +. w) 0. interests in
+  let peak = List.fold_left (fun acc (_, w, _) -> Float.max acc w) 0. interests in
+  (* Room for roughly half the user's interest, but always for the
+     single largest stream so the paper's fit assumption holds. *)
+  let capacity = Array.make mc (Float.max peak (0.5 *. total)) in
+  { Delta.utility_cap = infinity; capacity; interests }
+
+let random_cost_change rng view params =
+  let s = Prelude.Rng.int rng (View.num_streams view) in
+  let costs =
+    Array.init (View.m view) (fun i ->
+        View.server_cost view s i
+        *. S.log_normal rng ~mu:0. ~sigma:params.cost_jitter)
+  in
+  Delta.Stream_cost_change { stream = s; costs }
+
+let random_budget_resize rng view params =
+  let budgets =
+    Array.init (View.m view) (fun i ->
+        let b = View.budget view i in
+        if b = infinity then infinity
+        else begin
+          (* Stay above the largest current cost so the resize never
+             silently reshapes the catalog via clamping. *)
+          let floor_ =
+            let worst = ref 0. in
+            for s = 0 to View.num_streams view - 1 do
+              worst := Float.max !worst (View.server_cost view s i)
+            done;
+            !worst
+          in
+          Float.max floor_
+            (b *. S.log_normal rng ~mu:0. ~sigma:params.budget_jitter)
+        end)
+  in
+  Delta.Budget_resize budgets
+
+let generate ~rng view params =
+  let scratch = View.copy view in
+  let weights =
+    [| params.join_weight;
+       params.leave_weight;
+       params.cost_weight;
+       params.budget_weight |]
+  in
+  let deltas = ref [] in
+  for _ = 1 to params.deltas do
+    let kind =
+      match S.categorical rng weights with
+      | 1 when View.active_count scratch = 0 -> 0
+      | k -> k
+    in
+    let delta =
+      match kind with
+      | 0 -> Delta.User_join (random_user rng scratch params)
+      | 1 ->
+          let active = Array.of_list (View.active_slots scratch) in
+          Delta.User_leave active.(Prelude.Rng.int rng (Array.length active))
+      | 2 -> random_cost_change rng scratch params
+      | _ -> random_budget_resize rng scratch params
+    in
+    ignore (View.apply scratch delta);
+    deltas := delta :: !deltas
+  done;
+  List.rev !deltas

@@ -1,0 +1,37 @@
+(** Synthetic churn workloads for the engine.
+
+    Generates delta logs against a catalog: joining users whose
+    interests are Zipf-distributed over the catalog's popularity
+    ranking (popular streams attract more newcomers), departures of
+    random active users, and occasional multiplicative jitter on
+    stream costs and budgets. Generation tracks its own copy of the
+    view, so every emitted delta is valid when the log is replayed in
+    order from the same starting state. *)
+
+type params = {
+  deltas : int;  (** log length *)
+  join_weight : float;
+  leave_weight : float;
+  cost_weight : float;
+  budget_weight : float;
+      (** relative frequencies of the four delta kinds; leaves fall
+          back to joins while the population is empty *)
+  zipf_skew : float;  (** popularity exponent over catalog rank *)
+  mean_interests : int;  (** mean catalog size per joining user *)
+  cost_jitter : float;  (** lognormal sigma for cost changes *)
+  budget_jitter : float;  (** lognormal sigma for budget resizes *)
+}
+
+val default : params
+(** 1000 deltas, joins:leaves:costs:budgets = 10:10:1:0.2, Zipf skew
+    0.8, 4 mean interests, jitter 0.3/0.1. *)
+
+val random_user : Prelude.Rng.t -> View.t -> params -> Delta.user_spec
+(** Draw one joining user: interest count [1 + Poisson(mean - 1)],
+    streams Zipf-popular, utilities log-uniform in the catalog's
+    utility scale, unit-skew loads, capacity at roughly half the total
+    interested load, no utility cap. *)
+
+val generate : rng:Prelude.Rng.t -> View.t -> params -> Delta.t list
+(** A valid delta log starting from the view's current state. The
+    view itself is not mutated. *)

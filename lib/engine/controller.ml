@@ -1,0 +1,152 @@
+type epoch_policy = Every of int | Drift of float | Manual
+
+let policy_of_string s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "manual" ] -> Ok Manual
+  | [ "every"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Every n)
+      | _ -> Error (Printf.sprintf "bad epoch period %S" n))
+  | [ "drift"; x ] -> (
+      match float_of_string_opt x with
+      | Some x when x > 0. -> Ok (Drift x)
+      | _ -> Error (Printf.sprintf "bad drift threshold %S" x))
+  | _ ->
+      Error
+        (Printf.sprintf "bad epoch policy %S (try every:N, drift:X, manual)" s)
+
+let policy_to_string = function
+  | Manual -> "manual"
+  | Every n -> Printf.sprintf "every:%d" n
+  | Drift x -> Printf.sprintf "drift:%.17g" x
+
+type t = {
+  view : View.t;
+  planner : Planner.t;
+  counters : Counters.t;
+  policy : epoch_policy;
+  mutable since_replan : int;
+  mutable utility_at_replan : float;
+  mutable deltas_applied : int;
+}
+
+(* One epoch: lazy greedy from empty, with the §2.2 best-single fix —
+   if a single stream alone beats the whole greedy plan, restart the
+   greedy from that stream (restarting only improves on taking the
+   single stream alone). Identical control flow for both modes, so
+   Lazy and Eager produce the same plan. *)
+let solve ?(mode = Planner.Lazy) planner ~pinned =
+  Planner.reset planner;
+  List.iter (fun s -> ignore (Planner.admit planner s)) pinned;
+  Planner.extend ~mode planner;
+  match Planner.best_single planner with
+  | Some (s, single)
+    when single > Planner.utility planner
+         && not (Planner.is_admitted planner s) ->
+      Planner.reset planner;
+      List.iter (fun s -> ignore (Planner.admit planner s)) pinned;
+      if Planner.admit planner s then Planner.extend ~mode planner
+      else begin
+        (* The pinned set crowds the best single stream out; fall back
+           to the plain greedy plan. *)
+        Planner.reset planner;
+        List.iter (fun s -> ignore (Planner.admit planner s)) pinned;
+        Planner.extend ~mode planner
+      end
+  | _ -> ()
+
+let replan ?mode t =
+  let t0 = Sys.time () in
+  solve ?mode t.planner ~pinned:(Planner.pinned t.planner);
+  Counters.note_replan t.counters ~seconds:(Sys.time () -. t0);
+  t.since_replan <- 0;
+  t.utility_at_replan <- Planner.utility t.planner
+
+let create ?(policy = Every 64) ?(pinned = []) inst =
+  let view = View.of_instance inst in
+  let planner = Planner.create view in
+  Planner.set_pinned planner pinned;
+  let t =
+    { view;
+      planner;
+      counters = Counters.create ();
+      policy;
+      since_replan = 0;
+      utility_at_replan = 0.;
+      deltas_applied = 0 }
+  in
+  replan t;
+  t
+
+let of_state ?(since_replan = 0) ?(deltas_applied = 0) ?utility_at_replan
+    ~policy ~pinned ~view ~plan () =
+  let planner = Planner.create view in
+  Planner.set_pinned planner pinned;
+  Planner.force planner plan;
+  let utility_at_replan =
+    match utility_at_replan with
+    | Some u -> u
+    | None -> Planner.utility planner
+  in
+  { view;
+    planner;
+    counters = Counters.create ();
+    policy;
+    since_replan;
+    utility_at_replan;
+    deltas_applied }
+
+let maybe_replan t =
+  match t.policy with
+  | Manual -> ()
+  | Every n -> if t.since_replan >= n then replan t
+  | Drift threshold ->
+      let base = Float.max 1e-9 t.utility_at_replan in
+      if
+        Float.abs (Planner.utility t.planner -. t.utility_at_replan) /. base
+        > threshold
+      then replan t
+
+let apply t delta =
+  let applied = View.apply t.view delta in
+  (match applied with
+  | View.Joined slot -> Planner.note_join t.planner slot
+  | View.Left slot -> Planner.note_leave t.planner slot
+  | View.Cost_changed s ->
+      let evictions = Planner.note_cost_change t.planner s in
+      for _ = 1 to evictions do
+        Counters.note_eviction t.counters
+      done
+  | View.Budgets_resized ->
+      let evictions = Planner.note_budget_resize t.planner in
+      for _ = 1 to evictions do
+        Counters.note_eviction t.counters
+      done);
+  Counters.note_delta t.counters delta;
+  t.deltas_applied <- t.deltas_applied + 1;
+  t.since_replan <- t.since_replan + 1;
+  maybe_replan t;
+  applied
+
+let apply_all t deltas = List.iter (fun d -> ignore (apply t d)) deltas
+let view t = t.view
+let planner t = t.planner
+let plan t = Planner.assignment t.planner
+let utility t = Planner.utility t.planner
+let set_pinned t streams = Planner.set_pinned t.planner streams
+let pinned t = Planner.pinned t.planner
+let policy t = t.policy
+let deltas_applied t = t.deltas_applied
+let since_replan t = t.since_replan
+let utility_at_replan t = t.utility_at_replan
+let counters t = t.counters
+
+let report t =
+  Counters.report t.counters ~evals:(Planner.evals t.planner)
+    ~eager_equiv:(Planner.eager_equiv t.planner)
+
+let scratch ?(mode = Planner.Eager) ?(pinned = []) view =
+  let planner = Planner.create view in
+  Planner.set_pinned planner pinned;
+  solve ~mode planner ~pinned;
+  (Planner.utility planner, Planner.evals planner)

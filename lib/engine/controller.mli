@@ -1,0 +1,81 @@
+(** The long-running replanning controller.
+
+    A controller owns a {!View.t} of the world plus a {!Planner.t}
+    holding the current plan, absorbs {!Delta.t} operations, and
+    decides when to replan from scratch according to its epoch policy:
+
+    - [Every n] — replan after every [n] applied deltas;
+    - [Drift d] — replan when the plan utility has drifted by more
+      than fraction [d] from its value at the last replan (churn
+      repairs keep the plan feasible in between, but leaves erode
+      utility and joins accumulate unexploited demand);
+    - [Manual] — only when {!replan} is called.
+
+    A replan is the lazy-greedy {!Planner.extend} from an empty plan,
+    guarded by the §2.2 best-single-stream fix: if some single stream
+    beats the greedy plan, the greedy restarts from that stream. The
+    plan is feasible for the view at every point in time. *)
+
+type epoch_policy = Every of int | Drift of float | Manual
+
+val policy_of_string : string -> (epoch_policy, string) result
+(** Parse ["every:N"], ["drift:X"] or ["manual"]. *)
+
+val policy_to_string : epoch_policy -> string
+
+type t
+
+val create : ?policy:epoch_policy -> ?pinned:int list -> Mmd.Instance.t -> t
+(** Start a controller on an initial world (its users become the
+    initial active slots) and compute the initial plan. Default policy
+    [Every 64]. *)
+
+val of_state :
+  ?since_replan:int ->
+  ?deltas_applied:int ->
+  ?utility_at_replan:float ->
+  policy:epoch_policy ->
+  pinned:int list ->
+  view:View.t ->
+  plan:Mmd.Assignment.t ->
+  unit ->
+  t
+(** Rebuild a controller around restored state without replanning
+    (snapshot restore). The epoch phase — deltas since the last
+    replan and the utility recorded at it — defaults to "a replan
+    just happened here"; passing the saved values makes the restored
+    controller fire future replans at exactly the same deltas as the
+    original would have. *)
+
+val apply : t -> Delta.t -> View.applied
+(** Apply one delta: mutate the view, repair the plan incrementally,
+    and replan if the epoch policy fires. *)
+
+val apply_all : t -> Delta.t list -> unit
+
+val replan : ?mode:Planner.mode -> t -> unit
+(** Force an epoch boundary now. *)
+
+val view : t -> View.t
+val planner : t -> Planner.t
+val plan : t -> Mmd.Assignment.t
+val utility : t -> float
+val set_pinned : t -> int list -> unit
+val pinned : t -> int list
+val policy : t -> epoch_policy
+val deltas_applied : t -> int
+
+val since_replan : t -> int
+(** Deltas applied since the last replan (the epoch phase). *)
+
+val utility_at_replan : t -> float
+(** Plan utility recorded at the last replan (the [Drift] baseline). *)
+
+val counters : t -> Counters.t
+val report : t -> Counters.report
+
+val scratch : ?mode:Planner.mode -> ?pinned:int list -> View.t -> float * int
+(** [(utility, marginal evals)] of a from-scratch solve of the view's
+    current state with the same algorithm a replan runs (greedy +
+    best-single fix), on a throwaway planner. The reference point for
+    "how much would solving from scratch cost here". *)

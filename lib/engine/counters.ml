@@ -1,0 +1,84 @@
+type t = {
+  mutable joins : int;
+  mutable leaves : int;
+  mutable cost_changes : int;
+  mutable budget_resizes : int;
+  mutable replans : int;
+  mutable evictions : int;
+  mutable latencies_rev : float list;
+}
+
+let create () =
+  { joins = 0;
+    leaves = 0;
+    cost_changes = 0;
+    budget_resizes = 0;
+    replans = 0;
+    evictions = 0;
+    latencies_rev = [] }
+
+let note_delta t (d : Delta.t) =
+  match d with
+  | User_join _ -> t.joins <- t.joins + 1
+  | User_leave _ -> t.leaves <- t.leaves + 1
+  | Stream_cost_change _ -> t.cost_changes <- t.cost_changes + 1
+  | Budget_resize _ -> t.budget_resizes <- t.budget_resizes + 1
+
+let note_replan t ~seconds =
+  t.replans <- t.replans + 1;
+  t.latencies_rev <- seconds :: t.latencies_rev
+
+let note_eviction t = t.evictions <- t.evictions + 1
+let deltas t = t.joins + t.leaves + t.cost_changes + t.budget_resizes
+let replans t = t.replans
+
+let restore t ~joins ~leaves ~cost_changes ~budget_resizes ~replans ~evictions
+    =
+  t.joins <- joins;
+  t.leaves <- leaves;
+  t.cost_changes <- cost_changes;
+  t.budget_resizes <- budget_resizes;
+  t.replans <- replans;
+  t.evictions <- evictions;
+  t.latencies_rev <- []
+
+type report = {
+  deltas : int;
+  joins : int;
+  leaves : int;
+  cost_changes : int;
+  budget_resizes : int;
+  replans : int;
+  evictions : int;
+  evals : int;
+  eager_equiv : int;
+  evals_saved : int;
+  replan_latency : Prelude.Stats.summary;
+}
+
+let report t ~evals ~eager_equiv =
+  { deltas = deltas t;
+    joins = t.joins;
+    leaves = t.leaves;
+    cost_changes = t.cost_changes;
+    budget_resizes = t.budget_resizes;
+    replans = t.replans;
+    evictions = t.evictions;
+    evals;
+    eager_equiv;
+    evals_saved = max 0 (eager_equiv - evals);
+    replan_latency =
+      Prelude.Stats.summarize (Array.of_list (List.rev t.latencies_rev)) }
+
+let fields (t : t) =
+  (t.joins, t.leaves, t.cost_changes, t.budget_resizes, t.replans, t.evictions)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>deltas: %d (join %d, leave %d, cost %d, budget %d)@,\
+     replans: %d  evictions: %d@,\
+     marginal evals: %d (eager-equivalent %d, saved %d)@,\
+     replan latency: %a@]"
+    r.deltas r.joins r.leaves r.cost_changes r.budget_resizes r.replans
+    r.evictions r.evals r.eager_equiv r.evals_saved Prelude.Stats.pp_summary
+    r.replan_latency

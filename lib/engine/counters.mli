@@ -1,0 +1,53 @@
+(** Operational telemetry for the replanning engine.
+
+    Counts deltas by kind, replans, plan repairs, evictions, and
+    replan latencies; the planner contributes marginal-utility
+    evaluation counts. {!report} folds everything into the summary the
+    CLI and benchmarks print. *)
+
+type t
+
+val create : unit -> t
+val note_delta : t -> Delta.t -> unit
+val note_replan : t -> seconds:float -> unit
+val note_eviction : t -> unit
+
+val deltas : t -> int
+(** Total deltas recorded. *)
+
+val replans : t -> int
+
+val restore :
+  t ->
+  joins:int ->
+  leaves:int ->
+  cost_changes:int ->
+  budget_resizes:int ->
+  replans:int ->
+  evictions:int ->
+  unit
+(** Overwrite the aggregate counts (snapshot restore). Latency samples
+    are not persisted and restart empty. *)
+
+type report = {
+  deltas : int;
+  joins : int;
+  leaves : int;
+  cost_changes : int;
+  budget_resizes : int;
+  replans : int;
+  evictions : int;
+  evals : int;  (** marginal-utility evaluations actually performed *)
+  eager_equiv : int;
+      (** evaluations an eager (non-lazy) greedy would have performed
+          over the same replans *)
+  evals_saved : int;  (** [eager_equiv - evals], floored at 0 *)
+  replan_latency : Prelude.Stats.summary;  (** seconds, CPU time *)
+}
+
+val report : t -> evals:int -> eager_equiv:int -> report
+val fields : t -> int * int * int * int * int * int
+(** [(joins, leaves, cost_changes, budget_resizes, replans, evictions)]
+    — for snapshot serialization. *)
+
+val pp_report : Format.formatter -> report -> unit

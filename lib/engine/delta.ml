@@ -1,0 +1,160 @@
+type user_spec = {
+  utility_cap : float;
+  capacity : float array;
+  interests : (int * float * float array) list;
+}
+
+type t =
+  | User_join of user_spec
+  | User_leave of int
+  | Stream_cost_change of { stream : int; costs : float array }
+  | Budget_resize of float array
+
+let kind = function
+  | User_join _ -> "join"
+  | User_leave _ -> "leave"
+  | Stream_cost_change _ -> "cost"
+  | Budget_resize _ -> "budget"
+
+let num x = if x = infinity then "inf" else Printf.sprintf "%.17g" x
+
+let to_string = function
+  | User_leave slot -> Printf.sprintf "leave %d" slot
+  | Stream_cost_change { stream; costs } ->
+      Printf.sprintf "cost %d %s" stream
+        (String.concat " " (Array.to_list (Array.map num costs)))
+  | Budget_resize budgets ->
+      Printf.sprintf "budget %s"
+        (String.concat " " (Array.to_list (Array.map num budgets)))
+  | User_join { utility_cap; capacity; interests } ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "join ";
+      Buffer.add_string buf (num utility_cap);
+      Array.iter
+        (fun k ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (num k))
+        capacity;
+      List.iter
+        (fun (s, w, loads) ->
+          Buffer.add_string buf (Printf.sprintf " | %d %s" s (num w));
+          Array.iter
+            (fun k ->
+              Buffer.add_char buf ' ';
+              Buffer.add_string buf (num k))
+            loads)
+        interests;
+      Buffer.contents buf
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let float_tok what tok =
+  match float_of_string_opt tok with
+  | Some x -> x
+  | None -> fail "Delta.of_string: bad %s %S" what tok
+
+let int_tok what tok =
+  match int_of_string_opt tok with
+  | Some x -> x
+  | None -> fail "Delta.of_string: bad %s %S" what tok
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let of_string line =
+  match tokens line with
+  | [ "leave"; slot ] -> User_leave (int_tok "slot" slot)
+  | "leave" :: _ -> fail "Delta.of_string: leave expects one slot id"
+  | "cost" :: stream :: costs when costs <> [] ->
+      Stream_cost_change
+        { stream = int_tok "stream" stream;
+          costs = Array.of_list (List.map (float_tok "cost") costs) }
+  | "cost" :: _ -> fail "Delta.of_string: cost expects a stream and costs"
+  | "budget" :: budgets when budgets <> [] ->
+      Budget_resize (Array.of_list (List.map (float_tok "budget") budgets))
+  | "budget" :: _ -> fail "Delta.of_string: budget expects budget values"
+  | "join" :: rest ->
+      (* Split the remaining tokens into "|"-separated groups: the head
+         group is [W K_1..K_mc], each further group one interest. *)
+      let groups =
+        List.fold_left
+          (fun acc tok ->
+            if tok = "|" then [] :: acc
+            else
+              match acc with
+              | g :: tl -> (tok :: g) :: tl
+              | [] -> [ [ tok ] ])
+          [ [] ] rest
+        |> List.rev_map List.rev
+      in
+      (match groups with
+      | head :: interest_groups ->
+          let utility_cap, capacity =
+            match head with
+            | cap :: ks ->
+                ( float_tok "utility cap" cap,
+                  Array.of_list (List.map (float_tok "capacity") ks) )
+            | [] -> fail "Delta.of_string: join expects a utility cap"
+          in
+          let mc = Array.length capacity in
+          let interests =
+            List.map
+              (fun g ->
+                match g with
+                | s :: w :: loads when List.length loads = mc ->
+                    ( int_tok "stream" s,
+                      float_tok "utility" w,
+                      Array.of_list (List.map (float_tok "load") loads) )
+                | _ ->
+                    fail
+                      "Delta.of_string: join interest expects <stream> <w> \
+                       and %d loads"
+                      mc)
+              interest_groups
+          in
+          User_join { utility_cap; capacity; interests }
+      | [] -> fail "Delta.of_string: empty join")
+  | kw :: _ -> fail "Delta.of_string: unknown keyword %S" kw
+  | [] -> fail "Delta.of_string: empty line"
+
+let log_to_string deltas =
+  String.concat "" (List.map (fun d -> to_string d ^ "\n") deltas)
+
+let log_of_string text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some j -> String.sub line 0 j
+           | None -> line
+         in
+         if String.trim line = "" then []
+         else
+           try [ of_string line ]
+           with Failure msg -> fail "line %d: %s" (i + 1) msg)
+       lines)
+
+let write_log path deltas =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (log_to_string deltas))
+
+let read_log path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      log_of_string (really_input_string ic n))
+
+let pp ppf d =
+  match d with
+  | User_join { interests; _ } ->
+      Format.fprintf ppf "join (%d interests)" (List.length interests)
+  | User_leave slot -> Format.fprintf ppf "leave slot %d" slot
+  | Stream_cost_change { stream; _ } ->
+      Format.fprintf ppf "cost change on stream %d" stream
+  | Budget_resize _ -> Format.fprintf ppf "budget resize"

@@ -1,0 +1,441 @@
+module F = Prelude.Float_ops
+
+type mode = Lazy | Eager
+
+type t = {
+  view : View.t;
+  admitted : bool array;  (* stream *)
+  pinned : bool array;  (* stream *)
+  used : float array;  (* m *)
+  bound : float array;  (* stream -> upper bound on marginal utility *)
+  mutable delivered : bool array array;  (* slot x stream *)
+  mutable delivered_util : float array;  (* slot; uncapped sum *)
+  mutable capped : float array;  (* slot; min (W_u, delivered_util) *)
+  mutable cap_used : float array array;  (* slot x mc *)
+  mutable slots : int;  (* slot-indexed arrays are sized for this many *)
+  mutable total : float;
+  mutable evals : int;
+  mutable eager_equiv : int;
+}
+
+let create view =
+  let ns = View.num_streams view and slots = View.num_slots view in
+  { view;
+    admitted = Array.make ns false;
+    pinned = Array.make ns false;
+    used = Array.make (View.m view) 0.;
+    bound = Array.make ns 0.;
+    delivered = Array.init slots (fun _ -> Array.make ns false);
+    delivered_util = Array.make slots 0.;
+    capped = Array.make slots 0.;
+    cap_used = Array.init slots (fun _ -> Array.make (View.mc view) 0.);
+    slots;
+    total = 0.;
+    evals = 0;
+    eager_equiv = 0 }
+
+let view t = t.view
+
+let ensure_slots t =
+  let need = View.num_slots t.view in
+  if need > t.slots then begin
+    let ns = View.num_streams t.view and mc = View.mc t.view in
+    let cap = max need (2 * t.slots) in
+    let grow make old =
+      Array.init cap (fun i -> if i < t.slots then old.(i) else make ())
+    in
+    t.delivered <- grow (fun () -> Array.make ns false) t.delivered;
+    t.delivered_util <- grow (fun () -> 0.) t.delivered_util;
+    t.capped <- grow (fun () -> 0.) t.capped;
+    t.cap_used <- grow (fun () -> Array.make mc 0.) t.cap_used;
+    t.slots <- cap
+  end
+
+let set_pinned t streams =
+  Array.fill t.pinned 0 (Array.length t.pinned) false;
+  List.iter
+    (fun s ->
+      if s < 0 || s >= Array.length t.pinned then
+        invalid_arg "Planner.set_pinned: stream out of range";
+      t.pinned.(s) <- true)
+    streams
+
+let pinned t =
+  let acc = ref [] in
+  Array.iteri (fun s p -> if p then acc := s :: !acc) t.pinned;
+  List.rev !acc
+
+let is_admitted t s = t.admitted.(s)
+
+let admitted t =
+  let acc = ref [] in
+  Array.iteri (fun s a -> if a then acc := s :: !acc) t.admitted;
+  List.rev !acc
+
+let delivered t slot =
+  let acc = ref [] in
+  if slot < t.slots then
+    Array.iteri (fun s d -> if d then acc := s :: !acc) t.delivered.(slot);
+  List.rev !acc
+
+let assignment t =
+  Mmd.Assignment.of_sets
+    (Array.init (View.num_slots t.view) (fun u -> delivered t u))
+
+let utility t = t.total
+let server_used t i = t.used.(i)
+let evals t = t.evals
+let eager_equiv t = t.eager_equiv
+
+let add_evals t ~evals ~eager_equiv =
+  t.evals <- t.evals + evals;
+  t.eager_equiv <- t.eager_equiv + eager_equiv
+
+(* Residual capped utility of slot u: how much more objective the user
+   can still contribute. *)
+let resid t u =
+  let cap = View.utility_cap t.view u in
+  if cap = infinity then infinity else Float.max 0. (cap -. t.delivered_util.(u))
+
+let fits_cap t u s =
+  let v = t.view in
+  let ok = ref true in
+  for j = 0 to View.mc v - 1 do
+    if not (F.leq (t.cap_used.(u).(j) +. View.load v u s j) (View.capacity v u j))
+    then ok := false
+  done;
+  !ok
+
+let fits_budget t s =
+  let v = t.view in
+  let ok = ref true in
+  for i = 0 to View.m v - 1 do
+    if not (F.leq (t.used.(i) +. View.server_cost v s i) (View.budget v i)) then
+      ok := false
+  done;
+  !ok
+
+(* Normalized server cost: the stream's largest fractional bite out of
+   any finite budget. In [0, 1] by the view's fit invariant. *)
+let cost_norm t s =
+  let v = t.view in
+  let worst = ref 0. in
+  for i = 0 to View.m v - 1 do
+    let b = View.budget v i in
+    if b > 0. && b < infinity then
+      worst := Float.max !worst (View.server_cost v s i /. b)
+  done;
+  !worst
+
+(* Marginal capped utility of admitting s at the current plan state. *)
+let eval_marginal t s =
+  t.evals <- t.evals + 1;
+  let acc = ref 0. in
+  View.iter_interested t.view s (fun u ->
+      if (not t.delivered.(u).(s)) && fits_cap t u s then begin
+        let r = resid t u in
+        if r > 0. then acc := !acc +. Float.min (View.utility t.view u s) r
+      end);
+  !acc
+
+(* Deliver s to slot u unconditionally (bookkeeping only). *)
+let deliver_raw t u s =
+  let v = t.view in
+  t.delivered.(u).(s) <- true;
+  for j = 0 to View.mc v - 1 do
+    t.cap_used.(u).(j) <- t.cap_used.(u).(j) +. View.load v u s j
+  done;
+  t.delivered_util.(u) <- t.delivered_util.(u) +. View.utility v u s;
+  let capped' = Float.min (View.utility_cap v u) t.delivered_util.(u) in
+  t.total <- t.total +. (capped' -. t.capped.(u));
+  t.capped.(u) <- capped'
+
+let admit t s =
+  if t.admitted.(s) || not (fits_budget t s) then false
+  else begin
+    let v = t.view in
+    t.admitted.(s) <- true;
+    for i = 0 to View.m v - 1 do
+      t.used.(i) <- t.used.(i) +. View.server_cost v s i
+    done;
+    t.bound.(s) <- 0.;
+    View.iter_interested v s (fun u ->
+        if (not t.delivered.(u).(s)) && fits_cap t u s && resid t u > 0. then
+          deliver_raw t u s);
+    true
+  end
+
+(* Static upper bound on any marginal of s: every interested user
+   contributes at most min(w, W_u). *)
+let static_bound t s =
+  let acc = ref 0. in
+  View.iter_interested t.view s (fun u ->
+      acc :=
+        !acc
+        +. Float.min (View.utility t.view u s) (View.utility_cap t.view u));
+  !acc
+
+let reset t =
+  ensure_slots t;
+  let ns = View.num_streams t.view in
+  Array.fill t.admitted 0 ns false;
+  Array.fill t.used 0 (View.m t.view) 0.;
+  for u = 0 to t.slots - 1 do
+    Array.fill t.delivered.(u) 0 ns false;
+    Array.fill t.cap_used.(u) 0 (View.mc t.view) 0.
+  done;
+  Array.fill t.delivered_util 0 t.slots 0.;
+  Array.fill t.capped 0 t.slots 0.;
+  t.total <- 0.;
+  for s = 0 to ns - 1 do
+    t.bound.(s) <- static_bound t s
+  done
+
+let best_single t =
+  let best = ref None in
+  for s = 0 to View.num_streams t.view - 1 do
+    let v = static_bound t s in
+    match !best with
+    | Some (_, v') when v' >= v -> ()
+    | _ -> best := Some (s, v)
+  done;
+  !best
+
+(* Cost-effectiveness order without division: s (with marginal w, cost
+   c) beats s' when w·c' > w'·c; zero-cost streams have infinite
+   effectiveness. Ties break to the lower stream id, so the lazy and
+   eager modes make identical picks. *)
+let better_than ~w ~c ~w' ~c' =
+  if c = 0. && c' = 0. then w > w'
+  else if c = 0. then w > 0.
+  else if c' = 0. then false
+  else w *. c' > w' *. c
+
+let cmp_entry (w1, c1, s1) (w2, c2, s2) =
+  if better_than ~w:w1 ~c:c1 ~w':w2 ~c':c2 then -1
+  else if better_than ~w:w2 ~c:c2 ~w':w1 ~c':c1 then 1
+  else compare (s1 : int) s2
+
+let extend_lazy t =
+  let heap = Prelude.Heap.create ~cmp:cmp_entry in
+  for s = 0 to View.num_streams t.view - 1 do
+    if (not t.admitted.(s)) && t.bound.(s) > 0. then
+      Prelude.Heap.push heap (t.bound.(s), cost_norm t s, s)
+  done;
+  let fresh = ref (-1) in
+  let continue_ = ref true in
+  while !continue_ do
+    match Prelude.Heap.peek heap with
+    | None -> continue_ := false
+    | Some (b, _, s) when !fresh = s ->
+        (* The top entry was evaluated at the current plan state and is
+           still the best candidate: confirm it. An eager greedy would
+           have re-evaluated every live candidate to reach the same
+           conclusion. *)
+        t.eager_equiv <- t.eager_equiv + Prelude.Heap.length heap;
+        ignore (Prelude.Heap.pop heap);
+        fresh := -1;
+        if b <= 0. then continue_ := false
+        else if fits_budget t s then ignore (admit t s)
+        (* else: drop s for this extend, exactly as eager does. *)
+    | Some (_, _, s) ->
+        let m = eval_marginal t s in
+        t.bound.(s) <- m;
+        Prelude.Heap.replace_top heap (m, cost_norm t s, s);
+        fresh := s
+  done
+
+let extend_eager t =
+  let candidates = ref [] in
+  for s = View.num_streams t.view - 1 downto 0 do
+    if not t.admitted.(s) then candidates := s :: !candidates
+  done;
+  let continue_ = ref true in
+  while !continue_ && !candidates <> [] do
+    t.eager_equiv <- t.eager_equiv + List.length !candidates;
+    let best = ref None in
+    List.iter
+      (fun s ->
+        let entry = (eval_marginal t s, cost_norm t s, s) in
+        match !best with
+        | Some e when cmp_entry e entry <= 0 -> ()
+        | _ -> best := Some entry)
+      !candidates;
+    match !best with
+    | None -> continue_ := false
+    | Some (m, _, _) when m <= 0. -> continue_ := false
+    | Some (_, _, s) ->
+        if fits_budget t s then ignore (admit t s);
+        candidates := List.filter (fun s' -> s' <> s) !candidates
+  done
+
+let extend ?(mode = Lazy) t =
+  ensure_slots t;
+  match mode with Lazy -> extend_lazy t | Eager -> extend_eager t
+
+(* Raise the bound of every non-admitted stream slot u is interested
+   in: marginals may have increased by at most u's full interest. *)
+let raise_bounds_for t u =
+  List.iter
+    (fun s ->
+      if not t.admitted.(s) then
+        t.bound.(s) <-
+          t.bound.(s)
+          +. Float.min (View.utility t.view u s) (View.utility_cap t.view u))
+    (View.interests t.view u)
+
+let note_join t u =
+  ensure_slots t;
+  (* Deliver already-transmitted streams to the newcomer, most valuable
+     first — they are already paid for at the server. *)
+  let mine =
+    List.filter (fun s -> t.admitted.(s)) (View.interests t.view u)
+    |> List.sort (fun s1 s2 ->
+           compare (View.utility t.view u s2) (View.utility t.view u s1))
+  in
+  List.iter
+    (fun s ->
+      if (not t.delivered.(u).(s)) && fits_cap t u s && resid t u > 0. then
+        deliver_raw t u s)
+    mine;
+  raise_bounds_for t u
+
+let undeliver_raw t u s ~w =
+  t.delivered.(u).(s) <- false;
+  t.delivered_util.(u) <- Float.max 0. (t.delivered_util.(u) -. w);
+  let capped' =
+    Float.min (View.utility_cap t.view u) t.delivered_util.(u)
+  in
+  t.total <- t.total +. (capped' -. t.capped.(u));
+  t.capped.(u) <- capped'
+
+let note_leave t u =
+  if u < t.slots then begin
+    (* The view has already zeroed the slot, so drop our bookkeeping
+       wholesale rather than per stream. *)
+    Array.fill t.delivered.(u) 0 (View.num_streams t.view) false;
+    Array.fill t.cap_used.(u) 0 (View.mc t.view) 0.;
+    t.total <- t.total -. t.capped.(u);
+    t.delivered_util.(u) <- 0.;
+    t.capped.(u) <- 0.
+  end
+
+(* Capped utility lost if s were evicted. *)
+let eviction_loss t s =
+  let acc = ref 0. in
+  View.iter_interested t.view s (fun u ->
+      if t.delivered.(u).(s) then begin
+        let w = View.utility t.view u s in
+        let after =
+          Float.min (View.utility_cap t.view u) (t.delivered_util.(u) -. w)
+        in
+        acc := !acc +. (t.capped.(u) -. Float.max 0. after)
+      end);
+  !acc
+
+let evict t s =
+  let v = t.view in
+  View.iter_interested v s (fun u ->
+      if t.delivered.(u).(s) then begin
+        for j = 0 to View.mc v - 1 do
+          t.cap_used.(u).(j) <-
+            Float.max 0. (t.cap_used.(u).(j) -. View.load v u s j)
+        done;
+        undeliver_raw t u s ~w:(View.utility v u s);
+        raise_bounds_for t u
+      end);
+  t.admitted.(s) <- false;
+  for i = 0 to View.m v - 1 do
+    t.used.(i) <- Float.max 0. (t.used.(i) -. View.server_cost v s i)
+  done;
+  (* The evicted stream is a candidate again, at its true marginal. *)
+  t.bound.(s) <- eval_marginal t s
+
+let recompute_used t =
+  let v = t.view in
+  Array.fill t.used 0 (View.m v) 0.;
+  Array.iteri
+    (fun s a ->
+      if a then
+        for i = 0 to View.m v - 1 do
+          t.used.(i) <- t.used.(i) +. View.server_cost v s i
+        done)
+    t.admitted
+
+(* Evict least-valuable-per-unit-of-relief streams until every budget
+   holds again. Pinned streams go last. *)
+let enforce_budgets t =
+  let v = t.view in
+  let violated () =
+    let acc = ref [] in
+    for i = View.m v - 1 downto 0 do
+      if not (F.leq t.used.(i) (View.budget v i)) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let evictions = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match violated () with
+    | [] -> continue_ := false
+    | measures -> (
+        let relief s =
+          List.fold_left
+            (fun acc i -> acc +. View.server_cost v s i)
+            0. measures
+        in
+        let pick ~pinned_pass =
+          let best = ref None in
+          Array.iteri
+            (fun s a ->
+              if a && t.pinned.(s) = pinned_pass && relief s > 0. then begin
+                let entry = (eviction_loss t s, relief s, s) in
+                match !best with
+                | Some (l', r', s') ->
+                    (* Evict the smallest loss per unit relief. *)
+                    let l, r, _ = entry in
+                    if
+                      l *. r' < l' *. r
+                      || (l *. r' = l' *. r && s < s')
+                    then best := Some entry
+                | None -> best := Some entry
+              end)
+            t.admitted;
+          !best
+        in
+        match
+          (match pick ~pinned_pass:false with
+          | Some _ as found -> found
+          | None -> pick ~pinned_pass:true)
+        with
+        | Some (_, _, s) ->
+            evict t s;
+            incr evictions
+        | None -> continue_ := false)
+  done;
+  !evictions
+
+let note_cost_change t _s =
+  recompute_used t;
+  enforce_budgets t
+
+let note_budget_resize t =
+  recompute_used t;
+  enforce_budgets t
+
+let force t plan =
+  if Mmd.Assignment.num_users plan <> View.num_slots t.view then
+    invalid_arg "Planner.force: assignment user count <> view slots";
+  reset t;
+  let v = t.view in
+  List.iter
+    (fun s ->
+      t.admitted.(s) <- true;
+      t.bound.(s) <- 0.;
+      for i = 0 to View.m v - 1 do
+        t.used.(i) <- t.used.(i) +. View.server_cost v s i
+      done)
+    (Mmd.Assignment.range plan);
+  for u = 0 to View.num_slots v - 1 do
+    List.iter (fun s -> deliver_raw t u s) (Mmd.Assignment.user_streams plan u)
+  done

@@ -1,0 +1,116 @@
+(** Incremental plan state and the CELF-style lazy-greedy core.
+
+    A planner owns the current plan over a {!View.t}: which streams
+    the server transmits, which active slot receives which stream, and
+    the residual budgets/capacities — all maintained incrementally.
+
+    {!extend} grows the plan greedily by capped-marginal-utility per
+    normalized server cost. In [`Lazy] mode it keeps a max-heap of
+    {e upper bounds} on each candidate's marginal utility and
+    re-evaluates only entries that surface at the top
+    (Minoux/CELF lazy evaluation, exact because the capped objective's
+    marginals never increase as the plan grows); [`Eager] mode
+    re-evaluates every candidate every round. Both modes pick by the
+    identical comparison (cross-multiplied effectiveness, ties to the
+    lower stream id), so they produce the {e same} plan — [`Eager]
+    exists as the reference for counting how many evaluations laziness
+    saves.
+
+    The [note_*] functions absorb churn between replans, keeping the
+    plan feasible and every heap bound a valid upper bound:
+    - a join delivers already-transmitted streams to the new slot
+      (free at the server) and raises affected candidates' bounds;
+    - a leave removes the slot's deliveries (marginals only shrink);
+    - cost/budget changes evict the least effective streams until the
+      budgets hold again.
+
+    All evaluation is in terms of the paper's capped objective
+    [w(A) = Σ_u min(W_u, w_u(A(u)))], restricted to feasible
+    deliveries ([extend] never overflows a capacity or budget). *)
+
+type t
+
+type mode = Lazy | Eager
+
+val create : View.t -> t
+(** Empty plan over the view. *)
+
+val view : t -> View.t
+
+val reset : t -> unit
+(** Drop the whole plan and re-seed every candidate bound with its
+    static upper bound [Σ_u min(w_u(S), W_u)]. *)
+
+val set_pinned : t -> int list -> unit
+(** Streams that repairs evict only as a last resort (live sessions). *)
+
+val pinned : t -> int list
+
+(** {1 Plan inspection} *)
+
+val is_admitted : t -> int -> bool
+val admitted : t -> int list
+(** Streams currently transmitted, ascending. *)
+
+val delivered : t -> int -> int list
+(** Streams delivered to a slot, ascending. *)
+
+val assignment : t -> Mmd.Assignment.t
+(** Snapshot over all [View.num_slots] slots. *)
+
+val utility : t -> float
+(** Capped objective of the current plan, maintained incrementally. *)
+
+val server_used : t -> int -> float
+(** Current consumption of server measure [i]. *)
+
+val evals : t -> int
+(** Marginal-utility evaluations performed so far. *)
+
+val eager_equiv : t -> int
+(** Evaluations an eager greedy would have performed for the same
+    confirmations — the baseline for "evals saved". *)
+
+(** {1 Planning} *)
+
+val admit : t -> int -> bool
+(** Force-admit a stream if it fits the residual budgets; delivers it
+    to every active slot with positive residual utility and capacity.
+    Returns false (and does nothing) when it does not fit or is
+    already admitted. *)
+
+val extend : ?mode:mode -> t -> unit
+(** Greedily admit streams until no candidate has positive marginal
+    utility or none fits the budgets. Default [`Lazy]. *)
+
+val best_single : t -> (int * float) option
+(** The stream with the largest stand-alone capped utility
+    [Σ_u min(w_u(S), W_u)] over active slots, and that value — the
+    [A_max] of §2.2. [None] when the view has no streams. *)
+
+(** {1 Churn repairs} *)
+
+val note_join : t -> int -> unit
+(** A slot just became active in the view. *)
+
+val note_leave : t -> int -> unit
+(** A slot was just deactivated in the view (its utilities are already
+    zeroed there). *)
+
+val note_cost_change : t -> int -> int
+(** Stream costs changed in the view; re-derives budget usage and
+    evicts until feasible. Returns the number of evictions. *)
+
+val note_budget_resize : t -> int
+(** Budgets changed in the view; same contract as
+    {!note_cost_change}. *)
+
+(** {1 Restore} *)
+
+val force : t -> Mmd.Assignment.t -> unit
+(** Install an assignment verbatim (snapshot restore). The assignment
+    must have exactly [View.num_slots] users and be feasible for the
+    view. @raise Invalid_argument on a user-count mismatch. *)
+
+val add_evals : t -> evals:int -> eager_equiv:int -> unit
+(** Credit historical counts (snapshot restore). *)

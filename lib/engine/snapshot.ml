@@ -1,0 +1,156 @@
+(* Engine state snapshots: a small header, then the materialized view
+   in Mmd.Io instance format, then the plan in Mmd.Io plan format,
+   separated by %%-section markers. *)
+
+let magic = "mmd-engine-snapshot v1"
+
+let save ctrl =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  addf "%s\n" magic;
+  addf "policy %s\n" (Controller.policy_to_string (Controller.policy ctrl));
+  (match Controller.pinned ctrl with
+  | [] -> ()
+  | pinned ->
+      addf "pinned%s\n"
+        (String.concat ""
+           (List.map (fun s -> Printf.sprintf " %d" s) pinned)));
+  addf "active%s\n"
+    (String.concat ""
+       (List.map
+          (fun u -> Printf.sprintf " %d" u)
+          (View.active_slots (Controller.view ctrl))));
+  (match View.free_list (Controller.view ctrl) with
+  | [] -> ()
+  | free ->
+      addf "free%s\n"
+        (String.concat "" (List.map (fun u -> Printf.sprintf " %d" u) free)));
+  let j, l, c, b, r, e = Counters.fields (Controller.counters ctrl) in
+  let planner = Controller.planner ctrl in
+  addf "counters %d %d %d %d %d %d %d %d %d\n" j l c b r e
+    (Planner.evals planner)
+    (Planner.eager_equiv planner)
+    (Controller.deltas_applied ctrl);
+  addf "epoch %d %.17g\n"
+    (Controller.since_replan ctrl)
+    (Controller.utility_at_replan ctrl);
+  addf "%%%%instance\n%s"
+    (Mmd.Io.to_string (View.materialize (Controller.view ctrl)));
+  addf "%%%%plan\n%s" (Mmd.Io.assignment_to_string (Controller.plan ctrl));
+  addf "%%%%end\n";
+  Buffer.contents buf
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let int_tok what tok =
+  match int_of_string_opt tok with
+  | Some x -> x
+  | None -> fail "Snapshot.load: bad %s %S" what tok
+
+let load text =
+  let lines = String.split_on_char '\n' text in
+  let header, rest =
+    let rec split acc = function
+      | [] -> fail "Snapshot.load: missing %%instance section"
+      | "%%instance" :: rest -> (List.rev acc, rest)
+      | line :: rest -> split (line :: acc) rest
+    in
+    split [] lines
+  in
+  let instance_lines, rest =
+    let rec split acc = function
+      | [] -> fail "Snapshot.load: missing %%plan section"
+      | "%%plan" :: rest -> (List.rev acc, rest)
+      | line :: rest -> split (line :: acc) rest
+    in
+    split [] rest
+  in
+  let plan_lines =
+    let rec take acc = function
+      | [] | "%%end" :: _ -> List.rev acc
+      | line :: rest -> take (line :: acc) rest
+    in
+    take [] rest
+  in
+  (match header with
+  | first :: _ when first = magic -> ()
+  | _ -> fail "Snapshot.load: not an engine snapshot (bad magic)");
+  let policy = ref (Controller.Every 64) in
+  let pinned = ref [] in
+  let active = ref [] in
+  let free = ref None in
+  let counters = ref None in
+  let epoch = ref None in
+  List.iteri
+    (fun i line ->
+      if i > 0 && String.trim line <> "" then
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | "policy" :: spec ->
+            (match
+               Controller.policy_of_string (String.concat ":" spec)
+             with
+            | Ok p -> policy := p
+            | Error msg -> fail "Snapshot.load: %s" msg)
+        | "pinned" :: ids -> pinned := List.map (int_tok "pinned id") ids
+        | "active" :: ids -> active := List.map (int_tok "slot id") ids
+        | "free" :: ids -> free := Some (List.map (int_tok "free slot") ids)
+        | "counters" :: fields -> (
+            match List.map (int_tok "counter") fields with
+            | [ j; l; c; b; r; e; evals; eager; deltas ] ->
+                counters := Some (j, l, c, b, r, e, evals, eager, deltas)
+            | _ -> fail "Snapshot.load: counters expects 9 fields")
+        | [ "epoch"; since; util ] -> (
+            match (int_of_string_opt since, float_of_string_opt util) with
+            | Some s, Some u -> epoch := Some (s, u)
+            | _ -> fail "Snapshot.load: bad epoch line")
+        | kw :: _ -> fail "Snapshot.load: unknown header keyword %S" kw
+        | [] -> ())
+    header;
+  let instance =
+    Mmd.Io.of_string (String.concat "\n" instance_lines ^ "\n")
+  in
+  let plan =
+    Mmd.Io.assignment_of_string
+      ~num_users:(Mmd.Instance.num_users instance)
+      (String.concat "\n" plan_lines ^ "\n")
+  in
+  let view = View.of_materialized ~active:!active ?free:!free instance in
+  let since_replan, utility_at_replan =
+    match !epoch with
+    | Some (s, u) -> (Some s, Some u)
+    | None -> (None, None)
+  in
+  let deltas_applied =
+    match !counters with Some (_, _, _, _, _, _, _, _, d) -> Some d | None -> None
+  in
+  let ctrl =
+    Controller.of_state ?since_replan ?deltas_applied ?utility_at_replan
+      ~policy:!policy ~pinned:!pinned ~view ~plan ()
+  in
+  (match !counters with
+  | None -> ()
+  | Some (j, l, c, b, r, e, evals, eager, _deltas) ->
+      Counters.restore (Controller.counters ctrl) ~joins:j ~leaves:l
+        ~cost_changes:c ~budget_resizes:b ~replans:r ~evictions:e;
+      Planner.add_evals (Controller.planner ctrl) ~evals ~eager_equiv:eager);
+  ctrl
+
+let is_snapshot text =
+  String.length text >= String.length magic
+  && String.sub text 0 (String.length magic) = magic
+
+let write_file path ctrl =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save ctrl))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      load (really_input_string ic n))

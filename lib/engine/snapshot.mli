@@ -1,0 +1,20 @@
+(** Engine state persistence.
+
+    A snapshot is a self-contained text document: a short header
+    (epoch policy, pinned streams, active slots, aggregate counters)
+    followed by the materialized view in the {!Mmd.Io} instance format
+    and the current plan in its plan format, separated by [%%section]
+    markers. Restoring yields a controller that continues exactly
+    where the saved one stopped — same plan, same slot ids, same
+    counters — except that replan-latency samples restart empty. *)
+
+val save : Controller.t -> string
+val load : string -> Controller.t
+(** @raise Failure on malformed input. *)
+
+val is_snapshot : string -> bool
+(** Does the text start with the snapshot magic line? (Used by the CLI
+    to accept either an instance file or a snapshot.) *)
+
+val write_file : string -> Controller.t -> unit
+val read_file : string -> Controller.t

@@ -1,0 +1,291 @@
+module I = Mmd.Instance
+
+type slot = {
+  mutable active : bool;
+  utility : float array;  (* per stream; all 0 when inactive *)
+  loads : float array array;  (* stream x mc; all 0 when inactive *)
+  capacity : float array;  (* mc *)
+  mutable utility_cap : float;
+  mutable interests : int list;  (* streams with positive utility, asc *)
+}
+
+type t = {
+  name : string;
+  num_streams : int;
+  m : int;
+  mc : int;
+  cost : float array array;  (* stream x m *)
+  budget : float array;  (* m *)
+  mutable slots : slot array;
+  mutable num_slots : int;
+  mutable free : int list;  (* inactive slots available for reuse *)
+  interested : (int, unit) Hashtbl.t array;  (* stream -> active slots *)
+  mutable active_count : int;
+  mutable version : int;
+}
+
+type applied =
+  | Joined of int
+  | Left of int
+  | Cost_changed of int
+  | Budgets_resized
+
+let fresh_slot ~num_streams ~mc =
+  { active = false;
+    utility = Array.make num_streams 0.;
+    loads = Array.init num_streams (fun _ -> Array.make mc 0.);
+    capacity = Array.make mc 0.;
+    utility_cap = 0.;
+    interests = [] }
+
+let of_instance inst =
+  let num_streams = I.num_streams inst in
+  let m = I.m inst and mc = I.mc inst in
+  let nu = I.num_users inst in
+  let slots =
+    Array.init nu (fun u ->
+        let interests =
+          Array.to_list (I.interesting_streams inst u)
+        in
+        { active = true;
+          utility = Array.init num_streams (fun s -> I.utility inst u s);
+          loads =
+            Array.init num_streams (fun s ->
+                Array.init mc (fun j -> I.load inst u s j));
+          capacity = Array.init mc (fun j -> I.capacity inst u j);
+          utility_cap = I.utility_cap inst u;
+          interests })
+  in
+  let interested =
+    Array.init num_streams (fun s ->
+        let tbl = Hashtbl.create 16 in
+        Array.iter
+          (fun u -> Hashtbl.replace tbl u ())
+          (I.interested_users inst s);
+        tbl)
+  in
+  { name = I.name inst;
+    num_streams;
+    m;
+    mc;
+    cost =
+      Array.init num_streams (fun s ->
+          Array.init m (fun i -> I.server_cost inst s i));
+    budget = Array.init m (fun i -> I.budget inst i);
+    slots;
+    num_slots = nu;
+    free = [];
+    interested;
+    active_count = nu;
+    version = 0 }
+
+let copy t =
+  { t with
+    cost = Array.map Array.copy t.cost;
+    budget = Array.copy t.budget;
+    slots =
+      Array.map
+        (fun sl ->
+          { sl with
+            utility = Array.copy sl.utility;
+            loads = Array.map Array.copy sl.loads;
+            capacity = Array.copy sl.capacity })
+        t.slots;
+    free = t.free;
+    interested = Array.map Hashtbl.copy t.interested }
+
+let name t = t.name
+let num_streams t = t.num_streams
+let m t = t.m
+let mc t = t.mc
+let num_slots t = t.num_slots
+let active_count t = t.active_count
+let is_active t slot = slot >= 0 && slot < t.num_slots && t.slots.(slot).active
+
+let active_slots t =
+  let acc = ref [] in
+  for u = t.num_slots - 1 downto 0 do
+    if t.slots.(u).active then acc := u :: !acc
+  done;
+  !acc
+
+let budget t i = t.budget.(i)
+let server_cost t s i = t.cost.(s).(i)
+let utility t slot s = t.slots.(slot).utility.(s)
+let load t slot s j = t.slots.(slot).loads.(s).(j)
+let capacity t slot j = t.slots.(slot).capacity.(j)
+let utility_cap t slot = t.slots.(slot).utility_cap
+let interests t slot = t.slots.(slot).interests
+
+let interested t s =
+  Hashtbl.fold (fun u () acc -> u :: acc) t.interested.(s) []
+  |> List.sort compare
+
+let iter_interested t s f = Hashtbl.iter (fun u () -> f u) t.interested.(s)
+let version t = t.version
+
+let check_nonneg what x =
+  if x < 0. || Float.is_nan x then
+    invalid_arg (Printf.sprintf "View.apply: negative or NaN %s" what)
+
+let grow t =
+  let cap = Array.length t.slots in
+  if t.num_slots = cap then begin
+    let cap' = max 8 (2 * cap) in
+    let slots' =
+      Array.init cap' (fun i ->
+          if i < cap then t.slots.(i)
+          else fresh_slot ~num_streams:t.num_streams ~mc:t.mc)
+    in
+    t.slots <- slots'
+  end
+
+let clear_slot t u =
+  let sl = t.slots.(u) in
+  List.iter (fun s -> Hashtbl.remove t.interested.(s) u) sl.interests;
+  Array.fill sl.utility 0 t.num_streams 0.;
+  Array.iter (fun row -> Array.fill row 0 t.mc 0.) sl.loads;
+  Array.fill sl.capacity 0 t.mc 0.;
+  sl.utility_cap <- 0.;
+  sl.interests <- [];
+  sl.active <- false
+
+let join t (spec : Delta.user_spec) =
+  check_nonneg "utility cap" spec.utility_cap;
+  if Array.length spec.capacity <> t.mc then
+    invalid_arg "View.apply: join capacity arity <> mc";
+  Array.iter (check_nonneg "capacity") spec.capacity;
+  List.iter
+    (fun (s, w, loads) ->
+      if s < 0 || s >= t.num_streams then
+        invalid_arg "View.apply: join interest stream out of range";
+      check_nonneg "utility" w;
+      if Array.length loads <> t.mc then
+        invalid_arg "View.apply: join loads arity <> mc";
+      Array.iter (check_nonneg "load") loads)
+    spec.interests;
+  let u =
+    match t.free with
+    | slot :: rest ->
+        t.free <- rest;
+        slot
+    | [] ->
+        grow t;
+        let slot = t.num_slots in
+        t.num_slots <- t.num_slots + 1;
+        slot
+  in
+  let sl = t.slots.(u) in
+  sl.active <- true;
+  sl.utility_cap <- spec.utility_cap;
+  Array.blit spec.capacity 0 sl.capacity 0 t.mc;
+  let interests = ref [] in
+  List.iter
+    (fun (s, w, loads) ->
+      (* Paper assumption: a stream that individually violates a
+         capacity yields zero utility for this user. *)
+      let violates = ref false in
+      Array.iteri
+        (fun j k -> if k > spec.capacity.(j) then violates := true)
+        loads;
+      let w = if !violates then 0. else w in
+      Array.blit loads 0 sl.loads.(s) 0 t.mc;
+      if w > 0. then begin
+        sl.utility.(s) <- w;
+        Hashtbl.replace t.interested.(s) u ();
+        interests := s :: !interests
+      end)
+    spec.interests;
+  sl.interests <- List.sort_uniq compare !interests;
+  t.active_count <- t.active_count + 1;
+  u
+
+let leave t u =
+  if not (is_active t u) then
+    invalid_arg (Printf.sprintf "View.apply: leave of inactive slot %d" u);
+  clear_slot t u;
+  t.free <- u :: t.free;
+  t.active_count <- t.active_count - 1
+
+let set_costs t s costs =
+  if s < 0 || s >= t.num_streams then
+    invalid_arg "View.apply: cost change stream out of range";
+  if Array.length costs <> t.m then
+    invalid_arg "View.apply: cost arity <> m";
+  Array.iteri
+    (fun i c ->
+      check_nonneg "cost" c;
+      (* Standing assumption: every stream fits every budget alone. *)
+      t.cost.(s).(i) <- Float.min c t.budget.(i))
+    costs
+
+let set_budgets t budgets =
+  if Array.length budgets <> t.m then
+    invalid_arg "View.apply: budget arity <> m";
+  Array.iter (check_nonneg "budget") budgets;
+  Array.blit budgets 0 t.budget 0 t.m;
+  for s = 0 to t.num_streams - 1 do
+    for i = 0 to t.m - 1 do
+      if t.cost.(s).(i) > t.budget.(i) then t.cost.(s).(i) <- t.budget.(i)
+    done
+  done
+
+let apply t delta =
+  let applied =
+    match (delta : Delta.t) with
+    | User_join spec -> Joined (join t spec)
+    | User_leave slot ->
+        leave t slot;
+        Left slot
+    | Stream_cost_change { stream; costs } ->
+        set_costs t stream costs;
+        Cost_changed stream
+    | Budget_resize budgets ->
+        set_budgets t budgets;
+        Budgets_resized
+  in
+  t.version <- t.version + 1;
+  applied
+
+let materialize t =
+  let nu = t.num_slots in
+  I.create ~name:t.name
+    ~server_cost:(Array.map Array.copy (Array.sub t.cost 0 t.num_streams))
+    ~budget:(Array.copy t.budget)
+    ~load:
+      (Array.init nu (fun u -> Array.map Array.copy t.slots.(u).loads))
+    ~capacity:(Array.init nu (fun u -> Array.copy t.slots.(u).capacity))
+    ~utility:(Array.init nu (fun u -> Array.copy t.slots.(u).utility))
+    ~utility_cap:(Array.init nu (fun u -> t.slots.(u).utility_cap))
+    ()
+
+let free_list t = t.free
+
+let of_materialized ~active ?free inst =
+  let t = of_instance inst in
+  let keep = Array.make t.num_slots false in
+  List.iter
+    (fun u ->
+      if u < 0 || u >= t.num_slots then
+        invalid_arg "View.of_materialized: active slot out of range";
+      keep.(u) <- true)
+    active;
+  for u = t.num_slots - 1 downto 0 do
+    if not keep.(u) then begin
+      clear_slot t u;
+      t.free <- u :: t.free;
+      t.active_count <- t.active_count - 1
+    end
+  done;
+  (* Restoring a snapshot must reproduce the original view's slot
+     reuse order, or replayed logs diverge on the next join. *)
+  (match free with
+  | None -> ()
+  | Some order ->
+      if
+        List.length order <> List.length t.free
+        || List.exists (fun u -> u < 0 || u >= t.num_slots || keep.(u)) order
+        || List.sort_uniq compare order <> List.sort compare t.free
+      then invalid_arg "View.of_materialized: free list mismatch";
+      t.free <- order);
+  t

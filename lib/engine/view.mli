@@ -1,0 +1,95 @@
+(** Mutable view of an MMD instance under churn.
+
+    The engine plans over a fixed stream catalog but a changing user
+    population and changing costs/budgets. A view holds that state in
+    {e slots}: a user occupies a slot from its [User_join] until its
+    [User_leave]; freed slots are reused by later joins, so the slot
+    count stays proportional to the peak concurrent population. Slot
+    ids are the user ids of every {!Mmd.Assignment.t} the engine
+    produces.
+
+    Two model invariants from the paper are maintained on every
+    mutation, mirroring {!Mmd.Instance.create}:
+    - every stream individually fits every budget — cost changes are
+      clamped to the budgets, and budget shrinks clamp any
+      now-oversized stream cost down with them;
+    - a stream that individually violates some capacity of a user has
+      its utility for that user forced to zero. *)
+
+type t
+
+type applied =
+  | Joined of int  (** the slot the new user occupies *)
+  | Left of int
+  | Cost_changed of int
+  | Budgets_resized
+
+val of_instance : Mmd.Instance.t -> t
+(** Every user of the instance becomes an active slot; costs and
+    budgets are copied (the input instance is never mutated). *)
+
+val copy : t -> t
+(** Deep copy; mutations of either side are invisible to the other. *)
+
+(** {1 Dimensions and accessors} *)
+
+val name : t -> string
+val num_streams : t -> int
+val m : t -> int
+val mc : t -> int
+
+val num_slots : t -> int
+(** Allocated slots, active or not. *)
+
+val active_count : t -> int
+val is_active : t -> int -> bool
+val active_slots : t -> int list
+
+val budget : t -> int -> float
+val server_cost : t -> int -> int -> float
+
+val utility : t -> int -> int -> float
+(** [utility t slot s]; [0.] for inactive slots. *)
+
+val load : t -> int -> int -> int -> float
+val capacity : t -> int -> int -> float
+val utility_cap : t -> int -> float
+
+val interests : t -> int -> int list
+(** Streams the slot's user values positively, ascending. *)
+
+val interested : t -> int -> int list
+(** Active slots with positive utility for the stream, ascending. *)
+
+val iter_interested : t -> int -> (int -> unit) -> unit
+(** Like {!interested} but without allocating (order unspecified). *)
+
+val version : t -> int
+(** Bumped on every successful {!apply}. *)
+
+(** {1 Mutation} *)
+
+val apply : t -> Delta.t -> applied
+(** Apply one delta. @raise Invalid_argument on malformed deltas:
+    out-of-range stream or slot ids, leaving an inactive slot, arity
+    mismatches against [m]/[mc], or negative values. *)
+
+(** {1 Conversion} *)
+
+val materialize : t -> Mmd.Instance.t
+(** Freeze the current state as an immutable instance over all
+    [num_slots] users; inactive slots become zero-utility users. The
+    result is always a valid instance, so any batch solver can be run
+    on it for comparison. *)
+
+val free_list : t -> int list
+(** Inactive slots in the order {!apply} will reuse them (most
+    recently freed first). *)
+
+val of_materialized : active:int list -> ?free:int list -> Mmd.Instance.t -> t
+(** Inverse of {!materialize} given the active slot set — used by
+    snapshot restore. Slots outside [active] are free; [free] fixes
+    their reuse order (it must be a permutation of exactly those
+    slots, or @raise Invalid_argument). Without it joins after a
+    restore may pick different slots than the original view would
+    have, so replaying one delta log against both diverges. *)

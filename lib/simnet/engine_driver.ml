@@ -1,0 +1,106 @@
+module C = Engine.Controller
+
+type stats = {
+  sim_time : float;
+  utility_time : float;
+  joins : int;
+  leaves : int;
+  peak_population : int;
+  final_utility : float;
+  report : Engine.Counters.report;
+}
+
+let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
+    ?(epoch = C.Drift 0.05) ?(churn = Engine.Churn.default) inst =
+  let ctrl = C.create ~policy:epoch inst in
+  let des = Des.create () in
+  let utility_time = ref 0. in
+  let last = ref 0. in
+  let joins = ref 0 and leaves = ref 0 and peak = ref 0 in
+  let integrate_to now =
+    utility_time := !utility_time +. (C.utility ctrl *. (now -. !last));
+    last := now
+  in
+  let depart slot des =
+    integrate_to (Des.now des);
+    ignore (C.apply ctrl (Engine.Delta.User_leave slot));
+    incr leaves
+  in
+  let schedule_departure slot =
+    Des.schedule des
+      ~delay:(Prelude.Sampling.exponential rng ~rate:(1. /. mean_dwell))
+      (depart slot)
+  in
+  let rec join des =
+    integrate_to (Des.now des);
+    let spec = Engine.Churn.random_user rng (C.view ctrl) churn in
+    (match C.apply ctrl (Engine.Delta.User_join spec) with
+    | Engine.View.Joined slot ->
+        incr joins;
+        peak := max !peak (Engine.View.active_count (C.view ctrl));
+        schedule_departure slot
+    | _ -> ());
+    Des.schedule des
+      ~delay:(Prelude.Sampling.exponential rng ~rate:join_rate)
+      join
+  in
+  (* The seed population churns out like everyone else. *)
+  List.iter schedule_departure (Engine.View.active_slots (C.view ctrl));
+  peak := Engine.View.active_count (C.view ctrl);
+  Des.schedule des
+    ~delay:(Prelude.Sampling.exponential rng ~rate:join_rate)
+    join;
+  Des.run ~until:duration des;
+  integrate_to duration;
+  { sim_time = duration;
+    utility_time = !utility_time;
+    joins = !joins;
+    leaves = !leaves;
+    peak_population = !peak;
+    final_utility = C.utility ctrl;
+    report = C.report ctrl }
+
+let policy ?(replan_every = 16) ?(epoch = C.Manual) inst =
+  let ctrl = C.create ~policy:epoch inst in
+  let usage = Baselines.Usage.create inst in
+  let live = Hashtbl.create 32 in
+  let offers_since = ref 0 in
+  let refresh () =
+    C.set_pinned ctrl (Hashtbl.fold (fun s () acc -> s :: acc) live []);
+    C.replan ctrl;
+    offers_since := 0
+  in
+  let offer ~now:_ ~duration:_ s =
+    if Baselines.Usage.admitted usage s then []
+    else begin
+      incr offers_since;
+      if
+        (not (Engine.Planner.is_admitted (C.planner ctrl) s))
+        && !offers_since >= replan_every
+      then refresh ();
+      if
+        Engine.Planner.is_admitted (C.planner ctrl) s
+        && Baselines.Usage.server_fits usage s
+      then begin
+        let users =
+          Engine.Planner.assignment (C.planner ctrl) |> fun plan ->
+          Array.to_list (Mmd.Instance.interested_users inst s)
+          |> List.filter (fun u ->
+                 Mmd.Assignment.assigns plan u s
+                 && Baselines.Usage.user_fits usage ~user:u ~stream:s)
+        in
+        if users = [] then []
+        else begin
+          Baselines.Usage.admit usage ~stream:s ~users;
+          Hashtbl.replace live s ();
+          users
+        end
+      end
+      else []
+    end
+  in
+  let release s =
+    Baselines.Usage.release usage s;
+    Hashtbl.remove live s
+  in
+  { Policy.name = "engine"; offer; release }

@@ -1,0 +1,51 @@
+(** Driving the replanning engine from the discrete-event simulator.
+
+    Two integrations:
+
+    - {!run} simulates {e user} churn: households join as a Poisson
+      process (tastes drawn by {!Engine.Churn.random_user}, Zipf over
+      catalog popularity) and dwell for an exponential time; every
+      arrival and departure is fed to an {!Engine.Controller.t} as a
+      delta, and plan utility is integrated over time
+      ("viewer-value-time" of the maintained plan).
+
+    - {!policy} backs a {!Headend} admission policy with an engine:
+      live sessions are pinned into the engine's view, the plan is
+      refreshed every [replan_every] offers, and a stream offer is
+      accepted exactly when the current plan transmits it. This is
+      {!Policy.static_plan} upgraded from a frozen offline plan to a
+      plan that follows the churn. *)
+
+type stats = {
+  sim_time : float;
+  utility_time : float;  (** ∫ plan-utility dt over the run *)
+  joins : int;
+  leaves : int;
+  peak_population : int;
+  final_utility : float;
+  report : Engine.Counters.report;
+}
+
+val run :
+  rng:Prelude.Rng.t ->
+  ?duration:float ->
+  ?join_rate:float ->
+  ?mean_dwell:float ->
+  ?epoch:Engine.Controller.epoch_policy ->
+  ?churn:Engine.Churn.params ->
+  Mmd.Instance.t ->
+  stats
+(** Defaults: duration 1000, join rate 0.2, mean dwell 400, epoch
+    policy [Drift 0.05]. The instance's own users form the initial
+    population (they churn out too); its streams are the fixed
+    catalog. *)
+
+val policy :
+  ?replan_every:int -> ?epoch:Engine.Controller.epoch_policy ->
+  Mmd.Instance.t -> Policy.t
+(** Engine-backed admission for {!Headend.run}. [replan_every]
+    (default 16) bounds how many offers may arrive between plan
+    refreshes; [epoch] is the engine's own delta policy (default
+    [Manual] — the policy triggers replans itself). Resource
+    accounting goes through {!Baselines.Usage}, so the policy never
+    violates a budget or capacity even mid-epoch. *)

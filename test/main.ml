@@ -27,4 +27,5 @@ let () =
       ("presolve", Test_presolve.suite);
       ("hierarchy", Test_hierarchy.suite);
       ("builder", Test_builder.suite);
-      ("viewer-sim", Test_viewer_sim.suite) ]
+      ("viewer-sim", Test_viewer_sim.suite);
+      ("engine", Test_engine.suite) ]

@@ -1,0 +1,333 @@
+open Helpers
+module D = Engine.Delta
+module V = Engine.View
+module P = Engine.Planner
+module C = Engine.Controller
+
+(* A small deterministic MMD instance plus a churn log for it. *)
+let world seed =
+  let rng = Prelude.Rng.create seed in
+  let inst =
+    Workloads.Generator.instance rng
+      { Workloads.Generator.default with
+        num_streams = 25;
+        num_users = 15;
+        m = 2;
+        mc = 1;
+        density = 0.25;
+        budget_fraction = 0.3 }
+  in
+  let log =
+    Engine.Churn.generate ~rng (V.of_instance inst)
+      { Engine.Churn.default with deltas = 120 }
+  in
+  (inst, log)
+
+(* ---------- Delta serialization ---------- *)
+
+let sample_log =
+  [ D.User_join
+      { D.utility_cap = infinity;
+        capacity = [| 7.5 |];
+        interests = [ (0, 2., [| 2. |]); (3, 0.125, [| 0.125 |]) ] };
+    D.User_join
+      { D.utility_cap = 4.25; capacity = [| infinity |]; interests = [] };
+    D.User_leave 2;
+    D.Stream_cost_change { stream = 1; costs = [| 3.; 0.5 |] };
+    D.Budget_resize [| 10.; infinity |] ]
+
+let test_delta_roundtrip () =
+  let text = D.log_to_string sample_log in
+  let back = D.log_of_string text in
+  check_int "length" (List.length sample_log) (List.length back);
+  List.iter2
+    (fun a b ->
+      check_bool (Printf.sprintf "delta %s survives" (D.kind a)) true (a = b))
+    sample_log back
+
+let test_delta_comments_and_errors () =
+  let log = D.log_of_string "# header\n\nleave 4\n  # indented comment\n" in
+  check_bool "comments skipped" true (log = [ D.User_leave 4 ]);
+  (match D.log_of_string "leave 1\nbogus 2\n" with
+  | exception Failure msg ->
+      check_bool "line number in error" true (contains msg "2")
+  | _ -> Alcotest.fail "expected parse failure");
+  match D.of_string "cost 0" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected arity failure"
+
+let test_churn_log_roundtrip () =
+  let _, log = world 7 in
+  let back = D.log_of_string (D.log_to_string log) in
+  check_bool "generated log survives text round-trip" true (log = back)
+
+(* ---------- View semantics ---------- *)
+
+let test_view_join_leave_slots () =
+  let inst, _ = world 11 in
+  let v = V.of_instance inst in
+  let n0 = V.active_count v in
+  check_int "all users active initially" (Mmd.Instance.num_users inst) n0;
+  let spec =
+    { D.utility_cap = infinity;
+      capacity = [| infinity |];
+      interests = [ (0, 1., [| 1. |]) ] }
+  in
+  let slot =
+    match V.apply v (D.User_join spec) with
+    | V.Joined s -> s
+    | _ -> Alcotest.fail "expected Joined"
+  in
+  check_int "fresh slot appended" n0 slot;
+  check_int "population grew" (n0 + 1) (V.active_count v);
+  ignore (V.apply v (D.User_leave 3));
+  check_bool "slot 3 inactive" false (V.is_active v 3);
+  check_float "inactive slot utility zeroed" 0. (V.utility v 3 0);
+  (match V.apply v (D.User_join spec) with
+  | V.Joined s -> check_int "freed slot reused" 3 s
+  | _ -> Alcotest.fail "expected Joined");
+  match V.apply v (D.User_leave 3) with
+  | V.Left _ -> (
+      match V.apply v (D.User_leave 3) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "double leave must be rejected")
+  | _ -> Alcotest.fail "expected Left"
+
+let test_view_clamping_invariants () =
+  let inst, _ = world 13 in
+  let v = V.of_instance inst in
+  (* A cost far above the budget is clamped down to it. *)
+  let huge = Array.init (V.m v) (fun i -> 1e12 +. float i) in
+  ignore (V.apply v (D.Stream_cost_change { stream = 0; costs = huge }));
+  for i = 0 to V.m v - 1 do
+    check_bool "cost clamped to budget" true
+      (V.server_cost v 0 i <= V.budget v i)
+  done;
+  (* Shrinking a budget drags oversized costs down with it. *)
+  let shrunk = Array.init (V.m v) (fun i -> V.budget v i /. 4.) in
+  ignore (V.apply v (D.Budget_resize shrunk));
+  for s = 0 to V.num_streams v - 1 do
+    for i = 0 to V.m v - 1 do
+      check_bool "every stream still fits every budget" true
+        (V.server_cost v s i <= V.budget v i)
+    done
+  done;
+  (* Materialization of any reachable state is a valid instance. *)
+  let frozen = V.materialize v in
+  check_int "slots preserved" (V.num_slots v) (Mmd.Instance.num_users frozen)
+
+let test_view_copy_isolated () =
+  let inst, log = world 17 in
+  let v = V.of_instance inst in
+  let w = V.copy v in
+  List.iter (fun d -> ignore (V.apply w d)) log;
+  check_int "original untouched" (Mmd.Instance.num_users inst)
+    (V.active_count v);
+  check_int "original version untouched" 0 (V.version v)
+
+(* ---------- Planner: lazy vs eager ---------- *)
+
+let test_lazy_equals_eager () =
+  for seed = 1 to 8 do
+    let inst, log = world (100 + seed) in
+    let v = V.of_instance inst in
+    List.iter (fun d -> ignore (V.apply v d)) log;
+    let lazy_util, lazy_evals = C.scratch ~mode:P.Lazy v in
+    let eager_util, eager_evals = C.scratch ~mode:P.Eager v in
+    check_float "same utility" eager_util lazy_util;
+    check_bool "lazy never evaluates more" true (lazy_evals <= eager_evals)
+  done
+
+let test_lazy_saves_on_big_instances () =
+  let rng = Prelude.Rng.create 42 in
+  let inst =
+    Workloads.Generator.instance rng
+      { Workloads.Generator.default with
+        num_streams = 80;
+        num_users = 60;
+        density = 0.15;
+        budget_fraction = 0.2 }
+  in
+  let v = V.of_instance inst in
+  let _, lazy_evals = C.scratch ~mode:P.Lazy v in
+  let _, eager_evals = C.scratch ~mode:P.Eager v in
+  check_bool
+    (Printf.sprintf "laziness pays off (%d lazy vs %d eager)" lazy_evals
+       eager_evals)
+    true
+    (lazy_evals < eager_evals)
+
+(* ---------- Controller invariants under churn ---------- *)
+
+let check_consistent ~msg ctrl =
+  let frozen = V.materialize (C.view ctrl) in
+  let plan = C.plan ctrl in
+  check_bool (msg ^ ": plan feasible") true
+    (Mmd.Assignment.is_feasible frozen plan);
+  check_float_loose
+    (msg ^ ": incremental utility matches recomputed")
+    (Mmd.Assignment.utility frozen plan)
+    (C.utility ctrl)
+
+let test_controller_stays_consistent () =
+  let inst, log = world 23 in
+  let ctrl = C.create ~policy:(C.Every 16) inst in
+  check_consistent ~msg:"initial" ctrl;
+  List.iteri
+    (fun i d ->
+      ignore (C.apply ctrl d);
+      check_consistent ~msg:(Printf.sprintf "after delta %d" i) ctrl)
+    log
+
+let test_replan_matches_scratch () =
+  let inst, log = world 29 in
+  let ctrl = C.create ~policy:C.Manual inst in
+  C.apply_all ctrl log;
+  C.replan ctrl;
+  let scratch_util, _ = C.scratch (C.view ctrl) in
+  check_float_loose "replan equals from-scratch solve" scratch_util
+    (C.utility ctrl)
+
+(* Metamorphic property: whatever the delta sequence, after a final
+   replan the maintained plan is feasible and exactly as good as
+   solving the mutated world from scratch — and never worse than the
+   best single stream (the §2.2 guarantee anchor). *)
+let metamorphic_prop (seed, deltas, policy) =
+  let rng = Prelude.Rng.create seed in
+  let inst =
+    Workloads.Generator.instance rng
+      { Workloads.Generator.default with
+        num_streams = 15;
+        num_users = 10;
+        m = 2;
+        mc = 1;
+        density = 0.3;
+        budget_fraction = 0.35 }
+  in
+  let log =
+    Engine.Churn.generate ~rng (V.of_instance inst)
+      { Engine.Churn.default with deltas }
+  in
+  let ctrl = C.create ~policy inst in
+  C.apply_all ctrl log;
+  C.replan ctrl;
+  let frozen = V.materialize (C.view ctrl) in
+  let plan = C.plan ctrl in
+  let scratch_util, _ = C.scratch (C.view ctrl) in
+  let best_single =
+    match P.best_single (C.planner ctrl) with Some (_, w) -> w | None -> 0.
+  in
+  Mmd.Assignment.is_feasible frozen plan
+  && Float.abs (C.utility ctrl -. Mmd.Assignment.utility frozen plan) < 1e-6
+  && Float.abs (C.utility ctrl -. scratch_util)
+     <= 1e-6 *. Float.max 1. scratch_util
+  && C.utility ctrl +. 1e-9 >= best_single
+
+let qcheck_metamorphic =
+  qtest ~count:60 "metamorphic: churn then replan = scratch"
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (int_range 0 150)
+        (oneofl [ C.Every 8; C.Every 32; C.Drift 0.05; C.Manual ]))
+    metamorphic_prop
+
+(* ---------- Counters ---------- *)
+
+let test_counters_accounting () =
+  let inst, log = world 31 in
+  let ctrl = C.create ~policy:(C.Every 10) inst in
+  C.apply_all ctrl log;
+  let r = C.report ctrl in
+  check_int "every delta counted" (List.length log) r.Engine.Counters.deltas;
+  check_int "kind counts add up" r.Engine.Counters.deltas
+    (r.Engine.Counters.joins + r.Engine.Counters.leaves
+   + r.Engine.Counters.cost_changes + r.Engine.Counters.budget_resizes);
+  check_bool "epoch policy fired" true (r.Engine.Counters.replans >= 12);
+  check_bool "lazy saved work" true (r.Engine.Counters.evals_saved > 0);
+  check_int "saved = equivalent - actual" r.Engine.Counters.evals_saved
+    (max 0 (r.Engine.Counters.eager_equiv - r.Engine.Counters.evals))
+
+(* ---------- Snapshot round-trip ---------- *)
+
+let test_snapshot_roundtrip () =
+  let inst, log = world 37 in
+  let front, back =
+    let rec split i acc = function
+      | rest when i = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | d :: rest -> split (i - 1) (d :: acc) rest
+    in
+    split 60 [] log
+  in
+  let ctrl = C.create ~policy:(C.Every 16) inst in
+  C.apply_all ctrl front;
+  let text = Engine.Snapshot.save ctrl in
+  check_bool "magic recognized" true (Engine.Snapshot.is_snapshot text);
+  check_bool "instance text is not a snapshot" false
+    (Engine.Snapshot.is_snapshot (Mmd.Io.to_string inst));
+  let restored = Engine.Snapshot.load text in
+  check_float "utility restored" (C.utility ctrl) (C.utility restored);
+  check_bool "plan restored" true
+    (P.admitted (C.planner ctrl) = P.admitted (C.planner restored));
+  check_bool "policy restored" true (C.policy ctrl = C.policy restored);
+  check_int "delta count restored"
+    (Engine.Counters.deltas (C.counters ctrl))
+    (Engine.Counters.deltas (C.counters restored));
+  (* The restored controller continues exactly like the original. *)
+  C.apply_all ctrl back;
+  C.apply_all restored back;
+  check_float "futures agree" (C.utility ctrl) (C.utility restored);
+  check_bool "future plans agree" true
+    (P.admitted (C.planner ctrl) = P.admitted (C.planner restored))
+
+(* ---------- Simnet integration ---------- *)
+
+let test_engine_driver_run () =
+  let inst, _ = world 41 in
+  let rng = Prelude.Rng.create 5 in
+  let stats =
+    Simnet.Engine_driver.run ~rng ~duration:200. ~join_rate:0.3
+      ~mean_dwell:60. inst
+  in
+  check_bool "population churned" true (stats.Simnet.Engine_driver.joins > 0);
+  check_bool "departures happened" true
+    (stats.Simnet.Engine_driver.leaves > 0);
+  check_bool "utility accrued" true
+    (stats.Simnet.Engine_driver.utility_time > 0.)
+
+let test_engine_policy_no_violations () =
+  let inst, _ = world 43 in
+  let rng = Prelude.Rng.create 9 in
+  let config =
+    { Simnet.Headend.default_config with duration = 300.; arrival_rate = 0.4 }
+  in
+  let m =
+    Simnet.Headend.run ~rng ~config inst (fun t ->
+        Simnet.Engine_driver.policy t)
+  in
+  check_int "no budget or capacity violations" 0 m.Simnet.Headend.violations;
+  check_bool "some sessions admitted" true (m.Simnet.Headend.accepted > 0)
+
+let suite =
+  [ Alcotest.test_case "delta round-trip" `Quick test_delta_roundtrip;
+    Alcotest.test_case "delta comments and errors" `Quick
+      test_delta_comments_and_errors;
+    Alcotest.test_case "churn log round-trip" `Quick test_churn_log_roundtrip;
+    Alcotest.test_case "view join/leave slots" `Quick
+      test_view_join_leave_slots;
+    Alcotest.test_case "view clamping invariants" `Quick
+      test_view_clamping_invariants;
+    Alcotest.test_case "view copy isolation" `Quick test_view_copy_isolated;
+    Alcotest.test_case "lazy = eager plans" `Quick test_lazy_equals_eager;
+    Alcotest.test_case "lazy saves evaluations" `Quick
+      test_lazy_saves_on_big_instances;
+    Alcotest.test_case "controller consistency under churn" `Quick
+      test_controller_stays_consistent;
+    Alcotest.test_case "replan matches scratch solve" `Quick
+      test_replan_matches_scratch;
+    qcheck_metamorphic;
+    Alcotest.test_case "counters accounting" `Quick test_counters_accounting;
+    Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "engine driver user churn" `Quick
+      test_engine_driver_run;
+    Alcotest.test_case "engine head-end policy" `Quick
+      test_engine_policy_no_violations ]
