@@ -1,0 +1,151 @@
+(* E15 — multicore execution layer. Times the Sviridenko partial
+   enumeration (max_enum_size = 2) on the E8 instance family at
+   1/2/4/8 domains, checks that every parallel plan is identical to
+   the sequential one, and records the single-domain timings of the
+   E8 reference solvers (fixed greedy, full pipeline) so later PRs
+   can spot sequential-path regressions. Results land in
+   BENCH_parallel.json.
+
+   VDMC_SMOKE=1 shrinks the instance to n=200 for CI: the point there
+   is the determinism check, not the speedup. *)
+
+open Exp_common
+module Pool = Prelude.Pool
+
+let json_out = "BENCH_parallel.json"
+
+(* VDMC_E15_DOMAINS="1,2" narrows the sweep (calibration runs). *)
+let domain_counts () =
+  match Sys.getenv_opt "VDMC_E15_DOMAINS" with
+  | Some s ->
+      List.map int_of_string
+        (String.split_on_char ',' (String.trim s))
+  | None -> [ 1; 2; 4; 8 ]
+
+let same_plan a b =
+  A.num_users a = A.num_users b
+  &&
+  let ok = ref true in
+  for u = 0 to A.num_users a - 1 do
+    if A.user_streams a u <> A.user_streams b u then ok := false
+  done;
+  !ok
+
+let run () =
+  let smoke = Sys.getenv_opt "VDMC_SMOKE" <> None in
+  let n =
+    match Sys.getenv_opt "VDMC_E15_N" with
+    | Some s -> int_of_string s
+    | None -> if smoke then 200 else 800
+  in
+  (* One solve per domain count: Sviridenko at these sizes runs tens
+     of seconds, and the determinism check matters more than timing
+     variance. *)
+  let runs = 1 in
+  header "E15"
+    (Printf.sprintf "multicore solvers: speedup and determinism (n=%d)" n)
+  ;
+  let host_cores = Domain.recommended_domain_count () in
+  Printf.printf "host reports %d usable core(s)\n%!" host_cores;
+  let rng = Prelude.Rng.create (7000 + n) in
+  let inst = Workloads.Generator.smd_unit_skew rng ~num_streams:n ~num_users:20 in
+  let mmd_inst =
+    Workloads.Generator.instance rng
+      { Workloads.Generator.default with
+        num_streams = n;
+        num_users = 20;
+        m = 3;
+        mc = 2;
+        skew = 4. }
+  in
+  let solve () = Algorithms.Sviridenko.run_feasible ~max_enum_size:2 inst in
+  let table =
+    T.create
+      [ ("domains", T.Right); ("sviridenko (s)", T.Right);
+        ("speedup", T.Right); ("plan = seq", T.Right) ]
+  in
+  let baseline = ref nan in
+  let reference_plan = ref None in
+  let rows =
+    List.map
+      (fun d ->
+        Pool.with_num_domains d (fun () ->
+            (* runs = 1 (full size): the timed solve doubles as the
+               plan under comparison, so each domain count costs one
+               solve. Smoke re-times for a stable median. *)
+            let plan, first = time_it solve in
+            let seconds =
+              if runs <= 1 then first else median_time ~runs solve
+            in
+            let identical =
+              match !reference_plan with
+              | None ->
+                  reference_plan := Some plan;
+                  true
+              | Some reference -> same_plan reference plan
+            in
+            if d = 1 then baseline := seconds;
+            let speedup = !baseline /. seconds in
+            Printf.printf "  %d domain(s): %.3fs (%.2fx) plan=%s\n%!" d
+              seconds speedup
+              (if identical then "seq" else "DIVERGED");
+            T.add_row table
+              [ T.cell_i d;
+                Printf.sprintf "%.3f" seconds;
+                Printf.sprintf "%.2fx" speedup;
+                (if identical then "yes" else "NO") ];
+            (d, seconds, speedup, identical)))
+      (domain_counts ())
+  in
+  T.print table;
+  (* Sequential reference points for the no-regression criterion:
+     E8's other solvers at a forced single domain. *)
+  let greedy_seq, pipeline_seq =
+    Pool.with_num_domains 1 (fun () ->
+        ( median_time ~runs:3 (fun () ->
+              Algorithms.Greedy_fixed.run_feasible inst),
+          median_time ~runs:3 (fun () ->
+              Algorithms.Solve.full_pipeline mmd_inst) ))
+  in
+  Printf.printf
+    "sequential reference (1 domain): fixed greedy %.4fs, pipeline %.4fs\n"
+    greedy_seq pipeline_seq;
+  let plans_identical = List.for_all (fun (_, _, _, ok) -> ok) rows in
+  let speedup_at d =
+    match List.find_opt (fun (d', _, _, _) -> d' = d) rows with
+    | Some (_, _, s, _) -> s
+    | None -> nan
+  in
+  if not plans_identical then
+    print_endline "DETERMINISM VIOLATION: a parallel plan diverged";
+  let oc = open_out json_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e15_parallel\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"host_cores\": %d,\n\
+    \  \"instance\": { \"family\": \"e8_smd_unit_skew\", \"num_streams\": \
+     %d, \"num_users\": 20 },\n\
+    \  \"solver\": { \"name\": \"sviridenko\", \"max_enum_size\": 2 },\n\
+    \  \"runs\": [\n%s\n  ],\n\
+    \  \"speedup_2_domains\": %.3f,\n\
+    \  \"speedup_4_domains\": %.3f,\n\
+    \  \"speedup_8_domains\": %.3f,\n\
+    \  \"plans_identical\": %b,\n\
+    \  \"sequential_reference\": { \"fixed_greedy_seconds\": %.6f, \
+     \"pipeline_m3_mc2_seconds\": %.6f }\n\
+     }\n"
+    smoke host_cores n
+    (String.concat ",\n"
+       (List.map
+          (fun (d, seconds, speedup, identical) ->
+            Printf.sprintf
+              "    { \"domains\": %d, \"seconds\": %.6f, \"speedup\": \
+               %.3f, \"plan_identical\": %b }"
+              d seconds speedup identical)
+          rows))
+    (speedup_at 2) (speedup_at 4) (speedup_at 8) plans_identical greedy_seq
+    pipeline_seq;
+  close_out oc;
+  Printf.printf "results -> %s\n%!" json_out;
+  if not plans_identical then exit 1

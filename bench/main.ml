@@ -21,6 +21,7 @@ let experiments =
     ("e12", E12_presolve.run);
     ("e13", E13_mu_sensitivity.run);
     ("e14", E14_engine_churn.run);
+    ("e15", E15_parallel.run);
     ("micro", Microbench.run) ]
 
 let () =

@@ -29,7 +29,38 @@ let make_tests () =
     Workloads.Generator.smd_unit_skew (Prelude.Rng.create 7)
       ~num_streams:12 ~num_users:4
   in
-  [ Test.make ~name:"greedy/n=120"
+  let bits_n = 16_384 in
+  let bits = Prelude.Bitset.create bits_n in
+  let bools = Array.make bits_n false in
+  let sum_cols n f =
+    (* Shape of Greedy.init's residual pass: one float per stream,
+       each summing a small column. *)
+    let out = f n (fun s -> Float.of_int (s land 15) *. 0.5) in
+    ignore (Sys.opaque_identity out)
+  in
+  [ Test.make ~name:"bitset-sweep/n=16k"
+      (Staged.stage (fun () ->
+           for i = 0 to bits_n - 1 do
+             if i land 7 = 0 then Prelude.Bitset.set bits i
+             else Prelude.Bitset.clear bits i
+           done;
+           ignore (Sys.opaque_identity (Prelude.Bitset.count bits))));
+    Test.make ~name:"boolarray-sweep/n=16k"
+      (Staged.stage (fun () ->
+           let count = ref 0 in
+           for i = 0 to bits_n - 1 do
+             bools.(i) <- i land 7 = 0;
+             if bools.(i) then incr count
+           done;
+           ignore (Sys.opaque_identity !count)));
+    Test.make ~name:"pool-float-init/n=4096"
+      (Staged.stage (fun () ->
+           sum_cols 4096 (Prelude.Pool.float_init ~chunk:64)));
+    Test.make ~name:"seq-float-init/n=4096"
+      (Staged.stage (fun () ->
+           Prelude.Pool.with_num_domains 1 (fun () ->
+               sum_cols 4096 (Prelude.Pool.float_init ~chunk:64))));
+    Test.make ~name:"greedy/n=120"
       (Staged.stage (fun () -> Algorithms.Greedy.run smd));
     Test.make ~name:"fixed-greedy/n=120"
       (Staged.stage (fun () -> Algorithms.Greedy_fixed.run_feasible smd));

@@ -22,8 +22,9 @@ let read_all path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
-    compare_scratch snapshot_out plan_out =
+    compare_scratch snapshot_out plan_out domains =
   match
+    Prelude.Pool.set_num_domains domains;
     let policy =
       match C.policy_of_string epoch with
       | Ok p -> p
@@ -159,12 +160,24 @@ let plan_out =
     & opt (some string) None
     & info [ "plan-out" ] ~docv:"FILE" ~doc:"Write the final plan.")
 
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Number of OCaml domains for the parallel planner stages \
+           (default: $(b,VDMC_DOMAINS), else the machine's recommended \
+           count minus one). $(b,1) forces the exact sequential path; \
+           plans are bit-identical at every setting.")
+
 let cmd =
   let doc = "replay a churn delta log through the replanning engine" in
   Cmd.v (Cmd.info "mmd_engine" ~doc)
     Term.(
       term_result
         (const engine_run $ file $ deltas_in $ gen_deltas $ seed $ deltas_out
-       $ epoch $ skip_final $ compare_scratch $ snapshot_out $ plan_out))
+       $ epoch $ skip_final $ compare_scratch $ snapshot_out $ plan_out
+       $ domains))
 
 let () = exit (Cmd.eval cmd)

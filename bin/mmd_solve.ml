@@ -12,8 +12,9 @@ module I = Mmd.Instance
 module A = Mmd.Assignment
 
 let solve_run file algo_name exact lp_bound verbose margin stats plan_out
-    plan_in =
+    plan_in domains =
   match
+    Prelude.Pool.set_num_domains domains;
     let instance = Mmd.Io.read_file file in
     if verbose then Format.printf "Loaded %a@." I.pp instance;
     if stats then begin
@@ -131,6 +132,17 @@ let plan_in =
           "Evaluate a previously saved assignment against the instance \
            instead of solving.")
 
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Number of OCaml domains for the parallel solvers (default: \
+           $(b,VDMC_DOMAINS), else the machine's recommended count minus \
+           one). $(b,1) forces the exact sequential path; plans are \
+           bit-identical at every setting.")
+
 let cmd =
   let doc = "solve a Multi-budget Multi-client Distribution instance" in
   Cmd.v
@@ -138,6 +150,6 @@ let cmd =
     Term.(
       term_result
         (const solve_run $ file $ algorithm $ exact $ lp_bound $ verbose
-       $ margin $ stats $ plan_out $ plan_in))
+       $ margin $ stats $ plan_out $ plan_in $ domains))
 
 let () = exit (Cmd.eval cmd)

@@ -1,4 +1,5 @@
 module I = Mmd.Instance
+module B = Prelude.Bitset
 
 type t = {
   assignment : Mmd.Assignment.t;
@@ -13,14 +14,17 @@ let effective_cap inst u =
 
 (* Mutable greedy state. [resid.(u)] is the fractional residual utility
    of user u; [stream_resid.(s)] is the fractional residual utility
-   w̄(S) of candidate stream s, maintained incrementally. *)
+   w̄(S) of candidate stream s, maintained incrementally. [assigned] is
+   a flat user-major bitset (bit [u * ns + s]): one bit per user-stream
+   pair keeps the whole membership table cache-resident where a
+   [bool array array] costs a word per pair. *)
 type state = {
   inst : I.t;
+  ns : int;
   resid : float array;
   stream_resid : float array;
   candidate : bool array;        (* still in C *)
-  assigned : bool array array;   (* user × stream *)
-  sets : int list array;         (* per user, reverse order of assignment *)
+  assigned : B.t;                (* user × stream, flat *)
   last : int option array;
   mutable budget_left : float;
   mutable picks_rev : int list;
@@ -30,18 +34,21 @@ type state = {
 let init inst =
   let ns = I.num_streams inst and nu = I.num_users inst in
   let resid = Array.init nu (fun u -> Float.max 0. (effective_cap inst u)) in
+  (* Each per-stream sum is an independent pure fold over that stream's
+     interested users, so fanning them across the pool preserves the
+     sequential result bit for bit. *)
   let stream_resid =
-    Array.init ns (fun s ->
+    Prelude.Pool.float_init ~chunk:128 ns (fun s ->
         Array.fold_left
           (fun acc u -> acc +. Float.min (I.utility inst u s) resid.(u))
           0. (I.interested_users inst s))
   in
   { inst;
+    ns;
     resid;
     stream_resid;
     candidate = Array.make ns true;
-    assigned = Array.init nu (fun _ -> Array.make ns false);
-    sets = Array.make nu [];
+    assigned = B.create (nu * ns);
     last = Array.make nu None;
     budget_left = I.budget inst 0;
     picks_rev = [];
@@ -57,16 +64,22 @@ let assign st s =
   st.picks_rev <- s :: st.picks_rev;
   Array.iter
     (fun u ->
-      if st.resid.(u) > 0. && not st.assigned.(u).(s) then begin
-        st.assigned.(u).(s) <- true;
-        st.sets.(u) <- s :: st.sets.(u);
+      (* [base + s] indices stay inside [0, nu * ns) by construction
+         (u and s come from the instance), so the unchecked accessors
+         are safe here and keep the per-pair cost at a mask and a
+         shift. *)
+      let base = u * st.ns in
+      if st.resid.(u) > 0. && not (B.unsafe_get st.assigned (base + s))
+      then begin
+        B.unsafe_set st.assigned (base + s);
         st.last.(u) <- Some s;
         let old_resid = st.resid.(u) in
         let new_resid = Float.max 0. (old_resid -. I.utility inst u s) in
         st.resid.(u) <- new_resid;
         Array.iter
           (fun s' ->
-            if st.candidate.(s') && not st.assigned.(u).(s') then begin
+            if st.candidate.(s') && not (B.unsafe_get st.assigned (base + s'))
+            then begin
               let w = I.utility inst u s' in
               let updated =
                 st.stream_resid.(s')
@@ -139,7 +152,9 @@ let run ?(initial_streams = []) inst =
         loop ()
   in
   loop ();
-  { assignment = Mmd.Assignment.of_sets st.sets;
+  { assignment =
+      Mmd.Assignment.of_bitset ~num_users:(I.num_users inst) ~num_streams:st.ns
+        st.assigned;
     last_stream = st.last;
     first_blocked = st.first_blocked;
     picks = List.rev st.picks_rev }

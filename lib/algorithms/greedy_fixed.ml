@@ -2,23 +2,18 @@ module I = Mmd.Instance
 module A = Mmd.Assignment
 
 let best_single inst =
-  let best = ref None and best_value = ref 0. in
-  for s = 0 to I.num_streams inst - 1 do
-    let value =
-      Array.fold_left
-        (fun acc u ->
-          acc +. Float.min (I.utility inst u s) (I.utility_cap inst u))
-        0.
-        (I.interested_users inst s)
-    in
-    if value > !best_value then begin
-      best := Some s;
-      best_value := value
-    end
-  done;
-  match !best with
-  | None -> A.empty ~num_users:(I.num_users inst)
-  | Some s -> A.of_range inst [ s ]
+  let score s =
+    Array.fold_left
+      (fun acc u ->
+        acc +. Float.min (I.utility inst u s) (I.utility_cap inst u))
+      0.
+      (I.interested_users inst s)
+  in
+  (* Deterministic parallel argmax: lowest index wins ties, matching
+     the sequential strict-improvement scan. *)
+  match Prelude.Pool.argmax_float ~n:(I.num_streams inst) score with
+  | Some (s, value) when value > 0. -> A.of_range inst [ s ]
+  | _ -> A.empty ~num_users:(I.num_users inst)
 
 let pick_best inst candidates =
   let scored = List.map (fun a -> (A.utility inst a, a)) candidates in

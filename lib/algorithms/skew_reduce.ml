@@ -26,7 +26,10 @@ let sub_instances inst =
           Array.init ns (fun s -> [| I.load inst u s 0 |]))
     in
     let capacity = Array.init nu (fun u -> [| I.capacity inst u 0 |]) in
-    Array.init bands (fun band ->
+    (* Bands are independent projections of the same read-only
+       instance, so both building and (in [run]) solving them fan out
+       across the pool. *)
+    Prelude.Pool.init ~chunk:1 bands (fun band ->
         let utility =
           Array.init nu (fun u ->
               Array.init ns (fun s ->
@@ -48,15 +51,23 @@ let sub_instances inst =
 let run ?(solver = Greedy_fixed.run_feasible) inst =
   check inst;
   let subs = sub_instances inst in
+  (* Solve the unit-skew classes concurrently. [parallel_map] keeps
+     band order, and the strict fold below keeps the first maximum, so
+     the winner is the one the sequential loop would return. *)
+  let solved =
+    Prelude.Pool.parallel_map
+      (fun sub ->
+        let a = solver sub in
+        (A.utility inst a, a))
+      subs
+  in
   let best = ref (A.empty ~num_users:(I.num_users inst)) in
   let best_value = ref (-1.) in
   Array.iter
-    (fun sub ->
-      let a = solver sub in
-      let value = A.utility inst a in
+    (fun (value, a) ->
       if value > !best_value then begin
         best := a;
         best_value := value
       end)
-    subs;
+    solved;
   !best

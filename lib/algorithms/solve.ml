@@ -9,15 +9,26 @@ let zero_load inst u s =
   !zero
 
 let add_free_pairs inst a =
-  List.fold_left
-    (fun acc s ->
-      Array.fold_left
-        (fun acc u ->
-          if (not (A.assigns acc u s)) && zero_load inst u s then
-            A.add acc ~user:u ~stream:s
-          else acc)
-        acc (I.interested_users inst s))
-    a (A.range a)
+  let ns = I.num_streams inst in
+  (* One flat membership bitset instead of a per-add functional copy:
+     the repeated [assigns] list scans and O(users) array copies this
+     loop used to do collapse into O(1) bit tests and sets. *)
+  let bits = A.to_bitset ~num_streams:ns a in
+  let changed = ref false in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun u ->
+          let i = (u * ns) + s in
+          if (not (Prelude.Bitset.get bits i)) && zero_load inst u s then begin
+            Prelude.Bitset.set bits i;
+            changed := true
+          end)
+        (I.interested_users inst s))
+    (A.range a);
+  if !changed then
+    A.of_bitset ~num_users:(I.num_users inst) ~num_streams:ns bits
+  else a
 
 let full_pipeline ?(unit_solver = Greedy_fixed.run_feasible) inst =
   let reduced = Mmd_reduce.to_smd inst in
@@ -80,7 +91,7 @@ let admit_by_order inst order =
   A.of_sets sets
 
 let best_of inst =
-  let by_utility =
+  let by_utility () =
     let order = Array.init (I.num_streams inst) Fun.id in
     Array.sort
       (fun s1 s2 ->
@@ -90,10 +101,17 @@ let best_of inst =
       order;
     admit_by_order inst order
   in
+  (* The heuristics are independent whole-solver runs: fan them out,
+     then keep the first strict maximum in the fixed candidate order,
+     exactly as the sequential fold did. *)
   let candidates =
-    [ full_pipeline inst; Online_allocate.run_offline inst; by_utility ]
+    Prelude.Pool.parallel_map
+      (fun solve -> solve ())
+      [| (fun () -> full_pipeline inst);
+         (fun () -> Online_allocate.run_offline inst);
+         (fun () -> by_utility ()) |]
   in
-  List.fold_left
+  Array.fold_left
     (fun (bw, ba) a ->
       let w = A.utility inst a in
       if w > bw then (w, a) else (bw, ba))

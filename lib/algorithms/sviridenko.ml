@@ -13,53 +13,78 @@ let fits inst streams =
   let total = List.fold_left (fun acc s -> acc +. cost inst s) 0. streams in
   Prelude.Float_ops.leq total (I.budget inst 0)
 
-(* All budget-feasible subsets of cardinality in [1, k], as lists. *)
-let feasible_subsets inst k =
+(* Stream the budget-feasible subsets of cardinality in [1, k] whose
+   smallest element lies in [lo, hi), in lexicographic order, to [f].
+   Nothing is materialized: memory stays O(1) per enumeration however
+   large the O(|S|^k) subset space gets, and slicing on the first
+   element gives the pool a deterministic work grid. *)
+let iter_feasible_subsets inst k ~lo ~hi f =
   let ns = I.num_streams inst in
-  let acc = ref [] in
-  for a = 0 to ns - 1 do
+  for a = lo to hi - 1 do
     if fits inst [ a ] then begin
-      acc := [ a ] :: !acc;
+      f [ a ];
       if k >= 2 then
         for b = a + 1 to ns - 1 do
           if fits inst [ a; b ] then begin
-            acc := [ a; b ] :: !acc;
+            f [ a; b ];
             if k >= 3 then
               for c = b + 1 to ns - 1 do
-                if fits inst [ a; b; c ] then acc := [ a; b; c ] :: !acc
+                if fits inst [ a; b; c ] then f [ a; b; c ]
               done
           end
         done
     end
-  done;
-  !acc
+  done
 
-(* Candidate solutions: every feasible set of size < k as-is, every
-   feasible set of size exactly k completed greedily. [refine] maps a
-   greedy result to the candidate assignments extracted from it. *)
-let candidates inst max_enum_size refine =
-  let subsets = feasible_subsets inst max_enum_size in
-  let from_subset streams =
-    if List.length streams = max_enum_size then
-      refine (Greedy.run ~initial_streams:streams inst)
-    else [ Feasible_repair.trim_caps inst (A.of_range inst streams) ]
-  in
-  (A.empty ~num_users:(I.num_users inst) :: refine (Greedy.run inst))
-  @ List.concat_map from_subset subsets
+(* Candidates from one subset: a feasible set of size exactly k is
+   completed greedily and refined; smaller sets stand as-is. *)
+let subset_candidates inst max_enum_size refine streams =
+  if List.length streams = max_enum_size then
+    refine (Greedy.run ~initial_streams:streams inst)
+  else [ Feasible_repair.trim_caps inst (A.of_range inst streams) ]
 
-let best inst assignments =
+let fold_best inst acc candidates =
   List.fold_left
     (fun (bw, ba) a ->
       let w = A.utility inst a in
-      if w > bw then (w, a) else (bw, ba))
-    (-1., A.empty ~num_users:(I.num_users inst))
-    assignments
-  |> snd
+      if w > bw then (w, Some a) else (bw, ba))
+    acc candidates
+
+(* Best candidate over base solutions plus every enumerated subset.
+   Subsets are scored as they are produced, chunk-locally, and the
+   chunk winners combine in ascending chunk order with a strict
+   comparison — so the winner is exactly the sequential scan's first
+   strict maximum, at any domain count. *)
+let best_enumerated inst max_enum_size refine base =
+  let ns = I.num_streams inst in
+  let base_best = fold_best inst (-1., None) base in
+  let local lo hi =
+    let acc = ref (-1., None) in
+    iter_feasible_subsets inst max_enum_size ~lo ~hi (fun streams ->
+        acc :=
+          fold_best inst !acc (subset_candidates inst max_enum_size refine streams));
+    !acc
+  in
+  let best =
+    match
+      Prelude.Pool.reduce_chunks ~chunk:4 ~local
+        ~combine:(fun (bw, ba) (bw', ba') ->
+          if bw' > bw then (bw', ba') else (bw, ba))
+        ns
+    with
+    | Some (bw, ba) when bw > fst base_best -> ba
+    | _ -> snd base_best
+  in
+  match best with
+  | None -> A.empty ~num_users:(I.num_users inst)
+  | Some a -> a
 
 let run_augmented ?(max_enum_size = 3) inst =
   check_preconditions inst max_enum_size;
-  best inst
-    (candidates inst max_enum_size (fun (g : Greedy.t) -> [ g.assignment ]))
+  best_enumerated inst max_enum_size
+    (fun (g : Greedy.t) -> [ g.assignment ])
+    [ A.empty ~num_users:(I.num_users inst);
+      (Greedy.run inst).assignment ]
 
 let run_feasible ?(max_enum_size = 3) inst =
   check_preconditions inst max_enum_size;
@@ -68,4 +93,7 @@ let run_feasible ?(max_enum_size = 3) inst =
     if A.is_feasible inst g.assignment then [ g.assignment; a1; a2 ]
     else [ a1; a2 ]
   in
-  best inst (Greedy_fixed.best_single inst :: candidates inst max_enum_size refine)
+  best_enumerated inst max_enum_size refine
+    (Greedy_fixed.best_single inst
+    :: A.empty ~num_users:(I.num_users inst)
+    :: refine (Greedy.run inst))

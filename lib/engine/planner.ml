@@ -187,9 +187,12 @@ let reset t =
   Array.fill t.delivered_util 0 t.slots 0.;
   Array.fill t.capped 0 t.slots 0.;
   t.total <- 0.;
-  for s = 0 to ns - 1 do
-    t.bound.(s) <- static_bound t s
-  done
+  (* Scratch-replan heap seeding: the per-stream static bounds are
+     independent read-only sums over the view, so they fan out across
+     the pool; each per-stream sum is computed whole by one worker,
+     keeping the floats bit-identical to the sequential loop. *)
+  let bounds = Prelude.Pool.float_init ~chunk:64 ns (fun s -> static_bound t s) in
+  Array.blit bounds 0 t.bound 0 ns
 
 let best_single t =
   let best = ref None in

@@ -18,6 +18,28 @@ let of_range inst streams =
     streams;
   { sets = Array.map List.rev sets }
 
+let of_bitset ~num_users ~num_streams bits =
+  if Prelude.Bitset.length bits <> num_users * num_streams then
+    invalid_arg "Assignment.of_bitset: bitset length <> users * streams";
+  { sets =
+      Array.init num_users (fun u ->
+          let base = u * num_streams in
+          let acc = ref [] in
+          for s = num_streams - 1 downto 0 do
+            if Prelude.Bitset.get bits (base + s) then acc := s :: !acc
+          done;
+          !acc) }
+
+let to_bitset ~num_streams t =
+  let nu = Array.length t.sets in
+  let bits = Prelude.Bitset.create (nu * num_streams) in
+  Array.iteri
+    (fun u streams ->
+      let base = u * num_streams in
+      List.iter (fun s -> Prelude.Bitset.set bits (base + s)) streams)
+    t.sets;
+  bits
+
 let user_streams t u = t.sets.(u)
 let assigns t u s = List.mem s t.sets.(u)
 let num_users t = Array.length t.sets

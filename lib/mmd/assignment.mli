@@ -31,6 +31,21 @@ val of_range : Instance.t -> int list -> t
     giving it to more interested users never hurts the capped
     objective. *)
 
+val of_bitset : num_users:int -> num_streams:int -> Prelude.Bitset.t -> t
+(** Build from a flat user-major membership bitset: bit
+    [u * num_streams + s] set means user [u] receives stream [s].
+    This is the compact working representation used by the mutable
+    solver states ({!Algorithms.Greedy} in particular).
+
+    @raise Invalid_argument when the bitset length differs from
+    [num_users * num_streams]. *)
+
+val to_bitset : num_streams:int -> t -> Prelude.Bitset.t
+(** Flat user-major membership bitset of the assignment (inverse of
+    {!of_bitset}); gives O(1) {!assigns}-style checks to inner loops
+    that would otherwise scan per-user lists. [num_streams] must
+    exceed every assigned stream id. *)
+
 val user_streams : t -> int -> int list
 (** Streams assigned to user [u], ascending. *)
 

@@ -74,10 +74,14 @@ val utility_cap : t -> int -> float
 (** [utility_cap t u] is [W_u]. *)
 
 val interested_users : t -> int -> int array
-(** Users [u] with [utility t u s > 0], ascending. Precomputed. *)
+(** Users [u] with [utility t u s > 0], ascending. Memoized at
+    {!create} time: every call returns the {e same} physical array in
+    O(1), so marginal-evaluation inner loops may re-ask freely.
+    Callers must treat the array as immutable. *)
 
 val interesting_streams : t -> int -> int array
-(** Streams [s] with [utility t u s > 0], ascending. Precomputed. *)
+(** Streams [s] with [utility t u s > 0], ascending. Memoized at
+    {!create} time like {!interested_users}; treat as immutable. *)
 
 val stream_total_utility : t -> int -> float
 (** [w(S)] — sum of [utility u s] over all users. Precomputed. *)

@@ -1,0 +1,69 @@
+type t = { bits : Bytes.t; length : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative length";
+  { bits = Bytes.make ((n + 7) lsr 3) '\000'; length = n }
+
+let length t = t.length
+
+let check t i op =
+  if i < 0 || i >= t.length then
+    invalid_arg
+      (Printf.sprintf "Bitset.%s: index %d out of bounds [0, %d)" op i
+         t.length)
+
+let unsafe_get t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let get t i =
+  check t i "get";
+  unsafe_get t i
+
+let mem = get
+
+let unsafe_set t i =
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+let set t i =
+  check t i "set";
+  unsafe_set t i
+
+let clear t i =
+  check t i "clear";
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits byte)
+       land lnot (1 lsl (i land 7))))
+
+let assign t i b = if b then set t i else clear t i
+
+(* 8-bit popcount table, built once. *)
+let popcount8 =
+  Array.init 256 (fun b ->
+      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+      go b 0)
+
+let count t =
+  let acc = ref 0 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    acc := !acc + popcount8.(Char.code (Bytes.unsafe_get t.bits i))
+  done;
+  !acc
+
+let reset t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+let copy t = { bits = Bytes.copy t.bits; length = t.length }
+
+let iter_set t f =
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let b = Char.code (Bytes.unsafe_get t.bits byte) in
+    if b <> 0 then
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then f ((byte lsl 3) lor bit)
+      done
+  done
+
+let equal a b = a.length = b.length && Bytes.equal a.bits b.bits

@@ -1,0 +1,57 @@
+(** Compact bit vectors backed by [Bytes].
+
+    One bit per element instead of one word per [bool]: an
+    [n]-element set occupies [n/8] bytes in a single allocation, so
+    per-worker solver state stays cache-resident where a
+    [bool array array] would blow the working set up 64x.
+
+    All operations bounds-check and raise [Invalid_argument] on an
+    index outside [0, length - 1]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a set over [0 .. n-1] with every bit clear.
+    @raise Invalid_argument when [n < 0]. *)
+
+val length : t -> int
+(** Number of addressable bits. *)
+
+val get : t -> int -> bool
+(** [get t i] is true when bit [i] is set. *)
+
+val mem : t -> int -> bool
+(** Alias of {!get}, for set-membership call sites. *)
+
+val set : t -> int -> unit
+(** [set t i] sets bit [i]. *)
+
+val unsafe_get : t -> int -> bool
+(** {!get} without the bounds check. Only for loops whose index range
+    is already proven to lie inside [0, length): an out-of-range index
+    reads (or, for {!unsafe_set}, corrupts) adjacent memory. *)
+
+val unsafe_set : t -> int -> unit
+(** {!set} without the bounds check — same contract as
+    {!unsafe_get}. *)
+
+val clear : t -> int -> unit
+(** [clear t i] clears bit [i]. *)
+
+val assign : t -> int -> bool -> unit
+(** [assign t i b] sets bit [i] to [b]. *)
+
+val count : t -> int
+(** Number of set bits (population count). *)
+
+val reset : t -> unit
+(** Clear every bit. *)
+
+val copy : t -> t
+(** An independent copy. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set t f] applies [f] to every set bit index, ascending. *)
+
+val equal : t -> t -> bool
+(** Same length and same bits. *)

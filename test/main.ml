@@ -28,4 +28,5 @@ let () =
       ("hierarchy", Test_hierarchy.suite);
       ("builder", Test_builder.suite);
       ("viewer-sim", Test_viewer_sim.suite);
-      ("engine", Test_engine.suite) ]
+      ("engine", Test_engine.suite);
+      ("parallel", Test_parallel.suite) ]

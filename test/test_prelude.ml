@@ -281,6 +281,145 @@ let heap_replace_qcheck =
             replacements;
           Heap.to_sorted_list a = Heap.to_sorted_list b)
 
+(* ---------- Bitset ---------- *)
+
+module B = Prelude.Bitset
+
+let test_bitset_basics () =
+  let b = B.create 70 in
+  check_int "length" 70 (B.length b);
+  check_int "fresh count" 0 (B.count b);
+  B.set b 0;
+  B.set b 7;
+  B.set b 8;
+  B.set b 69;
+  check_bool "get set bit" true (B.get b 7);
+  check_bool "mem alias" true (B.mem b 8);
+  check_bool "unset bit" false (B.get b 9);
+  check_int "count" 4 (B.count b);
+  B.clear b 7;
+  check_bool "cleared" false (B.get b 7);
+  check_int "count after clear" 3 (B.count b);
+  B.assign b 5 true;
+  B.assign b 5 false;
+  check_bool "assign false" false (B.get b 5);
+  let seen = ref [] in
+  B.iter_set b (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "iter_set ascending" [ 0; 8; 69 ]
+    (List.rev !seen);
+  let c = B.copy b in
+  check_bool "copy equal" true (B.equal b c);
+  B.set c 1;
+  check_bool "copy independent" false (B.get b 1);
+  check_bool "not equal after set" false (B.equal b c);
+  B.reset b;
+  check_int "reset" 0 (B.count b)
+
+let test_bitset_bounds () =
+  let b = B.create 8 in
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Bitset.create: negative length") (fun () ->
+      ignore (B.create (-1)));
+  Alcotest.check_raises "get oob"
+    (Invalid_argument "Bitset.get: index 8 out of bounds [0, 8)") (fun () ->
+      ignore (B.get b 8));
+  Alcotest.check_raises "set oob"
+    (Invalid_argument "Bitset.set: index -1 out of bounds [0, 8)") (fun () ->
+      B.set b (-1));
+  Alcotest.check_raises "clear oob"
+    (Invalid_argument "Bitset.clear: index 8 out of bounds [0, 8)")
+    (fun () -> B.clear b 8)
+
+let bitset_qcheck =
+  qtest "bitset mirrors a bool array"
+    QCheck2.Gen.(list (pair (int_range 0 99) bool))
+    (fun ops ->
+      let b = B.create 100 in
+      let model = Array.make 100 false in
+      List.iter
+        (fun (i, v) ->
+          B.assign b i v;
+          model.(i) <- v)
+        ops;
+      let same = ref true in
+      Array.iteri (fun i v -> if B.get b i <> v then same := false) model;
+      !same
+      && B.count b = Array.fold_left (fun n v -> if v then n + 1 else n) 0 model)
+
+(* ---------- Pool ---------- *)
+
+module Pool = Prelude.Pool
+
+let test_pool_map_order () =
+  Pool.with_num_domains 4 (fun () ->
+      let xs = Array.init 1000 Fun.id in
+      let ys = Pool.parallel_map ~chunk:16 (fun x -> x * x) xs in
+      Alcotest.(check (array int)) "order preserved"
+        (Array.init 1000 (fun i -> i * i))
+        ys;
+      Alcotest.(check (array int)) "empty" [||]
+        (Pool.parallel_map (fun x -> x) [||]))
+
+let test_pool_float_sum_bits () =
+  (* Magnitude-spread terms: any re-association changes the bits. *)
+  let rng = Rng.create 99 in
+  let terms = Array.init 4000 (fun _ -> S.uniform_log rng ~lo:1e-12 ~hi:1e6) in
+  let reference = ref 0. in
+  Array.iter (fun x -> reference := !reference +. x) terms;
+  Pool.with_num_domains 4 (fun () ->
+      let summed =
+        Pool.for_reduce ~chunk:16 ~init:0.
+          ~f:(fun i -> terms.(i))
+          ~combine:( +. ) (Array.length terms)
+      in
+      check_bool "bit-identical float sum" true
+        (Int64.equal
+           (Int64.bits_of_float !reference)
+           (Int64.bits_of_float summed)))
+
+let test_pool_argmax_ties () =
+  Pool.with_num_domains 4 (fun () ->
+      let scores = [| 1.; 5.; 3.; 5.; 2. |] in
+      (match Pool.argmax_float ~chunk:2 ~n:5 (fun i -> scores.(i)) with
+      | Some (i, v) ->
+          check_int "lowest tied index" 1 i;
+          check_float "max value" 5. v
+      | None -> Alcotest.fail "expected a maximiser");
+      check_bool "empty argmax" true
+        (Pool.argmax_float ~n:0 (fun _ -> 0.) = None))
+
+let test_pool_exceptions () =
+  Pool.with_num_domains 4 (fun () ->
+      Alcotest.check_raises "task exception propagates" (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.init ~chunk:4 100 (fun i ->
+                 if i >= 10 then failwith "boom" else i)));
+      (* The pool survives a raising task and keeps producing correct
+         results. *)
+      let ys = Pool.parallel_map ~chunk:8 (fun x -> x + 1) (Array.init 64 Fun.id) in
+      Alcotest.(check (array int)) "reusable after raise"
+        (Array.init 64 (fun i -> i + 1))
+        ys)
+
+let test_pool_nested () =
+  Pool.with_num_domains 3 (fun () ->
+      (* A task that itself calls a combinator runs it inline. *)
+      let ys =
+        Pool.init ~chunk:1 8 (fun i ->
+            Pool.for_reduce ~init:0 ~f:Fun.id ~combine:( + ) (i + 1))
+      in
+      Alcotest.(check (array int)) "nested sums"
+        (Array.init 8 (fun i -> i * (i + 1) / 2))
+        ys)
+
+let test_pool_domain_count () =
+  check_bool "at least one domain" true (Pool.num_domains () >= 1);
+  Pool.with_num_domains 5 (fun () ->
+      check_int "forced count" 5 (Pool.num_domains ()));
+  Pool.with_num_domains 0 (fun () ->
+      check_int "clamped to 1" 1 (Pool.num_domains ()))
+
 (* ---------- Table ---------- *)
 
 let test_table_render () =
@@ -330,4 +469,13 @@ let suite =
     ("heap replace_top", `Quick, test_heap_replace_top);
     heap_qcheck;
     heap_replace_qcheck;
+    ("bitset basics", `Quick, test_bitset_basics);
+    ("bitset bounds", `Quick, test_bitset_bounds);
+    bitset_qcheck;
+    ("pool map order", `Quick, test_pool_map_order);
+    ("pool float sum bits", `Quick, test_pool_float_sum_bits);
+    ("pool argmax ties", `Quick, test_pool_argmax_ties);
+    ("pool exceptions", `Quick, test_pool_exceptions);
+    ("pool nested calls", `Quick, test_pool_nested);
+    ("pool domain count", `Quick, test_pool_domain_count);
     ("table render", `Quick, test_table_render) ]
