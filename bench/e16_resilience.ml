@@ -1,0 +1,258 @@
+(* E16 — resilience under injected faults. Two questions:
+
+   1. Utility under faults: replay a churn log while a seeded
+      {!Engine.Fault} schedule fires budget shocks, stream outages and
+      pool-task exceptions at delta boundaries. Shocks are persistent
+      regime changes, so the metric is how much utility the degraded-
+      mode repairs + supervised replans retain relative to the
+      fault-free run of the same log, and how fast each recovery was
+      (time-to-recover from the counters).
+
+   2. Crash-recovery latency: crash the engine halfway through a
+      WAL-backed run with periodic snapshots, then restore (snapshot +
+      WAL tail replay) and verify the recovered plan is bit-identical
+      to the uninterrupted run. Reported against the cost of replaying
+      the whole log from scratch.
+
+   Results land in BENCH_resilience.json. VDMC_SMOKE=1 shrinks the
+   world for CI: the point there is the bit-identical check, not the
+   timings. *)
+
+open Exp_common
+module C = Engine.Controller
+module F = Engine.Fault
+module W = Engine.Wal
+module S = Engine.Snapshot
+
+let json_out = "BENCH_resilience.json"
+
+let make_world ~num_streams ~num_users ~deltas seed =
+  let rng = Prelude.Rng.create seed in
+  let inst =
+    Workloads.Generator.instance rng
+      { Workloads.Generator.default with
+        num_streams;
+        num_users;
+        m = 2;
+        mc = 1;
+        density = 0.25;
+        budget_fraction = 0.3 }
+  in
+  let log =
+    Engine.Churn.generate ~rng
+      (Engine.View.of_instance inst)
+      { Engine.Churn.default with deltas }
+  in
+  (inst, log)
+
+(* Replay [log] firing the fault schedule at delta boundaries, the
+   same dispatch the simulation driver uses: shocks are absorbed
+   through the controller's degraded-mode repair, task exceptions go
+   through the supervised replan (first attempt dies, retry wins). *)
+let apply_with_faults ctrl log schedule =
+  List.iteri
+    (fun i d ->
+      ignore (C.apply ctrl d);
+      List.iter
+        (fun (e : F.event) ->
+          match e.F.kind with
+          | F.Budget_shock _ | F.Stream_outage _ -> (
+              match F.shock_delta (C.view ctrl) e.F.kind with
+              | Some shock -> ignore (C.absorb_shock ctrl shock)
+              | None -> ())
+          | F.Task_exn ->
+              Engine.Counters.note_fault (C.counters ctrl);
+              ignore
+                (Simnet.Engine_driver.supervised_replan
+                   ~inject:(fun ~attempt ->
+                     if attempt = 0 then F.raise_in_pool ())
+                   ctrl)
+          | F.Corrupt_log | F.Torn_snapshot ->
+              (* Storage faults attack the WAL/snapshot layer; the
+                 crash-recovery section exercises that path. *)
+              ())
+        (F.at schedule (i + 1)))
+    log
+
+let run () =
+  let smoke = Sys.getenv_opt "VDMC_SMOKE" <> None in
+  let num_streams = if smoke then 40 else 120 in
+  let num_users = if smoke then 25 else 80 in
+  let deltas = if smoke then 400 else 4000 in
+  let replicas = if smoke then 2 else 4 in
+  header "E16"
+    (Printf.sprintf
+       "resilience: utility under faults + crash recovery (n=%d, %d deltas)"
+       num_streams deltas);
+
+  (* ----- utility under injected faults ----- *)
+  let fault_counts = [ 0; 2; 5; 10 ] in
+  let table =
+    T.create
+      [ ("faults", T.Right); ("utility retained", T.Right);
+        ("recoveries", T.Right); ("evictions", T.Right);
+        ("mean ttr (ms)", T.Right); ("max ttr (ms)", T.Right);
+        ("fallbacks", T.Right) ]
+  in
+  let sweep =
+    List.map
+      (fun count ->
+        let ratios = ref []
+        and recoveries = ref 0
+        and evictions = ref 0
+        and fallbacks = ref 0
+        and ttrs = ref [] in
+        for r = 0 to replicas - 1 do
+          let seed = 1600 + (37 * r) in
+          let inst, log = make_world ~num_streams ~num_users ~deltas seed in
+          let baseline = C.create ~policy:(C.Every 100) inst in
+          C.apply_all baseline log;
+          C.replan baseline;
+          let schedule =
+            F.generate
+              ~rng:(Prelude.Rng.create (seed + (71 * (count + 1))))
+              ~deltas
+              ~num_streams:(Mmd.Instance.num_streams inst)
+              ~count
+          in
+          let ctrl = C.create ~policy:(C.Every 100) inst in
+          apply_with_faults ctrl log schedule;
+          C.replan ctrl;
+          let u0 = C.utility baseline and u = C.utility ctrl in
+          ratios := (if u0 > 0. then u /. u0 else 1.) :: !ratios;
+          let report = C.report ctrl in
+          recoveries := !recoveries + report.Engine.Counters.recoveries;
+          fallbacks := !fallbacks + report.Engine.Counters.fallbacks;
+          evictions := !evictions + report.Engine.Counters.evictions;
+          let lat = report.Engine.Counters.recovery_latency in
+          if lat.Prelude.Stats.count > 0 then
+            ttrs :=
+              (lat.Prelude.Stats.mean, lat.Prelude.Stats.max) :: !ttrs
+        done;
+        let mean_ratio =
+          List.fold_left ( +. ) 0. !ratios /. float (List.length !ratios)
+        in
+        let mean_ttr =
+          match !ttrs with
+          | [] -> 0.
+          | l ->
+              List.fold_left (fun acc (m, _) -> acc +. m) 0. l
+              /. float (List.length l)
+        in
+        let max_ttr =
+          List.fold_left (fun acc (_, mx) -> Float.max acc mx) 0. !ttrs
+        in
+        Printf.printf
+          "  %2d fault(s): utility retained %.4f, %d recoveries, %d \
+           evictions, %d fallbacks\n\
+           %!"
+          count mean_ratio !recoveries !evictions !fallbacks;
+        T.add_row table
+          [ T.cell_i count;
+            Printf.sprintf "%.4f" mean_ratio;
+            T.cell_i !recoveries;
+            T.cell_i !evictions;
+            Printf.sprintf "%.3f" (1000. *. mean_ttr);
+            Printf.sprintf "%.3f" (1000. *. max_ttr);
+            T.cell_i !fallbacks ];
+        (count, mean_ratio, !recoveries, !evictions, mean_ttr, max_ttr,
+         !fallbacks))
+      fault_counts
+  in
+  T.print table;
+
+  (* ----- crash-recovery latency ----- *)
+  let inst, log = make_world ~num_streams ~num_users ~deltas 1600 in
+  let policy = C.Every 100 in
+  let wal_path = Filename.temp_file "e16" ".wal" in
+  let snap_path = Filename.temp_file "e16" ".eng" in
+  W.write_file wal_path log;
+  let reference = C.create ~policy inst in
+  let (), full_seconds =
+    time_it (fun () ->
+        C.apply_all reference log;
+        C.replan reference)
+  in
+  (* The crashing run: checkpoint every deltas/10, die at the midpoint
+     — so recovery has a snapshot plus a WAL tail to replay. *)
+  let crash_at = deltas / 2 in
+  let every = max 1 (deltas / 10) in
+  let ctrl = C.create ~policy inst in
+  List.iteri
+    (fun i d ->
+      if i < crash_at then begin
+        ignore (C.apply ctrl d);
+        if (i + 1) mod every = 0 then S.write_file snap_path ctrl
+      end)
+    log;
+  (* "Power is back": load the latest snapshot generation, replay the
+     WAL records it does not cover, replan. *)
+  let restored = ref None in
+  let (), recovery_seconds =
+    time_it (fun () ->
+        let ctrl, _gen =
+          match S.read_file_result snap_path with
+          | Ok r -> r
+          | Error msg -> failwith msg
+        in
+        let records =
+          match W.recover_file wal_path with
+          | Ok r -> r.W.records
+          | Error msg -> failwith msg
+        in
+        let covered = C.deltas_applied ctrl in
+        List.iter
+          (fun (seq, d) -> if seq > covered then ignore (C.apply ctrl d))
+          records;
+        C.replan ctrl;
+        restored := Some ctrl)
+  in
+  let restored = Option.get !restored in
+  let bit_identical =
+    C.utility restored = C.utility reference
+    && Mmd.Io.assignment_to_string (C.plan restored)
+       = Mmd.Io.assignment_to_string (C.plan reference)
+  in
+  Printf.printf
+    "crash at delta %d/%d: full replay %.3fs, snapshot+wal recovery %.3fs \
+     (%.1fx), bit-identical: %s\n\
+     %!"
+    crash_at deltas full_seconds recovery_seconds
+    (if recovery_seconds > 0. then full_seconds /. recovery_seconds else 0.)
+    (if bit_identical then "yes" else "NO");
+  Sys.remove wal_path;
+  Sys.remove snap_path;
+  if Sys.file_exists (S.previous_path snap_path) then
+    Sys.remove (S.previous_path snap_path);
+
+  let oc = open_out json_out in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e16_resilience\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"instance\": { \"num_streams\": %d, \"num_users\": %d, \"m\": 2, \
+     \"mc\": 1 },\n\
+    \  \"deltas\": %d,\n\
+    \  \"replicas\": %d,\n\
+    \  \"fault_sweep\": [\n%s\n  ],\n\
+    \  \"crash_recovery\": { \"crash_at\": %d, \"snapshot_every\": %d, \
+     \"full_replay_seconds\": %.6f, \"recovery_seconds\": %.6f, \
+     \"speedup\": %.3f, \"bit_identical\": %b }\n\
+     }\n"
+    smoke num_streams num_users deltas replicas
+    (String.concat ",\n"
+       (List.map
+          (fun (count, ratio, recov, evict, mean_ttr, max_ttr, fb) ->
+            Printf.sprintf
+              "    { \"faults\": %d, \"utility_retained\": %.6f, \
+               \"recoveries\": %d, \"evictions\": %d, \
+               \"mean_ttr_seconds\": %.6f, \"max_ttr_seconds\": %.6f, \
+               \"fallbacks\": %d }"
+              count ratio recov evict mean_ttr max_ttr fb)
+          sweep))
+    crash_at every full_seconds recovery_seconds
+    (if recovery_seconds > 0. then full_seconds /. recovery_seconds else 0.)
+    bit_identical;
+  close_out oc;
+  Printf.printf "results -> %s\n%!" json_out;
+  if not bit_identical then exit 1

@@ -22,6 +22,7 @@ let experiments =
     ("e13", E13_mu_sensitivity.run);
     ("e14", E14_engine_churn.run);
     ("e15", E15_parallel.run);
+    ("e16", E16_resilience.run);
     ("micro", Microbench.run) ]
 
 let () =

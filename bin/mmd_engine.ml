@@ -3,26 +3,43 @@
 
    The positional FILE is either an instance file (the initial world)
    or an engine snapshot from a previous run (--snapshot-out); the two
-   are distinguished by content.
+   are distinguished by content. Delta logs come in two flavors,
+   also distinguished by content: the plain human-editable format and
+   the CRC-framed WAL (--wal-out / Engine.Wal). WAL replays recover
+   around corruption (quarantining bad records) and, when resuming
+   from a snapshot, skip the records the snapshot already covers.
 
    Examples:
      mmd_engine instance.mmd --deltas churn.log
      mmd_engine instance.mmd --gen-deltas 5000 --seed 7 --deltas-out churn.log
      mmd_engine instance.mmd --deltas churn.log --epoch drift:0.05 --compare
-     mmd_engine snapshot.eng --deltas more-churn.log --snapshot-out snapshot.eng
+     mmd_engine instance.mmd --deltas churn.wal --wal-out churn.wal \
+       --snapshot-out state.eng --snapshot-every 500
+     mmd_engine state.eng --deltas churn.wal     # resume after a crash
 *)
 
 open Cmdliner
 module C = Engine.Controller
 
 let read_all path =
-  let ic = open_in path in
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Everything the operator needs to resume is printed even when the
+   run dies mid-log: the last applied record, the epoch phase, and the
+   full counter report. *)
+let print_partial_state ctrl ~applied ~last_seq =
+  Format.printf "last applied: %d deltas this run (log seq %d)@." applied
+    last_seq;
+  Format.printf "lifetime deltas: %d, epoch phase: %d since last replan@."
+    (C.deltas_applied ctrl) (C.since_replan ctrl);
+  Format.printf "%a@." Engine.Counters.pp_report (C.report ctrl)
+
 let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
-    compare_scratch snapshot_out plan_out domains =
+    compare_scratch snapshot_out snapshot_every plan_out domains wal_out
+    crash_after =
   match
     Prelude.Pool.set_num_domains domains;
     let policy =
@@ -33,17 +50,72 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
     let text = read_all file in
     let ctrl =
       if Engine.Snapshot.is_snapshot text then begin
-        let ctrl = Engine.Snapshot.load text in
-        Format.printf "restored snapshot: %d slots active, utility %.6g@."
-          (Engine.View.active_count (C.view ctrl))
-          (C.utility ctrl);
-        ctrl
+        match Engine.Snapshot.load_result text with
+        | Ok ctrl ->
+            Format.printf
+              "restored snapshot: %d slots active, utility %.6g@."
+              (Engine.View.active_count (C.view ctrl))
+              (C.utility ctrl);
+            ctrl
+        | Error msg -> (
+            (* The on-disk fallback generation may still be good. *)
+            match Engine.Snapshot.read_file_result file with
+            | Ok (ctrl, Engine.Snapshot.Previous) ->
+                Format.printf
+                  "snapshot damaged (%s); fell back to previous generation: \
+                   %d slots active, utility %.6g@."
+                  msg
+                  (Engine.View.active_count (C.view ctrl))
+                  (C.utility ctrl);
+                ctrl
+            | Ok (ctrl, Engine.Snapshot.Current) -> ctrl
+            | Error msg -> failwith msg)
       end
       else C.create ~policy (Mmd.Io.of_string text)
     in
-    let deltas =
+    (* The replay stream: (seq, delta) pairs. Plain logs are numbered
+       from the controller's lifetime delta count; WAL records carry
+       their own authoritative sequence numbers. *)
+    let records =
       match (deltas_in, gen_deltas) with
-      | Some path, _ -> Engine.Delta.read_log path
+      | Some path, _ ->
+          let text = read_all path in
+          if Engine.Wal.is_wal text then begin
+            match Engine.Wal.recover_string text with
+            | Error msg -> failwith msg
+            | Ok r ->
+                if r.Engine.Wal.quarantined <> [] then begin
+                  let n = List.length r.Engine.Wal.quarantined in
+                  Engine.Counters.note_quarantined ~n (C.counters ctrl);
+                  Format.printf "WAL recovery: quarantined %d record(s)%s@."
+                    n
+                    (if r.Engine.Wal.torn_tail then
+                       " (including a torn tail)"
+                     else "");
+                  List.iteri
+                    (fun i (q : Engine.Wal.quarantined) ->
+                      if i < 10 then
+                        Format.printf "  line %d: %s@." q.Engine.Wal.line
+                          q.Engine.Wal.reason)
+                    r.Engine.Wal.quarantined;
+                  if n > 10 then Format.printf "  ... and %d more@." (n - 10)
+                end;
+                let already = C.deltas_applied ctrl in
+                let fresh, skipped =
+                  List.partition
+                    (fun (seq, _) -> seq > already)
+                    r.Engine.Wal.records
+                in
+                if skipped <> [] then
+                  Format.printf
+                    "resume: skipping %d record(s) already covered by the \
+                     snapshot (up to seq %d)@."
+                    (List.length skipped) already;
+                fresh
+          end
+          else
+            let base = C.deltas_applied ctrl in
+            List.mapi (fun i d -> (base + i + 1, d)) (Engine.Delta.log_of_string text)
       | None, Some n ->
           let rng = Prelude.Rng.create seed in
           let log =
@@ -55,19 +127,72 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
               Engine.Delta.write_log path log;
               Format.printf "wrote %d deltas to %s@." n path
           | None -> ());
-          log
+          let base = C.deltas_applied ctrl in
+          List.mapi (fun i d -> (base + i + 1, d)) log
       | None, None -> []
     in
+    let wal_writer =
+      match wal_out with
+      | Some path ->
+          (* Continue the sequence from what the log already holds, so
+             crash + resume keeps one coherent WAL. *)
+          let next_seq =
+            if Sys.file_exists path then
+              match Engine.Wal.recover_file path with
+              | Ok r -> r.Engine.Wal.last_seq + 1
+              | Error _ -> 1
+            else 1
+          in
+          Some (Engine.Wal.append_file ~next_seq path)
+      | None -> None
+    in
+    let applied = ref 0 in
+    let last_seq = ref (C.deltas_applied ctrl) in
     let t0 = Sys.time () in
-    C.apply_all ctrl deltas;
+    (try
+       List.iter
+         (fun (seq, d) ->
+           (match crash_after with
+           | Some n when !applied >= n ->
+               (* Simulated crash: no final replan, no snapshot, no
+                  cleanup — the recovery path has to cope. *)
+               Format.printf
+                 "simulated crash at delta boundary %d (next seq %d)@."
+                 !applied seq;
+               Format.print_flush ();
+               exit 3
+           | _ -> ());
+           ignore (C.apply ctrl d);
+           incr applied;
+           last_seq := seq;
+           (match wal_writer with
+           | Some w -> ignore (Engine.Wal.append w d)
+           | None -> ());
+           match (snapshot_every, snapshot_out) with
+           | Some every, Some path when !applied mod every = 0 ->
+               Engine.Snapshot.write_file path ctrl
+           | _ -> ())
+         records
+     with
+    | Failure msg | Invalid_argument msg ->
+        (* Partial output before dying: the operator can resume from
+           the printed seq with a corrected log. *)
+        Format.printf "aborted mid-log: %s@." msg;
+        print_partial_state ctrl ~applied:!applied ~last_seq:!last_seq;
+        Format.print_flush ();
+        failwith
+          (Printf.sprintf "replay aborted after %d deltas (log seq %d): %s"
+             !applied !last_seq msg));
+    (match wal_writer with Some w -> Engine.Wal.close w | None -> ());
     if not skip_final then C.replan ctrl;
     let elapsed = Sys.time () -. t0 in
-    let n = List.length deltas in
+    let n = !applied in
     Format.printf "applied %d deltas in %.3fs CPU (%.0f deltas/s)@." n elapsed
       (if elapsed > 0. then float n /. elapsed else 0.);
-    Format.printf "plan: %d streams transmitted, utility %.6g@."
+    Format.printf "plan: %d streams transmitted, utility %.6g%s@."
       (List.length (Engine.Planner.admitted (C.planner ctrl)))
-      (C.utility ctrl);
+      (C.utility ctrl)
+      (if C.degraded ctrl then " [degraded]" else "");
     Format.printf "%a@." Engine.Counters.pp_report (C.report ctrl);
     if compare_scratch then begin
       let scratch_util, scratch_evals = C.scratch (C.view ctrl) in
@@ -106,7 +231,11 @@ let deltas_in =
   Arg.(
     value
     & opt (some non_dir_file) None
-    & info [ "d"; "deltas" ] ~docv:"LOG" ~doc:"Delta log to replay.")
+    & info [ "d"; "deltas" ] ~docv:"LOG"
+        ~doc:
+          "Delta log to replay: plain text or WAL (detected by content). \
+           WAL replays recover around corrupted records and skip records \
+           a restored snapshot already covers.")
 
 let gen_deltas =
   Arg.(
@@ -125,7 +254,7 @@ let deltas_out =
     value
     & opt (some string) None
     & info [ "deltas-out" ] ~docv:"FILE"
-        ~doc:"Write the generated churn log here.")
+        ~doc:"Write the generated churn log here (plain format).")
 
 let epoch =
   Arg.(
@@ -152,7 +281,19 @@ let snapshot_out =
     value
     & opt (some string) None
     & info [ "snapshot-out" ] ~docv:"FILE"
-        ~doc:"Write the engine state for a later resume.")
+        ~doc:
+          "Write the engine state for a later resume (atomic tmp+rename; \
+           the previous generation is kept as $(docv).prev).")
+
+let snapshot_every =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "With $(b,--snapshot-out): also checkpoint every $(docv) applied \
+           deltas, so a crash loses at most $(docv) deltas of work beyond \
+           the WAL.")
 
 let plan_out =
   Arg.(
@@ -171,13 +312,32 @@ let domains =
            count minus one). $(b,1) forces the exact sequential path; \
            plans are bit-identical at every setting.")
 
+let wal_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal-out" ] ~docv:"FILE"
+        ~doc:
+          "Append every applied delta to this CRC-framed write-ahead log \
+           (flushed per record; sequence numbers continue across resumes).")
+
+let crash_after =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-after" ] ~docv:"N"
+        ~doc:
+          "Simulate a crash: exit(3) at the delta boundary after $(docv) \
+           applied deltas — no final replan, no snapshot, no cleanup. For \
+           exercising the recovery path.")
+
 let cmd =
   let doc = "replay a churn delta log through the replanning engine" in
   Cmd.v (Cmd.info "mmd_engine" ~doc)
     Term.(
       term_result
         (const engine_run $ file $ deltas_in $ gen_deltas $ seed $ deltas_out
-       $ epoch $ skip_final $ compare_scratch $ snapshot_out $ plan_out
-       $ domains))
+       $ epoch $ skip_final $ compare_scratch $ snapshot_out $ snapshot_every
+       $ plan_out $ domains $ wal_out $ crash_after))
 
 let () = exit (Cmd.eval cmd)

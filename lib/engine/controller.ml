@@ -28,6 +28,7 @@ type t = {
   mutable since_replan : int;
   mutable utility_at_replan : float;
   mutable deltas_applied : int;
+  mutable degraded : bool;
 }
 
 (* One epoch: lazy greedy from empty, with the §2.2 best-single fix —
@@ -60,7 +61,8 @@ let replan ?mode t =
   solve ?mode t.planner ~pinned:(Planner.pinned t.planner);
   Counters.note_replan t.counters ~seconds:(Sys.time () -. t0);
   t.since_replan <- 0;
-  t.utility_at_replan <- Planner.utility t.planner
+  t.utility_at_replan <- Planner.utility t.planner;
+  t.degraded <- false
 
 let create ?(policy = Every 64) ?(pinned = []) inst =
   let view = View.of_instance inst in
@@ -73,7 +75,8 @@ let create ?(policy = Every 64) ?(pinned = []) inst =
       policy;
       since_replan = 0;
       utility_at_replan = 0.;
-      deltas_applied = 0 }
+      deltas_applied = 0;
+      degraded = false }
   in
   replan t;
   t
@@ -94,7 +97,8 @@ let of_state ?(since_replan = 0) ?(deltas_applied = 0) ?utility_at_replan
     policy;
     since_replan;
     utility_at_replan;
-    deltas_applied }
+    deltas_applied;
+    degraded = false }
 
 let maybe_replan t =
   match t.policy with
@@ -129,6 +133,66 @@ let apply t delta =
   applied
 
 let apply_all t deltas = List.iter (fun d -> ignore (apply t d)) deltas
+
+type recovery = {
+  evictions : int;
+  utility_sacrificed : float;
+  seconds : float;
+}
+
+(* A shock is a delta applied through the same state machine as
+   [apply] — so a WAL replay that sees the shock as an ordinary
+   cost/budget record evolves bit-identically — but instrumented as a
+   fault: the evictions the repair performs, the utility the plan
+   sacrificed to stay feasible, and the time the repair took are
+   measured and surfaced, and the controller is flagged degraded until
+   the next replan wins that utility back. *)
+let absorb_shock t delta =
+  let t0 = Sys.time () in
+  let u0 = Planner.utility t.planner in
+  let _, _, _, _, _, e0 = Counters.fields t.counters in
+  Counters.note_fault t.counters;
+  ignore (apply t delta);
+  let _, _, _, _, _, e1 = Counters.fields t.counters in
+  let evictions = e1 - e0 in
+  let utility_sacrificed =
+    Float.max 0. (u0 -. Planner.utility t.planner)
+  in
+  if evictions > 0 || utility_sacrificed > 0. then begin
+    (* The plan is feasible again (the repair ran inside [apply]):
+       that repair is the recovery, and if it cost utility the plan is
+       degraded until a replan re-optimizes. *)
+    Counters.note_recovery t.counters ~seconds:(Sys.time () -. t0);
+    if t.since_replan > 0 then t.degraded <- true
+  end;
+  { evictions; utility_sacrificed; seconds = Sys.time () -. t0 }
+
+let degraded t = t.degraded
+
+let is_plan_feasible t =
+  Mmd.Assignment.is_feasible (View.materialize t.view)
+    (Planner.assignment t.planner)
+
+(* Belt-and-braces repair for faults that bypass the delta path:
+   re-derive budget usage from the admitted set and evict
+   lowest-density assignments (the greedy's own eviction order) until
+   every budget holds. *)
+let restore_feasibility t =
+  let t0 = Sys.time () in
+  let u0 = Planner.utility t.planner in
+  let evictions = Planner.note_budget_resize t.planner in
+  for _ = 1 to evictions do
+    Counters.note_eviction t.counters
+  done;
+  let utility_sacrificed =
+    Float.max 0. (u0 -. Planner.utility t.planner)
+  in
+  if evictions > 0 then begin
+    Counters.note_recovery t.counters ~seconds:(Sys.time () -. t0);
+    t.degraded <- true
+  end;
+  { evictions; utility_sacrificed; seconds = Sys.time () -. t0 }
+
 let view t = t.view
 let planner t = t.planner
 let plan t = Planner.assignment t.planner

@@ -53,6 +53,42 @@ val apply : t -> Delta.t -> View.applied
 
 val apply_all : t -> Delta.t list -> unit
 
+(** {1 Degraded mode}
+
+    A budget shock or stream outage can make the current plan
+    infeasible mid-epoch. The repair inside {!apply} restores
+    feasibility by evicting the lowest-density assignments (the same
+    effectiveness order the greedy admits by), which sacrifices
+    utility; until the next replan re-optimizes, the controller is
+    {e degraded}: serving a feasible but knowingly sub-par plan
+    instead of crashing or serving an infeasible one. *)
+
+type recovery = {
+  evictions : int;  (** assignments evicted to restore feasibility *)
+  utility_sacrificed : float;  (** plan utility given up by the repair *)
+  seconds : float;  (** time-to-recover (CPU) *)
+}
+
+val absorb_shock : t -> Delta.t -> recovery
+(** Apply a fault-injected delta through the exact same state machine
+    as {!apply} — a WAL replay that treats it as ordinary churn stays
+    bit-identical — but instrumented as a fault: counts it, measures
+    the repair, and flags the controller degraded when the repair cost
+    utility (unless the epoch policy already fired a replan). *)
+
+val degraded : t -> bool
+(** True between a utility-sacrificing repair and the next replan. *)
+
+val is_plan_feasible : t -> bool
+(** Check the current plan against the materialized view — the
+    external feasibility checker used by tests and the supervisor. *)
+
+val restore_feasibility : t -> recovery
+(** Re-derive budget usage from the admitted set and evict
+    lowest-density assignments until every budget holds. A no-op
+    returning zero evictions when the plan is already feasible; the
+    repair of last resort for faults that bypass the delta path. *)
+
 val replan : ?mode:Planner.mode -> t -> unit
 (** Force an epoch boundary now. *)
 

@@ -6,6 +6,12 @@ type t = {
   mutable replans : int;
   mutable evictions : int;
   mutable latencies_rev : float list;
+  (* Resilience telemetry (PR 3). *)
+  mutable faults : int;
+  mutable quarantined : int;
+  mutable recoveries : int;
+  mutable fallbacks : int;
+  mutable recovery_latencies_rev : float list;
 }
 
 let create () =
@@ -15,7 +21,12 @@ let create () =
     budget_resizes = 0;
     replans = 0;
     evictions = 0;
-    latencies_rev = [] }
+    latencies_rev = [];
+    faults = 0;
+    quarantined = 0;
+    recoveries = 0;
+    fallbacks = 0;
+    recovery_latencies_rev = [] }
 
 let note_delta t (d : Delta.t) =
   match d with
@@ -29,8 +40,20 @@ let note_replan t ~seconds =
   t.latencies_rev <- seconds :: t.latencies_rev
 
 let note_eviction t = t.evictions <- t.evictions + 1
+let note_fault t = t.faults <- t.faults + 1
+let note_quarantined ?(n = 1) t = t.quarantined <- t.quarantined + n
+
+let note_recovery t ~seconds =
+  t.recoveries <- t.recoveries + 1;
+  t.recovery_latencies_rev <- seconds :: t.recovery_latencies_rev
+
+let note_fallback t = t.fallbacks <- t.fallbacks + 1
 let deltas t = t.joins + t.leaves + t.cost_changes + t.budget_resizes
 let replans t = t.replans
+let faults t = t.faults
+let quarantined t = t.quarantined
+let recoveries t = t.recoveries
+let fallbacks t = t.fallbacks
 
 let restore t ~joins ~leaves ~cost_changes ~budget_resizes ~replans ~evictions
     =
@@ -41,6 +64,13 @@ let restore t ~joins ~leaves ~cost_changes ~budget_resizes ~replans ~evictions
   t.replans <- replans;
   t.evictions <- evictions;
   t.latencies_rev <- []
+
+let restore_resilience t ~faults ~quarantined ~recoveries ~fallbacks =
+  t.faults <- faults;
+  t.quarantined <- quarantined;
+  t.recoveries <- recoveries;
+  t.fallbacks <- fallbacks;
+  t.recovery_latencies_rev <- []
 
 type report = {
   deltas : int;
@@ -54,6 +84,11 @@ type report = {
   eager_equiv : int;
   evals_saved : int;
   replan_latency : Prelude.Stats.summary;
+  faults : int;
+  quarantined : int;
+  recoveries : int;
+  fallbacks : int;
+  recovery_latency : Prelude.Stats.summary;
 }
 
 let report t ~evals ~eager_equiv =
@@ -68,10 +103,20 @@ let report t ~evals ~eager_equiv =
     eager_equiv;
     evals_saved = max 0 (eager_equiv - evals);
     replan_latency =
-      Prelude.Stats.summarize (Array.of_list (List.rev t.latencies_rev)) }
+      Prelude.Stats.summarize (Array.of_list (List.rev t.latencies_rev));
+    faults = t.faults;
+    quarantined = t.quarantined;
+    recoveries = t.recoveries;
+    fallbacks = t.fallbacks;
+    recovery_latency =
+      Prelude.Stats.summarize
+        (Array.of_list (List.rev t.recovery_latencies_rev)) }
 
 let fields (t : t) =
   (t.joins, t.leaves, t.cost_changes, t.budget_resizes, t.replans, t.evictions)
+
+let resilience_fields (t : t) =
+  (t.faults, t.quarantined, t.recoveries, t.fallbacks)
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -81,4 +126,12 @@ let pp_report ppf r =
      replan latency: %a@]"
     r.deltas r.joins r.leaves r.cost_changes r.budget_resizes r.replans
     r.evictions r.evals r.eager_equiv r.evals_saved Prelude.Stats.pp_summary
-    r.replan_latency
+    r.replan_latency;
+  if r.faults > 0 || r.quarantined > 0 || r.recoveries > 0 || r.fallbacks > 0
+  then
+    Format.fprintf ppf
+      "@[<v>@,\
+       faults: %d  quarantined records: %d  recoveries: %d  fallbacks: %d@,\
+       time-to-recover: %a@]"
+      r.faults r.quarantined r.recoveries r.fallbacks Prelude.Stats.pp_summary
+      r.recovery_latency

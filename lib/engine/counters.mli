@@ -12,10 +12,28 @@ val note_delta : t -> Delta.t -> unit
 val note_replan : t -> seconds:float -> unit
 val note_eviction : t -> unit
 
+val note_fault : t -> unit
+(** An injected or detected fault reached the controller. *)
+
+val note_quarantined : ?n:int -> t -> unit
+(** [n] (default 1) WAL records were skipped during recovery. *)
+
+val note_recovery : t -> seconds:float -> unit
+(** A degraded plan was made feasible again; [seconds] is the
+    time-to-recover. *)
+
+val note_fallback : t -> unit
+(** The supervisor abandoned a replan and restored the last feasible
+    plan. *)
+
 val deltas : t -> int
 (** Total deltas recorded. *)
 
 val replans : t -> int
+val faults : t -> int
+val quarantined : t -> int
+val recoveries : t -> int
+val fallbacks : t -> int
 
 val restore :
   t ->
@@ -28,6 +46,11 @@ val restore :
   unit
 (** Overwrite the aggregate counts (snapshot restore). Latency samples
     are not persisted and restart empty. *)
+
+val restore_resilience :
+  t -> faults:int -> quarantined:int -> recoveries:int -> fallbacks:int -> unit
+(** Overwrite the resilience counts (snapshot restore); time-to-recover
+    samples restart empty. *)
 
 type report = {
   deltas : int;
@@ -43,11 +66,20 @@ type report = {
           over the same replans *)
   evals_saved : int;  (** [eager_equiv - evals], floored at 0 *)
   replan_latency : Prelude.Stats.summary;  (** seconds, CPU time *)
+  faults : int;  (** faults injected into / detected by the engine *)
+  quarantined : int;  (** WAL records skipped during recovery *)
+  recoveries : int;  (** degraded plans made feasible again *)
+  fallbacks : int;  (** replans abandoned for the last feasible plan *)
+  recovery_latency : Prelude.Stats.summary;  (** time-to-recover, seconds *)
 }
 
 val report : t -> evals:int -> eager_equiv:int -> report
 val fields : t -> int * int * int * int * int * int
 (** [(joins, leaves, cost_changes, budget_resizes, replans, evictions)]
     — for snapshot serialization. *)
+
+val resilience_fields : t -> int * int * int * int
+(** [(faults, quarantined, recoveries, fallbacks)] — for snapshot
+    serialization. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -46,33 +46,40 @@ let to_string = function
         interests;
       Buffer.contents buf
 
-let fail fmt = Printf.ksprintf failwith fmt
+(* The parse path is exception-free: every malformed token produces an
+   [Error] with token context, and only the [of_string]/[log_of_string]
+   wrappers at the bottom convert those to the legacy [Failure] for the
+   CLI boundary. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
 
 let float_tok what tok =
   match float_of_string_opt tok with
   | Some x -> x
-  | None -> fail "Delta.of_string: bad %s %S" what tok
+  | None -> fail "bad %s %S" what tok
 
 let int_tok what tok =
   match int_of_string_opt tok with
   | Some x -> x
-  | None -> fail "Delta.of_string: bad %s %S" what tok
+  | None -> fail "bad %s %S" what tok
 
 let tokens line =
   String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
 
-let of_string line =
+let parse_exn line =
   match tokens line with
   | [ "leave"; slot ] -> User_leave (int_tok "slot" slot)
-  | "leave" :: _ -> fail "Delta.of_string: leave expects one slot id"
+  | "leave" :: _ -> fail "leave expects one slot id"
   | "cost" :: stream :: costs when costs <> [] ->
       Stream_cost_change
         { stream = int_tok "stream" stream;
           costs = Array.of_list (List.map (float_tok "cost") costs) }
-  | "cost" :: _ -> fail "Delta.of_string: cost expects a stream and costs"
+  | "cost" :: _ -> fail "cost expects a stream and costs"
   | "budget" :: budgets when budgets <> [] ->
       Budget_resize (Array.of_list (List.map (float_tok "budget") budgets))
-  | "budget" :: _ -> fail "Delta.of_string: budget expects budget values"
+  | "budget" :: _ -> fail "budget expects budget values"
   | "join" :: rest ->
       (* Split the remaining tokens into "|"-separated groups: the head
          group is [W K_1..K_mc], each further group one interest. *)
@@ -94,7 +101,7 @@ let of_string line =
             | cap :: ks ->
                 ( float_tok "utility cap" cap,
                   Array.of_list (List.map (float_tok "capacity") ks) )
-            | [] -> fail "Delta.of_string: join expects a utility cap"
+            | [] -> fail "join expects a utility cap"
           in
           let mc = Array.length capacity in
           let interests =
@@ -106,35 +113,48 @@ let of_string line =
                       float_tok "utility" w,
                       Array.of_list (List.map (float_tok "load") loads) )
                 | _ ->
-                    fail
-                      "Delta.of_string: join interest expects <stream> <w> \
-                       and %d loads"
-                      mc)
+                    fail "join interest expects <stream> <w> and %d loads" mc)
               interest_groups
           in
           User_join { utility_cap; capacity; interests }
-      | [] -> fail "Delta.of_string: empty join")
-  | kw :: _ -> fail "Delta.of_string: unknown keyword %S" kw
-  | [] -> fail "Delta.of_string: empty line"
+      | [] -> fail "empty join")
+  | kw :: _ -> fail "unknown keyword %S" kw
+  | [] -> fail "empty line"
+
+let of_string_result line =
+  match parse_exn line with
+  | d -> Ok d
+  | exception Parse_error msg -> Error ("Delta.of_string: " ^ msg)
+
+let of_string line =
+  match of_string_result line with Ok d -> d | Error msg -> failwith msg
 
 let log_to_string deltas =
   String.concat "" (List.map (fun d -> to_string d ^ "\n") deltas)
 
-let log_of_string text =
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some j -> String.sub line 0 j
+  | None -> line
+
+let log_of_string_result text =
   let lines = String.split_on_char '\n' text in
-  List.concat
-    (List.mapi
-       (fun i line ->
-         let line =
-           match String.index_opt line '#' with
-           | Some j -> String.sub line 0 j
-           | None -> line
-         in
-         if String.trim line = "" then []
-         else
-           try [ of_string line ]
-           with Failure msg -> fail "line %d: %s" (i + 1) msg)
-       lines)
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let line = strip_comment line in
+        if String.trim line = "" then go (i + 1) acc rest
+        else
+          match of_string_result line with
+          | Ok d -> go (i + 1) (d :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 [] lines
+
+let log_of_string text =
+  match log_of_string_result text with
+  | Ok deltas -> deltas
+  | Error msg -> failwith msg
 
 let write_log path deltas =
   let oc = open_out path in
@@ -142,13 +162,22 @@ let write_log path deltas =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (log_to_string deltas))
 
+let read_log_result path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with
+  | text -> log_of_string_result text
+  | exception Sys_error msg -> Error msg
+
 let read_log path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      log_of_string (really_input_string ic n))
+  match read_log_result path with
+  | Ok deltas -> deltas
+  | Error msg -> failwith msg
 
 let pp ppf d =
   match d with

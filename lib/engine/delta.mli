@@ -40,14 +40,28 @@ val to_string : t -> string
 (** One line, no trailing newline. [of_string (to_string d) = d] up to
     float printing precision (printing is exact, [%.17g]). *)
 
+val of_string_result : string -> (t, string) result
+(** Parse a single delta line; the error names the offending token. *)
+
 val of_string : string -> t
-(** Parse a single delta line. @raise Failure on malformed input. *)
+(** [of_string_result] for the CLI boundary.
+    @raise Failure on malformed input. *)
 
 val log_to_string : t list -> string
+
+val log_of_string_result : string -> (t list, string) result
+(** Parse a whole log; the error carries the 1-based line number. *)
+
 val log_of_string : string -> t list
-(** Parse a whole log. @raise Failure with a line-numbered message. *)
+(** [log_of_string_result] for the CLI boundary.
+    @raise Failure with a line-numbered message. *)
 
 val write_log : string -> t list -> unit
+
+val read_log_result : string -> (t list, string) result
+(** Read and parse a log file; IO errors become [Error] too. *)
+
 val read_log : string -> t list
+(** @raise Failure on parse or IO errors (CLI boundary). *)
 
 val pp : Format.formatter -> t -> unit

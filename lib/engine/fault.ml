@@ -1,0 +1,90 @@
+type kind =
+  | Corrupt_log
+  | Torn_snapshot
+  | Budget_shock of float
+  | Stream_outage of int
+  | Task_exn
+
+type event = { at : int; kind : kind }
+type schedule = event list
+
+exception Injected of string
+
+let kind_to_string = function
+  | Corrupt_log -> "corrupt-log"
+  | Torn_snapshot -> "torn-snapshot"
+  | Budget_shock f -> Printf.sprintf "budget-shock %.3f" f
+  | Stream_outage s -> Printf.sprintf "stream-outage %d" s
+  | Task_exn -> "task-exn"
+
+let pp_event ppf e =
+  Format.fprintf ppf "@%d %s" e.at (kind_to_string e.kind)
+
+let random_kind rng ~num_streams =
+  match Prelude.Rng.int rng 5 with
+  | 0 -> Corrupt_log
+  | 1 -> Torn_snapshot
+  | 2 -> Budget_shock (Prelude.Rng.uniform rng ~lo:0.3 ~hi:0.8)
+  | 3 -> Stream_outage (Prelude.Rng.int rng (max 1 num_streams))
+  | _ -> Task_exn
+
+let generate ~rng ~deltas ~num_streams ~count =
+  let events =
+    List.init count (fun _ ->
+        { at = 1 + Prelude.Rng.int rng (max 1 deltas);
+          kind = random_kind rng ~num_streams })
+  in
+  (* Stable sort keeps same-boundary faults in generation order. *)
+  List.stable_sort (fun a b -> compare a.at b.at) events
+
+let at schedule i = List.filter (fun e -> e.at = i) schedule
+
+let shock_delta view kind =
+  match kind with
+  | Budget_shock f ->
+      let m = View.m view in
+      Some
+        (Delta.Budget_resize
+           (Array.init m (fun i ->
+                let b = View.budget view i in
+                if b = infinity then infinity else b *. f)))
+  | Stream_outage s ->
+      let s = s mod max 1 (View.num_streams view) in
+      (* Priced out: the stream alone saturates every finite budget
+         (the view clamps costs to budgets, so this is the maximum
+         expressible cost). *)
+      Some
+        (Delta.Stream_cost_change
+           { stream = s;
+             costs = Array.init (View.m view) (fun i -> View.budget view i) })
+  | Corrupt_log | Torn_snapshot | Task_exn -> None
+
+let corrupt_text ~rng text =
+  let start =
+    match String.index_opt text '\n' with Some i -> i + 1 | None -> 0
+  in
+  let eligible = ref [] in
+  String.iteri
+    (fun i c -> if i >= start && c <> '\n' then eligible := i :: !eligible)
+    text;
+  match !eligible with
+  | [] -> text
+  | positions ->
+      let positions = Array.of_list positions in
+      let pos = positions.(Prelude.Rng.int rng (Array.length positions)) in
+      let b = Bytes.of_string text in
+      (* XOR with a printable-range bit so the byte always changes but
+         the file stays a text file. *)
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x08));
+      Bytes.to_string b
+
+let tear_text ~rng text =
+  let n = String.length text in
+  if n <= 1 then text
+  else String.sub text 0 (1 + Prelude.Rng.int rng (n - 1))
+
+let raise_in_pool () =
+  ignore
+    (Prelude.Pool.float_init ~chunk:1 4 (fun i ->
+         if i = 2 then raise (Injected "fault-injected pool task")
+         else float i))

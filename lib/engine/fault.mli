@@ -1,0 +1,69 @@
+(** Deterministic, seeded fault injection for the engine.
+
+    A fault {e schedule} pins faults to delta boundaries: fault [f]
+    with [at = i] fires after the [i]-th delta of the run has been
+    applied (boundary 0 is "before the first delta"). Schedules are
+    generated from a {!Prelude.Rng.t}, so a chaos run is reproducible
+    bit-for-bit from its seed — the property the crash-recovery tests
+    are built on.
+
+    Fault kinds and the layer each one attacks:
+    - [Corrupt_log] — flip a byte of a WAL record
+      ({!Wal.recover_string} must quarantine it);
+    - [Torn_snapshot] — truncate a snapshot document, simulating a
+      crash mid-write ({!Snapshot} must fall back to the previous
+      generation);
+    - [Budget_shock f] — shrink every finite budget by factor [f],
+      leaving the current plan over budget ({!Controller.absorb_shock}
+      must evict back to feasibility);
+    - [Stream_outage s] — stream [s]'s transmission cost jumps to the
+      full budget on every measure (a dead ingest path priced out of
+      the plan);
+    - [Task_exn] — an exception thrown from inside a pool task during
+      a replan attempt (the supervisor must contain and retry it). *)
+
+type kind =
+  | Corrupt_log
+  | Torn_snapshot
+  | Budget_shock of float  (** factor in (0, 1) applied to finite budgets *)
+  | Stream_outage of int  (** stream id (taken mod the catalog size) *)
+  | Task_exn
+
+type event = { at : int; kind : kind }
+
+type schedule = event list
+(** Sorted by [at], ascending; several faults may share a boundary. *)
+
+exception Injected of string
+(** The exception {!raise_in_pool} throws (from inside a pool task). *)
+
+val kind_to_string : kind -> string
+val pp_event : Format.formatter -> event -> unit
+
+val generate :
+  rng:Prelude.Rng.t -> deltas:int -> num_streams:int -> count:int -> schedule
+(** [count] faults at uniform boundaries in [[1, deltas]], kinds drawn
+    uniformly; shock factors uniform in [[0.3, 0.8]], outage streams
+    uniform over the catalog. *)
+
+val at : schedule -> int -> event list
+(** Faults scheduled at boundary [i], in schedule order. *)
+
+val shock_delta : View.t -> kind -> Delta.t option
+(** Materialize [Budget_shock]/[Stream_outage] as a concrete delta
+    against the current view (so it can be WAL-logged and replayed
+    like ordinary churn); [None] for the other kinds. *)
+
+val corrupt_text : rng:Prelude.Rng.t -> string -> string
+(** Flip one non-newline byte after the first line (the magic line is
+    left intact — a corrupted magic is a different failure class). The
+    input is returned unchanged when it has no such byte. *)
+
+val tear_text : rng:Prelude.Rng.t -> string -> string
+(** Truncate at a uniform position strictly inside the text,
+    simulating a torn write. *)
+
+val raise_in_pool : unit -> unit
+(** Run a parallel region in which one task raises {!Injected}; the
+    pool's exception capture re-raises it here. Used to inject
+    [Task_exn] faults into replan attempts. *)

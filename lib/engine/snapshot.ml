@@ -1,13 +1,21 @@
-(* Engine state snapshots: a small header, then the materialized view
-   in Mmd.Io instance format, then the plan in Mmd.Io plan format,
-   separated by %%-section markers. *)
+(* Engine state snapshots: a checksummed envelope line, then a small
+   header, then the materialized view in Mmd.Io instance format, then
+   the plan in Mmd.Io plan format, separated by %%-section markers.
 
-let magic = "mmd-engine-snapshot v1"
+   v2 envelope: "mmd-engine-snapshot v2 <body-bytes> <crc32-hex>\n"
+   followed by the body; the length catches truncation (a torn write
+   that lost the tail) and the CRC catches corruption, each with a
+   distinct error message. v1 documents (no envelope) still load, so
+   snapshots from older engines keep working. *)
 
-let save ctrl =
+let magic_prefix = "mmd-engine-snapshot"
+let magic_v1 = "mmd-engine-snapshot v1"
+let magic_v2 = "mmd-engine-snapshot v2"
+let magic = magic_v1
+
+let body ctrl =
   let buf = Buffer.create 4096 in
   let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
-  addf "%s\n" magic;
   addf "policy %s\n" (Controller.policy_to_string (Controller.policy ctrl));
   (match Controller.pinned ctrl with
   | [] -> ()
@@ -26,11 +34,13 @@ let save ctrl =
       addf "free%s\n"
         (String.concat "" (List.map (fun u -> Printf.sprintf " %d" u) free)));
   let j, l, c, b, r, e = Counters.fields (Controller.counters ctrl) in
+  let ft, q, rec_, fb = Counters.resilience_fields (Controller.counters ctrl) in
   let planner = Controller.planner ctrl in
-  addf "counters %d %d %d %d %d %d %d %d %d\n" j l c b r e
+  addf "counters %d %d %d %d %d %d %d %d %d %d %d %d %d\n" j l c b r e
     (Planner.evals planner)
     (Planner.eager_equiv planner)
-    (Controller.deltas_applied ctrl);
+    (Controller.deltas_applied ctrl)
+    ft q rec_ fb;
   addf "epoch %d %.17g\n"
     (Controller.since_replan ctrl)
     (Controller.utility_at_replan ctrl);
@@ -40,18 +50,26 @@ let save ctrl =
   addf "%%%%end\n";
   Buffer.contents buf
 
-let fail fmt = Printf.ksprintf failwith fmt
+let save ctrl =
+  let b = body ctrl in
+  Printf.sprintf "%s %d %s\n%s" magic_v2 (String.length b)
+    (Prelude.Crc32.to_hex (Prelude.Crc32.digest b))
+    b
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
 
 let int_tok what tok =
   match int_of_string_opt tok with
   | Some x -> x
-  | None -> fail "Snapshot.load: bad %s %S" what tok
+  | None -> fail "bad %s %S" what tok
 
-let load text =
-  let lines = String.split_on_char '\n' text in
+(* Parse the body (everything after the envelope / v1 magic line). *)
+let load_body lines =
   let header, rest =
     let rec split acc = function
-      | [] -> fail "Snapshot.load: missing %%instance section"
+      | [] -> fail "missing %%instance section"
       | "%%instance" :: rest -> (List.rev acc, rest)
       | line :: rest -> split (line :: acc) rest
     in
@@ -59,7 +77,7 @@ let load text =
   in
   let instance_lines, rest =
     let rec split acc = function
-      | [] -> fail "Snapshot.load: missing %%plan section"
+      | [] -> fail "missing %%plan section"
       | "%%plan" :: rest -> (List.rev acc, rest)
       | line :: rest -> split (line :: acc) rest
     in
@@ -72,18 +90,16 @@ let load text =
     in
     take [] rest
   in
-  (match header with
-  | first :: _ when first = magic -> ()
-  | _ -> fail "Snapshot.load: not an engine snapshot (bad magic)");
   let policy = ref (Controller.Every 64) in
   let pinned = ref [] in
   let active = ref [] in
   let free = ref None in
   let counters = ref None in
+  let resilience = ref None in
   let epoch = ref None in
-  List.iteri
-    (fun i line ->
-      if i > 0 && String.trim line <> "" then
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
         match
           String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
         with
@@ -92,7 +108,7 @@ let load text =
                Controller.policy_of_string (String.concat ":" spec)
              with
             | Ok p -> policy := p
-            | Error msg -> fail "Snapshot.load: %s" msg)
+            | Error msg -> fail "%s" msg)
         | "pinned" :: ids -> pinned := List.map (int_tok "pinned id") ids
         | "active" :: ids -> active := List.map (int_tok "slot id") ids
         | "free" :: ids -> free := Some (List.map (int_tok "free slot") ids)
@@ -100,12 +116,15 @@ let load text =
             match List.map (int_tok "counter") fields with
             | [ j; l; c; b; r; e; evals; eager; deltas ] ->
                 counters := Some (j, l, c, b, r, e, evals, eager, deltas)
-            | _ -> fail "Snapshot.load: counters expects 9 fields")
+            | [ j; l; c; b; r; e; evals; eager; deltas; ft; q; rec_; fb ] ->
+                counters := Some (j, l, c, b, r, e, evals, eager, deltas);
+                resilience := Some (ft, q, rec_, fb)
+            | _ -> fail "counters expects 9 or 13 fields")
         | [ "epoch"; since; util ] -> (
             match (int_of_string_opt since, float_of_string_opt util) with
             | Some s, Some u -> epoch := Some (s, u)
-            | _ -> fail "Snapshot.load: bad epoch line")
-        | kw :: _ -> fail "Snapshot.load: unknown header keyword %S" kw
+            | _ -> fail "bad epoch line")
+        | kw :: _ -> fail "unknown header keyword %S" kw
         | [] -> ())
     header;
   let instance =
@@ -135,22 +154,101 @@ let load text =
       Counters.restore (Controller.counters ctrl) ~joins:j ~leaves:l
         ~cost_changes:c ~budget_resizes:b ~replans:r ~evictions:e;
       Planner.add_evals (Controller.planner ctrl) ~evals ~eager_equiv:eager);
+  (match !resilience with
+  | None -> ()
+  | Some (faults, quarantined, recoveries, fallbacks) ->
+      Counters.restore_resilience (Controller.counters ctrl) ~faults
+        ~quarantined ~recoveries ~fallbacks);
   ctrl
 
+let load_result text =
+  match
+    let nl =
+      match String.index_opt text '\n' with
+      | Some i -> i
+      | None -> fail "not an engine snapshot (no envelope line)"
+    in
+    let first = String.sub text 0 nl in
+    match
+      String.split_on_char ' ' first |> List.filter (fun s -> s <> "")
+    with
+    | [ p; "v2"; len; crc ] when p = magic_prefix ->
+        let len = int_tok "body length" len in
+        let stored =
+          match Prelude.Crc32.of_hex crc with
+          | Some c -> c
+          | None -> fail "bad envelope checksum field %S" crc
+        in
+        let avail = String.length text - nl - 1 in
+        if avail < len then
+          fail "truncated snapshot (body %d of %d bytes) — torn write" avail
+            len;
+        let body = String.sub text (nl + 1) len in
+        let actual = Prelude.Crc32.digest body in
+        if actual <> stored then
+          fail "snapshot checksum mismatch (stored %s, actual %s)" crc
+            (Prelude.Crc32.to_hex actual);
+        load_body (String.split_on_char '\n' body)
+    | _ when first = magic_v1 ->
+        (* Legacy un-checksummed document. *)
+        load_body
+          (String.split_on_char '\n'
+             (String.sub text (nl + 1) (String.length text - nl - 1)))
+    | _ -> fail "not an engine snapshot (bad magic)"
+  with
+  | ctrl -> Ok ctrl
+  | exception Parse_error msg -> Error ("Snapshot.load: " ^ msg)
+  | exception Failure msg -> Error ("Snapshot.load: " ^ msg)
+  | exception Invalid_argument msg -> Error ("Snapshot.load: " ^ msg)
+
+let load text =
+  match load_result text with Ok ctrl -> ctrl | Error msg -> failwith msg
+
 let is_snapshot text =
-  String.length text >= String.length magic
-  && String.sub text 0 (String.length magic) = magic
+  String.length text >= String.length magic_prefix
+  && String.sub text 0 (String.length magic_prefix) = magic_prefix
+
+let previous_path path = path ^ ".prev"
 
 let write_file path ctrl =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (save ctrl))
+    (fun () -> output_string oc (save ctrl));
+  (* Keep the old generation around: if this write turns out torn or
+     corrupted, [read_file_result] falls back to it. *)
+  if Sys.file_exists path then Sys.rename path (previous_path path);
+  Sys.rename tmp path
 
-let read_file path =
-  let ic = open_in path in
+type generation = Current | Previous
+
+let read_all path =
+  let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      load (really_input_string ic n))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file_result path =
+  let try_load p =
+    match read_all p with
+    | text -> load_result text
+    | exception Sys_error msg -> Error msg
+  in
+  match try_load path with
+  | Ok ctrl -> Ok (ctrl, Current)
+  | Error primary -> (
+      let prev = previous_path path in
+      if Sys.file_exists prev then
+        match try_load prev with
+        | Ok ctrl -> Ok (ctrl, Previous)
+        | Error fallback ->
+            Error
+              (Printf.sprintf "%s; previous generation also unusable: %s"
+                 primary fallback)
+      else Error primary)
+
+let read_file path =
+  match read_file_result path with
+  | Ok (ctrl, _) -> ctrl
+  | Error msg -> failwith msg

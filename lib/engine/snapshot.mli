@@ -1,20 +1,55 @@
-(** Engine state persistence.
+(** Engine state persistence, crash-safe.
 
-    A snapshot is a self-contained text document: a short header
-    (epoch policy, pinned streams, active slots, aggregate counters)
-    followed by the materialized view in the {!Mmd.Io} instance format
-    and the current plan in its plan format, separated by [%%section]
-    markers. Restoring yields a controller that continues exactly
-    where the saved one stopped — same plan, same slot ids, same
-    counters — except that replan-latency samples restart empty. *)
+    A snapshot is a self-contained text document: a checksummed
+    envelope line ([v2]: body length + CRC-32), a short header (epoch
+    policy, pinned streams, active slots, aggregate counters), the
+    materialized view in the {!Mmd.Io} instance format and the current
+    plan in its plan format, separated by [%%section] markers.
+    Restoring yields a controller that continues exactly where the
+    saved one stopped — same plan, same slot ids, same counters —
+    except that latency samples restart empty.
+
+    Durability contract: {!write_file} goes through a tmp file and an
+    atomic rename and keeps the previous generation as [path.prev];
+    {!read_file_result} verifies length (truncation / torn write) and
+    CRC (corruption) before parsing and falls back to the previous
+    generation when the current file is damaged. Legacy [v1]
+    (un-checksummed) documents still load. *)
+
+val magic : string
+(** The legacy v1 magic line (still accepted on load). *)
 
 val save : Controller.t -> string
+
+val load_result : string -> (Controller.t, string) result
+(** Verify (length, checksum) and parse. All malformed input —
+    truncation, corruption, bad sections — is an [Error] with context,
+    never an exception. *)
+
 val load : string -> Controller.t
-(** @raise Failure on malformed input. *)
+(** [load_result] for the CLI boundary. @raise Failure on malformed
+    input. *)
 
 val is_snapshot : string -> bool
-(** Does the text start with the snapshot magic line? (Used by the CLI
-    to accept either an instance file or a snapshot.) *)
+(** Does the text start with the snapshot magic prefix (any version)?
+    (Used by the CLI to accept either an instance file or a
+    snapshot.) *)
 
 val write_file : string -> Controller.t -> unit
+(** Crash-safe write: [path.tmp] first, then the existing [path] (if
+    any) is rotated to [path.prev], then the tmp file is atomically
+    renamed over [path]. A crash at any point leaves a loadable
+    generation on disk. *)
+
+type generation = Current | Previous
+
+val read_file_result : string -> (Controller.t * generation, string) result
+(** Load [path], falling back to [path.prev] when the current
+    generation is truncated, corrupted or unparseable. The returned
+    {!generation} says which one was used. *)
+
 val read_file : string -> Controller.t
+(** @raise Failure when no generation is loadable (CLI boundary). *)
+
+val previous_path : string -> string
+(** [path.prev], the fallback generation written by {!write_file}. *)

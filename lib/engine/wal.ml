@@ -1,0 +1,154 @@
+let magic = "mmd-engine-wal v1"
+
+let is_wal text =
+  String.length text >= String.length magic
+  && String.sub text 0 (String.length magic) = magic
+
+(* The CRC covers "<seq> <payload>" so that a bit-perfect record pasted
+   at a different position (different seq) still fails verification. *)
+let body ~seq payload = Printf.sprintf "%d %s" seq payload
+
+let record_to_string ~seq delta =
+  let payload = Delta.to_string delta in
+  let b = body ~seq payload in
+  Printf.sprintf "%d %s %s" seq (Prelude.Crc32.to_hex (Prelude.Crc32.digest b)) payload
+
+let record_of_string line =
+  match String.index_opt line ' ' with
+  | None -> Error "not a WAL record (no sequence field)"
+  | Some i -> (
+      let seq_tok = String.sub line 0 i in
+      match int_of_string_opt seq_tok with
+      | None -> Error (Printf.sprintf "bad sequence number %S" seq_tok)
+      | Some seq when seq < 1 ->
+          Error (Printf.sprintf "bad sequence number %S" seq_tok)
+      | Some seq -> (
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          match String.index_opt rest ' ' with
+          | None -> Error "not a WAL record (no checksum field)"
+          | Some j -> (
+              let crc_tok = String.sub rest 0 j in
+              let payload =
+                String.sub rest (j + 1) (String.length rest - j - 1)
+              in
+              match Prelude.Crc32.of_hex crc_tok with
+              | None -> Error (Printf.sprintf "bad checksum field %S" crc_tok)
+              | Some crc ->
+                  let actual = Prelude.Crc32.digest (body ~seq payload) in
+                  if actual <> crc then
+                    Error
+                      (Printf.sprintf "checksum mismatch (stored %s, actual %s)"
+                         crc_tok (Prelude.Crc32.to_hex actual))
+                  else (
+                    match Delta.of_string_result payload with
+                    | Ok d -> Ok (seq, d)
+                    | Error msg -> Error msg))))
+
+let to_string ?(first_seq = 1) deltas =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i d ->
+      Buffer.add_string buf (record_to_string ~seq:(first_seq + i) d);
+      Buffer.add_char buf '\n')
+    deltas;
+  Buffer.contents buf
+
+type quarantined = { line : int; reason : string }
+
+type recovery = {
+  records : (int * Delta.t) list;
+  quarantined : quarantined list;
+  last_seq : int;
+  torn_tail : bool;
+}
+
+let recover_string text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | first :: rest when first = magic ->
+      let complete = String.length text > 0 && text.[String.length text - 1] = '\n' in
+      let n_rest = List.length rest in
+      let records = ref [] and quarantined = ref [] in
+      let last_seq = ref 0 and torn = ref false in
+      List.iteri
+        (fun i line ->
+          (* split_on_char on a newline-terminated file yields a final
+             empty fragment; a non-empty final fragment is a torn tail
+             candidate. *)
+          let lineno = i + 2 in
+          let is_last = i = n_rest - 1 in
+          if String.trim line <> "" then
+            match record_of_string line with
+            | Ok (seq, d) ->
+                if seq <= !last_seq then
+                  quarantined :=
+                    { line = lineno;
+                      reason =
+                        Printf.sprintf
+                          "sequence regression (%d after %d) — replayed or \
+                           reordered record"
+                          seq !last_seq }
+                    :: !quarantined
+                else begin
+                  records := (seq, d) :: !records;
+                  last_seq := seq
+                end
+            | Error reason ->
+                if is_last && not complete then begin
+                  torn := true;
+                  quarantined :=
+                    { line = lineno; reason = "torn tail: " ^ reason }
+                    :: !quarantined
+                end
+                else quarantined := { line = lineno; reason } :: !quarantined)
+        rest;
+      Ok
+        { records = List.rev !records;
+          quarantined = List.rev !quarantined;
+          last_seq = !last_seq;
+          torn_tail = !torn }
+  | _ -> Error "Wal.recover: not a WAL (bad magic line)"
+
+let recover_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> recover_string text
+  | exception Sys_error msg -> Error msg
+
+let write_file ?first_seq path deltas =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?first_seq deltas));
+  Sys.rename tmp path
+
+type writer = { oc : out_channel; mutable next_seq : int }
+
+let append_file ?(next_seq = 1) path =
+  let fresh = not (Sys.file_exists path) in
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  if fresh then begin
+    output_string oc magic;
+    output_char oc '\n';
+    flush oc
+  end;
+  { oc; next_seq }
+
+let append w delta =
+  let seq = w.next_seq in
+  w.next_seq <- seq + 1;
+  output_string w.oc (record_to_string ~seq delta);
+  output_char w.oc '\n';
+  flush w.oc;
+  seq
+
+let close w = close_out w.oc

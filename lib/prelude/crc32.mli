@@ -1,0 +1,20 @@
+(** CRC-32 (IEEE 802.3 / zlib polynomial) checksums.
+
+    Used by the engine's write-ahead log and snapshot layer to detect
+    corrupted or torn records. Pure OCaml, table-driven; no external
+    dependencies. The checksum of the empty string is [0l]. *)
+
+val digest : ?init:int32 -> string -> int32
+(** [digest s] is the CRC-32 of [s]. [init] chains computations:
+    [digest ~init:(digest a) b = digest (a ^ b)]. *)
+
+val digest_sub : ?init:int32 -> string -> pos:int -> len:int -> int32
+(** CRC-32 of the substring [s.[pos .. pos+len-1]].
+    @raise Invalid_argument on an out-of-bounds range. *)
+
+val to_hex : int32 -> string
+(** Fixed-width 8-character lowercase hex rendering. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless the input is exactly 8 hex
+    digits. *)

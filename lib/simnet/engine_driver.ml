@@ -10,8 +10,72 @@ type stats = {
   report : Engine.Counters.report;
 }
 
+(* ---------- Replan supervisor ---------- *)
+
+type supervisor_config = {
+  replan_time_budget : float;
+  max_retries : int;
+  backoff : float;
+}
+
+let default_supervisor =
+  { replan_time_budget = 5.; max_retries = 3; backoff = 0.05 }
+
+type replan_outcome = {
+  retries : int;
+  fell_back : bool;
+  overran : bool;
+  seconds : float;
+  backoff_waited : float;
+}
+
+let note_fallback_counters ctrl t0 =
+  Engine.Counters.note_fallback (C.counters ctrl);
+  Engine.Counters.note_recovery (C.counters ctrl)
+    ~seconds:(Sys.time () -. t0)
+
+let supervised_replan ?(config = default_supervisor)
+    ?(inject = fun ~attempt:_ -> ()) ctrl =
+  (* The controller's plan is feasible by invariant at every delta
+     boundary; capture it so a failed replan has something to fall
+     back to. *)
+  let last_feasible = C.plan ctrl in
+  let t0 = Sys.time () in
+  let waited = ref 0. in
+  let rec attempt k =
+    match
+      inject ~attempt:k;
+      C.replan ctrl
+    with
+    | () ->
+        let seconds = Sys.time () -. t0 in
+        { retries = k;
+          fell_back = false;
+          overran = seconds -. !waited > config.replan_time_budget;
+          seconds;
+          backoff_waited = !waited }
+    | exception _ when k < config.max_retries ->
+        (* Bounded exponential backoff. The wait is simulated (summed,
+           not slept) so chaos tests stay fast and deterministic. *)
+        waited := !waited +. (config.backoff *. float (1 lsl k));
+        attempt (k + 1)
+    | exception _ ->
+        (* Out of retries: restore the last feasible plan and serve
+           it. [Planner.force] resets the planner first, so a replan
+           that died mid-solve leaves no partial state behind. *)
+        Engine.Planner.force (C.planner ctrl) last_feasible;
+        note_fallback_counters ctrl t0;
+        { retries = k;
+          fell_back = true;
+          overran = false;
+          seconds = Sys.time () -. t0;
+          backoff_waited = !waited }
+  in
+  attempt 0
+
 let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
-    ?(epoch = C.Drift 0.05) ?(churn = Engine.Churn.default) inst =
+    ?(epoch = C.Drift 0.05) ?(churn = Engine.Churn.default)
+    ?(faults = ([] : Engine.Fault.schedule)) ?supervisor inst =
   let ctrl = C.create ~policy:epoch inst in
   let des = Des.create () in
   let utility_time = ref 0. in
@@ -21,9 +85,36 @@ let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
     utility_time := !utility_time +. (C.utility ctrl *. (now -. !last));
     last := now
   in
+  (* Fault schedule boundaries count DES-fed deltas. *)
+  let applied = ref 0 in
+  let fire_faults () =
+    incr applied;
+    List.iter
+      (fun (e : Engine.Fault.event) ->
+        match e.kind with
+        | Engine.Fault.Budget_shock _ | Engine.Fault.Stream_outage _ -> (
+            match Engine.Fault.shock_delta (C.view ctrl) e.kind with
+            | Some d -> ignore (C.absorb_shock ctrl d)
+            | None -> ())
+        | Engine.Fault.Task_exn ->
+            (* The first replan attempt dies inside a pool task; the
+               supervisor retries and the retry succeeds. *)
+            Engine.Counters.note_fault (C.counters ctrl);
+            ignore
+              (supervised_replan ?config:supervisor
+                 ~inject:(fun ~attempt ->
+                   if attempt = 0 then Engine.Fault.raise_in_pool ())
+                 ctrl)
+        | Engine.Fault.Corrupt_log | Engine.Fault.Torn_snapshot ->
+            (* Storage faults are exercised by the WAL/snapshot paths,
+               not the in-memory simulation. *)
+            ())
+      (Engine.Fault.at faults !applied)
+  in
   let depart slot des =
     integrate_to (Des.now des);
     ignore (C.apply ctrl (Engine.Delta.User_leave slot));
+    fire_faults ();
     incr leaves
   in
   let schedule_departure slot =
@@ -40,6 +131,7 @@ let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
         peak := max !peak (Engine.View.active_count (C.view ctrl));
         schedule_departure slot
     | _ -> ());
+    fire_faults ();
     Des.schedule des
       ~delay:(Prelude.Sampling.exponential rng ~rate:join_rate)
       join

@@ -26,6 +26,45 @@ type stats = {
   report : Engine.Counters.report;
 }
 
+(** {1 Replan supervisor}
+
+    A replan that dies (an exception from a pool task, an injected
+    fault) must never take the serving plan down with it. The
+    supervisor wraps {!Engine.Controller.replan} with bounded
+    retry-with-exponential-backoff and, when every retry fails,
+    restores the last feasible plan — the engine keeps serving, merely
+    without the utility the replan would have recovered. *)
+
+type supervisor_config = {
+  replan_time_budget : float;
+      (** seconds a replan may take before it is flagged as an
+          overrun *)
+  max_retries : int;  (** replan attempts after the first failure *)
+  backoff : float;  (** base backoff; attempt [k] waits [backoff·2^k] *)
+}
+
+val default_supervisor : supervisor_config
+(** 5 s budget, 3 retries, 50 ms base backoff. *)
+
+type replan_outcome = {
+  retries : int;  (** retry attempts actually used *)
+  fell_back : bool;  (** true when the last feasible plan was restored *)
+  overran : bool;  (** replan finished but blew the time budget *)
+  seconds : float;  (** wall of the whole supervised operation (CPU) *)
+  backoff_waited : float;  (** total simulated backoff wait *)
+}
+
+val supervised_replan :
+  ?config:supervisor_config ->
+  ?inject:(attempt:int -> unit) ->
+  Engine.Controller.t ->
+  replan_outcome
+(** Replan under supervision. [inject] runs at the start of each
+    attempt (attempt 0 is the initial try) — the fault-injection hook;
+    an exception it raises counts as that attempt failing. Fallbacks
+    are surfaced through {!Engine.Counters} as a fallback plus a
+    recovery. *)
+
 val run :
   rng:Prelude.Rng.t ->
   ?duration:float ->
@@ -33,12 +72,23 @@ val run :
   ?mean_dwell:float ->
   ?epoch:Engine.Controller.epoch_policy ->
   ?churn:Engine.Churn.params ->
+  ?faults:Engine.Fault.schedule ->
+  ?supervisor:supervisor_config ->
   Mmd.Instance.t ->
   stats
 (** Defaults: duration 1000, join rate 0.2, mean dwell 400, epoch
     policy [Drift 0.05]. The instance's own users form the initial
     population (they churn out too); its streams are the fixed
-    catalog. *)
+    catalog.
+
+    [faults] (default none) pins {!Engine.Fault} events to the run's
+    delta boundaries: budget shocks and stream outages are absorbed
+    through {!Engine.Controller.absorb_shock} (evict back to
+    feasibility, count the recovery), [Task_exn] makes the next
+    supervised replan's first attempt die inside a pool task (the
+    retry succeeds), and the storage fault kinds are no-ops here —
+    they attack the WAL/snapshot layer, which the simulation does not
+    use. All effects land in the run's {!Engine.Counters.report}. *)
 
 val policy :
   ?replan_every:int -> ?epoch:Engine.Controller.epoch_policy ->

@@ -29,4 +29,5 @@ let () =
       ("builder", Test_builder.suite);
       ("viewer-sim", Test_viewer_sim.suite);
       ("engine", Test_engine.suite);
+      ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite) ]

@@ -56,6 +56,22 @@ let test_delta_comments_and_errors () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected arity failure"
 
+(* The result-returning parsers carry the same context as the
+   exceptions at the CLI boundary, without raising. *)
+let test_delta_result_api () =
+  (match D.of_string_result "leave 4" with
+  | Ok d -> check_bool "parses" true (d = D.User_leave 4)
+  | Error msg -> Alcotest.fail msg);
+  (match D.of_string_result "cost 0" with
+  | Error msg -> check_bool "names the parser" true (contains msg "of_string")
+  | Ok _ -> Alcotest.fail "expected arity error");
+  (match D.log_of_string_result "leave 1\nbogus 2\n" with
+  | Error msg -> check_bool "line number in error" true (contains msg "line 2")
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match D.log_of_string_result "# ok\nleave 3\n" with
+  | Ok log -> check_bool "log parses" true (log = [ D.User_leave 3 ])
+  | Error msg -> Alcotest.fail msg
+
 let test_churn_log_roundtrip () =
   let _, log = world 7 in
   let back = D.log_of_string (D.log_to_string log) in
@@ -311,6 +327,7 @@ let suite =
   [ Alcotest.test_case "delta round-trip" `Quick test_delta_roundtrip;
     Alcotest.test_case "delta comments and errors" `Quick
       test_delta_comments_and_errors;
+    Alcotest.test_case "delta result api" `Quick test_delta_result_api;
     Alcotest.test_case "churn log round-trip" `Quick test_churn_log_roundtrip;
     Alcotest.test_case "view join/leave slots" `Quick
       test_view_join_leave_slots;
