@@ -27,11 +27,14 @@ let sviridenko_bound = 2. *. e /. (e -. 1.)
 let bands_of_skew alpha =
   1 + int_of_float (Prelude.Float_ops.log2 (Float.max 1. alpha))
 
-(* Wall-clock helper for the scaling experiment. *)
+(* Wall-clock helper for timed experiments. Uses the same monotonic
+   wall clock as the engine's own latency counters (Obs.Clock), so
+   BENCH_*.json numbers and engine-reported latencies are directly
+   comparable across runs. *)
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, Obs.Clock.elapsed_since t0)
 
 let median_time ?(runs = 3) f =
   let times =

@@ -23,6 +23,7 @@ let experiments =
     ("e14", E14_engine_churn.run);
     ("e15", E15_parallel.run);
     ("e16", E16_resilience.run);
+    ("e17", E17_observability.run);
     ("micro", Microbench.run) ]
 
 let () =

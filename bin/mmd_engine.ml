@@ -39,9 +39,12 @@ let print_partial_state ctrl ~applied ~last_seq =
 
 let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
     compare_scratch snapshot_out snapshot_every plan_out domains wal_out
-    crash_after =
+    crash_after trace_out metrics_out stats =
   match
     Prelude.Pool.set_num_domains domains;
+    (match trace_out with
+    | Some path -> Obs.Trace.set_output path
+    | None -> ());
     let policy =
       match C.policy_of_string epoch with
       | Ok p -> p
@@ -148,7 +151,7 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
     in
     let applied = ref 0 in
     let last_seq = ref (C.deltas_applied ctrl) in
-    let t0 = Sys.time () in
+    let t0 = Obs.Clock.now () in
     (try
        List.iter
          (fun (seq, d) ->
@@ -185,9 +188,10 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
              !applied !last_seq msg));
     (match wal_writer with Some w -> Engine.Wal.close w | None -> ());
     if not skip_final then C.replan ctrl;
-    let elapsed = Sys.time () -. t0 in
+    let elapsed = Obs.Clock.elapsed_since t0 in
     let n = !applied in
-    Format.printf "applied %d deltas in %.3fs CPU (%.0f deltas/s)@." n elapsed
+    Format.printf "applied %d deltas in %.3fs wall (%.0f deltas/s)@." n
+      elapsed
       (if elapsed > 0. then float n /. elapsed else 0.);
     Format.printf "plan: %d streams transmitted, utility %.6g%s@."
       (List.length (Engine.Planner.admitted (C.planner ctrl)))
@@ -211,10 +215,22 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
         Mmd.Io.write_assignment path (C.plan ctrl);
         Format.printf "plan -> %s@." path
     | None -> ());
-    match snapshot_out with
+    (match snapshot_out with
     | Some path ->
         Engine.Snapshot.write_file path ctrl;
         Format.printf "snapshot -> %s@." path
+    | None -> ());
+    if stats then Format.printf "%s@." (Obs.Export.stats_table ());
+    (match metrics_out with
+    | Some path ->
+        Obs.Export.write_prometheus path;
+        Format.printf "metrics -> %s@." path
+    | None -> ());
+    match trace_out with
+    | Some path ->
+        Obs.Trace.close ();
+        Format.printf "trace -> %s (%d spans)@." path
+          (Obs.Trace.spans_emitted ())
     | None -> ()
   with
   | () -> Ok ()
@@ -331,6 +347,34 @@ let crash_after =
            applied deltas — no final replan, no snapshot, no cleanup. For \
            exercising the recovery path.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write tracing spans (replans, recoveries, WAL and snapshot \
+           I/O, planner extends) to $(docv) as JSON lines, one span per \
+           line, with parent ids that nest across pool tasks.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metric registry (counters, gauges, latency \
+           histograms) to $(docv) in Prometheus text format at the end \
+           of the run.")
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print a human-readable table of every metric — counts, mean, \
+           p50/p90/p99/max for histograms — after the run.")
+
 let cmd =
   let doc = "replay a churn delta log through the replanning engine" in
   Cmd.v (Cmd.info "mmd_engine" ~doc)
@@ -338,6 +382,7 @@ let cmd =
       term_result
         (const engine_run $ file $ deltas_in $ gen_deltas $ seed $ deltas_out
        $ epoch $ skip_final $ compare_scratch $ snapshot_out $ snapshot_every
-       $ plan_out $ domains $ wal_out $ crash_after))
+       $ plan_out $ domains $ wal_out $ crash_after $ trace_out $ metrics_out
+       $ stats))
 
 let () = exit (Cmd.eval cmd)

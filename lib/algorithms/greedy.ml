@@ -124,7 +124,13 @@ let best_candidate st =
   done;
   if !best < 0 then None else Some (!best, !best_w)
 
-let run ?(initial_streams = []) inst =
+(* Selection rounds = candidate-scan iterations of the marginal loop;
+   tallied locally and flushed once per run so the scan itself stays
+   allocation- and atomic-free. *)
+let m_rounds = lazy (Obs.Metrics.counter "greedy_select_rounds_total")
+let m_picks = lazy (Obs.Metrics.counter "greedy_picks_total")
+
+let run_impl ~initial_streams inst =
   if I.m inst <> 1 then invalid_arg "Greedy.run: requires m = 1";
   if I.mc inst > 1 then invalid_arg "Greedy.run: requires mc <= 1";
   let st = init inst in
@@ -138,7 +144,9 @@ let run ?(initial_streams = []) inst =
         assign st s
       end)
     initial_streams;
+  let rounds = ref 0 in
   let rec loop () =
+    incr rounds;
     match best_candidate st with
     | None -> ()
     | Some (_, w) when w <= 0. -> () (* nothing left to gain *)
@@ -152,9 +160,16 @@ let run ?(initial_streams = []) inst =
         loop ()
   in
   loop ();
+  Obs.Metrics.inc ~n:!rounds (Lazy.force m_rounds);
+  Obs.Metrics.inc
+    ~n:(List.length st.picks_rev)
+    (Lazy.force m_picks);
   { assignment =
       Mmd.Assignment.of_bitset ~num_users:(I.num_users inst) ~num_streams:st.ns
         st.assigned;
     last_stream = st.last;
     first_blocked = st.first_blocked;
     picks = List.rev st.picks_rev }
+
+let run ?(initial_streams = []) inst =
+  Obs.Span.with_ ~name:"greedy.run" (fun () -> run_impl ~initial_streams inst)

@@ -57,12 +57,13 @@ let solve ?(mode = Planner.Lazy) planner ~pinned =
   | _ -> ()
 
 let replan ?mode t =
-  let t0 = Sys.time () in
-  solve ?mode t.planner ~pinned:(Planner.pinned t.planner);
-  Counters.note_replan t.counters ~seconds:(Sys.time () -. t0);
-  t.since_replan <- 0;
-  t.utility_at_replan <- Planner.utility t.planner;
-  t.degraded <- false
+  Obs.Span.with_ ~name:"controller.replan" (fun () ->
+      let t0 = Obs.Clock.now () in
+      solve ?mode t.planner ~pinned:(Planner.pinned t.planner);
+      Counters.note_replan t.counters ~seconds:(Obs.Clock.elapsed_since t0);
+      t.since_replan <- 0;
+      t.utility_at_replan <- Planner.utility t.planner;
+      t.degraded <- false)
 
 let create ?(policy = Every 64) ?(pinned = []) inst =
   let view = View.of_instance inst in
@@ -82,10 +83,10 @@ let create ?(policy = Every 64) ?(pinned = []) inst =
   t
 
 let of_state ?(since_replan = 0) ?(deltas_applied = 0) ?utility_at_replan
-    ~policy ~pinned ~view ~plan () =
+    ?admitted ~policy ~pinned ~view ~plan () =
   let planner = Planner.create view in
   Planner.set_pinned planner pinned;
-  Planner.force planner plan;
+  Planner.force ?admitted planner plan;
   let utility_at_replan =
     match utility_at_replan with
     | Some u -> u
@@ -148,24 +149,28 @@ type recovery = {
    measured and surfaced, and the controller is flagged degraded until
    the next replan wins that utility back. *)
 let absorb_shock t delta =
-  let t0 = Sys.time () in
-  let u0 = Planner.utility t.planner in
-  let _, _, _, _, _, e0 = Counters.fields t.counters in
-  Counters.note_fault t.counters;
-  ignore (apply t delta);
-  let _, _, _, _, _, e1 = Counters.fields t.counters in
-  let evictions = e1 - e0 in
-  let utility_sacrificed =
-    Float.max 0. (u0 -. Planner.utility t.planner)
-  in
-  if evictions > 0 || utility_sacrificed > 0. then begin
-    (* The plan is feasible again (the repair ran inside [apply]):
-       that repair is the recovery, and if it cost utility the plan is
-       degraded until a replan re-optimizes. *)
-    Counters.note_recovery t.counters ~seconds:(Sys.time () -. t0);
-    if t.since_replan > 0 then t.degraded <- true
-  end;
-  { evictions; utility_sacrificed; seconds = Sys.time () -. t0 }
+  Obs.Span.with_ ~name:"controller.absorb_shock" (fun () ->
+      let t0 = Obs.Clock.now () in
+      let u0 = Planner.utility t.planner in
+      let _, _, _, _, _, e0 = Counters.fields t.counters in
+      Counters.note_fault t.counters;
+      ignore (apply t delta);
+      let _, _, _, _, _, e1 = Counters.fields t.counters in
+      let evictions = e1 - e0 in
+      let utility_sacrificed =
+        Float.max 0. (u0 -. Planner.utility t.planner)
+      in
+      if evictions > 0 || utility_sacrificed > 0. then begin
+        (* The plan is feasible again (the repair ran inside [apply]):
+           that repair is the recovery, and if it cost utility the plan
+           is degraded until a replan re-optimizes. *)
+        Counters.note_recovery t.counters
+          ~seconds:(Obs.Clock.elapsed_since t0);
+        if t.since_replan > 0 then t.degraded <- true
+      end;
+      { evictions;
+        utility_sacrificed;
+        seconds = Obs.Clock.elapsed_since t0 })
 
 let degraded t = t.degraded
 
@@ -178,20 +183,24 @@ let is_plan_feasible t =
    lowest-density assignments (the greedy's own eviction order) until
    every budget holds. *)
 let restore_feasibility t =
-  let t0 = Sys.time () in
-  let u0 = Planner.utility t.planner in
-  let evictions = Planner.note_budget_resize t.planner in
-  for _ = 1 to evictions do
-    Counters.note_eviction t.counters
-  done;
-  let utility_sacrificed =
-    Float.max 0. (u0 -. Planner.utility t.planner)
-  in
-  if evictions > 0 then begin
-    Counters.note_recovery t.counters ~seconds:(Sys.time () -. t0);
-    t.degraded <- true
-  end;
-  { evictions; utility_sacrificed; seconds = Sys.time () -. t0 }
+  Obs.Span.with_ ~name:"controller.restore_feasibility" (fun () ->
+      let t0 = Obs.Clock.now () in
+      let u0 = Planner.utility t.planner in
+      let evictions = Planner.note_budget_resize t.planner in
+      for _ = 1 to evictions do
+        Counters.note_eviction t.counters
+      done;
+      let utility_sacrificed =
+        Float.max 0. (u0 -. Planner.utility t.planner)
+      in
+      if evictions > 0 then begin
+        Counters.note_recovery t.counters
+          ~seconds:(Obs.Clock.elapsed_since t0);
+        t.degraded <- true
+      end;
+      { evictions;
+        utility_sacrificed;
+        seconds = Obs.Clock.elapsed_since t0 })
 
 let view t = t.view
 let planner t = t.planner

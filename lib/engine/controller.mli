@@ -34,6 +34,7 @@ val of_state :
   ?since_replan:int ->
   ?deltas_applied:int ->
   ?utility_at_replan:float ->
+  ?admitted:int list ->
   policy:epoch_policy ->
   pinned:int list ->
   view:View.t ->
@@ -45,7 +46,9 @@ val of_state :
     replan and the utility recorded at it — defaults to "a replan
     just happened here"; passing the saved values makes the restored
     controller fire future replans at exactly the same deltas as the
-    original would have. *)
+    original would have. [admitted] is forwarded to {!Planner.force}
+    so streams transmitted but currently undelivered survive the
+    restore. *)
 
 val apply : t -> Delta.t -> View.applied
 (** Apply one delta: mutate the view, repair the plan incrementally,

@@ -1,3 +1,8 @@
+(* Per-controller telemetry, mirrored into the process-global Obs
+   metric registry so exporters see one aggregate across controllers.
+   Latency samples live in log-scaled Obs histograms — mergeable,
+   snapshot-persistable — instead of unbounded sample lists. *)
+
 type t = {
   mutable joins : int;
   mutable leaves : int;
@@ -5,14 +10,27 @@ type t = {
   mutable budget_resizes : int;
   mutable replans : int;
   mutable evictions : int;
-  mutable latencies_rev : float list;
+  mutable replan_hist : Obs.Hist.t;
   (* Resilience telemetry (PR 3). *)
   mutable faults : int;
   mutable quarantined : int;
   mutable recoveries : int;
   mutable fallbacks : int;
-  mutable recovery_latencies_rev : float list;
+  mutable recovery_hist : Obs.Hist.t;
 }
+
+(* Global mirrors (aggregated across every controller in the process). *)
+let m_deltas = lazy (Obs.Metrics.counter "engine_deltas_total")
+let m_replans = lazy (Obs.Metrics.counter "engine_replans_total")
+let m_evictions = lazy (Obs.Metrics.counter "engine_evictions_total")
+let m_faults = lazy (Obs.Metrics.counter "engine_faults_total")
+let m_quarantined = lazy (Obs.Metrics.counter "engine_quarantined_total")
+let m_recoveries = lazy (Obs.Metrics.counter "engine_recoveries_total")
+let m_fallbacks = lazy (Obs.Metrics.counter "engine_fallbacks_total")
+let m_replan_seconds = lazy (Obs.Metrics.histogram "engine_replan_seconds")
+
+let m_recovery_seconds =
+  lazy (Obs.Metrics.histogram "engine_recovery_seconds")
 
 let create () =
   { joins = 0;
@@ -21,14 +39,15 @@ let create () =
     budget_resizes = 0;
     replans = 0;
     evictions = 0;
-    latencies_rev = [];
+    replan_hist = Obs.Hist.create ();
     faults = 0;
     quarantined = 0;
     recoveries = 0;
     fallbacks = 0;
-    recovery_latencies_rev = [] }
+    recovery_hist = Obs.Hist.create () }
 
 let note_delta t (d : Delta.t) =
+  Obs.Metrics.inc (Lazy.force m_deltas);
   match d with
   | User_join _ -> t.joins <- t.joins + 1
   | User_leave _ -> t.leaves <- t.leaves + 1
@@ -37,23 +56,42 @@ let note_delta t (d : Delta.t) =
 
 let note_replan t ~seconds =
   t.replans <- t.replans + 1;
-  t.latencies_rev <- seconds :: t.latencies_rev
+  Obs.Hist.observe t.replan_hist seconds;
+  Obs.Metrics.inc (Lazy.force m_replans);
+  Obs.Hist.observe (Lazy.force m_replan_seconds) seconds
 
-let note_eviction t = t.evictions <- t.evictions + 1
-let note_fault t = t.faults <- t.faults + 1
-let note_quarantined ?(n = 1) t = t.quarantined <- t.quarantined + n
+let note_eviction t =
+  t.evictions <- t.evictions + 1;
+  Obs.Metrics.inc (Lazy.force m_evictions)
+
+let note_fault t =
+  t.faults <- t.faults + 1;
+  Obs.Metrics.inc (Lazy.force m_faults)
+
+let note_quarantined ?(n = 1) t =
+  t.quarantined <- t.quarantined + n;
+  Obs.Metrics.inc ~n (Lazy.force m_quarantined)
 
 let note_recovery t ~seconds =
   t.recoveries <- t.recoveries + 1;
-  t.recovery_latencies_rev <- seconds :: t.recovery_latencies_rev
+  Obs.Hist.observe t.recovery_hist seconds;
+  Obs.Metrics.inc (Lazy.force m_recoveries);
+  Obs.Hist.observe (Lazy.force m_recovery_seconds) seconds
 
-let note_fallback t = t.fallbacks <- t.fallbacks + 1
+let note_fallback t =
+  t.fallbacks <- t.fallbacks + 1;
+  Obs.Metrics.inc (Lazy.force m_fallbacks)
+
 let deltas t = t.joins + t.leaves + t.cost_changes + t.budget_resizes
 let replans t = t.replans
 let faults t = t.faults
 let quarantined t = t.quarantined
 let recoveries t = t.recoveries
 let fallbacks t = t.fallbacks
+let replan_hist t = t.replan_hist
+let recovery_hist t = t.recovery_hist
+let set_replan_hist t h = t.replan_hist <- h
+let set_recovery_hist t h = t.recovery_hist <- h
 
 let restore t ~joins ~leaves ~cost_changes ~budget_resizes ~replans ~evictions
     =
@@ -63,14 +101,14 @@ let restore t ~joins ~leaves ~cost_changes ~budget_resizes ~replans ~evictions
   t.budget_resizes <- budget_resizes;
   t.replans <- replans;
   t.evictions <- evictions;
-  t.latencies_rev <- []
+  Obs.Hist.clear t.replan_hist
 
 let restore_resilience t ~faults ~quarantined ~recoveries ~fallbacks =
   t.faults <- faults;
   t.quarantined <- quarantined;
   t.recoveries <- recoveries;
   t.fallbacks <- fallbacks;
-  t.recovery_latencies_rev <- []
+  Obs.Hist.clear t.recovery_hist
 
 type report = {
   deltas : int;
@@ -102,15 +140,12 @@ let report t ~evals ~eager_equiv =
     evals;
     eager_equiv;
     evals_saved = max 0 (eager_equiv - evals);
-    replan_latency =
-      Prelude.Stats.summarize (Array.of_list (List.rev t.latencies_rev));
+    replan_latency = Obs.Hist.to_summary t.replan_hist;
     faults = t.faults;
     quarantined = t.quarantined;
     recoveries = t.recoveries;
     fallbacks = t.fallbacks;
-    recovery_latency =
-      Prelude.Stats.summarize
-        (Array.of_list (List.rev t.recovery_latencies_rev)) }
+    recovery_latency = Obs.Hist.to_summary t.recovery_hist }
 
 let fields (t : t) =
   (t.joins, t.leaves, t.cost_changes, t.budget_resizes, t.replans, t.evictions)

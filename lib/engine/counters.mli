@@ -1,26 +1,33 @@
 (** Operational telemetry for the replanning engine.
 
     Counts deltas by kind, replans, plan repairs, evictions, and
-    replan latencies; the planner contributes marginal-utility
-    evaluation counts. {!report} folds everything into the summary the
-    CLI and benchmarks print. *)
+    latencies; the planner contributes marginal-utility evaluation
+    counts. Latency samples live in log-scaled {!Obs.Hist} histograms
+    (monotonic wall-clock seconds, via {!Obs.Clock}) and every count
+    is mirrored into the process-global {!Obs.Metrics} registry so the
+    exporters aggregate across controllers. {!report} folds everything
+    into the summary the CLI and benchmarks print. *)
 
 type t
 
 val create : unit -> t
 val note_delta : t -> Delta.t -> unit
+
 val note_replan : t -> seconds:float -> unit
+(** [seconds] is wall-clock time, measured with {!Obs.Clock}. *)
+
 val note_eviction : t -> unit
 
 val note_fault : t -> unit
 (** An injected or detected fault reached the controller. *)
 
 val note_quarantined : ?n:int -> t -> unit
-(** [n] (default 1) WAL records were skipped during recovery. *)
+(** [n] (default 1) WAL records were skipped during recovery. Also adds
+    [n] to the exported [engine_quarantined_total] counter. *)
 
 val note_recovery : t -> seconds:float -> unit
 (** A degraded plan was made feasible again; [seconds] is the
-    time-to-recover. *)
+    wall-clock time-to-recover. *)
 
 val note_fallback : t -> unit
 (** The supervisor abandoned a replan and restored the last feasible
@@ -35,6 +42,17 @@ val quarantined : t -> int
 val recoveries : t -> int
 val fallbacks : t -> int
 
+val replan_hist : t -> Obs.Hist.t
+(** The replan-latency histogram (for snapshot persistence). *)
+
+val recovery_hist : t -> Obs.Hist.t
+(** The time-to-recover histogram (for snapshot persistence). *)
+
+val set_replan_hist : t -> Obs.Hist.t -> unit
+(** Install restored histogram state (snapshot load). *)
+
+val set_recovery_hist : t -> Obs.Hist.t -> unit
+
 val restore :
   t ->
   joins:int ->
@@ -44,13 +62,14 @@ val restore :
   replans:int ->
   evictions:int ->
   unit
-(** Overwrite the aggregate counts (snapshot restore). Latency samples
-    are not persisted and restart empty. *)
+(** Overwrite the aggregate counts (snapshot restore). Clears the
+    replan-latency histogram; {!set_replan_hist} reinstates persisted
+    samples when the snapshot carries them. *)
 
 val restore_resilience :
   t -> faults:int -> quarantined:int -> recoveries:int -> fallbacks:int -> unit
-(** Overwrite the resilience counts (snapshot restore); time-to-recover
-    samples restart empty. *)
+(** Overwrite the resilience counts (snapshot restore); clears the
+    time-to-recover histogram (see {!set_recovery_hist}). *)
 
 type report = {
   deltas : int;
@@ -65,12 +84,14 @@ type report = {
       (** evaluations an eager (non-lazy) greedy would have performed
           over the same replans *)
   evals_saved : int;  (** [eager_equiv - evals], floored at 0 *)
-  replan_latency : Prelude.Stats.summary;  (** seconds, CPU time *)
+  replan_latency : Prelude.Stats.summary;
+      (** seconds, monotonic wall clock *)
   faults : int;  (** faults injected into / detected by the engine *)
   quarantined : int;  (** WAL records skipped during recovery *)
   recoveries : int;  (** degraded plans made feasible again *)
   fallbacks : int;  (** replans abandoned for the last feasible plan *)
-  recovery_latency : Prelude.Stats.summary;  (** time-to-recover, seconds *)
+  recovery_latency : Prelude.Stats.summary;
+      (** time-to-recover, wall-clock seconds *)
 }
 
 val report : t -> evals:int -> eager_equiv:int -> report

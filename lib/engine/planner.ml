@@ -219,7 +219,15 @@ let cmp_entry (w1, c1, s1) (w2, c2, s2) =
   else if better_than ~w:w2 ~c:c2 ~w':w1 ~c':c1 then 1
   else compare (s1 : int) s2
 
+(* Exported planner metrics. Heap pops and marginal evaluations are
+   tallied locally inside the loops and flushed once per extend, so
+   the hot path never touches an atomic. *)
+let m_heap_pops = lazy (Obs.Metrics.counter "planner_heap_pops_total")
+let m_evals = lazy (Obs.Metrics.counter "planner_marginal_evals_total")
+
 let extend_lazy t =
+  let evals0 = t.evals in
+  let pops = ref 0 in
   let heap = Prelude.Heap.create ~cmp:cmp_entry in
   for s = 0 to View.num_streams t.view - 1 do
     if (not t.admitted.(s)) && t.bound.(s) > 0. then
@@ -237,6 +245,7 @@ let extend_lazy t =
            conclusion. *)
         t.eager_equiv <- t.eager_equiv + Prelude.Heap.length heap;
         ignore (Prelude.Heap.pop heap);
+        incr pops;
         fresh := -1;
         if b <= 0. then continue_ := false
         else if fits_budget t s then ignore (admit t s)
@@ -246,9 +255,12 @@ let extend_lazy t =
         t.bound.(s) <- m;
         Prelude.Heap.replace_top heap (m, cost_norm t s, s);
         fresh := s
-  done
+  done;
+  Obs.Metrics.inc ~n:!pops (Lazy.force m_heap_pops);
+  Obs.Metrics.inc ~n:(t.evals - evals0) (Lazy.force m_evals)
 
 let extend_eager t =
+  let evals0 = t.evals in
   let candidates = ref [] in
   for s = View.num_streams t.view - 1 downto 0 do
     if not t.admitted.(s) then candidates := s :: !candidates
@@ -270,11 +282,16 @@ let extend_eager t =
     | Some (_, _, s) ->
         if fits_budget t s then ignore (admit t s);
         candidates := List.filter (fun s' -> s' <> s) !candidates
-  done
+  done;
+  Obs.Metrics.inc ~n:(t.evals - evals0) (Lazy.force m_evals)
 
 let extend ?(mode = Lazy) t =
   ensure_slots t;
-  match mode with Lazy -> extend_lazy t | Eager -> extend_eager t
+  let attrs =
+    [ ("mode", match mode with Lazy -> "lazy" | Eager -> "eager") ]
+  in
+  Obs.Span.with_ ~name:"planner.extend" ~attrs (fun () ->
+      match mode with Lazy -> extend_lazy t | Eager -> extend_eager t)
 
 (* Raise the bound of every non-admitted stream slot u is interested
    in: marginals may have increased by at most u's full interest. *)
@@ -426,19 +443,65 @@ let note_budget_resize t =
   recompute_used t;
   enforce_budgets t
 
-let force t plan =
+let force ?(admitted = []) t plan =
   if Mmd.Assignment.num_users plan <> View.num_slots t.view then
     invalid_arg "Planner.force: assignment user count <> view slots";
   reset t;
   let v = t.view in
-  List.iter
-    (fun s ->
+  let admit_forced s =
+    if not t.admitted.(s) then begin
       t.admitted.(s) <- true;
       t.bound.(s) <- 0.;
       for i = 0 to View.m v - 1 do
         t.used.(i) <- t.used.(i) +. View.server_cost v s i
-      done)
-    (Mmd.Assignment.range plan);
+      done
+    end
+  in
+  List.iter admit_forced (Mmd.Assignment.range plan);
+  (* Streams transmitted but currently delivered to nobody (their
+     recipients all left since the last replan) are invisible in the
+     assignment, yet they still consume budget and are free to deliver
+     to later joiners — restoring them matters for bit-identical
+     recovery. *)
+  List.iter
+    (fun s ->
+      if s < 0 || s >= View.num_streams v then
+        invalid_arg "Planner.force: admitted stream out of range";
+      admit_forced s)
+    admitted;
   for u = 0 to View.num_slots v - 1 do
     List.iter (fun s -> deliver_raw t u s) (Mmd.Assignment.user_streams plan u)
   done
+
+(* The accumulated float state is path-dependent (every deliver /
+   evict / leave nudges the rounding), so a plan rebuilt by [force]
+   can differ from the live accumulators in the last ulp. Snapshots
+   persist these bits so a restore continues the exact arithmetic. *)
+let float_state t =
+  let n = View.num_slots t.view in
+  ( t.total,
+    Array.sub t.used 0 (View.m t.view),
+    Array.init n (fun u ->
+        ( t.delivered_util.(u),
+          t.capped.(u),
+          Array.sub t.cap_used.(u) 0 (View.mc t.view) )) )
+
+let set_float_state t ~total ~used ~slots =
+  ensure_slots t;
+  if Array.length used <> View.m t.view then
+    invalid_arg "Planner.set_float_state: wrong budget measure count";
+  if Array.length slots <> View.num_slots t.view then
+    invalid_arg "Planner.set_float_state: wrong slot count";
+  Array.iter
+    (fun (_, _, cu) ->
+      if Array.length cu <> View.mc t.view then
+        invalid_arg "Planner.set_float_state: wrong capacity measure count")
+    slots;
+  t.total <- total;
+  Array.blit used 0 t.used 0 (Array.length used);
+  Array.iteri
+    (fun u (du, cap, cu) ->
+      t.delivered_util.(u) <- du;
+      t.capped.(u) <- cap;
+      Array.blit cu 0 t.cap_used.(u) 0 (Array.length cu))
+    slots

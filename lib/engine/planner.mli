@@ -107,10 +107,33 @@ val note_budget_resize : t -> int
 
 (** {1 Restore} *)
 
-val force : t -> Mmd.Assignment.t -> unit
+val force : ?admitted:int list -> t -> Mmd.Assignment.t -> unit
 (** Install an assignment verbatim (snapshot restore). The assignment
     must have exactly [View.num_slots] users and be feasible for the
-    view. @raise Invalid_argument on a user-count mismatch. *)
+    view. [admitted] lists extra streams to mark transmitted beyond
+    those appearing in the assignment — a stream whose recipients all
+    left is delivered to nobody yet still holds budget and is free for
+    later joiners, and the assignment alone cannot encode that.
+    @raise Invalid_argument on a user-count mismatch or an
+    out-of-range admitted stream. *)
+
+val float_state : t -> float * float array * (float * float * float array) array
+(** [(total, used, per-slot (delivered_util, capped, cap_used))] — the
+    accumulated float state, copied. These values are path-dependent
+    (incremental adds and subtracts round differently from the
+    plan-order rebuild {!force} performs), so snapshots persist them
+    bit-exactly to keep crash recovery bit-identical. *)
+
+val set_float_state :
+  t ->
+  total:float ->
+  used:float array ->
+  slots:(float * float * float array) array ->
+  unit
+(** Overwrite the accumulated float state (snapshot restore, after
+    {!force}). @raise Invalid_argument when [used] does not have
+    [View.m], [slots] does not have [View.num_slots], or a slot's
+    capacity row does not have [View.mc] entries. *)
 
 val add_evals : t -> evals:int -> eager_equiv:int -> unit
 (** Credit historical counts (snapshot restore). *)

@@ -44,6 +44,37 @@ let body ctrl =
   addf "epoch %d %.17g\n"
     (Controller.since_replan ctrl)
     (Controller.utility_at_replan ctrl);
+  (* v2.1 (version-gated): latency histograms, so restored engines
+     keep their pre-crash samples. Files without these lines — v1 and
+     older v2 — still load, with empty histograms as before. *)
+  let cs = Controller.counters ctrl in
+  if Obs.Hist.count (Counters.replan_hist cs) > 0 then
+    addf "hist replan %s\n" (Obs.Hist.encode (Counters.replan_hist cs));
+  if Obs.Hist.count (Counters.recovery_hist cs) > 0 then
+    addf "hist recovery %s\n" (Obs.Hist.encode (Counters.recovery_hist cs));
+  (* v2.2 (version-gated): the planner's accumulated float state.
+     [Planner.force] rebuilds these in plan order, which can round
+     differently from the live incremental accumulation — persisting
+     the exact bits keeps recovery bit-identical (utility included).
+     Hex floats round-trip exactly. *)
+  let ptotal, pused, pslots = Planner.float_state planner in
+  let floats a =
+    String.concat "" (List.map (Printf.sprintf " %h") (Array.to_list a))
+  in
+  addf "pstate %h%s\n" ptotal (floats pused);
+  Array.iteri
+    (fun u (du, cap, cu) -> addf "pslot %d %h %h%s\n" u du cap (floats cu))
+    pslots;
+  (* v2.2 (version-gated): the transmitted set. The plan section only
+     names streams delivered to at least one slot, so a stream whose
+     recipients all left — still holding budget, still free for later
+     joiners — would be silently dropped on restore. *)
+  (match Planner.admitted planner with
+  | [] -> ()
+  | streams ->
+      addf "admitted%s\n"
+        (String.concat ""
+           (List.map (fun s -> Printf.sprintf " %d" s) streams)));
   addf "%%%%instance\n%s"
     (Mmd.Io.to_string (View.materialize (Controller.view ctrl)));
   addf "%%%%plan\n%s" (Mmd.Io.assignment_to_string (Controller.plan ctrl));
@@ -62,6 +93,11 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
 
 let int_tok what tok =
   match int_of_string_opt tok with
+  | Some x -> x
+  | None -> fail "bad %s %S" what tok
+
+let float_tok what tok =
+  match float_of_string_opt tok with
   | Some x -> x
   | None -> fail "bad %s %S" what tok
 
@@ -97,6 +133,11 @@ let load_body lines =
   let counters = ref None in
   let resilience = ref None in
   let epoch = ref None in
+  let replan_hist = ref None in
+  let recovery_hist = ref None in
+  let pstate = ref None in
+  let pslots = ref [] in
+  let admitted = ref None in
   List.iter
     (fun line ->
       if String.trim line <> "" then
@@ -124,6 +165,29 @@ let load_body lines =
             match (int_of_string_opt since, float_of_string_opt util) with
             | Some s, Some u -> epoch := Some (s, u)
             | _ -> fail "bad epoch line")
+        | "hist" :: which :: encoded -> (
+            match Obs.Hist.decode (String.concat " " encoded) with
+            | Error msg -> fail "bad %s histogram: %s" which msg
+            | Ok h -> (
+                match which with
+                | "replan" -> replan_hist := Some h
+                | "recovery" -> recovery_hist := Some h
+                | other -> fail "unknown histogram %S" other))
+        | "pstate" :: total :: used ->
+            pstate :=
+              Some
+                ( float_tok "planner total" total,
+                  Array.of_list (List.map (float_tok "planner used") used) )
+        | "pslot" :: u :: du :: cap :: cus ->
+            pslots :=
+              ( int_tok "planner slot" u,
+                ( float_tok "slot delivered utility" du,
+                  float_tok "slot capped utility" cap,
+                  Array.of_list (List.map (float_tok "slot capacity used") cus)
+                ) )
+              :: !pslots
+        | "admitted" :: ids ->
+            admitted := Some (List.map (int_tok "admitted stream") ids)
         | kw :: _ -> fail "unknown header keyword %S" kw
         | [] -> ())
     header;
@@ -145,8 +209,10 @@ let load_body lines =
     match !counters with Some (_, _, _, _, _, _, _, _, d) -> Some d | None -> None
   in
   let ctrl =
-    Controller.of_state ?since_replan ?deltas_applied ?utility_at_replan
-      ~policy:!policy ~pinned:!pinned ~view ~plan ()
+    try
+      Controller.of_state ?since_replan ?deltas_applied ?utility_at_replan
+        ?admitted:!admitted ~policy:!policy ~pinned:!pinned ~view ~plan ()
+    with Invalid_argument msg -> fail "%s" msg
   in
   (match !counters with
   | None -> ()
@@ -159,9 +225,30 @@ let load_body lines =
   | Some (faults, quarantined, recoveries, fallbacks) ->
       Counters.restore_resilience (Controller.counters ctrl) ~faults
         ~quarantined ~recoveries ~fallbacks);
+  (match !replan_hist with
+  | Some h -> Counters.set_replan_hist (Controller.counters ctrl) h
+  | None -> ());
+  (match !recovery_hist with
+  | Some h -> Counters.set_recovery_hist (Controller.counters ctrl) h
+  | None -> ());
+  (match !pstate with
+  | None -> ()
+  | Some (total, used) ->
+      (* When the snapshot carries planner float state it must be
+         complete: one pslot line per view slot. *)
+      let n = View.num_slots view in
+      let slots =
+        Array.init n (fun u ->
+            match List.assoc_opt u !pslots with
+            | Some s -> s
+            | None -> fail "pstate present but slot %d has no pslot line" u)
+      in
+      (try
+         Planner.set_float_state (Controller.planner ctrl) ~total ~used ~slots
+       with Invalid_argument msg -> fail "%s" msg));
   ctrl
 
-let load_result text =
+let load_result_impl text =
   match
     let nl =
       match String.index_opt text '\n' with
@@ -201,6 +288,9 @@ let load_result text =
   | exception Failure msg -> Error ("Snapshot.load: " ^ msg)
   | exception Invalid_argument msg -> Error ("Snapshot.load: " ^ msg)
 
+let load_result text =
+  Obs.Span.with_ ~name:"snapshot.read" (fun () -> load_result_impl text)
+
 let load text =
   match load_result text with Ok ctrl -> ctrl | Error msg -> failwith msg
 
@@ -210,16 +300,22 @@ let is_snapshot text =
 
 let previous_path path = path ^ ".prev"
 
+let m_write_seconds = lazy (Obs.Metrics.histogram "snapshot_write_seconds")
+
 let write_file path ctrl =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (save ctrl));
-  (* Keep the old generation around: if this write turns out torn or
-     corrupted, [read_file_result] falls back to it. *)
-  if Sys.file_exists path then Sys.rename path (previous_path path);
-  Sys.rename tmp path
+  Obs.Span.with_ ~name:"snapshot.write" (fun () ->
+      let t0 = Obs.Clock.now () in
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (save ctrl));
+      (* Keep the old generation around: if this write turns out torn
+         or corrupted, [read_file_result] falls back to it. *)
+      if Sys.file_exists path then Sys.rename path (previous_path path);
+      Sys.rename tmp path;
+      Obs.Hist.observe (Lazy.force m_write_seconds)
+        (Obs.Clock.elapsed_since t0))
 
 type generation = Current | Previous
 

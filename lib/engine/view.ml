@@ -19,7 +19,13 @@ type t = {
   mutable slots : slot array;
   mutable num_slots : int;
   mutable free : int list;  (* inactive slots available for reuse *)
-  interested : (int, unit) Hashtbl.t array;  (* stream -> active slots *)
+  mutable interested : Prelude.Bitset.t array;
+  (* stream -> active slots. A bitset, not a hash table: iteration
+     must be in ascending slot order so that float accumulation in the
+     planner is independent of the join/leave history — a restored
+     view and the live view it snapshotted have the same members but
+     different insertion orders, and order-dependent summation would
+     make recovery diverge by an ulp. *)
   mutable active_count : int;
   mutable version : int;
 }
@@ -58,11 +64,11 @@ let of_instance inst =
   in
   let interested =
     Array.init num_streams (fun s ->
-        let tbl = Hashtbl.create 16 in
+        let bs = Prelude.Bitset.create nu in
         Array.iter
-          (fun u -> Hashtbl.replace tbl u ())
+          (fun u -> Prelude.Bitset.set bs u)
           (I.interested_users inst s);
-        tbl)
+        bs)
   in
   { name = I.name inst;
     num_streams;
@@ -92,7 +98,7 @@ let copy t =
             capacity = Array.copy sl.capacity })
         t.slots;
     free = t.free;
-    interested = Array.map Hashtbl.copy t.interested }
+    interested = Array.map Prelude.Bitset.copy t.interested }
 
 let name t = t.name
 let num_streams t = t.num_streams
@@ -118,10 +124,11 @@ let utility_cap t slot = t.slots.(slot).utility_cap
 let interests t slot = t.slots.(slot).interests
 
 let interested t s =
-  Hashtbl.fold (fun u () acc -> u :: acc) t.interested.(s) []
-  |> List.sort compare
+  let acc = ref [] in
+  Prelude.Bitset.iter_set t.interested.(s) (fun u -> acc := u :: !acc);
+  List.rev !acc
 
-let iter_interested t s f = Hashtbl.iter (fun u () -> f u) t.interested.(s)
+let iter_interested t s f = Prelude.Bitset.iter_set t.interested.(s) f
 let version t = t.version
 
 let check_nonneg what x =
@@ -137,12 +144,19 @@ let grow t =
           if i < cap then t.slots.(i)
           else fresh_slot ~num_streams:t.num_streams ~mc:t.mc)
     in
-    t.slots <- slots'
+    t.slots <- slots';
+    t.interested <-
+      Array.map
+        (fun bs ->
+          let bs' = Prelude.Bitset.create cap' in
+          Prelude.Bitset.iter_set bs (Prelude.Bitset.set bs');
+          bs')
+        t.interested
   end
 
 let clear_slot t u =
   let sl = t.slots.(u) in
-  List.iter (fun s -> Hashtbl.remove t.interested.(s) u) sl.interests;
+  List.iter (fun s -> Prelude.Bitset.clear t.interested.(s) u) sl.interests;
   Array.fill sl.utility 0 t.num_streams 0.;
   Array.iter (fun row -> Array.fill row 0 t.mc 0.) sl.loads;
   Array.fill sl.capacity 0 t.mc 0.;
@@ -192,7 +206,7 @@ let join t (spec : Delta.user_spec) =
       Array.blit loads 0 sl.loads.(s) 0 t.mc;
       if w > 0. then begin
         sl.utility.(s) <- w;
-        Hashtbl.replace t.interested.(s) u ();
+        Prelude.Bitset.set t.interested.(s) u;
         interests := s :: !interests
       end)
     spec.interests;

@@ -62,7 +62,12 @@ val interested : t -> int -> int list
 (** Active slots with positive utility for the stream, ascending. *)
 
 val iter_interested : t -> int -> (int -> unit) -> unit
-(** Like {!interested} but without allocating (order unspecified). *)
+(** Like {!interested} but without allocating. Ascending slot order is
+    guaranteed: the planner accumulates floats over this iteration, so
+    the order must be a function of the member {e set} alone — never
+    of the join/leave history — or a view restored from a snapshot
+    would sum in a different order than the live view it mirrors and
+    crash recovery would diverge in the last ulp. *)
 
 val version : t -> int
 (** Bumped on every successful {!apply}. *)

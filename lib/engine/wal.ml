@@ -64,7 +64,10 @@ type recovery = {
   torn_tail : bool;
 }
 
-let recover_string text =
+let m_append_seconds = lazy (Obs.Metrics.histogram "wal_append_seconds")
+let m_replayed = lazy (Obs.Metrics.counter "wal_records_replayed_total")
+
+let recover_string_impl text =
   let lines = String.split_on_char '\n' text in
   match lines with
   | first :: rest when first = magic ->
@@ -104,12 +107,16 @@ let recover_string text =
                 end
                 else quarantined := { line = lineno; reason } :: !quarantined)
         rest;
+      Obs.Metrics.inc ~n:(List.length !records) (Lazy.force m_replayed);
       Ok
         { records = List.rev !records;
           quarantined = List.rev !quarantined;
           last_seq = !last_seq;
           torn_tail = !torn }
   | _ -> Error "Wal.recover: not a WAL (bad magic line)"
+
+let recover_string text =
+  Obs.Span.with_ ~name:"wal.recover" (fun () -> recover_string_impl text)
 
 let recover_file path =
   match
@@ -144,11 +151,13 @@ let append_file ?(next_seq = 1) path =
   { oc; next_seq }
 
 let append w delta =
+  let t0 = Obs.Clock.now () in
   let seq = w.next_seq in
   w.next_seq <- seq + 1;
   output_string w.oc (record_to_string ~seq delta);
   output_char w.oc '\n';
   flush w.oc;
+  Obs.Hist.observe (Lazy.force m_append_seconds) (Obs.Clock.elapsed_since t0);
   seq
 
 let close w = close_out w.oc

@@ -1,0 +1,127 @@
+(** Observability layer: monotonic wall clock, log-scaled latency
+    histograms, a labeled metric registry, tracing spans, and text
+    exporters.
+
+    Every latency in the engine is measured through {!Clock} — wall
+    time, monotone non-decreasing — never [Sys.time], which reports
+    process CPU time and therefore sums across pool domains and
+    ignores time blocked in I/O. Spans opened inside
+    {!Prelude.Pool} tasks parent to the span that submitted the
+    region, so traces nest correctly across the domain pool. *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Monotonic wall-clock seconds (Unix epoch based). Never decreases,
+      even across domains or when the system clock steps backwards. *)
+
+  val elapsed_since : float -> float
+  (** [elapsed_since t0] is [max 0. (now () -. t0)]. *)
+end
+
+module Hist : sig
+  (** Log-scaled latency histogram: 4 buckets per octave from 1 ns,
+      with exact count/sum/min/max carried alongside the buckets.
+      All operations are thread-safe. *)
+
+  type t
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val clear : t -> unit
+
+  val merge_into : into:t -> t -> unit
+  (** Add the source's samples into [into]; the source is unchanged. *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val min_value : t -> float
+  (** Exact smallest observation; [nan] when empty. *)
+
+  val max_value : t -> float
+  (** Exact largest observation; [nan] when empty. *)
+
+  val bucket_counts : t -> int array
+  (** A copy of the raw bucket counts (for exporters and tests). *)
+
+  val upper : int -> float
+  (** Upper boundary of bucket [i] (for exporters). *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0, 1]: the geometric midpoint of the
+      bucket holding rank [q], clamped to the exact observed range.
+      [nan] when empty. *)
+
+  val to_summary : t -> Prelude.Stats.summary
+  (** Count, exact mean/min/max, stddev from the running sum of
+      squares, and approximate p50/p90/p99 from the buckets. *)
+
+  val encode : t -> string
+  (** One-line codec; floats in hex, so decode is bit-exact. *)
+
+  val decode : string -> (t, string) result
+end
+
+module Metrics : sig
+  (** Process-global registry of labeled instruments. Registration is
+      idempotent: the same name + label set returns the same
+      instrument. *)
+
+  type counter
+  type gauge
+
+  type instrument =
+    | Counter of counter
+    | Gauge of gauge
+    | Histogram of Hist.t
+
+  val counter : ?labels:(string * string) list -> string -> counter
+  val gauge : ?labels:(string * string) list -> string -> gauge
+  val histogram : ?labels:(string * string) list -> string -> Hist.t
+
+  val inc : ?n:int -> counter -> unit
+  val value : counter -> int
+  val set : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  val snapshot : unit -> (string * (string * string) list * instrument) list
+  (** All registered instruments, sorted by name then labels. *)
+
+  val reset : unit -> unit
+  (** Drop every registered instrument (tests only). *)
+end
+
+module Trace : sig
+  (** JSONL span sink. Disabled until {!set_output}; spans are then
+      appended one JSON object per line, buffered, and flushed by
+      {!close} (also installed via [at_exit]). *)
+
+  val set_output : string -> unit
+  val close : unit -> unit
+  val enabled : unit -> bool
+
+  val spans_emitted : unit -> int
+  (** Spans written to the sink since process start. *)
+end
+
+module Span : sig
+  val with_ : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a named span: records its wall duration into
+      the [span_duration_seconds{span=name}] histogram and, when
+      {!Trace.enabled}, emits a JSONL record with the parent span id.
+      Exception-safe; the span context is restored either way. *)
+
+  val current : unit -> int option
+  (** The innermost open span's id on this domain, if any. *)
+end
+
+module Export : sig
+  val prometheus : unit -> string
+  (** Prometheus text format: counters, gauges, and histograms (as
+      cumulative [_bucket{le=...}] series plus [_sum]/[_count]). *)
+
+  val write_prometheus : string -> unit
+
+  val stats_table : unit -> string
+  (** Human-readable table of every instrument (the [--stats] view). *)
+end

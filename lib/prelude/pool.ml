@@ -148,6 +148,16 @@ let run_region p tasks =
     Mutex.unlock p.mutex
   end
 
+(* Optional per-region task wrapper (installed by the observability
+   layer): the factory runs on the submitting domain at submission
+   time — capturing e.g. the current tracing-span context — and the
+   wrapper it returns runs around every task of the region on
+   whichever domain executes it. *)
+let task_wrapper : (unit -> (unit -> unit) -> unit -> unit) option ref =
+  ref None
+
+let set_task_wrapper w = task_wrapper := w
+
 (* Run [body lo hi] over the fixed grid of [chunk]-sized slices of
    [0, n). Parallel when a pool is available and the caller is not
    already inside a task; inline otherwise. On task exceptions the
@@ -162,6 +172,11 @@ let run_chunks ~chunk ~n body =
       | Some p ->
           let nchunks = (n + chunk - 1) / chunk in
           let exns = Array.make nchunks None in
+          let wrap =
+            match !task_wrapper with
+            | None -> fun task -> task
+            | Some mk -> mk ()
+          in
           let tasks =
             Array.init nchunks (fun c ->
                 let lo = c * chunk and hi = min n ((c + 1) * chunk) in
@@ -169,7 +184,8 @@ let run_chunks ~chunk ~n body =
                   let flag = Domain.DLS.get busy_key in
                   let saved = !flag in
                   flag := true;
-                  (try body lo hi with e -> exns.(c) <- Some e);
+                  (try wrap (fun () -> body lo hi) () with
+                  | e -> exns.(c) <- Some e);
                   flag := saved)
           in
           run_region p tasks;

@@ -43,6 +43,15 @@ val with_num_domains : int -> (unit -> 'a) -> 'a
 (** Run a thunk under a forced domain count, restoring the previous
     setting afterwards (exception-safe). *)
 
+val set_task_wrapper : (unit -> (unit -> unit) -> unit -> unit) option -> unit
+(** Install (or clear) the per-region task wrapper. The outer function
+    is called once per submitted region, on the submitting domain —
+    letting it capture submission-time context such as the current
+    tracing span; the function it returns is applied to every task of
+    that region and runs on the executing domain. Installed by the
+    observability layer to propagate span parents into pool tasks and
+    to meter task queueing; identity when unset. *)
+
 val shutdown : unit -> unit
 (** Join all pool workers. The pool restarts lazily on the next
     parallel call; mainly useful in tests and at exit (installed

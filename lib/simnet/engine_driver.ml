@@ -32,46 +32,49 @@ type replan_outcome = {
 let note_fallback_counters ctrl t0 =
   Engine.Counters.note_fallback (C.counters ctrl);
   Engine.Counters.note_recovery (C.counters ctrl)
-    ~seconds:(Sys.time () -. t0)
+    ~seconds:(Obs.Clock.elapsed_since t0)
 
 let supervised_replan ?(config = default_supervisor)
     ?(inject = fun ~attempt:_ -> ()) ctrl =
-  (* The controller's plan is feasible by invariant at every delta
-     boundary; capture it so a failed replan has something to fall
-     back to. *)
-  let last_feasible = C.plan ctrl in
-  let t0 = Sys.time () in
-  let waited = ref 0. in
-  let rec attempt k =
-    match
-      inject ~attempt:k;
-      C.replan ctrl
-    with
-    | () ->
-        let seconds = Sys.time () -. t0 in
-        { retries = k;
-          fell_back = false;
-          overran = seconds -. !waited > config.replan_time_budget;
-          seconds;
-          backoff_waited = !waited }
-    | exception _ when k < config.max_retries ->
-        (* Bounded exponential backoff. The wait is simulated (summed,
-           not slept) so chaos tests stay fast and deterministic. *)
-        waited := !waited +. (config.backoff *. float (1 lsl k));
-        attempt (k + 1)
-    | exception _ ->
-        (* Out of retries: restore the last feasible plan and serve
-           it. [Planner.force] resets the planner first, so a replan
-           that died mid-solve leaves no partial state behind. *)
-        Engine.Planner.force (C.planner ctrl) last_feasible;
-        note_fallback_counters ctrl t0;
-        { retries = k;
-          fell_back = true;
-          overran = false;
-          seconds = Sys.time () -. t0;
-          backoff_waited = !waited }
-  in
-  attempt 0
+  Obs.Span.with_ ~name:"driver.supervised_replan" (fun () ->
+      (* The controller's plan is feasible by invariant at every delta
+         boundary; capture it so a failed replan has something to fall
+         back to. *)
+      let last_feasible = C.plan ctrl in
+      let t0 = Obs.Clock.now () in
+      let waited = ref 0. in
+      let rec attempt k =
+        match
+          inject ~attempt:k;
+          C.replan ctrl
+        with
+        | () ->
+            let seconds = Obs.Clock.elapsed_since t0 in
+            { retries = k;
+              fell_back = false;
+              overran = seconds -. !waited > config.replan_time_budget;
+              seconds;
+              backoff_waited = !waited }
+        | exception _ when k < config.max_retries ->
+            (* Bounded exponential backoff. The wait is simulated
+               (summed, not slept) so chaos tests stay fast and
+               deterministic. *)
+            waited := !waited +. (config.backoff *. float (1 lsl k));
+            attempt (k + 1)
+        | exception _ ->
+            (* Out of retries: restore the last feasible plan and serve
+               it. [Planner.force] resets the planner first, so a
+               replan that died mid-solve leaves no partial state
+               behind. *)
+            Engine.Planner.force (C.planner ctrl) last_feasible;
+            note_fallback_counters ctrl t0;
+            { retries = k;
+              fell_back = true;
+              overran = false;
+              seconds = Obs.Clock.elapsed_since t0;
+              backoff_waited = !waited }
+      in
+      attempt 0)
 
 let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
     ?(epoch = C.Drift 0.05) ?(churn = Engine.Churn.default)

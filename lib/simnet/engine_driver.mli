@@ -50,7 +50,9 @@ type replan_outcome = {
   retries : int;  (** retry attempts actually used *)
   fell_back : bool;  (** true when the last feasible plan was restored *)
   overran : bool;  (** replan finished but blew the time budget *)
-  seconds : float;  (** wall of the whole supervised operation (CPU) *)
+  seconds : float;
+      (** wall-clock seconds for the whole supervised operation,
+          measured with {!Obs.Clock} *)
   backoff_waited : float;  (** total simulated backoff wait *)
 }
 

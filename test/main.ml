@@ -30,4 +30,5 @@ let () =
       ("viewer-sim", Test_viewer_sim.suite);
       ("engine", Test_engine.suite);
       ("resilience", Test_resilience.suite);
-      ("parallel", Test_parallel.suite) ]
+      ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite) ]

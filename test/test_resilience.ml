@@ -254,6 +254,21 @@ let qcheck_crash_recovery =
         (oneofl [ C.Every 8; C.Every 32; C.Drift 0.05; C.Manual ]))
     crash_recovery_prop
 
+(* Pinned inputs where recovery used to diverge: late cuts tripped the
+   hash-table iteration order of [View.interested] (live and restored
+   views summed floats in different orders, off by an ulp after the
+   next replan), and seed 54 dropped a transmitted-but-undelivered
+   stream on restore, shifting a drift-policy replan by one delta. *)
+let test_crash_recovery_regressions () =
+  List.iter
+    (fun (seed, cut, policy, what) ->
+      check_bool what true (crash_recovery_prop (seed, cut, policy)))
+    [ (2, 0.95, C.Manual, "seed 2, cut 0.95, manual");
+      (48, 0.95, C.Every 8, "seed 48, cut 0.95, every:8");
+      (76, 0.95, C.Every 32, "seed 76, cut 0.95, every:32");
+      (87, 0.95, C.Drift 0.05, "seed 87, cut 0.95, drift");
+      (54, 0.77, C.Drift 0.05, "seed 54, cut 0.77, drift") ]
+
 (* ---------- Feasibility after faults ---------- *)
 
 let feasibility_prop (seed, fault_count) =
@@ -396,6 +411,8 @@ let suite =
     Alcotest.test_case "snapshot generation fallback" `Quick
       test_snapshot_generation_fallback;
     qcheck_crash_recovery;
+    Alcotest.test_case "crash recovery regressions (ulp order, admitted set)"
+      `Quick test_crash_recovery_regressions;
     qcheck_feasibility_after_faults;
     Alcotest.test_case "budget shock degrades, replan recovers" `Quick
       test_budget_shock_degrades_and_replan_recovers;
