@@ -24,6 +24,7 @@ let experiments =
     ("e15", E15_parallel.run);
     ("e16", E16_resilience.run);
     ("e17", E17_observability.run);
+    ("e18", E18_sharded.run);
     ("micro", Microbench.run) ]
 
 let () =

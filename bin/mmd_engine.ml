@@ -37,9 +37,142 @@ let print_partial_state ctrl ~applied ~last_seq =
     (C.deltas_applied ctrl) (C.since_replan ctrl);
   Format.printf "%a@." Engine.Counters.pp_report (C.report ctrl)
 
+(* Sharded mode: FILE must be an instance; every delta is routed
+   through a Shard.Router over N full engine stacks. --wal-out names a
+   DIRECTORY holding shard-<i>.wal (each replays standalone into a
+   controller over that shard's initial sub-world). *)
+let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
+    ~skip_final ~compare_scratch ~wal_out ~metrics_out ~stats ~shards
+    ~shard_tags ~split ~rebalance_every ~rebalance_k =
+  let policy =
+    match C.policy_of_string epoch with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  let split =
+    match split with
+    | "even" -> Shard.Router.Even
+    | "demand" -> Shard.Router.Demand
+    | other -> failwith (Printf.sprintf "unknown budget split %S" other)
+  in
+  let text = read_all file in
+  if Engine.Snapshot.is_snapshot text then
+    failwith
+      "sharded mode starts from an instance; recovery goes through the \
+       per-shard WALs, not a snapshot";
+  let inst = Mmd.Io.of_string text in
+  let tags =
+    match shard_tags with
+    | Some spec ->
+        let tags = Array.of_list (String.split_on_char ',' spec) in
+        if Array.length tags <> shards then
+          failwith
+            (Printf.sprintf "--shard-tags names %d racks for %d shards"
+               (Array.length tags) shards);
+        tags
+    | None -> Array.init shards (fun i -> Printf.sprintf "rack%d" (i mod 2))
+  in
+  let map = Shard.Shard_map.create ~seed ~tags () in
+  let router =
+    Shard.Router.create ~policy ~split ?wal_dir:wal_out ~map inst
+  in
+  let log =
+    match (deltas_in, gen_deltas) with
+    | Some path, _ ->
+        let text = read_all path in
+        if Engine.Wal.is_wal text then begin
+          match Engine.Wal.recover_string text with
+          | Error msg -> failwith msg
+          | Ok r ->
+              if r.Engine.Wal.quarantined <> [] then
+                Format.printf "WAL recovery: quarantined %d record(s)@."
+                  (List.length r.Engine.Wal.quarantined);
+              List.map snd r.Engine.Wal.records
+        end
+        else Engine.Delta.log_of_string text
+    | None, Some n ->
+        let rng = Prelude.Rng.create seed in
+        let log =
+          Engine.Churn.generate ~rng
+            (Engine.View.of_instance inst)
+            { Engine.Churn.default with deltas = n }
+        in
+        (match deltas_out with
+        | Some path ->
+            Engine.Delta.write_log path log;
+            Format.printf "wrote %d deltas to %s@." n path
+        | None -> ());
+        log
+    | None, None -> []
+  in
+  let applied = ref 0 and moves = ref 0 in
+  let t0 = Obs.Clock.now () in
+  List.iter
+    (fun d ->
+      ignore (Shard.Router.apply router d);
+      incr applied;
+      match rebalance_every with
+      | Some every when !applied mod every = 0 ->
+          moves := !moves + Shard.Router.rebalance router ~k:rebalance_k;
+          if split = Shard.Router.Demand then
+            Shard.Router.resplit_budgets router
+      | _ -> ())
+    log;
+  if not skip_final then Shard.Router.replan_all router;
+  let elapsed = Obs.Clock.elapsed_since t0 in
+  let n = !applied in
+  Format.printf
+    "applied %d deltas across %d shards in %.3fs wall (%.0f deltas/s \
+     aggregate)@."
+    n shards elapsed
+    (if elapsed > 0. then float n /. elapsed else 0.);
+  let counts = Shard.Router.counts router in
+  Format.printf "shard populations:";
+  Array.iteri
+    (fun i c ->
+      Format.printf " %d:%d[%s]" i c (Shard.Shard_map.tag map i))
+    counts;
+  Format.printf "@.";
+  if !moves > 0 then Format.printf "rebalance moves: %d@." !moves;
+  Format.printf "sharded utility: %.6g@." (Shard.Router.utility router);
+  Format.printf "%a@." Engine.Counters.pp_report (Shard.Router.report router);
+  if compare_scratch then begin
+    let global, evals = Shard.Router.global_scratch router in
+    let loss =
+      if global > 0. then
+        100. *. (1. -. (Shard.Router.utility router /. global))
+      else 0.
+    in
+    Format.printf
+      "single global solve: utility %.6g (cross-shard loss %.2f%%), %d \
+       evals@."
+      global loss evals
+  end;
+  Shard.Router.close router;
+  if stats then Format.printf "%s@." (Obs.Export.stats_table ());
+  match metrics_out with
+  | Some path ->
+      Obs.Export.write_prometheus path;
+      Format.printf "metrics -> %s@." path
+  | None -> ()
+
 let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
     compare_scratch snapshot_out snapshot_every plan_out domains wal_out
-    crash_after trace_out metrics_out stats =
+    crash_after trace_out metrics_out stats shards shard_tags split
+    rebalance_every rebalance_k =
+  match shards with
+  | Some n when n >= 1 -> (
+      match
+        Prelude.Pool.set_num_domains domains;
+        sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
+          ~skip_final ~compare_scratch ~wal_out ~metrics_out ~stats ~shards:n
+          ~shard_tags ~split ~rebalance_every ~rebalance_k
+      with
+      | () -> Ok ()
+      | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+          Error (`Msg msg))
+  | Some n -> Error (`Msg (Printf.sprintf "--shards %d: need at least 1" n))
+  | None ->
   match
     Prelude.Pool.set_num_domains domains;
     (match trace_out with
@@ -375,6 +508,52 @@ let stats =
           "Print a human-readable table of every metric — counts, mean, \
            p50/p90/p99/max for histograms — after the run.")
 
+let shards =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Run $(docv) independent engine shards behind a router (each a \
+           full controller + counters stack; joins go to the least-loaded \
+           shard, budgets are split across shards). $(b,--wal-out) then \
+           names a directory of per-shard WALs. $(b,--shards 1) is \
+           bit-identical to the unsharded engine.")
+
+let shard_tags =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "shard-tags" ] ~docv:"TAGS"
+        ~doc:
+          "Comma-separated rack tag per shard (default: alternate \
+           $(b,rack0),$(b,rack1)); the placement interleave spreads \
+           consecutive users across distinct racks.")
+
+let split =
+  Arg.(
+    value & opt string "even"
+    & info [ "split" ] ~docv:"KIND"
+        ~doc:
+          "Per-shard budget split: $(b,even) ($(i,B/N)) or $(b,demand) \
+           (proportional to observed per-shard demand).")
+
+let rebalance_every =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rebalance-every" ] ~docv:"N"
+        ~doc:
+          "With $(b,--shards): every $(docv) applied deltas, move at most \
+           $(b,--rebalance-k) users from over- to under-populated shards \
+           (as ordinary leave/join pairs).")
+
+let rebalance_k =
+  Arg.(
+    value & opt int 8
+    & info [ "rebalance-k" ] ~docv:"K"
+        ~doc:"Per-epoch cap on rebalance moves (default 8).")
+
 let cmd =
   let doc = "replay a churn delta log through the replanning engine" in
   Cmd.v (Cmd.info "mmd_engine" ~doc)
@@ -383,6 +562,7 @@ let cmd =
         (const engine_run $ file $ deltas_in $ gen_deltas $ seed $ deltas_out
        $ epoch $ skip_final $ compare_scratch $ snapshot_out $ snapshot_every
        $ plan_out $ domains $ wal_out $ crash_after $ trace_out $ metrics_out
-       $ stats))
+       $ stats $ shards $ shard_tags $ split $ rebalance_every
+       $ rebalance_k))
 
 let () = exit (Cmd.eval cmd)

@@ -37,23 +37,27 @@ type t = {
    single stream alone). Identical control flow for both modes, so
    Lazy and Eager produce the same plan. *)
 let solve ?(mode = Planner.Lazy) planner ~pinned =
-  Planner.reset planner;
-  List.iter (fun s -> ignore (Planner.admit planner s)) pinned;
-  Planner.extend ~mode planner;
+  let plain () =
+    Planner.reset planner;
+    List.iter (fun s -> ignore (Planner.admit planner s)) pinned;
+    Planner.extend ~mode planner
+  in
+  plain ();
   match Planner.best_single planner with
-  | Some (s, single)
-    when single > Planner.utility planner
-         && not (Planner.is_admitted planner s) ->
+  | Some (s, single) when single > Planner.utility planner ->
+      (* The restart applies even when [s] is in the greedy plan:
+         admitted late, it can be crowded out at user capacities by
+         earlier picks and deliver less than it would alone. From an
+         empty plan [admit s] delivers its full stand-alone value. *)
+      let greedy_util = Planner.utility planner in
       Planner.reset planner;
       List.iter (fun s -> ignore (Planner.admit planner s)) pinned;
-      if Planner.admit planner s then Planner.extend ~mode planner
-      else begin
-        (* The pinned set crowds the best single stream out; fall back
-           to the plain greedy plan. *)
-        Planner.reset planner;
-        List.iter (fun s -> ignore (Planner.admit planner s)) pinned;
-        Planner.extend ~mode planner
-      end
+      let admitted = Planner.admit planner s in
+      if admitted then Planner.extend ~mode planner;
+      (* With pins the restart can lose (the pinned set crowds [s] or
+         eats its capacity); keep whichever plan is better. *)
+      if (not admitted) || Planner.utility planner < greedy_util then
+        plain ()
   | _ -> ()
 
 let replan ?mode t =
@@ -65,14 +69,14 @@ let replan ?mode t =
       t.utility_at_replan <- Planner.utility t.planner;
       t.degraded <- false)
 
-let create ?(policy = Every 64) ?(pinned = []) inst =
+let create ?(policy = Every 64) ?(pinned = []) ?(labels = []) inst =
   let view = View.of_instance inst in
   let planner = Planner.create view in
   Planner.set_pinned planner pinned;
   let t =
     { view;
       planner;
-      counters = Counters.create ();
+      counters = Counters.create ~labels ();
       policy;
       since_replan = 0;
       utility_at_replan = 0.;
@@ -83,7 +87,7 @@ let create ?(policy = Every 64) ?(pinned = []) inst =
   t
 
 let of_state ?(since_replan = 0) ?(deltas_applied = 0) ?utility_at_replan
-    ?admitted ~policy ~pinned ~view ~plan () =
+    ?admitted ?(labels = []) ~policy ~pinned ~view ~plan () =
   let planner = Planner.create view in
   Planner.set_pinned planner pinned;
   Planner.force ?admitted planner plan;
@@ -94,7 +98,7 @@ let of_state ?(since_replan = 0) ?(deltas_applied = 0) ?utility_at_replan
   in
   { view;
     planner;
-    counters = Counters.create ();
+    counters = Counters.create ~labels ();
     policy;
     since_replan;
     utility_at_replan;

@@ -25,16 +25,24 @@ val policy_to_string : epoch_policy -> string
 
 type t
 
-val create : ?policy:epoch_policy -> ?pinned:int list -> Mmd.Instance.t -> t
+val create :
+  ?policy:epoch_policy ->
+  ?pinned:int list ->
+  ?labels:(string * string) list ->
+  Mmd.Instance.t ->
+  t
 (** Start a controller on an initial world (its users become the
     initial active slots) and compute the initial plan. Default policy
-    [Every 64]. *)
+    [Every 64]. [labels] tag the controller's {!Counters} instruments
+    in the {!Obs.Metrics} registry (e.g. [[("shard", "3")]] in a
+    sharded engine). *)
 
 val of_state :
   ?since_replan:int ->
   ?deltas_applied:int ->
   ?utility_at_replan:float ->
   ?admitted:int list ->
+  ?labels:(string * string) list ->
   policy:epoch_policy ->
   pinned:int list ->
   view:View.t ->

@@ -3,6 +3,24 @@
    Latency samples live in log-scaled Obs histograms — mergeable,
    snapshot-persistable — instead of unbounded sample lists. *)
 
+(* Registry mirrors. Each counter set registers its instruments under
+   its own label set (e.g. [shard="3"]), so N shards in one process
+   export N distinct series instead of colliding on one name;
+   registration is idempotent, so unlabeled controllers keep sharing
+   the process-wide aggregate exactly as before. Cross-shard totals
+   come from Obs.Metrics.sum_counter / merged_histogram. *)
+type mirrors = {
+  m_deltas : Obs.Metrics.counter;
+  m_replans : Obs.Metrics.counter;
+  m_evictions : Obs.Metrics.counter;
+  m_faults : Obs.Metrics.counter;
+  m_quarantined : Obs.Metrics.counter;
+  m_recoveries : Obs.Metrics.counter;
+  m_fallbacks : Obs.Metrics.counter;
+  m_replan_seconds : Obs.Hist.t;
+  m_recovery_seconds : Obs.Hist.t;
+}
+
 type t = {
   mutable joins : int;
   mutable leaves : int;
@@ -17,23 +35,24 @@ type t = {
   mutable recoveries : int;
   mutable fallbacks : int;
   mutable recovery_hist : Obs.Hist.t;
+  mirrors : mirrors;
 }
 
-(* Global mirrors (aggregated across every controller in the process). *)
-let m_deltas = lazy (Obs.Metrics.counter "engine_deltas_total")
-let m_replans = lazy (Obs.Metrics.counter "engine_replans_total")
-let m_evictions = lazy (Obs.Metrics.counter "engine_evictions_total")
-let m_faults = lazy (Obs.Metrics.counter "engine_faults_total")
-let m_quarantined = lazy (Obs.Metrics.counter "engine_quarantined_total")
-let m_recoveries = lazy (Obs.Metrics.counter "engine_recoveries_total")
-let m_fallbacks = lazy (Obs.Metrics.counter "engine_fallbacks_total")
-let m_replan_seconds = lazy (Obs.Metrics.histogram "engine_replan_seconds")
+let mirrors ~labels =
+  { m_deltas = Obs.Metrics.counter ~labels "engine_deltas_total";
+    m_replans = Obs.Metrics.counter ~labels "engine_replans_total";
+    m_evictions = Obs.Metrics.counter ~labels "engine_evictions_total";
+    m_faults = Obs.Metrics.counter ~labels "engine_faults_total";
+    m_quarantined = Obs.Metrics.counter ~labels "engine_quarantined_total";
+    m_recoveries = Obs.Metrics.counter ~labels "engine_recoveries_total";
+    m_fallbacks = Obs.Metrics.counter ~labels "engine_fallbacks_total";
+    m_replan_seconds = Obs.Metrics.histogram ~labels "engine_replan_seconds";
+    m_recovery_seconds =
+      Obs.Metrics.histogram ~labels "engine_recovery_seconds" }
 
-let m_recovery_seconds =
-  lazy (Obs.Metrics.histogram "engine_recovery_seconds")
-
-let create () =
-  { joins = 0;
+let create ?(labels = []) () =
+  { mirrors = mirrors ~labels;
+    joins = 0;
     leaves = 0;
     cost_changes = 0;
     budget_resizes = 0;
@@ -47,7 +66,7 @@ let create () =
     recovery_hist = Obs.Hist.create () }
 
 let note_delta t (d : Delta.t) =
-  Obs.Metrics.inc (Lazy.force m_deltas);
+  Obs.Metrics.inc t.mirrors.m_deltas;
   match d with
   | User_join _ -> t.joins <- t.joins + 1
   | User_leave _ -> t.leaves <- t.leaves + 1
@@ -57,30 +76,30 @@ let note_delta t (d : Delta.t) =
 let note_replan t ~seconds =
   t.replans <- t.replans + 1;
   Obs.Hist.observe t.replan_hist seconds;
-  Obs.Metrics.inc (Lazy.force m_replans);
-  Obs.Hist.observe (Lazy.force m_replan_seconds) seconds
+  Obs.Metrics.inc t.mirrors.m_replans;
+  Obs.Hist.observe t.mirrors.m_replan_seconds seconds
 
 let note_eviction t =
   t.evictions <- t.evictions + 1;
-  Obs.Metrics.inc (Lazy.force m_evictions)
+  Obs.Metrics.inc t.mirrors.m_evictions
 
 let note_fault t =
   t.faults <- t.faults + 1;
-  Obs.Metrics.inc (Lazy.force m_faults)
+  Obs.Metrics.inc t.mirrors.m_faults
 
 let note_quarantined ?(n = 1) t =
   t.quarantined <- t.quarantined + n;
-  Obs.Metrics.inc ~n (Lazy.force m_quarantined)
+  Obs.Metrics.inc ~n t.mirrors.m_quarantined
 
 let note_recovery t ~seconds =
   t.recoveries <- t.recoveries + 1;
   Obs.Hist.observe t.recovery_hist seconds;
-  Obs.Metrics.inc (Lazy.force m_recoveries);
-  Obs.Hist.observe (Lazy.force m_recovery_seconds) seconds
+  Obs.Metrics.inc t.mirrors.m_recoveries;
+  Obs.Hist.observe t.mirrors.m_recovery_seconds seconds
 
 let note_fallback t =
   t.fallbacks <- t.fallbacks + 1;
-  Obs.Metrics.inc (Lazy.force m_fallbacks)
+  Obs.Metrics.inc t.mirrors.m_fallbacks
 
 let deltas t = t.joins + t.leaves + t.cost_changes + t.budget_resizes
 let replans t = t.replans

@@ -10,7 +10,14 @@
 
 type t
 
-val create : unit -> t
+val create : ?labels:(string * string) list -> unit -> t
+(** [labels] (default none) are attached to every instrument this
+    counter set mirrors into {!Obs.Metrics} — a sharded engine passes
+    [[("shard", "3")]] so N shards export N distinct Prometheus series
+    under the same metric names instead of colliding. Cross-shard
+    totals are recovered with {!Obs.Metrics.sum_counter} and
+    {!Obs.Metrics.merged_histogram}. *)
+
 val note_delta : t -> Delta.t -> unit
 
 val note_replan : t -> seconds:float -> unit

@@ -1,4 +1,5 @@
 module F = Prelude.Float_ops
+module SI = Prelude.Sorted_ints
 
 type mode = Lazy | Eager
 
@@ -8,7 +9,12 @@ type t = {
   pinned : bool array;  (* stream *)
   used : float array;  (* m *)
   bound : float array;  (* stream -> upper bound on marginal utility *)
-  mutable delivered : bool array array;  (* slot x stream *)
+  mutable delivered : SI.t array;
+      (* per slot: the streams delivered to it, ascending. Sparse — a
+         slot only ever receives streams it is interested in, so the
+         set stays a handful of entries where a dense slot x stream
+         matrix would cost num_streams bits per slot (10 GB at a
+         million slots and 10k streams). *)
   mutable delivered_util : float array;  (* slot; uncapped sum *)
   mutable capped : float array;  (* slot; min (W_u, delivered_util) *)
   mutable cap_used : float array array;  (* slot x mc *)
@@ -25,7 +31,7 @@ let create view =
     pinned = Array.make ns false;
     used = Array.make (View.m view) 0.;
     bound = Array.make ns 0.;
-    delivered = Array.init slots (fun _ -> Array.make ns false);
+    delivered = Array.init slots (fun _ -> SI.create ());
     delivered_util = Array.make slots 0.;
     capped = Array.make slots 0.;
     cap_used = Array.init slots (fun _ -> Array.make (View.mc view) 0.);
@@ -39,12 +45,12 @@ let view t = t.view
 let ensure_slots t =
   let need = View.num_slots t.view in
   if need > t.slots then begin
-    let ns = View.num_streams t.view and mc = View.mc t.view in
+    let mc = View.mc t.view in
     let cap = max need (2 * t.slots) in
     let grow make old =
       Array.init cap (fun i -> if i < t.slots then old.(i) else make ())
     in
-    t.delivered <- grow (fun () -> Array.make ns false) t.delivered;
+    t.delivered <- grow (fun () -> SI.create ()) t.delivered;
     t.delivered_util <- grow (fun () -> 0.) t.delivered_util;
     t.capped <- grow (fun () -> 0.) t.capped;
     t.cap_used <- grow (fun () -> Array.make mc 0.) t.cap_used;
@@ -72,11 +78,7 @@ let admitted t =
   Array.iteri (fun s a -> if a then acc := s :: !acc) t.admitted;
   List.rev !acc
 
-let delivered t slot =
-  let acc = ref [] in
-  if slot < t.slots then
-    Array.iteri (fun s d -> if d then acc := s :: !acc) t.delivered.(slot);
-  List.rev !acc
+let delivered t slot = if slot < t.slots then SI.to_list t.delivered.(slot) else []
 
 let assignment t =
   Mmd.Assignment.of_sets
@@ -132,7 +134,7 @@ let eval_marginal t s =
   t.evals <- t.evals + 1;
   let acc = ref 0. in
   View.iter_interested t.view s (fun u ->
-      if (not t.delivered.(u).(s)) && fits_cap t u s then begin
+      if (not (SI.mem t.delivered.(u) s)) && fits_cap t u s then begin
         let r = resid t u in
         if r > 0. then acc := !acc +. Float.min (View.utility t.view u s) r
       end);
@@ -141,7 +143,7 @@ let eval_marginal t s =
 (* Deliver s to slot u unconditionally (bookkeeping only). *)
 let deliver_raw t u s =
   let v = t.view in
-  t.delivered.(u).(s) <- true;
+  ignore (SI.add t.delivered.(u) s);
   for j = 0 to View.mc v - 1 do
     t.cap_used.(u).(j) <- t.cap_used.(u).(j) +. View.load v u s j
   done;
@@ -160,8 +162,8 @@ let admit t s =
     done;
     t.bound.(s) <- 0.;
     View.iter_interested v s (fun u ->
-        if (not t.delivered.(u).(s)) && fits_cap t u s && resid t u > 0. then
-          deliver_raw t u s);
+        if (not (SI.mem t.delivered.(u) s)) && fits_cap t u s && resid t u > 0.
+        then deliver_raw t u s);
     true
   end
 
@@ -181,7 +183,7 @@ let reset t =
   Array.fill t.admitted 0 ns false;
   Array.fill t.used 0 (View.m t.view) 0.;
   for u = 0 to t.slots - 1 do
-    Array.fill t.delivered.(u) 0 ns false;
+    SI.clear t.delivered.(u);
     Array.fill t.cap_used.(u) 0 (View.mc t.view) 0.
   done;
   Array.fill t.delivered_util 0 t.slots 0.;
@@ -194,10 +196,36 @@ let reset t =
   let bounds = Prelude.Pool.float_init ~chunk:64 ns (fun s -> static_bound t s) in
   Array.blit bounds 0 t.bound 0 ns
 
+(* Achievable stand-alone value of s: the capped utility delivered if
+   s alone were transmitted from an empty plan. Unlike [static_bound]
+   this respects the budgets (a stream that does not fit transmits
+   nothing) and each user's capacity from empty — it is exactly what
+   [reset; admit s] would deliver, which is what the §2.2 fallback
+   needs to compare against. *)
+let standalone t s =
+  let v = t.view in
+  let fits = ref true in
+  for i = 0 to View.m v - 1 do
+    if View.server_cost v s i > View.budget v i then fits := false
+  done;
+  if not !fits then 0.
+  else begin
+    let acc = ref 0. in
+    View.iter_interested v s (fun u ->
+        let ok = ref true in
+        for j = 0 to View.mc v - 1 do
+          if View.load v u s j > View.capacity v u j then ok := false
+        done;
+        if !ok then
+          acc :=
+            !acc +. Float.min (View.utility v u s) (View.utility_cap v u));
+    !acc
+  end
+
 let best_single t =
   let best = ref None in
   for s = 0 to View.num_streams t.view - 1 do
-    let v = static_bound t s in
+    let v = standalone t s in
     match !best with
     | Some (_, v') when v' >= v -> ()
     | _ -> best := Some (s, v)
@@ -315,13 +343,13 @@ let note_join t u =
   in
   List.iter
     (fun s ->
-      if (not t.delivered.(u).(s)) && fits_cap t u s && resid t u > 0. then
-        deliver_raw t u s)
+      if (not (SI.mem t.delivered.(u) s)) && fits_cap t u s && resid t u > 0.
+      then deliver_raw t u s)
     mine;
   raise_bounds_for t u
 
 let undeliver_raw t u s ~w =
-  t.delivered.(u).(s) <- false;
+  ignore (SI.remove t.delivered.(u) s);
   t.delivered_util.(u) <- Float.max 0. (t.delivered_util.(u) -. w);
   let capped' =
     Float.min (View.utility_cap t.view u) t.delivered_util.(u)
@@ -333,7 +361,7 @@ let note_leave t u =
   if u < t.slots then begin
     (* The view has already zeroed the slot, so drop our bookkeeping
        wholesale rather than per stream. *)
-    Array.fill t.delivered.(u) 0 (View.num_streams t.view) false;
+    SI.clear t.delivered.(u);
     Array.fill t.cap_used.(u) 0 (View.mc t.view) 0.;
     t.total <- t.total -. t.capped.(u);
     t.delivered_util.(u) <- 0.;
@@ -344,7 +372,7 @@ let note_leave t u =
 let eviction_loss t s =
   let acc = ref 0. in
   View.iter_interested t.view s (fun u ->
-      if t.delivered.(u).(s) then begin
+      if SI.mem t.delivered.(u) s then begin
         let w = View.utility t.view u s in
         let after =
           Float.min (View.utility_cap t.view u) (t.delivered_util.(u) -. w)
@@ -356,7 +384,7 @@ let eviction_loss t s =
 let evict t s =
   let v = t.view in
   View.iter_interested v s (fun u ->
-      if t.delivered.(u).(s) then begin
+      if SI.mem t.delivered.(u) s then begin
         for j = 0 to View.mc v - 1 do
           t.cap_used.(u).(j) <-
             Float.max 0. (t.cap_used.(u).(j) -. View.load v u s j)

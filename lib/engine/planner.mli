@@ -84,9 +84,13 @@ val extend : ?mode:mode -> t -> unit
     utility or none fits the budgets. Default [`Lazy]. *)
 
 val best_single : t -> (int * float) option
-(** The stream with the largest stand-alone capped utility
-    [Σ_u min(w_u(S), W_u)] over active slots, and that value — the
-    [A_max] of §2.2. [None] when the view has no streams. *)
+(** The stream with the largest {e achievable} stand-alone capped
+    utility — what [reset; admit s] would deliver: 0 if the stream
+    does not fit the budgets, and [Σ min(w_u(s), W_u)] over the active
+    interested slots whose capacity fits the stream's load from empty.
+    This is the [A_max] of §2.2; the controller's solve restarts from
+    this stream whenever the greedy plan lands below it. [None] when
+    the view has no streams. *)
 
 (** {1 Churn repairs} *)
 

@@ -1,9 +1,20 @@
 module I = Mmd.Instance
+module SI = Prelude.Sorted_ints
 
+(* Slot state is sparse over the user's interest set: a sorted stream
+   array with parallel utility and (flattened) load rows, instead of
+   dense length-[num_streams] arrays. At production scale the dense
+   layout is what caps the population — 10k streams of per-slot floats
+   is ~400 KB per user, i.e. hundreds of GB at a million users — while
+   a user only ever touches a handful of streams. Every accessor keeps
+   the dense semantics: a stream without a stored entry reads as 0. *)
 type slot = {
   mutable active : bool;
-  utility : float array;  (* per stream; all 0 when inactive *)
-  loads : float array array;  (* stream x mc; all 0 when inactive *)
+  mutable streams : int array;
+      (* ascending, distinct: every stream with a stored entry
+         (positive utility and/or a nonzero load row) *)
+  mutable wutil : float array;  (* parallel to [streams] *)
+  mutable loads : float array;  (* parallel, flattened: index*mc + j *)
   capacity : float array;  (* mc *)
   mutable utility_cap : float;
   mutable interests : int list;  (* streams with positive utility, asc *)
@@ -19,13 +30,15 @@ type t = {
   mutable slots : slot array;
   mutable num_slots : int;
   mutable free : int list;  (* inactive slots available for reuse *)
-  mutable interested : Prelude.Bitset.t array;
-  (* stream -> active slots. A bitset, not a hash table: iteration
-     must be in ascending slot order so that float accumulation in the
-     planner is independent of the join/leave history — a restored
-     view and the live view it snapshotted have the same members but
-     different insertion orders, and order-dependent summation would
-     make recovery diverge by an ulp. *)
+  interested : SI.t array;
+  (* stream -> active slots. A sorted vector, not a hash table:
+     iteration must be in ascending slot order so that float
+     accumulation in the planner is independent of the join/leave
+     history — a restored view and the live view it snapshotted have
+     the same members but different insertion orders, and
+     order-dependent summation would make recovery diverge by an
+     ulp. (Not a bitset either: iteration must cost the membership,
+     not the slot universe, once views hold a million slots.) *)
   mutable active_count : int;
   mutable version : int;
 }
@@ -36,13 +49,23 @@ type applied =
   | Cost_changed of int
   | Budgets_resized
 
-let fresh_slot ~num_streams ~mc =
+let fresh_slot ~mc =
   { active = false;
-    utility = Array.make num_streams 0.;
-    loads = Array.init num_streams (fun _ -> Array.make mc 0.);
+    streams = [||];
+    wutil = [||];
+    loads = [||];
     capacity = Array.make mc 0.;
     utility_cap = 0.;
     interests = [] }
+
+(* Rank of stream [s] in the slot's sparse entry table, or -1. *)
+let entry_index sl s =
+  let lo = ref 0 and hi = ref (Array.length sl.streams) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if sl.streams.(mid) < s then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length sl.streams && sl.streams.(!lo) = s then !lo else -1
 
 let of_instance inst =
   let num_streams = I.num_streams inst in
@@ -50,25 +73,38 @@ let of_instance inst =
   let nu = I.num_users inst in
   let slots =
     Array.init nu (fun u ->
-        let interests =
-          Array.to_list (I.interesting_streams inst u)
-        in
+        (* Keep every stream the dense layout would expose: positive
+           utility or any nonzero load (a zero-utility stream can
+           still carry loads the instance recorded). *)
+        let entries = ref [] in
+        for s = num_streams - 1 downto 0 do
+          let w = I.utility inst u s in
+          let has_load = ref false in
+          for j = 0 to mc - 1 do
+            if I.load inst u s j <> 0. then has_load := true
+          done;
+          if w > 0. || !has_load then entries := s :: !entries
+        done;
+        let streams = Array.of_list !entries in
+        let k = Array.length streams in
+        let loads = Array.make (k * mc) 0. in
+        Array.iteri
+          (fun i s ->
+            for j = 0 to mc - 1 do
+              loads.((i * mc) + j) <- I.load inst u s j
+            done)
+          streams;
         { active = true;
-          utility = Array.init num_streams (fun s -> I.utility inst u s);
-          loads =
-            Array.init num_streams (fun s ->
-                Array.init mc (fun j -> I.load inst u s j));
+          streams;
+          wutil = Array.map (fun s -> I.utility inst u s) streams;
+          loads;
           capacity = Array.init mc (fun j -> I.capacity inst u j);
           utility_cap = I.utility_cap inst u;
-          interests })
+          interests = Array.to_list (I.interesting_streams inst u) })
   in
   let interested =
     Array.init num_streams (fun s ->
-        let bs = Prelude.Bitset.create nu in
-        Array.iter
-          (fun u -> Prelude.Bitset.set bs u)
-          (I.interested_users inst s);
-        bs)
+        SI.of_sorted_array (I.interested_users inst s))
   in
   { name = I.name inst;
     num_streams;
@@ -93,12 +129,13 @@ let copy t =
       Array.map
         (fun sl ->
           { sl with
-            utility = Array.copy sl.utility;
-            loads = Array.map Array.copy sl.loads;
+            streams = Array.copy sl.streams;
+            wutil = Array.copy sl.wutil;
+            loads = Array.copy sl.loads;
             capacity = Array.copy sl.capacity })
         t.slots;
     free = t.free;
-    interested = Array.map Prelude.Bitset.copy t.interested }
+    interested = Array.map SI.copy t.interested }
 
 let name t = t.name
 let num_streams t = t.num_streams
@@ -117,18 +154,33 @@ let active_slots t =
 
 let budget t i = t.budget.(i)
 let server_cost t s i = t.cost.(s).(i)
-let utility t slot s = t.slots.(slot).utility.(s)
-let load t slot s j = t.slots.(slot).loads.(s).(j)
+
+let utility t slot s =
+  let sl = t.slots.(slot) in
+  let i = entry_index sl s in
+  if i < 0 then 0. else sl.wutil.(i)
+
+let load t slot s j =
+  let sl = t.slots.(slot) in
+  let i = entry_index sl s in
+  if i < 0 then 0. else sl.loads.((i * t.mc) + j)
+
 let capacity t slot j = t.slots.(slot).capacity.(j)
 let utility_cap t slot = t.slots.(slot).utility_cap
 let interests t slot = t.slots.(slot).interests
 
-let interested t s =
-  let acc = ref [] in
-  Prelude.Bitset.iter_set t.interested.(s) (fun u -> acc := u :: !acc);
-  List.rev !acc
+let user_spec t slot =
+  if not (is_active t slot) then invalid_arg "View.user_spec: inactive slot";
+  let sl = t.slots.(slot) in
+  { Delta.utility_cap = sl.utility_cap;
+    capacity = Array.copy sl.capacity;
+    interests =
+      List.init (Array.length sl.streams) (fun i ->
+          (sl.streams.(i), sl.wutil.(i), Array.sub sl.loads (i * t.mc) t.mc))
+  }
 
-let iter_interested t s f = Prelude.Bitset.iter_set t.interested.(s) f
+let interested t s = SI.to_list t.interested.(s)
+let iter_interested t s f = SI.iter t.interested.(s) f
 let version t = t.version
 
 let check_nonneg what x =
@@ -141,24 +193,17 @@ let grow t =
     let cap' = max 8 (2 * cap) in
     let slots' =
       Array.init cap' (fun i ->
-          if i < cap then t.slots.(i)
-          else fresh_slot ~num_streams:t.num_streams ~mc:t.mc)
+          if i < cap then t.slots.(i) else fresh_slot ~mc:t.mc)
     in
-    t.slots <- slots';
-    t.interested <-
-      Array.map
-        (fun bs ->
-          let bs' = Prelude.Bitset.create cap' in
-          Prelude.Bitset.iter_set bs (Prelude.Bitset.set bs');
-          bs')
-        t.interested
+    t.slots <- slots'
   end
 
 let clear_slot t u =
   let sl = t.slots.(u) in
-  List.iter (fun s -> Prelude.Bitset.clear t.interested.(s) u) sl.interests;
-  Array.fill sl.utility 0 t.num_streams 0.;
-  Array.iter (fun row -> Array.fill row 0 t.mc 0.) sl.loads;
+  List.iter (fun s -> ignore (SI.remove t.interested.(s) u)) sl.interests;
+  sl.streams <- [||];
+  sl.wutil <- [||];
+  sl.loads <- [||];
   Array.fill sl.capacity 0 t.mc 0.;
   sl.utility_cap <- 0.;
   sl.interests <- [];
@@ -193,7 +238,11 @@ let join t (spec : Delta.user_spec) =
   sl.active <- true;
   sl.utility_cap <- spec.utility_cap;
   Array.blit spec.capacity 0 sl.capacity 0 t.mc;
-  let interests = ref [] in
+  (* Merge the spec entries in order, replicating the dense-layout
+     semantics for duplicate streams: the last load row always wins,
+     while the utility keeps the last *positive* value. *)
+  let merged = Hashtbl.create (List.length spec.interests) in
+  let order = ref [] in
   List.iter
     (fun (s, w, loads) ->
       (* Paper assumption: a stream that individually violates a
@@ -203,14 +252,30 @@ let join t (spec : Delta.user_spec) =
         (fun j k -> if k > spec.capacity.(j) then violates := true)
         loads;
       let w = if !violates then 0. else w in
-      Array.blit loads 0 sl.loads.(s) 0 t.mc;
+      (match Hashtbl.find_opt merged s with
+      | None ->
+          Hashtbl.add merged s (w, loads);
+          order := s :: !order
+      | Some (w0, _) -> Hashtbl.replace merged s ((if w > 0. then w else w0), loads)))
+    spec.interests;
+  let streams = List.sort_uniq compare !order |> Array.of_list in
+  let k = Array.length streams in
+  let wutil = Array.make k 0. and loads = Array.make (k * t.mc) 0. in
+  let interests = ref [] in
+  Array.iteri
+    (fun i s ->
+      let w, row = Hashtbl.find merged s in
+      wutil.(i) <- w;
+      Array.blit row 0 loads (i * t.mc) t.mc;
       if w > 0. then begin
-        sl.utility.(s) <- w;
-        Prelude.Bitset.set t.interested.(s) u;
+        ignore (SI.add t.interested.(s) u);
         interests := s :: !interests
       end)
-    spec.interests;
-  sl.interests <- List.sort_uniq compare !interests;
+    streams;
+  sl.streams <- streams;
+  sl.wutil <- wutil;
+  sl.loads <- loads;
+  sl.interests <- List.rev !interests;
   t.active_count <- t.active_count + 1;
   u
 
@@ -267,9 +332,25 @@ let materialize t =
     ~server_cost:(Array.map Array.copy (Array.sub t.cost 0 t.num_streams))
     ~budget:(Array.copy t.budget)
     ~load:
-      (Array.init nu (fun u -> Array.map Array.copy t.slots.(u).loads))
+      (Array.init nu (fun u ->
+           let sl = t.slots.(u) in
+           let rows =
+             Array.init t.num_streams (fun _ -> Array.make t.mc 0.)
+           in
+           Array.iteri
+             (fun i s ->
+               for j = 0 to t.mc - 1 do
+                 rows.(s).(j) <- sl.loads.((i * t.mc) + j)
+               done)
+             sl.streams;
+           rows))
     ~capacity:(Array.init nu (fun u -> Array.copy t.slots.(u).capacity))
-    ~utility:(Array.init nu (fun u -> Array.copy t.slots.(u).utility))
+    ~utility:
+      (Array.init nu (fun u ->
+           let sl = t.slots.(u) in
+           let row = Array.make t.num_streams 0. in
+           Array.iteri (fun i s -> row.(s) <- sl.wutil.(i)) sl.streams;
+           row))
     ~utility_cap:(Array.init nu (fun u -> t.slots.(u).utility_cap))
     ()
 

@@ -58,6 +58,16 @@ val utility_cap : t -> int -> float
 val interests : t -> int -> int list
 (** Streams the slot's user values positively, ascending. *)
 
+val user_spec : t -> int -> Delta.user_spec
+(** The join spec that recreates an active slot's user verbatim:
+    applying [User_join (user_spec t u)] to a view with the same
+    catalog yields a user with identical utilities, loads, capacities
+    and cap (utilities already carry this view's capacity-violation
+    zeroing, which re-applying is a no-op). This is how the shard
+    rebalancer moves a user between shards as an ordinary leave/join
+    pair through the existing delta path.
+    @raise Invalid_argument on inactive slots. *)
+
 val interested : t -> int -> int list
 (** Active slots with positive utility for the stream, ascending. *)
 

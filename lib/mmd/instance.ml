@@ -19,13 +19,19 @@ let check_nonneg what x =
   if x < 0. || Float.is_nan x then
     invalid_arg (Printf.sprintf "Instance.create: negative or NaN %s" what)
 
-let create ?(name = "unnamed") ~server_cost ~budget ~load ~capacity ~utility
-    ~utility_cap () =
+let create ?(name = "unnamed") ?mc ~server_cost ~budget ~load ~capacity
+    ~utility ~utility_cap () =
   let num_streams = Array.length server_cost in
   let m = Array.length budget in
   let num_users = Array.length utility in
   let mc =
-    if num_users = 0 then 0 else Array.length capacity.(0)
+    match mc with
+    | Some v ->
+        if v < 0 then invalid_arg "Instance.create: negative mc";
+        if num_users > 0 && Array.length capacity.(0) <> v then
+          invalid_arg "Instance.create: capacity row length <> mc";
+        v
+    | None -> if num_users = 0 then 0 else Array.length capacity.(0)
   in
   if Array.length capacity <> num_users then
     invalid_arg "Instance.create: capacity rows <> num_users";

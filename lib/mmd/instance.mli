@@ -19,6 +19,7 @@ type t
 
 val create :
   ?name:string ->
+  ?mc:int ->
   server_cost:float array array ->
   budget:float array ->
   load:float array array array ->
@@ -33,7 +34,11 @@ val create :
     [load] is [num_users × num_streams × mc]; [capacity] is
     [num_users × mc]; [utility] is [num_users × num_streams];
     [utility_cap] is [num_users]. [mc = 0] (no user capacities) is
-    allowed, in which case [load] rows are empty arrays.
+    allowed, in which case [load] rows are empty arrays. [mc] is
+    normally inferred from the capacity rows; pass it explicitly for a
+    {e catalog-only} instance (zero users) that churned-in users will
+    later join with [mc]-ary loads — the sharded engine builds its
+    per-shard initial worlds this way.
 
     Utilities of streams that individually violate a user capacity are
     forced to [0] (the paper's assumption [w_u(S) = 0] if

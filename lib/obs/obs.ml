@@ -272,6 +272,36 @@ module Metrics = struct
       (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
       items
 
+  (* Cross-label merges. A sharded engine registers one series per
+     shard under the same metric name (labels [shard="i"]); these fold
+     every label set of a name back into the process-wide total, which
+     is the documented way to read "one engine" numbers off a
+     multi-shard page. *)
+  let sum_counter name =
+    List.fold_left
+      (fun acc -> function
+        | n, _, Counter c when String.equal n name -> acc + Atomic.get c
+        | _ -> acc)
+      0 (snapshot ())
+
+  let sum_gauge name =
+    List.fold_left
+      (fun acc -> function
+        | n, _, Gauge g when String.equal n name -> acc +. Atomic.get g
+        | _ -> acc)
+      0. (snapshot ())
+
+  let merged_histogram name =
+    let out = Hist.create () in
+    List.iter
+      (function
+        | n, _, Histogram h when String.equal n name ->
+            Hist.merge_into ~into:out h
+        | _ -> ())
+      (snapshot ());
+    out
+
+
   let reset () =
     Mutex.lock lock;
     Fun.protect

@@ -87,6 +87,25 @@ module Metrics : sig
   val snapshot : unit -> (string * (string * string) list * instrument) list
   (** All registered instruments, sorted by name then labels. *)
 
+  val sum_counter : string -> int
+  (** Sum of a counter's value across every label set it is registered
+      under. The merge contract for sharded engines: each shard
+      registers its instruments under a distinguishing label (e.g.
+      [shard="3"]), the exporter keeps the per-shard series, and
+      aggregate views fold them with this. *)
+
+  val sum_gauge : string -> float
+  (** Like {!sum_counter} for gauges. Summation is the right merge for
+      the additive gauges the engine exports (active users, admitted
+      streams); non-additive gauges should be read per-label from
+      {!snapshot}. *)
+
+  val merged_histogram : string -> Hist.t
+  (** A fresh histogram holding {!Hist.merge_into} of every label set
+      registered under the name. Bucket merge is exact (shared log
+      scale), so cross-shard latency quantiles are as faithful as any
+      single shard's. *)
+
   val reset : unit -> unit
   (** Drop every registered instrument (tests only). *)
 end

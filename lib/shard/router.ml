@@ -1,0 +1,295 @@
+module C = Engine.Controller
+module V = Engine.View
+module D = Engine.Delta
+module I = Mmd.Instance
+
+type budget_split = Even | Demand
+
+type t = {
+  map : Shard_map.t;
+  split : budget_split;
+  mirror : V.t;
+  ctrls : C.t array;
+  wals : Engine.Wal.writer array option;
+  (* Global slot id -> owner. The mirror allocates global ids with the
+     unsharded engine's exact slot discipline, so these arrays are
+     dense and grow with the mirror. *)
+  mutable shard_of : int array;
+  mutable local_of : int array;
+  counts : int array;
+  demand : float array;
+}
+
+let shard_label i = [ ("shard", string_of_int i) ]
+
+(* The shard's initial world: the full catalog under its budget share,
+   plus the users dealt to it, in ascending global id order. Costs
+   that undercut the share are clamped down to it — the same clamp the
+   view applies on any budget shrink. *)
+let sub_instance inst ~assign ~shard ~share =
+  let ns = I.num_streams inst and m = I.m inst and mc = I.mc inst in
+  let users = ref [] in
+  Array.iteri (fun u s -> if s = shard then users := u :: !users) assign;
+  let users = Array.of_list (List.rev !users) in
+  let nu = Array.length users in
+  I.create
+    ~name:(Printf.sprintf "%s/shard-%d" (I.name inst) shard)
+    ~mc
+    ~server_cost:
+      (Array.init ns (fun s ->
+           Array.init m (fun i -> Float.min (I.server_cost inst s i) share.(i))))
+    ~budget:(Array.copy share)
+    ~load:
+      (Array.init nu (fun v ->
+           Array.init ns (fun s ->
+               Array.init mc (fun j -> I.load inst users.(v) s j))))
+    ~capacity:
+      (Array.init nu (fun v ->
+           Array.init mc (fun j -> I.capacity inst users.(v) j)))
+    ~utility:
+      (Array.init nu (fun v ->
+           Array.init ns (fun s -> I.utility inst users.(v) s)))
+    ~utility_cap:(Array.init nu (fun v -> I.utility_cap inst users.(v)))
+    ()
+
+let slot_demand view l =
+  List.fold_left (fun acc s -> acc +. V.utility view l s) 0. (V.interests view l)
+
+let create ?(policy = C.Every 64) ?(split = Even) ?wal_dir ~map inst =
+  let n = Shard_map.num_shards map in
+  let nu = I.num_users inst in
+  let assign = Shard_map.plan map ~users:nu in
+  (* Initial budget shares are even; [resplit_budgets] switches a
+     Demand router to the skew-aware split once demand is visible. *)
+  let share =
+    Array.init (I.m inst) (fun i -> I.budget inst i /. float_of_int n)
+  in
+  let ctrls =
+    Array.init n (fun i ->
+        C.create ~policy ~labels:(shard_label i)
+          (sub_instance inst ~assign ~shard:i ~share))
+  in
+  let wals =
+    Option.map
+      (fun dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Array.init n (fun i ->
+            Engine.Wal.append_file (Filename.concat dir
+               (Printf.sprintf "shard-%d.wal" i))))
+      wal_dir
+  in
+  let t =
+    { map;
+      split;
+      mirror = V.of_instance inst;
+      ctrls;
+      wals;
+      shard_of = Array.make (max 1 nu) (-1);
+      local_of = Array.make (max 1 nu) (-1);
+      counts = Array.make n 0;
+      demand = Array.make n 0. }
+  in
+  (* Global id u landed on shard assign.(u) at local id = its rank
+     among that shard's users — the order sub_instance listed them. *)
+  let next_local = Array.make n 0 in
+  Array.iteri
+    (fun u s ->
+      t.shard_of.(u) <- s;
+      t.local_of.(u) <- next_local.(s);
+      next_local.(s) <- next_local.(s) + 1;
+      t.counts.(s) <- t.counts.(s) + 1;
+      t.demand.(s) <- t.demand.(s) +. slot_demand (C.view t.ctrls.(s)) t.local_of.(u))
+    assign;
+  t
+
+let num_shards t = Array.length t.ctrls
+let map t = t.map
+
+let ensure_global t g =
+  let len = Array.length t.shard_of in
+  if g >= len then begin
+    let len' = max (g + 1) (2 * len) in
+    let grow a =
+      let a' = Array.make len' (-1) in
+      Array.blit a 0 a' 0 len;
+      a'
+    in
+    t.shard_of <- grow t.shard_of;
+    t.local_of <- grow t.local_of
+  end
+
+let wal_append t shard d =
+  match t.wals with
+  | None -> ()
+  | Some ws -> ignore (Engine.Wal.append ws.(shard) d)
+
+let budget_shares t b =
+  let n = num_shards t in
+  let even () =
+    Array.init n (fun _ -> Array.map (fun x -> x /. float_of_int n) b)
+  in
+  match t.split with
+  | Even -> even ()
+  | Demand ->
+      (* The incremental demand accumulator can hold a tiny negative
+         residue after a shard empties (float cancellation); clamp so
+         no share ever goes negative. *)
+      let d = Array.map (Float.max 0.) t.demand in
+      let total = Array.fold_left ( +. ) 0. d in
+      if total <= 0. then even ()
+      else
+        Array.init n (fun i ->
+            let w = d.(i) /. total in
+            Array.map (fun x -> if x = Float.infinity then x else x *. w) b)
+
+let apply t (d : D.t) : V.applied =
+  match d with
+  | D.User_join _ ->
+      let applied = V.apply t.mirror d in
+      let g = match applied with V.Joined g -> g | _ -> assert false in
+      let shard = Shard_map.route t.map ~counts:t.counts in
+      let la = C.apply t.ctrls.(shard) d in
+      let l = match la with V.Joined l -> l | _ -> assert false in
+      ensure_global t g;
+      t.shard_of.(g) <- shard;
+      t.local_of.(g) <- l;
+      t.counts.(shard) <- t.counts.(shard) + 1;
+      t.demand.(shard) <-
+        t.demand.(shard) +. slot_demand (C.view t.ctrls.(shard)) l;
+      wal_append t shard d;
+      applied
+  | D.User_leave g ->
+      if g < 0 || g >= Array.length t.shard_of || t.shard_of.(g) < 0 then
+        invalid_arg "Router.apply: leave of an inactive slot";
+      let shard = t.shard_of.(g) in
+      let l = t.local_of.(g) in
+      let du = slot_demand (C.view t.ctrls.(shard)) l in
+      let applied = V.apply t.mirror d in
+      let local = D.User_leave l in
+      ignore (C.apply t.ctrls.(shard) local);
+      t.shard_of.(g) <- -1;
+      t.local_of.(g) <- -1;
+      t.counts.(shard) <- t.counts.(shard) - 1;
+      t.demand.(shard) <- t.demand.(shard) -. du;
+      wal_append t shard local;
+      applied
+  | D.Stream_cost_change _ ->
+      let applied = V.apply t.mirror d in
+      Array.iteri
+        (fun i c ->
+          ignore (C.apply c d);
+          wal_append t i d)
+        t.ctrls;
+      applied
+  | D.Budget_resize b ->
+      let applied = V.apply t.mirror d in
+      let shares = budget_shares t b in
+      Array.iteri
+        (fun i c ->
+          let di = D.Budget_resize shares.(i) in
+          ignore (C.apply c di);
+          wal_append t i di)
+        t.ctrls;
+      applied
+
+let apply_all t ds = List.iter (fun d -> ignore (apply t d)) ds
+
+let resplit_budgets t =
+  let b = Array.init (V.m t.mirror) (V.budget t.mirror) in
+  let shares = budget_shares t b in
+  Array.iteri
+    (fun i c ->
+      let di = D.Budget_resize shares.(i) in
+      ignore (C.apply c di);
+      wal_append t i di)
+    t.ctrls
+
+let replan_all t = Array.iter C.replan t.ctrls
+
+let shard_of_slot t g =
+  if g < 0 || g >= Array.length t.shard_of then -1 else t.shard_of.(g)
+
+let counts t = Array.copy t.counts
+let demand t = Array.copy t.demand
+let controller t i = t.ctrls.(i)
+let mirror t = t.mirror
+
+(* One rebalance move: evict the highest global slot on the donor and
+   replay its spec into the receiver — two ordinary deltas through the
+   shards' apply paths. The mirror and the global id are untouched;
+   only the ownership tables change. *)
+let move_one t ~from_shard ~to_shard =
+  let g = ref (Array.length t.shard_of - 1) in
+  while !g >= 0 && t.shard_of.(!g) <> from_shard do
+    decr g
+  done;
+  if !g < 0 then false
+  else begin
+    let g = !g in
+    let l = t.local_of.(g) in
+    let from_view = C.view t.ctrls.(from_shard) in
+    let spec = V.user_spec from_view l in
+    let du = slot_demand from_view l in
+    ignore (C.apply t.ctrls.(from_shard) (D.User_leave l));
+    wal_append t from_shard (D.User_leave l);
+    let la = C.apply t.ctrls.(to_shard) (D.User_join spec) in
+    let l' = match la with V.Joined l' -> l' | _ -> assert false in
+    wal_append t to_shard (D.User_join spec);
+    t.shard_of.(g) <- to_shard;
+    t.local_of.(g) <- l';
+    t.counts.(from_shard) <- t.counts.(from_shard) - 1;
+    t.counts.(to_shard) <- t.counts.(to_shard) + 1;
+    t.demand.(from_shard) <- t.demand.(from_shard) -. du;
+    t.demand.(to_shard) <-
+      t.demand.(to_shard) +. slot_demand (C.view t.ctrls.(to_shard)) l';
+    true
+  end
+
+let rebalance t ~k =
+  let moves = Shard_map.rebalance t.map ~counts:t.counts ~k in
+  List.fold_left
+    (fun n { Shard_map.from_shard; to_shard } ->
+      if move_one t ~from_shard ~to_shard then n + 1 else n)
+    0 moves
+
+let utility t = Array.fold_left (fun acc c -> acc +. C.utility c) 0. t.ctrls
+
+let report t =
+  let rs = Array.map C.report t.ctrls in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 rs in
+  let replan_h = Obs.Hist.create () and recovery_h = Obs.Hist.create () in
+  Array.iter
+    (fun c ->
+      let cnt = C.counters c in
+      Obs.Hist.merge_into ~into:replan_h (Engine.Counters.replan_hist cnt);
+      Obs.Hist.merge_into ~into:recovery_h (Engine.Counters.recovery_hist cnt))
+    t.ctrls;
+  let open Engine.Counters in
+  let evals = sum (fun r -> r.evals)
+  and eager_equiv = sum (fun r -> r.eager_equiv) in
+  { deltas = sum (fun r -> r.deltas);
+    joins = sum (fun r -> r.joins);
+    leaves = sum (fun r -> r.leaves);
+    cost_changes = sum (fun r -> r.cost_changes);
+    budget_resizes = sum (fun r -> r.budget_resizes);
+    replans = sum (fun r -> r.replans);
+    evictions = sum (fun r -> r.evictions);
+    evals;
+    eager_equiv;
+    evals_saved = max 0 (eager_equiv - evals);
+    replan_latency = Obs.Hist.to_summary replan_h;
+    faults = sum (fun r -> r.faults);
+    quarantined = sum (fun r -> r.quarantined);
+    recoveries = sum (fun r -> r.recoveries);
+    fallbacks = sum (fun r -> r.fallbacks);
+    recovery_latency = Obs.Hist.to_summary recovery_h }
+
+(* Lazy mode: identical plan to eager by construction (tie-break to
+   the lower stream id), and the only affordable mode at 1M users —
+   eager re-evaluates every live candidate per admission. *)
+let global_scratch t = C.scratch ~mode:Engine.Planner.Lazy t.mirror
+
+let close t =
+  match t.wals with
+  | None -> ()
+  | Some ws -> Array.iter Engine.Wal.close ws

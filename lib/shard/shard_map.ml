@@ -1,0 +1,164 @@
+(* Placement = constraints, not hashing (vbucket style). The whole map
+   reduces to one permutation of the shards — the interleave — chosen
+   so that dealing users round-robin over it satisfies balance (counts
+   within one of each other at every prefix) and tag spread
+   (consecutive positions on distinct racks whenever the tag multiset
+   admits it: the greedy most-remaining-first interleave achieves the
+   scheduling-with-cooldown bound). *)
+
+type t = { seed : int; tags : string array; order : int array }
+
+type move = { from_shard : int; to_shard : int }
+
+let interleave ~seed ~(tags : string array) =
+  let n = Array.length tags in
+  (* Group shard ids by tag: tags in sorted order, ids ascending, then
+     a seeded Fisher–Yates inside each group (one split per group, in
+     tag order, so the shuffle of one rack is independent of the
+     others' sizes). *)
+  let by_tag = Hashtbl.create 8 in
+  Array.iteri
+    (fun i tag ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_tag tag) in
+      Hashtbl.replace by_tag tag (i :: prev))
+    tags;
+  let groups =
+    Hashtbl.fold (fun tag ids acc -> (tag, ids) :: acc) by_tag []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (tag, ids) ->
+           (tag, Array.of_list (List.rev ids) (* ascending *)))
+  in
+  let rng = Prelude.Rng.create seed in
+  let groups =
+    List.map
+      (fun (tag, ids) ->
+        let r = Prelude.Rng.split rng in
+        Prelude.Rng.shuffle r ids;
+        (tag, ids, ref 0))
+      groups
+  in
+  (* Greedy interleave: always draw from the tag with the most
+     remaining shards, never the previous tag unless it is the only
+     one left; ties by tag name. Most-remaining-first guarantees no
+     adjacent repeat whenever some arrangement avoids one. *)
+  let order = Array.make n 0 in
+  let prev = ref None in
+  for pos = 0 to n - 1 do
+    let best = ref None in
+    List.iter
+      (fun (tag, ids, next) ->
+        let remaining = Array.length ids - !next in
+        if remaining > 0 && !prev <> Some tag then
+          match !best with
+          | Some (_, _, bnext, bids) when Array.length bids - !bnext >= remaining
+            ->
+              ()
+          | _ -> best := Some (tag, ids, next, ids))
+      groups;
+    (match !best with
+    | None ->
+        (* Only the previous tag has shards left. *)
+        List.iter
+          (fun (tag, ids, next) ->
+            if !next < Array.length ids && !best = None then
+              best := Some (tag, ids, next, ids))
+          groups
+    | Some _ -> ());
+    match !best with
+    | None -> assert false
+    | Some (tag, ids, next, _) ->
+        order.(pos) <- ids.(!next);
+        incr next;
+        prev := Some tag
+  done;
+  order
+
+let create ?(seed = 0) ~tags () =
+  if Array.length tags = 0 then invalid_arg "Shard_map.create: no shards";
+  let tags = Array.copy tags in
+  { seed; tags; order = interleave ~seed ~tags }
+
+let num_shards t = Array.length t.tags
+let seed t = t.seed
+
+let tag t i =
+  if i < 0 || i >= num_shards t then
+    invalid_arg "Shard_map.tag: shard out of range";
+  t.tags.(i)
+
+let order t = Array.copy t.order
+
+let plan t ~users =
+  if users < 0 then invalid_arg "Shard_map.plan: negative population";
+  let n = num_shards t in
+  Array.init users (fun r -> t.order.(r mod n))
+
+let check_counts t counts =
+  if Array.length counts <> num_shards t then
+    invalid_arg "Shard_map: counts arity <> num_shards";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Shard_map: negative count")
+    counts
+
+let route t ~counts =
+  check_counts t counts;
+  let best = ref t.order.(0) in
+  Array.iter (fun s -> if counts.(s) < counts.(!best) then best := s) t.order;
+  !best
+
+(* Interleave position of each shard — the deterministic tiebreak. *)
+let positions t =
+  let pos = Array.make (num_shards t) 0 in
+  Array.iteri (fun p s -> pos.(s) <- p) t.order;
+  pos
+
+let targets t ~counts =
+  check_counts t counts;
+  let n = num_shards t in
+  let total = Array.fold_left ( + ) 0 counts in
+  let lo = total / n and extras = total mod n in
+  let pos = positions t in
+  let ranked = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare counts.(b) counts.(a) with
+      | 0 -> compare pos.(a) pos.(b)
+      | c -> c)
+    ranked;
+  let target = Array.make n lo in
+  for i = 0 to extras - 1 do
+    target.(ranked.(i)) <- lo + 1
+  done;
+  target
+
+let rebalance t ~counts ~k =
+  if k < 0 then invalid_arg "Shard_map.rebalance: negative k";
+  let target = targets t ~counts in
+  let surplus = Array.mapi (fun s c -> c - target.(s)) counts in
+  (* Pair the largest surplus with the largest deficit, one user at a
+     time; iterating candidates in interleave order with a strict
+     comparison keeps ties deterministic. *)
+  let pick want_surplus =
+    let best = ref (-1) in
+    Array.iter
+      (fun s ->
+        let v = if want_surplus then surplus.(s) else -surplus.(s) in
+        let b = !best in
+        if v > 0 && (b < 0 || v > abs surplus.(b)) then best := s)
+      t.order;
+    !best
+  in
+  let moves = ref [] in
+  let moved = ref 0 in
+  let continue = ref true in
+  while !moved < k && !continue do
+    let donor = pick true and recv = pick false in
+    if donor < 0 || recv < 0 then continue := false
+    else begin
+      surplus.(donor) <- surplus.(donor) - 1;
+      surplus.(recv) <- surplus.(recv) + 1;
+      moves := { from_shard = donor; to_shard = recv } :: !moves;
+      incr moved
+    end
+  done;
+  List.rev !moves

@@ -161,7 +161,10 @@ let policy ?(replan_every = 16) ?(epoch = C.Manual) inst =
   let live = Hashtbl.create 32 in
   let offers_since = ref 0 in
   let refresh () =
-    C.set_pinned ctrl (Hashtbl.fold (fun s () acc -> s :: acc) live []);
+    (* Sorted so the pinned order — and hence the replan's admit order
+       and any printed report — is independent of hash iteration. *)
+    C.set_pinned ctrl
+      (List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) live []));
     C.replan ctrl;
     offers_since := 0
   in
@@ -199,3 +202,93 @@ let policy ?(replan_every = 16) ?(epoch = C.Manual) inst =
     Hashtbl.remove live s
   in
   { Policy.name = "engine"; offer; release }
+
+(* ---------- Sharded run ---------- *)
+
+type sharded_stats = {
+  base : stats;  (** aggregated exactly like {!run}'s [stats] *)
+  shard_counts : int array;
+  moves : int;  (** rebalance moves executed over the whole run *)
+  sharded_utility : float;
+  global_utility : float;  (** single global solve over the mirror *)
+  utility_loss : float;  (** [1 - sharded/global]; 0 when global is 0 *)
+}
+
+let run_sharded ~rng ?(duration = 1000.) ?(join_rate = 0.2)
+    ?(mean_dwell = 400.) ?(epoch = C.Drift 0.05)
+    ?(churn = Engine.Churn.default) ?(shards = 4) ?tags
+    ?(split = Shard.Router.Even) ?(rebalance_every = 100.)
+    ?(rebalance_k = 8) inst =
+  let tags =
+    match tags with
+    | Some t -> t
+    | None -> Array.init shards (fun i -> Printf.sprintf "rack%d" (i mod 2))
+  in
+  let map = Shard.Shard_map.create ~tags () in
+  let router = Shard.Router.create ~policy:epoch ~split ~map inst in
+  let des = Des.create () in
+  let utility_time = ref 0. in
+  let last = ref 0. in
+  let joins = ref 0 and leaves = ref 0 and peak = ref 0 and moves = ref 0 in
+  let mirror () = Shard.Router.mirror router in
+  let integrate_to now =
+    utility_time :=
+      !utility_time +. (Shard.Router.utility router *. (now -. !last));
+    last := now
+  in
+  let depart slot des =
+    integrate_to (Des.now des);
+    ignore (Shard.Router.apply router (Engine.Delta.User_leave slot));
+    incr leaves
+  in
+  let schedule_departure slot =
+    Des.schedule des
+      ~delay:(Prelude.Sampling.exponential rng ~rate:(1. /. mean_dwell))
+      (depart slot)
+  in
+  let rec join des =
+    integrate_to (Des.now des);
+    (* Specs are drawn against the mirror — the global population —
+       so the workload is independent of the shard count. *)
+    let spec = Engine.Churn.random_user rng (mirror ()) churn in
+    (match Shard.Router.apply router (Engine.Delta.User_join spec) with
+    | Engine.View.Joined slot ->
+        incr joins;
+        peak := max !peak (Engine.View.active_count (mirror ()));
+        schedule_departure slot
+    | _ -> ());
+    Des.schedule des
+      ~delay:(Prelude.Sampling.exponential rng ~rate:join_rate)
+      join
+  in
+  let rec rebalance des =
+    integrate_to (Des.now des);
+    moves := !moves + Shard.Router.rebalance router ~k:rebalance_k;
+    if split = Shard.Router.Demand then Shard.Router.resplit_budgets router;
+    Des.schedule des ~delay:rebalance_every rebalance
+  in
+  List.iter schedule_departure (Engine.View.active_slots (mirror ()));
+  peak := Engine.View.active_count (mirror ());
+  Des.schedule des
+    ~delay:(Prelude.Sampling.exponential rng ~rate:join_rate)
+    join;
+  Des.schedule des ~delay:rebalance_every rebalance;
+  Des.run ~until:duration des;
+  integrate_to duration;
+  let sharded_utility = Shard.Router.utility router in
+  let global_utility, _ = Shard.Router.global_scratch router in
+  { base =
+      { sim_time = duration;
+        utility_time = !utility_time;
+        joins = !joins;
+        leaves = !leaves;
+        peak_population = !peak;
+        final_utility = sharded_utility;
+        report = Shard.Router.report router };
+    shard_counts = Shard.Router.counts router;
+    moves = !moves;
+    sharded_utility;
+    global_utility;
+    utility_loss =
+      (if global_utility <= 0. then 0.
+       else Float.max 0. (1. -. (sharded_utility /. global_utility))) }

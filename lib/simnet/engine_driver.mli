@@ -92,6 +92,43 @@ val run :
     they attack the WAL/snapshot layer, which the simulation does not
     use. All effects land in the run's {!Engine.Counters.report}. *)
 
+(** {1 Sharded run} *)
+
+type sharded_stats = {
+  base : stats;  (** aggregated across shards, shaped like {!run}'s *)
+  shard_counts : int array;  (** final active users per shard *)
+  moves : int;  (** rebalance moves executed over the whole run *)
+  sharded_utility : float;  (** sum of per-shard plan utilities *)
+  global_utility : float;
+      (** a single global solve over the router's mirror — what one
+          unsharded head-end would achieve on the same population *)
+  utility_loss : float;
+      (** [1 - sharded/global], clamped at 0; the price of partitioning
+          the budget across independent shards *)
+}
+
+val run_sharded :
+  rng:Prelude.Rng.t ->
+  ?duration:float ->
+  ?join_rate:float ->
+  ?mean_dwell:float ->
+  ?epoch:Engine.Controller.epoch_policy ->
+  ?churn:Engine.Churn.params ->
+  ?shards:int ->
+  ?tags:string array ->
+  ?split:Shard.Router.budget_split ->
+  ?rebalance_every:float ->
+  ?rebalance_k:int ->
+  Mmd.Instance.t ->
+  sharded_stats
+(** {!run} behind a {!Shard.Router}: the same Poisson churn (specs
+    drawn against the router's global mirror, so the workload is
+    independent of the shard count), plus a rebalance event every
+    [rebalance_every] sim-seconds moving at most [rebalance_k] users
+    ([Demand] routers also resplit budgets there). Defaults: 4 shards
+    on two alternating racks, [Even] split, rebalance every 100 sim-s,
+    k = 8. *)
+
 val policy :
   ?replan_every:int -> ?epoch:Engine.Controller.epoch_policy ->
   Mmd.Instance.t -> Policy.t

@@ -30,5 +30,6 @@ let () =
       ("viewer-sim", Test_viewer_sim.suite);
       ("engine", Test_engine.suite);
       ("resilience", Test_resilience.suite);
+      ("shard", Test_shard.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite) ]

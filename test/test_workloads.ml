@@ -109,6 +109,75 @@ let scenarios_solvable =
           is_feasible t a && utility t a > 0.)
         instances)
 
+(* Two instances are equal iff every observable field matches — the
+   scenario builders promise bit-identical output for a given seed. *)
+let same_instance a b =
+  I.num_streams a = I.num_streams b
+  && I.num_users a = I.num_users b
+  && I.m a = I.m b
+  && I.mc a = I.mc b
+  && (let ok = ref true in
+      for i = 0 to I.m a - 1 do
+        if I.budget a i <> I.budget b i then ok := false
+      done;
+      for s = 0 to I.num_streams a - 1 do
+        for i = 0 to I.m a - 1 do
+          if I.server_cost a s i <> I.server_cost b s i then ok := false
+        done
+      done;
+      for u = 0 to I.num_users a - 1 do
+        if I.utility_cap a u <> I.utility_cap b u then ok := false;
+        for j = 0 to I.mc a - 1 do
+          if I.capacity a u j <> I.capacity b u j then ok := false
+        done;
+        for s = 0 to I.num_streams a - 1 do
+          if I.utility a u s <> I.utility b u s then ok := false;
+          for j = 0 to I.mc a - 1 do
+            if I.load a u s j <> I.load b u s j then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let scenarios_deterministic =
+  qtest ~count:25 "scenario builders are bit-identical per seed"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let build () =
+        let rng = Prelude.Rng.create seed in
+        let cable = Sc.cable_headend rng ~num_channels:12 ~num_gateways:4 in
+        let iptv = Sc.iptv_district rng ~num_channels:12 ~num_subscribers:4 in
+        let campus = Sc.campus_cdn rng ~num_videos:12 ~num_halls:3 in
+        let homes =
+          Sc.gateway_households rng ~catalog:cable ~num_households:3
+            ~rebroadcast_budget:40.
+        in
+        [ cable; iptv; campus; homes ]
+      in
+      List.for_all2 same_instance (build ()) (build ()))
+
+let split_streams_shard_independent =
+  qtest ~count:25
+    "i-th split sub-stream is independent of how many shards split"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      (* The sharded engine deals per-shard workload RNGs by splitting
+         one parent seed. The i-th child must depend only on i, never
+         on the total shard count, or resharding would rewrite
+         history. Generate shard-local instances from the first 4
+         children of a 4-way and of a 16-way split and compare. *)
+      let children n =
+        let parent = Prelude.Rng.create seed in
+        List.init n (fun _ -> Prelude.Rng.split parent)
+      in
+      let gen rng =
+        G.instance rng { G.default with num_streams = 10; num_users = 4 }
+      in
+      let four = List.map gen (children 4) in
+      let sixteen = List.map gen (children 16) in
+      List.for_all2 same_instance four
+        (List.filteri (fun i _ -> i < 4) sixteen))
+
 let suite =
   [ ("generator shape", `Quick, test_generator_shape);
     ("generator deterministic", `Quick, test_generator_deterministic);
@@ -121,4 +190,6 @@ let suite =
     ("iptv district", `Quick, test_iptv_district);
     ("campus cdn", `Quick, test_campus_cdn);
     ("bitrates", `Quick, test_bitrates);
-    scenarios_solvable ]
+    scenarios_solvable;
+    scenarios_deterministic;
+    split_streams_shard_independent ]
