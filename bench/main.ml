@@ -25,6 +25,7 @@ let experiments =
     ("e16", E16_resilience.run);
     ("e17", E17_observability.run);
     ("e18", E18_sharded.run);
+    ("e19", E19_replication.run);
     ("micro", Microbench.run) ]
 
 let () =

@@ -43,7 +43,8 @@ let print_partial_state ctrl ~applied ~last_seq =
    controller over that shard's initial sub-world). *)
 let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
     ~skip_final ~compare_scratch ~wal_out ~metrics_out ~stats ~shards
-    ~shard_tags ~split ~rebalance_every ~rebalance_k =
+    ~shard_tags ~split ~rebalance_every ~rebalance_k ~replicas
+    ~heartbeat_every =
   let policy =
     match C.policy_of_string epoch with
     | Ok p -> p
@@ -74,7 +75,8 @@ let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
   in
   let map = Shard.Shard_map.create ~seed ~tags () in
   let router =
-    Shard.Router.create ~policy ~split ?wal_dir:wal_out ~map inst
+    Shard.Router.create ~policy ~split ?wal_dir:wal_out ?replicas
+      ?heartbeat_every ~map inst
   in
   let log =
     match (deltas_in, gen_deltas) with
@@ -134,6 +136,13 @@ let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
     counts;
   Format.printf "@.";
   if !moves > 0 then Format.printf "rebalance moves: %d@." !moves;
+  if Shard.Router.replicated router then begin
+    let converged = Shard.Router.quiesce_replicas router in
+    Format.printf "replication: %d replica(s) per shard, %d failover(s)%s@."
+      (Option.value ~default:0 replicas)
+      (Shard.Router.failovers router)
+      (if converged then "" else " [followers NOT converged]")
+  end;
   Format.printf "sharded utility: %.6g@." (Shard.Router.utility router);
   Format.printf "%a@." Engine.Counters.pp_report (Shard.Router.report router);
   if compare_scratch then begin
@@ -156,17 +165,134 @@ let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
       Format.printf "metrics -> %s@." path
   | None -> ()
 
+(* The common end-of-run reporting: plan summary, counter report,
+   optional scratch comparison and artifact outputs. *)
+let finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
+    ~metrics_out ~trace_out =
+  Format.printf "plan: %d streams transmitted, utility %.6g%s@."
+    (List.length (Engine.Planner.admitted (C.planner ctrl)))
+    (C.utility ctrl)
+    (if C.degraded ctrl then " [degraded]" else "");
+  Format.printf "%a@." Engine.Counters.pp_report (C.report ctrl);
+  if compare_scratch then begin
+    let scratch_util, scratch_evals = C.scratch (C.view ctrl) in
+    let gap =
+      if scratch_util > 0. then
+        100. *. (1. -. (C.utility ctrl /. scratch_util))
+      else 0.
+    in
+    Format.printf
+      "from-scratch eager solve: utility %.6g (engine gap %.2f%%), %d \
+       evals for one solve@."
+      scratch_util gap scratch_evals
+  end;
+  (match plan_out with
+  | Some path ->
+      Mmd.Io.write_assignment path (C.plan ctrl);
+      Format.printf "plan -> %s@." path
+  | None -> ());
+  (match snapshot_out with
+  | Some path ->
+      Engine.Snapshot.write_file path ctrl;
+      Format.printf "snapshot -> %s@." path
+  | None -> ());
+  if stats then Format.printf "%s@." (Obs.Export.stats_table ());
+  (match metrics_out with
+  | Some path ->
+      Obs.Export.write_prometheus path;
+      Format.printf "metrics -> %s@." path
+  | None -> ());
+  match trace_out with
+  | Some path ->
+      Obs.Trace.close ();
+      Format.printf "trace -> %s (%d spans)@." path
+        (Obs.Trace.spans_emitted ())
+  | None -> ()
+
+(* Replicated mode: the replay goes through a Replica.Group — the
+   primary applies and WAL-ships every delta to the followers, and
+   --kill-primary-at exercises heartbeat detection + promotion mid-log. *)
+let replicated_run ~records ~policy ~replicas ~heartbeat_every
+    ~kill_primary_at ~wal_writer ~skip_final ~snapshot_out ~snapshot_every
+    ~crash_after inst =
+  let config =
+    match heartbeat_every with
+    | None -> Replica.Group.default_config
+    | Some hb ->
+        { Replica.Group.default_config with
+          heartbeat_every = hb;
+          heartbeat_timeout =
+            max (3 * hb) Replica.Group.default_config.heartbeat_timeout
+        }
+  in
+  let g =
+    Replica.Group.create ~policy ~config ?wal:wal_writer ~replicas inst
+  in
+  let applied = ref 0 in
+  let t0 = Obs.Clock.now () in
+  List.iter
+    (fun (_, d) ->
+      (match crash_after with
+      | Some n when !applied >= n ->
+          (match wal_writer with
+          | Some w -> Engine.Wal.flush_writer w
+          | None -> ());
+          Format.printf "simulated crash at delta boundary %d@." !applied;
+          Format.print_flush ();
+          exit 3
+      | _ -> ());
+      (match kill_primary_at with
+      | Some n when !applied = n && Replica.Group.primary_alive g ->
+          Format.printf "killing primary (replica %d) at delta boundary %d@."
+            (Replica.Group.primary_id g)
+            n;
+          Replica.Group.kill_primary g
+      | _ -> ());
+      Replica.Chaos.ensure_promoted g;
+      ignore (Replica.Group.apply g d);
+      incr applied;
+      match (snapshot_every, snapshot_out) with
+      | Some every, Some path when !applied mod every = 0 ->
+          Engine.Snapshot.write_file path (Replica.Group.primary g)
+      | _ -> ())
+    records;
+  let converged = Replica.Group.quiesce g in
+  if not skip_final then C.replan (Replica.Group.primary g);
+  let elapsed = Obs.Clock.elapsed_since t0 in
+  Format.printf "applied %d deltas in %.3fs wall (%.0f deltas/s)@." !applied
+    elapsed
+    (if elapsed > 0. then float !applied /. elapsed else 0.);
+  Format.printf
+    "replication: %d follower(s), term %d, %d failover(s), primary replica \
+     %d%s@."
+    (Replica.Group.replicas g)
+    (Replica.Group.term g)
+    (Replica.Group.failovers g)
+    (Replica.Group.primary_id g)
+    (if converged then "" else " [followers NOT converged]");
+  if Replica.Group.failovers g > 0 then
+    Format.printf "time to promote: %.6fs@."
+      (Replica.Group.last_promote_seconds g);
+  List.iter
+    (fun id ->
+      Format.printf "follower %d: acked seq %d (lag %d)@." id
+        (Option.value ~default:0 (Replica.Group.acked g id))
+        (Option.value ~default:0 (Replica.Group.lag g id)))
+    (Replica.Group.live_followers g);
+  Replica.Group.primary g
+
 let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
-    compare_scratch snapshot_out snapshot_every plan_out domains wal_out
-    crash_after trace_out metrics_out stats shards shard_tags split
-    rebalance_every rebalance_k =
+    compare_scratch snapshot_in snapshot_out snapshot_every plan_out domains
+    wal_out crash_after trace_out metrics_out stats shards shard_tags split
+    rebalance_every rebalance_k replicas heartbeat_every kill_primary_at =
   match shards with
   | Some n when n >= 1 -> (
       match
         Prelude.Pool.set_num_domains domains;
         sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
           ~skip_final ~compare_scratch ~wal_out ~metrics_out ~stats ~shards:n
-          ~shard_tags ~split ~rebalance_every ~rebalance_k
+          ~shard_tags ~split ~rebalance_every ~rebalance_k ~replicas
+          ~heartbeat_every
       with
       | () -> Ok ()
       | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
@@ -184,35 +310,34 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
       | Error msg -> failwith msg
     in
     let text = read_all file in
-    let ctrl =
-      if Engine.Snapshot.is_snapshot text then begin
-        match Engine.Snapshot.load_result text with
-        | Ok ctrl ->
-            Format.printf
-              "restored snapshot: %d slots active, utility %.6g@."
-              (Engine.View.active_count (C.view ctrl))
-              (C.utility ctrl);
-            ctrl
-        | Error msg -> (
-            (* The on-disk fallback generation may still be good. *)
-            match Engine.Snapshot.read_file_result file with
-            | Ok (ctrl, Engine.Snapshot.Previous) ->
-                Format.printf
-                  "snapshot damaged (%s); fell back to previous generation: \
-                   %d slots active, utility %.6g@."
-                  msg
-                  (Engine.View.active_count (C.view ctrl))
-                  (C.utility ctrl);
-                ctrl
-            | Ok (ctrl, Engine.Snapshot.Current) -> ctrl
-            | Error msg -> failwith msg)
-      end
-      else C.create ~policy (Mmd.Io.of_string text)
+    let restore_snapshot ~path ~text =
+      match Engine.Snapshot.load_result text with
+      | Ok ctrl ->
+          Format.printf "restored snapshot: %d slots active, utility %.6g@."
+            (Engine.View.active_count (C.view ctrl))
+            (C.utility ctrl);
+          ctrl
+      | Error msg -> (
+          (* The on-disk fallback generation may still be good. *)
+          match Engine.Snapshot.read_file_result path with
+          | Ok (ctrl, Engine.Snapshot.Previous) ->
+              Format.printf
+                "snapshot damaged (%s); fell back to previous generation: \
+                 %d slots active, utility %.6g@."
+                msg
+                (Engine.View.active_count (C.view ctrl))
+                (C.utility ctrl);
+              ctrl
+          | Ok (ctrl, Engine.Snapshot.Current) -> ctrl
+          | Error msg -> failwith msg)
     in
-    (* The replay stream: (seq, delta) pairs. Plain logs are numbered
-       from the controller's lifetime delta count; WAL records carry
-       their own authoritative sequence numbers. *)
-    let records =
+    (* The replay stream as (seq, delta) pairs. Plain logs are
+       numbered from [already] (the restored lifetime delta count);
+       WAL records carry their own authoritative sequence numbers and
+       records a snapshot already covers are skipped. [note] receives
+       the quarantined count for the counters of whichever controller
+       ends up replaying. *)
+    let load_records ~already ~view ~note =
       match (deltas_in, gen_deltas) with
       | Some path, _ ->
           let text = read_all path in
@@ -222,7 +347,7 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
             | Ok r ->
                 if r.Engine.Wal.quarantined <> [] then begin
                   let n = List.length r.Engine.Wal.quarantined in
-                  Engine.Counters.note_quarantined ~n (C.counters ctrl);
+                  note n;
                   Format.printf "WAL recovery: quarantined %d record(s)%s@."
                     n
                     (if r.Engine.Wal.torn_tail then
@@ -236,7 +361,6 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
                     r.Engine.Wal.quarantined;
                   if n > 10 then Format.printf "  ... and %d more@." (n - 10)
                 end;
-                let already = C.deltas_applied ctrl in
                 let fresh, skipped =
                   List.partition
                     (fun (seq, _) -> seq > already)
@@ -250,12 +374,13 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
                 fresh
           end
           else
-            let base = C.deltas_applied ctrl in
-            List.mapi (fun i d -> (base + i + 1, d)) (Engine.Delta.log_of_string text)
+            List.mapi
+              (fun i d -> (already + i + 1, d))
+              (Engine.Delta.log_of_string text)
       | None, Some n ->
           let rng = Prelude.Rng.create seed in
           let log =
-            Engine.Churn.generate ~rng (C.view ctrl)
+            Engine.Churn.generate ~rng view
               { Engine.Churn.default with deltas = n }
           in
           (match deltas_out with
@@ -263,8 +388,7 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
               Engine.Delta.write_log path log;
               Format.printf "wrote %d deltas to %s@." n path
           | None -> ());
-          let base = C.deltas_applied ctrl in
-          List.mapi (fun i d -> (base + i + 1, d)) log
+          List.mapi (fun i d -> (already + i + 1, d)) log
       | None, None -> []
     in
     let wal_writer =
@@ -282,6 +406,74 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
           Some (Engine.Wal.append_file ~next_seq path)
       | None -> None
     in
+    let is_snapshot_file = Engine.Snapshot.is_snapshot text in
+    match replicas with
+    | Some r when r >= 1 ->
+        if is_snapshot_file then
+          failwith
+            "--replicas starts from an instance (replication rebuilds \
+             follower state by shipping, not snapshots)";
+        if snapshot_in <> None then
+          failwith "--replicas and --snapshot-in are mutually exclusive";
+        let inst = Mmd.Io.of_string text in
+        let records =
+          load_records ~already:0 ~view:(Engine.View.of_instance inst)
+            ~note:(fun _ -> ())
+        in
+        let ctrl =
+          replicated_run ~records ~policy ~replicas:r ~heartbeat_every
+            ~kill_primary_at ~wal_writer ~skip_final ~snapshot_out
+            ~snapshot_every ~crash_after inst
+        in
+        (match wal_writer with Some w -> Engine.Wal.close w | None -> ());
+        finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
+          ~metrics_out ~trace_out
+    | Some r -> failwith (Printf.sprintf "--replicas %d: need at least 1" r)
+    | None ->
+    let ctrl =
+      if is_snapshot_file then restore_snapshot ~path:file ~text
+      else
+        match snapshot_in with
+        | Some snap ->
+            (* Startup recovery choice: estimate snapshot+tail against
+               a full replay and take the cheaper path. The WAL length
+               is counted before building any controller. *)
+            let total_records =
+              match deltas_in with
+              | Some path -> (
+                  let dtext = read_all path in
+                  if Engine.Wal.is_wal dtext then
+                    match Engine.Wal.recover_string dtext with
+                    | Ok r -> List.length r.Engine.Wal.records
+                    | Error _ -> 0
+                  else List.length (Engine.Delta.log_of_string dtext))
+              | None -> 0
+            in
+            let est =
+              Engine.Recovery.assess ~snapshot_path:snap ~total_records
+            in
+            Format.printf
+              "recovery: taking %s (estimated snapshot+tail %.4gs vs full \
+               replay %.4gs)@."
+              (Engine.Recovery.choice_to_string est.Engine.Recovery.choice)
+              est.Engine.Recovery.snapshot_seconds
+              est.Engine.Recovery.replay_seconds;
+            let ctrl =
+              match est.Engine.Recovery.choice with
+              | Engine.Recovery.Snapshot_tail ->
+                  restore_snapshot ~path:snap ~text:(read_all snap)
+              | Engine.Recovery.Full_replay ->
+                  C.create ~policy (Mmd.Io.of_string text)
+            in
+            Engine.Recovery.note (C.counters ctrl)
+              est.Engine.Recovery.choice;
+            ctrl
+        | None -> C.create ~policy (Mmd.Io.of_string text)
+    in
+    let records =
+      load_records ~already:(C.deltas_applied ctrl) ~view:(C.view ctrl)
+        ~note:(fun n -> Engine.Counters.note_quarantined ~n (C.counters ctrl))
+    in
     let applied = ref 0 in
     let last_seq = ref (C.deltas_applied ctrl) in
     let t0 = Obs.Clock.now () in
@@ -291,7 +483,12 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
            (match crash_after with
            | Some n when !applied >= n ->
                (* Simulated crash: no final replan, no snapshot, no
-                  cleanup — the recovery path has to cope. *)
+                  cleanup — the recovery path has to cope. The WAL is
+                  flushed first so every applied delta survives the
+                  exit (see EXIT STATUS: 3). *)
+               (match wal_writer with
+               | Some w -> Engine.Wal.flush_writer w
+               | None -> ());
                Format.printf
                  "simulated crash at delta boundary %d (next seq %d)@."
                  !applied seq;
@@ -326,45 +523,8 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
     Format.printf "applied %d deltas in %.3fs wall (%.0f deltas/s)@." n
       elapsed
       (if elapsed > 0. then float n /. elapsed else 0.);
-    Format.printf "plan: %d streams transmitted, utility %.6g%s@."
-      (List.length (Engine.Planner.admitted (C.planner ctrl)))
-      (C.utility ctrl)
-      (if C.degraded ctrl then " [degraded]" else "");
-    Format.printf "%a@." Engine.Counters.pp_report (C.report ctrl);
-    if compare_scratch then begin
-      let scratch_util, scratch_evals = C.scratch (C.view ctrl) in
-      let gap =
-        if scratch_util > 0. then
-          100. *. (1. -. (C.utility ctrl /. scratch_util))
-        else 0.
-      in
-      Format.printf
-        "from-scratch eager solve: utility %.6g (engine gap %.2f%%), %d \
-         evals for one solve@."
-        scratch_util gap scratch_evals
-    end;
-    (match plan_out with
-    | Some path ->
-        Mmd.Io.write_assignment path (C.plan ctrl);
-        Format.printf "plan -> %s@." path
-    | None -> ());
-    (match snapshot_out with
-    | Some path ->
-        Engine.Snapshot.write_file path ctrl;
-        Format.printf "snapshot -> %s@." path
-    | None -> ());
-    if stats then Format.printf "%s@." (Obs.Export.stats_table ());
-    (match metrics_out with
-    | Some path ->
-        Obs.Export.write_prometheus path;
-        Format.printf "metrics -> %s@." path
-    | None -> ());
-    match trace_out with
-    | Some path ->
-        Obs.Trace.close ();
-        Format.printf "trace -> %s (%d spans)@." path
-          (Obs.Trace.spans_emitted ())
-    | None -> ()
+    finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
+      ~metrics_out ~trace_out
   with
   | () -> Ok ()
   | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
@@ -424,6 +584,19 @@ let compare_scratch =
         ~doc:
           "Also solve the final state from scratch (eager greedy) and print \
            the utility gap and per-solve evaluation cost.")
+
+let snapshot_in =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-in" ] ~docv:"FILE"
+        ~doc:
+          "With an instance FILE and a WAL $(b,--deltas): estimate the cost \
+           of restoring $(docv) plus replaying the uncovered tail against a \
+           full from-scratch replay, take the cheaper path, and record the \
+           choice in the counters (exported as \
+           $(b,engine_recovery_path_total)). A missing or damaged snapshot \
+           degrades to the full replay.")
 
 let snapshot_out =
   Arg.(
@@ -554,15 +727,58 @@ let rebalance_k =
     & info [ "rebalance-k" ] ~docv:"K"
         ~doc:"Per-epoch cap on rebalance moves (default 8).")
 
+let replicas =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Run a replicated control plane: the primary controller WAL-ships \
+           every applied record to $(docv) follower controllers, which stay \
+           bit-identical at every acked sequence number. With $(b,--shards), \
+           each shard gets its own replica group. Requires an instance FILE \
+           (followers rebuild by shipping, not snapshots).")
+
+let heartbeat_every =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "heartbeat-every" ] ~docv:"TICKS"
+        ~doc:
+          "With $(b,--replicas): logical ticks (applied records + idle \
+           ticks) between primary heartbeats (default 8). Followers drain \
+           shipped frames at heartbeat boundaries; the failure-detection \
+           timeout scales to at least 3$(b,x) this.")
+
+let kill_primary_at =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-primary-at" ] ~docv:"N"
+        ~doc:
+          "With $(b,--replicas) (unsharded): kill the primary cold at delta \
+           boundary $(docv). The heartbeat failure detector then promotes \
+           the most-caught-up follower — which finishes replaying its \
+           buffered tail — and the run continues on the new primary with \
+           zero divergence.")
+
 let cmd =
   let doc = "replay a churn delta log through the replanning engine" in
-  Cmd.v (Cmd.info "mmd_engine" ~doc)
+  let man =
+    [ `S Manpage.s_exit_status;
+      `P
+        "$(b,0) on success; $(b,3) when $(b,--crash-after) fired its \
+         simulated crash (the WAL is flushed first, so every applied delta \
+         is recoverable); Cmdliner's usual codes otherwise." ]
+  in
+  Cmd.v (Cmd.info "mmd_engine" ~doc ~man)
     Term.(
       term_result
         (const engine_run $ file $ deltas_in $ gen_deltas $ seed $ deltas_out
-       $ epoch $ skip_final $ compare_scratch $ snapshot_out $ snapshot_every
-       $ plan_out $ domains $ wal_out $ crash_after $ trace_out $ metrics_out
-       $ stats $ shards $ shard_tags $ split $ rebalance_every
-       $ rebalance_k))
+       $ epoch $ skip_final $ compare_scratch $ snapshot_in $ snapshot_out
+       $ snapshot_every $ plan_out $ domains $ wal_out $ crash_after
+       $ trace_out $ metrics_out $ stats $ shards $ shard_tags $ split
+       $ rebalance_every $ rebalance_k $ replicas $ heartbeat_every
+       $ kill_primary_at))
 
 let () = exit (Cmd.eval cmd)

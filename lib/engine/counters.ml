@@ -19,6 +19,8 @@ type mirrors = {
   m_fallbacks : Obs.Metrics.counter;
   m_replan_seconds : Obs.Hist.t;
   m_recovery_seconds : Obs.Hist.t;
+  m_path_snapshot : Obs.Metrics.counter;
+  m_path_replay : Obs.Metrics.counter;
 }
 
 type t = {
@@ -35,6 +37,12 @@ type t = {
   mutable recoveries : int;
   mutable fallbacks : int;
   mutable recovery_hist : Obs.Hist.t;
+  (* Recovery path selection (PR 7): which startup path the recovery
+     chooser took. Not part of [fields]/[report] — the choice depends
+     on measured machine speed, so folding it into the bit-identity
+     surfaces would make determinism checks flaky. *)
+  mutable snapshot_recoveries : int;
+  mutable full_replays : int;
   mirrors : mirrors;
 }
 
@@ -48,7 +56,15 @@ let mirrors ~labels =
     m_fallbacks = Obs.Metrics.counter ~labels "engine_fallbacks_total";
     m_replan_seconds = Obs.Metrics.histogram ~labels "engine_replan_seconds";
     m_recovery_seconds =
-      Obs.Metrics.histogram ~labels "engine_recovery_seconds" }
+      Obs.Metrics.histogram ~labels "engine_recovery_seconds";
+    m_path_snapshot =
+      Obs.Metrics.counter
+        ~labels:(labels @ [ ("path", "snapshot") ])
+        "engine_recovery_path_total";
+    m_path_replay =
+      Obs.Metrics.counter
+        ~labels:(labels @ [ ("path", "replay") ])
+        "engine_recovery_path_total" }
 
 let create ?(labels = []) () =
   { mirrors = mirrors ~labels;
@@ -63,7 +79,9 @@ let create ?(labels = []) () =
     quarantined = 0;
     recoveries = 0;
     fallbacks = 0;
-    recovery_hist = Obs.Hist.create () }
+    recovery_hist = Obs.Hist.create ();
+    snapshot_recoveries = 0;
+    full_replays = 0 }
 
 let note_delta t (d : Delta.t) =
   Obs.Metrics.inc t.mirrors.m_deltas;
@@ -100,6 +118,17 @@ let note_recovery t ~seconds =
 let note_fallback t =
   t.fallbacks <- t.fallbacks + 1;
   Obs.Metrics.inc t.mirrors.m_fallbacks
+
+let note_recovery_path t path =
+  match path with
+  | `Snapshot_tail ->
+      t.snapshot_recoveries <- t.snapshot_recoveries + 1;
+      Obs.Metrics.inc t.mirrors.m_path_snapshot
+  | `Full_replay ->
+      t.full_replays <- t.full_replays + 1;
+      Obs.Metrics.inc t.mirrors.m_path_replay
+
+let recovery_paths t = (t.snapshot_recoveries, t.full_replays)
 
 let deltas t = t.joins + t.leaves + t.cost_changes + t.budget_resizes
 let replans t = t.replans

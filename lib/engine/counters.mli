@@ -40,6 +40,17 @@ val note_fallback : t -> unit
 (** The supervisor abandoned a replan and restored the last feasible
     plan. *)
 
+val note_recovery_path : t -> [ `Snapshot_tail | `Full_replay ] -> unit
+(** Record which startup recovery path {!Recovery.choose} selected:
+    snapshot + WAL-tail replay, or a full WAL replay from scratch.
+    Mirrored into the exported [engine_recovery_path_total] counter
+    with a [path="snapshot"|"replay"] label. Deliberately excluded from
+    {!fields} and {!report}: the choice depends on measured machine
+    speed, which would poison bit-identity checks. *)
+
+val recovery_paths : t -> int * int
+(** [(snapshot_tail, full_replay)] selections recorded so far. *)
+
 val deltas : t -> int
 (** Total deltas recorded. *)
 

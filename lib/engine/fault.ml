@@ -4,6 +4,16 @@ type kind =
   | Budget_shock of float
   | Stream_outage of int
   | Task_exn
+  (* Replication faults (PR 7): attack the WAL-shipping layer between
+     a primary and its followers. Replica ids name followers (the
+     initial primary is replica 0, followers are 1..N). *)
+  | Drop_frame of int
+  | Dup_frame of int
+  | Reorder_frames of int
+  | Truncate_frame of int
+  | Follower_crash of int
+  | Primary_crash
+  | Heartbeat_partition of int
 
 type event = { at : int; kind : kind }
 type schedule = event list
@@ -16,6 +26,13 @@ let kind_to_string = function
   | Budget_shock f -> Printf.sprintf "budget-shock %.3f" f
   | Stream_outage s -> Printf.sprintf "stream-outage %d" s
   | Task_exn -> "task-exn"
+  | Drop_frame r -> Printf.sprintf "drop-frame @%d" r
+  | Dup_frame r -> Printf.sprintf "dup-frame @%d" r
+  | Reorder_frames r -> Printf.sprintf "reorder-frames @%d" r
+  | Truncate_frame r -> Printf.sprintf "truncate-frame @%d" r
+  | Follower_crash r -> Printf.sprintf "follower-crash %d" r
+  | Primary_crash -> "primary-crash"
+  | Heartbeat_partition n -> Printf.sprintf "heartbeat-partition %d" n
 
 let pp_event ppf e =
   Format.fprintf ppf "@%d %s" e.at (kind_to_string e.kind)
@@ -35,6 +52,27 @@ let generate ~rng ~deltas ~num_streams ~count =
           kind = random_kind rng ~num_streams })
   in
   (* Stable sort keeps same-boundary faults in generation order. *)
+  List.stable_sort (fun a b -> compare a.at b.at) events
+
+(* Kept separate from [random_kind] so existing seeded schedules — and
+   the E16 results built on them — are unchanged by the new kinds. *)
+let random_replication_kind rng ~replicas =
+  let follower () = 1 + Prelude.Rng.int rng (max 1 replicas) in
+  match Prelude.Rng.int rng 7 with
+  | 0 -> Drop_frame (follower ())
+  | 1 -> Dup_frame (follower ())
+  | 2 -> Reorder_frames (follower ())
+  | 3 -> Truncate_frame (follower ())
+  | 4 -> Follower_crash (follower ())
+  | 5 -> Primary_crash
+  | _ -> Heartbeat_partition (5 + Prelude.Rng.int rng 60)
+
+let generate_replication ~rng ~deltas ~replicas ~count =
+  let events =
+    List.init count (fun _ ->
+        { at = 1 + Prelude.Rng.int rng (max 1 deltas);
+          kind = random_replication_kind rng ~replicas })
+  in
   List.stable_sort (fun a b -> compare a.at b.at) events
 
 let at schedule i = List.filter (fun e -> e.at = i) schedule
@@ -57,7 +95,10 @@ let shock_delta view kind =
         (Delta.Stream_cost_change
            { stream = s;
              costs = Array.init (View.m view) (fun i -> View.budget view i) })
-  | Corrupt_log | Torn_snapshot | Task_exn -> None
+  | Corrupt_log | Torn_snapshot | Task_exn
+  | Drop_frame _ | Dup_frame _ | Reorder_frames _ | Truncate_frame _
+  | Follower_crash _ | Primary_crash | Heartbeat_partition _ ->
+      None
 
 let corrupt_text ~rng text =
   let start =

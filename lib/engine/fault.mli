@@ -20,7 +20,25 @@
       full budget on every measure (a dead ingest path priced out of
       the plan);
     - [Task_exn] — an exception thrown from inside a pool task during
-      a replan attempt (the supervisor must contain and retry it). *)
+      a replan attempt (the supervisor must contain and retry it).
+
+    Replication faults (handled by {!Replica.Chaos}; replica ids name
+    followers — the initial primary is replica 0, followers 1..N):
+    - [Drop_frame r] — the next frame shipped to follower [r] vanishes
+      (the retransmit path must heal the gap);
+    - [Dup_frame r] — the next frame is delivered twice (the follower
+      must detect the duplicate seq and apply once);
+    - [Reorder_frames r] — the next two frames arrive swapped (the
+      follower must buffer and apply in seq order);
+    - [Truncate_frame r] — the next frame is cut mid-record (the CRC
+      must reject it; retransmit heals);
+    - [Follower_crash r] — follower [r] dies and later rebuilds by
+      scratch-replaying the shipped history;
+    - [Primary_crash] — the primary dies; heartbeat timeout fires and
+      the most-caught-up follower is promoted;
+    - [Heartbeat_partition n] — heartbeats are suppressed for [n] idle
+      ticks (a short partition must ride out on backoff without a
+      failover; a long one must promote). *)
 
 type kind =
   | Corrupt_log
@@ -28,6 +46,13 @@ type kind =
   | Budget_shock of float  (** factor in (0, 1) applied to finite budgets *)
   | Stream_outage of int  (** stream id (taken mod the catalog size) *)
   | Task_exn
+  | Drop_frame of int  (** follower id whose next frame is dropped *)
+  | Dup_frame of int  (** follower id whose next frame is duplicated *)
+  | Reorder_frames of int  (** follower id whose next two frames swap *)
+  | Truncate_frame of int  (** follower id whose next frame is torn *)
+  | Follower_crash of int  (** follower id that dies *)
+  | Primary_crash
+  | Heartbeat_partition of int  (** idle ticks the partition lasts *)
 
 type event = { at : int; kind : kind }
 
@@ -44,7 +69,15 @@ val generate :
   rng:Prelude.Rng.t -> deltas:int -> num_streams:int -> count:int -> schedule
 (** [count] faults at uniform boundaries in [[1, deltas]], kinds drawn
     uniformly; shock factors uniform in [[0.3, 0.8]], outage streams
-    uniform over the catalog. *)
+    uniform over the catalog. Draws only the original five kinds, so
+    seeded schedules from earlier engines replay unchanged. *)
+
+val generate_replication :
+  rng:Prelude.Rng.t -> deltas:int -> replicas:int -> count:int -> schedule
+(** [count] replication faults at uniform boundaries: kinds drawn
+    uniformly over the seven replication kinds, target followers
+    uniform in [[1, replicas]], partition lengths uniform in
+    [[5, 64]] ticks. *)
 
 val at : schedule -> int -> event list
 (** Faults scheduled at boundary [i], in schedule order. *)

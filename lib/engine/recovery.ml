@@ -1,0 +1,77 @@
+(* Startup recovery-path selection: snapshot + WAL-tail replay vs a
+   full WAL replay from scratch. Replaying a record means running it
+   through the planner's incremental apply — orders of magnitude more
+   expensive than parsing it — so the model prices a path by the
+   records it must APPLY plus (for the snapshot path) the bytes it
+   must parse back into a controller. *)
+
+type choice = Snapshot_tail | Full_replay
+
+type estimate = {
+  choice : choice;
+  snapshot_seconds : float;
+  replay_seconds : float;
+}
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+  | None -> default
+
+(* Defaults calibrated from BENCH_engine on the reference machine
+   (~66.7k deltas/s through the apply path → ~15µs/record; snapshot
+   parse throughput ~80 MB/s → ~12ns/byte). Override per deployment:
+   the point of the chooser is the RATIO, so rough constants already
+   pick the right side except when the two paths are within noise of
+   each other — where either choice is fine. *)
+let apply_seconds_per_record () =
+  env_float "VDMC_APPLY_SECONDS_PER_RECORD" 15e-6
+
+let snapshot_seconds_per_byte () =
+  env_float "VDMC_SNAPSHOT_SECONDS_PER_BYTE" 12e-9
+
+let choose ~snapshot_bytes ~total_records ~covered =
+  let apply = apply_seconds_per_record ()
+  and parse = snapshot_seconds_per_byte () in
+  let tail = max 0 (total_records - covered) in
+  let snapshot_seconds =
+    (float snapshot_bytes *. parse) +. (float tail *. apply)
+  in
+  let replay_seconds = float total_records *. apply in
+  { choice =
+      (if snapshot_seconds <= replay_seconds then Snapshot_tail
+       else Full_replay);
+    snapshot_seconds;
+    replay_seconds }
+
+let assess ~snapshot_path ~total_records =
+  let stat_bytes path =
+    match open_in_bin path with
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Some (in_channel_length ic))
+    | exception Sys_error _ -> None
+  in
+  match (stat_bytes snapshot_path, Snapshot.peek_deltas_applied snapshot_path)
+  with
+  | Some snapshot_bytes, Some covered when covered <= total_records ->
+      choose ~snapshot_bytes ~total_records ~covered
+  | _ ->
+      (* No usable snapshot (missing, unreadable, no counters line, or
+         ahead of the WAL — a stale WAL paired with a newer snapshot is
+         not a tail-replay situation): full replay is the only path. *)
+      let replay_seconds =
+        float total_records *. apply_seconds_per_record ()
+      in
+      { choice = Full_replay;
+        snapshot_seconds = infinity;
+        replay_seconds }
+
+let choice_to_string = function
+  | Snapshot_tail -> "snapshot+tail"
+  | Full_replay -> "full-replay"
+
+let note counters = function
+  | Snapshot_tail -> Counters.note_recovery_path counters `Snapshot_tail
+  | Full_replay -> Counters.note_recovery_path counters `Full_replay

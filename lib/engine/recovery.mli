@@ -1,0 +1,44 @@
+(** Startup recovery-path selection.
+
+    After a crash the engine has (up to) two ways back: load the latest
+    snapshot and replay only the WAL tail it does not cover, or replay
+    the whole WAL from scratch. Which is cheaper depends on how stale
+    the snapshot is — a checkpoint taken two records ago makes the
+    tail path nearly free; one taken at record 10 of 100k is pure
+    overhead on top of what is effectively a full replay anyway.
+
+    {!choose} prices both paths with a linear cost model (records to
+    {e apply} dominate; snapshot bytes to parse are the secondary
+    term) and picks the cheaper one. The constants are rough and
+    per-machine — override them with [VDMC_APPLY_SECONDS_PER_RECORD]
+    and [VDMC_SNAPSHOT_SECONDS_PER_BYTE] — but the decision only needs
+    the ratio, so rough is enough except where the two paths cost the
+    same and either choice is fine. The choice taken is recorded via
+    {!Counters.note_recovery_path} by the caller (see {!note}). *)
+
+type choice = Snapshot_tail | Full_replay
+
+type estimate = {
+  choice : choice;  (** the cheaper path (ties go to [Snapshot_tail]) *)
+  snapshot_seconds : float;
+      (** estimated cost of snapshot load + tail replay; [infinity]
+          when no usable snapshot exists *)
+  replay_seconds : float;  (** estimated cost of the full replay *)
+}
+
+val choose : snapshot_bytes:int -> total_records:int -> covered:int -> estimate
+(** Price both paths for a snapshot of [snapshot_bytes] covering
+    [covered] of the WAL's [total_records] records. *)
+
+val assess : snapshot_path:string -> total_records:int -> estimate
+(** {!choose} against the snapshot file on disk: its byte size and
+    {!Snapshot.peek_deltas_applied}. Degrades to a [Full_replay]
+    estimate when the snapshot is missing, unreadable, has no counters
+    line, or claims to cover more records than the WAL holds (a stale
+    WAL paired with a newer snapshot is not a tail-replay situation). *)
+
+val choice_to_string : choice -> string
+
+val note : Counters.t -> choice -> unit
+(** Record the chosen path in the counters (and the exported
+    [engine_recovery_path_total] series). *)

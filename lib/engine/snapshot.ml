@@ -348,3 +348,33 @@ let read_file path =
   match read_file_result path with
   | Ok (ctrl, _) -> ctrl
   | Error msg -> failwith msg
+
+(* A cheap structural peek: how many deltas does the snapshot on disk
+   cover? Scans for the counters line without verifying the envelope —
+   the recovery chooser only needs an estimate, and the verified load
+   happens after (and only if) the snapshot path is chosen. *)
+let peek_deltas_applied path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> None
+          | first when not (is_snapshot first) -> None
+          | _ ->
+              let rec scan () =
+                match input_line ic with
+                | exception End_of_file -> None
+                | line -> (
+                    match
+                      String.split_on_char ' ' line
+                      |> List.filter (fun s -> s <> "")
+                    with
+                    | "counters" :: fields when List.length fields >= 9 ->
+                        int_of_string_opt (List.nth fields 8)
+                    | "%%instance" :: _ -> None
+                    | _ -> scan ())
+              in
+              scan ())

@@ -53,3 +53,9 @@ val read_file : string -> Controller.t
 
 val previous_path : string -> string
 (** [path.prev], the fallback generation written by {!write_file}. *)
+
+val peek_deltas_applied : string -> int option
+(** How many deltas the snapshot at [path] covers, read by scanning its
+    header for the counters line — no envelope verification, no view or
+    plan parsing. The cheap input {!Recovery.choose} needs; [None] when
+    the file is missing, not a snapshot, or lacks a counters line. *)

@@ -67,46 +67,92 @@ type recovery = {
 let m_append_seconds = lazy (Obs.Metrics.histogram "wal_append_seconds")
 let m_replayed = lazy (Obs.Metrics.counter "wal_records_replayed_total")
 
-let recover_string_impl text =
-  let lines = String.split_on_char '\n' text in
-  match lines with
-  | first :: rest when first = magic ->
-      let complete = String.length text > 0 && text.[String.length text - 1] = '\n' in
-      let n_rest = List.length rest in
+(* Recovery runs over a pull-based line source
+   [unit -> (string * bool) option] so the string path and the
+   streaming channel path share one verifier: the source yields
+   [(line, terminated)] — the line without its newline, and whether a
+   newline actually closed it. A final unterminated line is the torn-
+   tail candidate. *)
+let source_of_string text =
+  let len = String.length text in
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= len then None
+    else
+      match String.index_from_opt text !pos '\n' with
+      | Some i ->
+          let line = String.sub text !pos (i - !pos) in
+          pos := i + 1;
+          Some (line, true)
+      | None ->
+          let line = String.sub text !pos (len - !pos) in
+          pos := len;
+          Some (line, false)
+
+(* One buffered line at a time: a multi-gigabyte shipped log recovers
+   in memory proportional to its records, not to the file. *)
+let source_of_channel ic =
+  let buf = Buffer.create 256 in
+  let eof = ref false in
+  fun () ->
+    if !eof then None
+    else begin
+      Buffer.clear buf;
+      let rec scan () =
+        match input_char ic with
+        | '\n' -> Some (Buffer.contents buf, true)
+        | c ->
+            Buffer.add_char buf c;
+            scan ()
+        | exception End_of_file ->
+            eof := true;
+            if Buffer.length buf = 0 then None
+            else Some (Buffer.contents buf, false)
+      in
+      scan ()
+    end
+
+let recover_source source =
+  match source () with
+  | Some (first, _) when first = magic ->
       let records = ref [] and quarantined = ref [] in
       let last_seq = ref 0 and torn = ref false in
-      List.iteri
-        (fun i line ->
-          (* split_on_char on a newline-terminated file yields a final
-             empty fragment; a non-empty final fragment is a torn tail
-             candidate. *)
-          let lineno = i + 2 in
-          let is_last = i = n_rest - 1 in
-          if String.trim line <> "" then
-            match record_of_string line with
-            | Ok (seq, d) ->
-                if seq <= !last_seq then
-                  quarantined :=
-                    { line = lineno;
-                      reason =
-                        Printf.sprintf
-                          "sequence regression (%d after %d) — replayed or \
-                           reordered record"
-                          seq !last_seq }
-                    :: !quarantined
-                else begin
-                  records := (seq, d) :: !records;
-                  last_seq := seq
-                end
-            | Error reason ->
-                if is_last && not complete then begin
-                  torn := true;
-                  quarantined :=
-                    { line = lineno; reason = "torn tail: " ^ reason }
-                    :: !quarantined
-                end
-                else quarantined := { line = lineno; reason } :: !quarantined)
-        rest;
+      let consume lineno (line, terminated) ~is_last =
+        if String.trim line <> "" then
+          match record_of_string line with
+          | Ok (seq, d) ->
+              if seq <= !last_seq then
+                quarantined :=
+                  { line = lineno;
+                    reason =
+                      Printf.sprintf
+                        "sequence regression (%d after %d) — replayed or \
+                         reordered record"
+                        seq !last_seq }
+                  :: !quarantined
+              else begin
+                records := (seq, d) :: !records;
+                last_seq := seq
+              end
+          | Error reason ->
+              if is_last && not terminated then begin
+                torn := true;
+                quarantined :=
+                  { line = lineno; reason = "torn tail: " ^ reason }
+                  :: !quarantined
+              end
+              else quarantined := { line = lineno; reason } :: !quarantined
+      in
+      (* One line of lookahead, so "last line" is known when a record
+         fails to verify — torn tail vs ordinary corruption. *)
+      let rec go lineno current =
+        match source () with
+        | None -> consume lineno current ~is_last:true
+        | Some next ->
+            consume lineno current ~is_last:false;
+            go (lineno + 1) next
+      in
+      (match source () with None -> () | Some current -> go 2 current);
       Obs.Metrics.inc ~n:(List.length !records) (Lazy.force m_replayed);
       Ok
         { records = List.rev !records;
@@ -116,16 +162,19 @@ let recover_string_impl text =
   | _ -> Error "Wal.recover: not a WAL (bad magic line)"
 
 let recover_string text =
-  Obs.Span.with_ ~name:"wal.recover" (fun () -> recover_string_impl text)
+  Obs.Span.with_ ~name:"wal.recover" (fun () ->
+      recover_source (source_of_string text))
+
+let recover_channel ic =
+  Obs.Span.with_ ~name:"wal.recover" (fun () ->
+      recover_source (source_of_channel ic))
 
 let recover_file path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | text -> recover_string text
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> recover_channel ic)
   | exception Sys_error msg -> Error msg
 
 let write_file ?first_seq path deltas =
@@ -150,14 +199,17 @@ let append_file ?(next_seq = 1) path =
   end;
   { oc; next_seq }
 
-let append w delta =
+let append_tee w delta =
   let t0 = Obs.Clock.now () in
   let seq = w.next_seq in
   w.next_seq <- seq + 1;
-  output_string w.oc (record_to_string ~seq delta);
+  let line = record_to_string ~seq delta in
+  output_string w.oc line;
   output_char w.oc '\n';
   flush w.oc;
   Obs.Hist.observe (Lazy.force m_append_seconds) (Obs.Clock.elapsed_since t0);
-  seq
+  (seq, line)
 
+let append w delta = fst (append_tee w delta)
+let flush_writer w = flush w.oc
 let close w = close_out w.oc

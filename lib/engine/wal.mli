@@ -58,8 +58,15 @@ val recover_string : string -> (recovery, string) result
     a WAL at all (missing/garbled magic line); data damage after the
     magic line is reported through [quarantined], never as [Error]. *)
 
+val recover_channel : in_channel -> (recovery, string) result
+(** {!recover_string} reading the channel one line at a time: a long
+    shipped log recovers in memory proportional to its surviving
+    records, never holding the whole file as one string. Same result
+    as the string path on the same bytes, including quarantine and
+    torn-tail classification. *)
+
 val recover_file : string -> (recovery, string) result
-(** {!recover_string} on a file; IO errors become [Error]. *)
+(** {!recover_channel} on a file; IO errors become [Error]. *)
 
 val write_file : ?first_seq:int -> string -> Delta.t list -> unit
 (** Write a whole log crash-safely: tmp file then atomic rename. *)
@@ -79,5 +86,16 @@ val append_file : ?next_seq:int -> string -> writer
 val append : writer -> Delta.t -> int
 (** Append one record and flush it to the OS; returns the sequence
     number assigned. *)
+
+val append_tee : writer -> Delta.t -> int * string
+(** {!append}, additionally returning the exact framed line written —
+    the tee point for replication: the primary ships the identical
+    bytes it persisted, so a follower verifies the same CRC the local
+    recovery would. *)
+
+val flush_writer : writer -> unit
+(** Flush any buffered output to the OS. {!append} already flushes per
+    record; this is the belt-and-braces barrier before a deliberate
+    [exit] (e.g. the CLI's simulated crash). *)
 
 val close : writer -> unit

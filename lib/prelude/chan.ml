@@ -1,0 +1,14 @@
+type 'a t = { lock : Mutex.t; q : 'a Queue.t }
+
+let create () = { lock = Mutex.create (); q = Queue.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let push t x = locked t (fun () -> Queue.push x t.q)
+let pop t = locked t (fun () -> Queue.take_opt t.q)
+let peek t = locked t (fun () -> Queue.peek_opt t.q)
+let length t = locked t (fun () -> Queue.length t.q)
+let is_empty t = locked t (fun () -> Queue.is_empty t.q)
+let clear t = locked t (fun () -> Queue.clear t.q)

@@ -1,0 +1,30 @@
+(** A mutex-guarded FIFO channel.
+
+    The delivery queue under the replication transport: the sender
+    enqueues framed records, the receiver drains them in order. All
+    operations take the channel's lock, so a producer and a consumer
+    may live on different {!Pool} domains; within one domain the
+    overhead is a few nanoseconds per operation.
+
+    The queue is unbounded — the replication layer bounds it by
+    draining followers at every heartbeat tick, and the follower-lag
+    gauges make any backlog visible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue at the tail. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue from the head; [None] when empty. *)
+
+val peek : 'a t -> 'a option
+(** Head element without removing it; [None] when empty. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Drop every queued element. *)

@@ -1,0 +1,494 @@
+module C = Engine.Controller
+module Wal = Engine.Wal
+
+(* ---------- Frame codec ---------- *)
+
+module Frame = struct
+  type t =
+    | Data of { term : int; line : string }
+    | Shock of { term : int; line : string }
+    | Heartbeat of { term : int; last_seq : int; tick : int }
+
+  let to_string = function
+    | Data { term; line } -> Printf.sprintf "D %d %s" term line
+    | Shock { term; line } -> Printf.sprintf "S %d %s" term line
+    | Heartbeat { term; last_seq; tick } ->
+        Printf.sprintf "H %d %d %d" term last_seq tick
+
+  (* "<tag> <int> <rest>"; [rest] may itself contain spaces. *)
+  let split3 s =
+    match String.index_opt s ' ' with
+    | None -> None
+    | Some i -> (
+        let tag = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        match String.index_opt rest ' ' with
+        | None -> Some (tag, rest, "")
+        | Some j ->
+            Some
+              ( tag,
+                String.sub rest 0 j,
+                String.sub rest (j + 1) (String.length rest - j - 1) ))
+
+  let of_string s =
+    match split3 s with
+    | None -> Error "not a replication frame"
+    | Some (tag, term_tok, rest) -> (
+        match int_of_string_opt term_tok with
+        | None -> Error (Printf.sprintf "bad term %S" term_tok)
+        | Some term -> (
+            match tag with
+            | "D" when rest <> "" -> Ok (Data { term; line = rest })
+            | "S" when rest <> "" -> Ok (Shock { term; line = rest })
+            | "H" -> (
+                match
+                  String.split_on_char ' ' rest
+                  |> List.filter (fun t -> t <> "")
+                with
+                | [ seq_tok; tick_tok ] -> (
+                    match
+                      (int_of_string_opt seq_tok, int_of_string_opt tick_tok)
+                    with
+                    | Some last_seq, Some tick ->
+                        Ok (Heartbeat { term; last_seq; tick })
+                    | _ -> Error "bad heartbeat fields")
+                | _ -> Error "bad heartbeat frame")
+            | _ -> Error (Printf.sprintf "unknown frame tag %S" tag)))
+end
+
+(* ---------- Followers ---------- *)
+
+type follower = {
+  id : int;
+  mutable ctrl : C.t;
+  tr : Transport.t;
+  mutable acked : int;  (** highest contiguously applied seq *)
+  mutable fterm : int;  (** highest term seen *)
+  pending : (int, bool * Engine.Delta.t) Hashtbl.t;
+      (** verified records buffered out of order: seq -> (shock, delta) *)
+  mutable hb_last_seq : int;  (** primary's announced last seq *)
+  mutable alive : bool;
+  mutable last_progress : float;  (** wall clock of the last acked advance *)
+  m_lag_records : Obs.Metrics.gauge;
+  m_lag_seconds : Obs.Metrics.gauge;
+}
+
+type config = {
+  heartbeat_every : int;
+  heartbeat_timeout : int;
+  backoff_cap : int;
+  max_backoffs : int;
+}
+
+let default_config =
+  { heartbeat_every = 8; heartbeat_timeout = 24; backoff_cap = 128;
+    max_backoffs = 3 }
+
+type t = {
+  inst : Mmd.Instance.t;
+  policy : C.epoch_policy;
+  labels : (string * string) list;
+  cfg : config;
+  mutable primary : C.t;
+  mutable primary_id : int;
+  mutable primary_alive : bool;
+  mutable term : int;
+  mutable next_seq : int;
+  mutable clock : int;  (** logical ticks: one per applied record *)
+  followers : follower array;  (** ids 1..N at indices 0..N-1 *)
+  history : (int, bool * string) Hashtbl.t;
+      (** the durable shipped log: seq -> (shock, framed WAL line) *)
+  mutable history_hi : int;
+  wal : Wal.writer option;
+  mutable partitioned_until : int;
+  mutable suspicion : int;
+  mutable deadline : int;  (** tick at which the failure detector fires *)
+  mutable failovers_n : int;
+  mutable last_promote : float;
+  m_failovers : Obs.Metrics.counter;
+  m_promote : Obs.Hist.t;
+  m_shipped : Obs.Metrics.counter;
+  m_rejected : Obs.Metrics.counter;
+  m_dups : Obs.Metrics.counter;
+  m_retransmits : Obs.Metrics.counter;
+}
+
+let replica_labels labels id = labels @ [ ("replica", string_of_int id) ]
+
+let create ?(policy = C.Every 64) ?(config = default_config) ?(labels = [])
+    ?wal ~replicas inst =
+  if replicas < 1 then invalid_arg "Replica.Group.create: need at least 1 follower";
+  if config.heartbeat_every < 1 || config.heartbeat_timeout < config.heartbeat_every
+  then invalid_arg "Replica.Group.create: heartbeat_timeout < heartbeat_every";
+  let mk_ctrl id = C.create ~policy ~labels:(replica_labels labels id) inst in
+  let mk_follower id =
+    { id;
+      ctrl = mk_ctrl id;
+      tr = Transport.create ();
+      acked = 0;
+      fterm = 0;
+      pending = Hashtbl.create 16;
+      hb_last_seq = 0;
+      alive = true;
+      last_progress = Obs.Clock.now ();
+      m_lag_records =
+        Obs.Metrics.gauge
+          ~labels:(replica_labels labels id)
+          "replica_follower_lag_records";
+      m_lag_seconds =
+        Obs.Metrics.gauge
+          ~labels:(replica_labels labels id)
+          "replica_follower_lag_seconds" }
+  in
+  { inst;
+    policy;
+    labels;
+    cfg = config;
+    primary = mk_ctrl 0;
+    primary_id = 0;
+    primary_alive = true;
+    term = 0;
+    next_seq = 1;
+    clock = 0;
+    followers = Array.init replicas (fun i -> mk_follower (i + 1));
+    history = Hashtbl.create 1024;
+    history_hi = 0;
+    wal;
+    partitioned_until = 0;
+    suspicion = 0;
+    deadline = config.heartbeat_timeout;
+    failovers_n = 0;
+    last_promote = 0.;
+    m_failovers = Obs.Metrics.counter ~labels "replica_failovers_total";
+    m_promote =
+      Obs.Metrics.histogram ~labels "replica_time_to_promote_seconds";
+    m_shipped = Obs.Metrics.counter ~labels "replica_frames_shipped_total";
+    m_rejected = Obs.Metrics.counter ~labels "replica_frames_rejected_total";
+    m_dups = Obs.Metrics.counter ~labels "replica_frames_duplicate_total";
+    m_retransmits = Obs.Metrics.counter ~labels "replica_retransmits_total" }
+
+let live_followers_list g =
+  Array.to_list g.followers
+  |> List.filter (fun f -> f.alive && f.id <> g.primary_id)
+
+let find_follower g id =
+  if id < 1 || id > Array.length g.followers then None
+  else Some g.followers.(id - 1)
+
+(* ---------- Follower ingest ---------- *)
+
+let follower_apply f ~shock d =
+  if shock then ignore (C.absorb_shock f.ctrl d) else ignore (C.apply f.ctrl d)
+
+let advance_contiguous f =
+  let progressed = ref false in
+  let rec go () =
+    match Hashtbl.find_opt f.pending (f.acked + 1) with
+    | Some (shock, d) ->
+        Hashtbl.remove f.pending (f.acked + 1);
+        follower_apply f ~shock d;
+        f.acked <- f.acked + 1;
+        progressed := true;
+        go ()
+    | None -> ()
+  in
+  go ();
+  if !progressed then f.last_progress <- Obs.Clock.now ()
+
+let adopt_term f term =
+  if term > f.fterm then begin
+    f.fterm <- term;
+    (* Buffered records from an older term may straddle the promoted
+       primary's durable prefix; drop them and let the gap retransmit
+       re-ship the authoritative versions. *)
+    Hashtbl.reset f.pending
+  end
+
+let ingest g f ~shock ~term line =
+  if term < f.fterm then Obs.Metrics.inc g.m_rejected
+  else begin
+    adopt_term f term;
+    match Wal.record_of_string line with
+    | Error _ ->
+        (* CRC mismatch / truncated frame: drop it, the gap heals via
+           retransmit at the next heartbeat. *)
+        Obs.Metrics.inc g.m_rejected
+    | Ok (seq, d) ->
+        if seq <= f.acked || Hashtbl.mem f.pending seq then
+          Obs.Metrics.inc g.m_dups
+        else begin
+          Hashtbl.replace f.pending seq (shock, d);
+          advance_contiguous f
+        end
+  end
+
+let follower_recv g f frame =
+  match Frame.of_string frame with
+  | Error _ -> Obs.Metrics.inc g.m_rejected
+  | Ok (Frame.Data { term; line }) -> ingest g f ~shock:false ~term line
+  | Ok (Frame.Shock { term; line }) -> ingest g f ~shock:true ~term line
+  | Ok (Frame.Heartbeat { term; last_seq; tick = _ }) ->
+      if term >= f.fterm then begin
+        adopt_term f term;
+        f.hb_last_seq <- max f.hb_last_seq last_seq
+      end
+      else Obs.Metrics.inc g.m_rejected
+
+let drain_follower g f = List.iter (follower_recv g f) (Transport.drain f.tr)
+
+(* ---------- Heartbeats, retransmit, failure detection ---------- *)
+
+let send_record g f ~shock line =
+  Transport.send f.tr
+    (Frame.to_string
+       (if shock then Frame.Shock { term = g.term; line }
+        else Frame.Data { term = g.term; line }))
+
+let retransmit g f =
+  for seq = f.acked + 1 to g.history_hi do
+    if not (Hashtbl.mem f.pending seq) then
+      match Hashtbl.find_opt g.history seq with
+      | Some (shock, line) ->
+          Obs.Metrics.inc g.m_retransmits;
+          send_record g f ~shock line
+      | None -> ()
+  done
+
+let update_lag_gauges g =
+  List.iter
+    (fun f ->
+      let lag = g.next_seq - 1 - f.acked in
+      Obs.Metrics.set f.m_lag_records (float lag);
+      Obs.Metrics.set f.m_lag_seconds
+        (if lag = 0 then 0. else Obs.Clock.now () -. f.last_progress))
+    (live_followers_list g)
+
+let heartbeat_step g =
+  let last_seq = g.next_seq - 1 in
+  let live = live_followers_list g in
+  let hb =
+    Frame.to_string
+      (Frame.Heartbeat { term = g.term; last_seq; tick = g.clock })
+  in
+  List.iter (fun f -> Transport.send f.tr hb) live;
+  List.iter (fun f -> drain_follower g f) live;
+  List.iter (fun f -> if f.acked < last_seq then retransmit g f) live;
+  update_lag_gauges g;
+  g.suspicion <- 0;
+  g.deadline <- g.clock + g.cfg.heartbeat_timeout
+
+(* A deposed primary must never rejoin the follower set: its follower
+   record's [acked] went stale while it served as primary (the shared
+   controller advanced without it), so resurrecting it would replay
+   already-applied records. Mark the record dead; only
+   [restart_follower]'s scratch rebuild brings the replica back. *)
+let retire_primary_record g =
+  match find_follower g g.primary_id with
+  | Some f ->
+      f.alive <- false;
+      Transport.clear f.tr;
+      Hashtbl.reset f.pending
+  | None -> ()
+
+let fail_over g =
+  let t0 = Obs.Clock.now () in
+  retire_primary_record g;
+  g.primary_alive <- false;
+  let candidates = live_followers_list g in
+  (* First drain the in-flight tail every candidate already holds. *)
+  List.iter (fun f -> drain_follower g f) candidates;
+  match candidates with
+  | [] -> false
+  | first :: rest ->
+      (* Deterministic winner: most caught-up, ties to the lowest id. *)
+      let winner =
+        List.fold_left
+          (fun best f -> if f.acked > best.acked then f else best)
+          first rest
+      in
+      (* Finish the tail from the durable shipped log: everything the
+         old primary logged that the winner has not applied yet. *)
+      for seq = winner.acked + 1 to g.history_hi do
+        (match Hashtbl.find_opt winner.pending seq with
+        | Some (shock, d) -> follower_apply winner ~shock d
+        | None -> (
+            match Hashtbl.find_opt g.history seq with
+            | Some (shock, line) -> (
+                match Wal.record_of_string line with
+                | Ok (_, d) -> follower_apply winner ~shock d
+                | Error _ -> ())
+            | None -> ()));
+        winner.acked <- seq
+      done;
+      Hashtbl.reset winner.pending;
+      winner.last_progress <- Obs.Clock.now ();
+      Obs.Metrics.set winner.m_lag_records 0.;
+      Obs.Metrics.set winner.m_lag_seconds 0.;
+      g.term <- g.term + 1;
+      g.primary <- winner.ctrl;
+      g.primary_id <- winner.id;
+      g.primary_alive <- true;
+      g.suspicion <- 0;
+      g.deadline <- g.clock + g.cfg.heartbeat_timeout;
+      g.failovers_n <- g.failovers_n + 1;
+      let dt = Obs.Clock.elapsed_since t0 in
+      g.last_promote <- dt;
+      Obs.Metrics.inc g.m_failovers;
+      Obs.Hist.observe g.m_promote dt;
+      (* Announce the new term at once so the remaining followers
+         discard stale buffered state and re-sync from history. *)
+      heartbeat_step g;
+      true
+
+let tick g =
+  g.clock <- g.clock + 1;
+  let due = g.clock mod g.cfg.heartbeat_every = 0 in
+  let partitioned = g.clock < g.partitioned_until in
+  if g.primary_alive && due && not partitioned then heartbeat_step g
+  else if g.clock >= g.deadline then
+    if g.suspicion >= g.cfg.max_backoffs then ignore (fail_over g)
+    else begin
+      (* Capped exponential backoff before declaring the primary dead:
+         a short heartbeat gap (slow primary, brief partition) rides
+         out; a persistent one escalates to promotion. *)
+      g.suspicion <- g.suspicion + 1;
+      g.deadline <-
+        g.clock
+        + min g.cfg.backoff_cap (g.cfg.heartbeat_timeout * (1 lsl g.suspicion))
+    end
+
+(* ---------- Primary operations ---------- *)
+
+let log_record g d =
+  match g.wal with
+  | Some w ->
+      let seq, line = Wal.append_tee w d in
+      g.next_seq <- seq + 1;
+      (seq, line)
+  | None ->
+      let seq = g.next_seq in
+      g.next_seq <- seq + 1;
+      (seq, Wal.record_to_string ~seq d)
+
+let ship g ~shock seq line =
+  Hashtbl.replace g.history seq (shock, line);
+  if seq > g.history_hi then g.history_hi <- seq;
+  Obs.Metrics.inc g.m_shipped;
+  List.iter (fun f -> send_record g f ~shock line) (live_followers_list g)
+
+let apply g d =
+  if not g.primary_alive then
+    invalid_arg "Replica.Group.apply: primary is down (fail_over first)";
+  let applied = C.apply g.primary d in
+  let seq, line = log_record g d in
+  ship g ~shock:false seq line;
+  tick g;
+  applied
+
+let absorb_shock g d =
+  if not g.primary_alive then
+    invalid_arg "Replica.Group.absorb_shock: primary is down (fail_over first)";
+  let recovery = C.absorb_shock g.primary d in
+  let seq, line = log_record g d in
+  ship g ~shock:true seq line;
+  tick g;
+  recovery
+
+(* ---------- Chaos operations ---------- *)
+
+let kill_primary g =
+  g.primary_alive <- false;
+  retire_primary_record g
+
+let crash_follower g id =
+  match find_follower g id with
+  | Some f when f.alive && f.id <> g.primary_id ->
+      f.alive <- false;
+      Transport.clear f.tr;
+      Hashtbl.reset f.pending;
+      true
+  | _ -> false
+
+let restart_follower g id =
+  match find_follower g id with
+  | Some f when not f.alive ->
+      f.ctrl <-
+        C.create ~policy:g.policy ~labels:(replica_labels g.labels f.id) g.inst;
+      f.acked <- 0;
+      f.fterm <- g.term;
+      f.hb_last_seq <- 0;
+      Hashtbl.reset f.pending;
+      Transport.clear f.tr;
+      (* Scratch rebuild: replay the durable shipped log from the
+         beginning — the follower-side equivalent of a cold WAL
+         recovery. *)
+      for seq = 1 to g.history_hi do
+        match Hashtbl.find_opt g.history seq with
+        | Some (shock, line) -> (
+            match Wal.record_of_string line with
+            | Ok (_, d) ->
+                follower_apply f ~shock d;
+                f.acked <- seq
+            | Error _ -> ())
+        | None -> ()
+      done;
+      f.last_progress <- Obs.Clock.now ();
+      f.alive <- true;
+      true
+  | _ -> false
+
+let partition_heartbeats g ticks =
+  g.partitioned_until <- g.clock + max 0 ticks
+
+let inject g ~follower fault =
+  match find_follower g follower with
+  | Some f when f.alive && f.id <> g.primary_id ->
+      Transport.arm f.tr fault;
+      true
+  | _ -> false
+
+let quiesce ?(max_rounds = 1024) g =
+  g.partitioned_until <- 0;
+  if not g.primary_alive then ignore (fail_over g);
+  let caught_up () =
+    List.for_all
+      (fun f -> f.acked = g.next_seq - 1)
+      (live_followers_list g)
+  in
+  let rounds = ref 0 in
+  while not (caught_up ()) && !rounds < max_rounds do
+    incr rounds;
+    g.clock <- g.clock + 1;
+    heartbeat_step g
+  done;
+  caught_up ()
+
+(* ---------- Accessors ---------- *)
+
+let primary g = g.primary
+let primary_id g = g.primary_id
+let primary_alive g = g.primary_alive
+let term g = g.term
+let clock g = g.clock
+let last_seq g = g.next_seq - 1
+let replicas g = Array.length g.followers
+let failovers g = g.failovers_n
+let last_promote_seconds g = g.last_promote
+
+let follower_ids g =
+  Array.to_list g.followers |> List.map (fun f -> f.id)
+
+let live_followers g = live_followers_list g |> List.map (fun f -> f.id)
+
+let follower_ctrl g id =
+  match find_follower g id with
+  | Some f when f.alive -> Some f.ctrl
+  | _ -> None
+
+let acked g id =
+  match find_follower g id with Some f -> Some f.acked | None -> None
+
+let lag g id =
+  match find_follower g id with
+  | Some f -> Some (g.next_seq - 1 - f.acked)
+  | None -> None

@@ -1,0 +1,158 @@
+(** Replicated control plane: WAL shipping + heartbeat failover.
+
+    A replica {e group} runs one primary {!Engine.Controller} and N
+    follower controllers. Every delta the primary applies is framed as
+    the exact WAL record it persisted (same bytes, same CRC — the tee
+    point is {!Engine.Wal.append_tee}) and shipped over a per-follower
+    {!Transport} link. Followers verify each record's CRC, buffer out
+    of order, and apply contiguously through the ordinary
+    {!Engine.Controller.apply} path — so by the determinism property
+    of the engine, a follower at acked seq [s] is bit-identical to the
+    primary as of record [s]: same plan, same utility, same float
+    accumulators, same counters.
+
+    Fault-injected shocks ship as distinct frames and replay through
+    {!Engine.Controller.absorb_shock}, so follower fault/recovery
+    counters match the primary's too.
+
+    Time is a logical clock: one tick per applied record, plus
+    explicit idle {!tick}s. Every [heartbeat_every] ticks the primary
+    broadcasts a heartbeat and followers drain their links (delivery
+    is batched at heartbeat boundaries, so follower lag is real and
+    failover genuinely replays a tail). A follower that heard a
+    heartbeat announcing records it is missing is healed by gap
+    retransmit from the in-memory shipped log.
+
+    Failure detection is heartbeat timeout + capped exponential
+    backoff: [max_backoffs] consecutive missed deadlines promote the
+    most-caught-up live follower (ties to the lowest id). Promotion
+    drains the winner's link, finishes replaying its buffered tail
+    (topping up from the durable shipped log), bumps the term, and
+    resumes — the promoted primary is bit-identical to what the dead
+    primary would have been at the same record, including the epoch
+    phase, so subsequent replans fire at exactly the same deltas.
+
+    Replica ids: the initial primary is 0, followers are 1..N. After a
+    failover the promoted follower keeps its id. *)
+
+module Frame : sig
+  type t =
+    | Data of { term : int; line : string }
+        (** an ordinary record; [line] is the framed WAL record *)
+    | Shock of { term : int; line : string }
+        (** a fault-injected record, applied via [absorb_shock] *)
+    | Heartbeat of { term : int; last_seq : int; tick : int }
+
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+end
+
+type config = {
+  heartbeat_every : int;  (** ticks between heartbeats (default 8) *)
+  heartbeat_timeout : int;
+      (** ticks without contact before the first suspicion (default 24) *)
+  backoff_cap : int;  (** max ticks a backoff deadline may add (128) *)
+  max_backoffs : int;
+      (** missed deadlines tolerated before promotion (default 3) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?policy:Engine.Controller.epoch_policy ->
+  ?config:config ->
+  ?labels:(string * string) list ->
+  ?wal:Engine.Wal.writer ->
+  replicas:int ->
+  Mmd.Instance.t ->
+  t
+(** A group of one primary + [replicas] followers (at least 1), all
+    started from [inst]. [labels] prefix every exported instrument
+    (each replica additionally gets a [replica="<id>"] label, so a
+    sharded deployment passes [[("shard", i)]] and series stay
+    distinct). [wal] is the primary's durable log: when given, records
+    are appended (and flushed) there before shipping. *)
+
+val apply : t -> Engine.Delta.t -> Engine.View.applied
+(** Apply on the primary, persist, ship to every live follower, and
+    advance one tick. @raise Invalid_argument when the primary is
+    down — {!fail_over} (or {!quiesce}) first. *)
+
+val absorb_shock : t -> Engine.Delta.t -> Engine.Controller.recovery
+(** Like {!apply} for a fault-injected delta: goes through the
+    primary's [absorb_shock] and ships as a {!Frame.Shock} so
+    followers replay it through their own [absorb_shock]. *)
+
+val tick : t -> unit
+(** One idle tick: heartbeat if due (and not partitioned), otherwise
+    run the failure detector — which, on a dead or partitioned-away
+    primary, eventually promotes. *)
+
+val quiesce : ?max_rounds:int -> t -> bool
+(** Clear any partition, promote if the primary is down, then force
+    heartbeat rounds until every live follower is fully caught up
+    (true) or [max_rounds] (default 1024) rounds pass (false). *)
+
+(** {1 Chaos surface} *)
+
+val kill_primary : t -> unit
+(** The primary stops cold: no more appends, ships or heartbeats.
+    Detection and promotion happen in subsequent {!tick}s. The killed
+    replica itself is retired — if it was a promoted follower it does
+    not rejoin the follower set (its acked position went stale while
+    it served); {!restart_follower} rebuilds it from scratch. *)
+
+val fail_over : t -> bool
+(** Promote now (skipping detection): false iff no live follower
+    exists. Called by the failure detector; exposed for tests and for
+    drivers that know the primary is gone. *)
+
+val crash_follower : t -> int -> bool
+(** Follower [id] dies, losing its link and buffers. False when [id]
+    is unknown, already down, or currently the primary. *)
+
+val restart_follower : t -> int -> bool
+(** Rebuild follower [id] from scratch by replaying the durable
+    shipped log — the follower-side cold recovery. False when [id] is
+    unknown or alive. *)
+
+val partition_heartbeats : t -> int -> unit
+(** Suppress heartbeat delivery for the next [n] ticks. The primary
+    keeps appending; a short partition rides out on detector backoff,
+    a long one triggers promotion. *)
+
+val inject : t -> follower:int -> Transport.fault -> bool
+(** Arm a single-delivery fault on follower [id]'s link. *)
+
+(** {1 Introspection} *)
+
+val primary : t -> Engine.Controller.t
+val primary_id : t -> int
+val primary_alive : t -> bool
+val term : t -> int
+val clock : t -> int
+val last_seq : t -> int
+(** Highest sequence number the (current) primary has logged. *)
+
+val replicas : t -> int
+val failovers : t -> int
+val last_promote_seconds : t -> float
+(** Wall-clock time the most recent promotion took (drain + tail
+    replay); 0 before any failover. *)
+
+val follower_ids : t -> int list
+val live_followers : t -> int list
+(** Follower ids currently alive and not promoted to primary. *)
+
+val follower_ctrl : t -> int -> Engine.Controller.t option
+(** The follower's controller, for divergence checks; [None] when
+    crashed or unknown (the promoted follower's controller is
+    {!primary}). *)
+
+val acked : t -> int -> int option
+(** Highest contiguously applied seq on follower [id]. *)
+
+val lag : t -> int -> int option
+(** [last_seq - acked], the record lag gauge value. *)

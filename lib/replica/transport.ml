@@ -1,0 +1,82 @@
+type fault = Drop | Duplicate | Reorder | Truncate
+
+type t = {
+  q : string Prelude.Chan.t;
+  mutable armed : fault option;
+  mutable held : string option;
+  mutable drops : int;
+  mutable dups : int;
+  mutable reorders : int;
+  mutable truncations : int;
+}
+
+let create () =
+  { q = Prelude.Chan.create ();
+    armed = None;
+    held = None;
+    drops = 0;
+    dups = 0;
+    reorders = 0;
+    truncations = 0 }
+
+let release_held t =
+  match t.held with
+  | Some frame ->
+      t.held <- None;
+      Prelude.Chan.push t.q frame
+  | None -> ()
+
+(* A held (reordered) frame follows the frame that overtakes it. *)
+let enqueue t frame =
+  Prelude.Chan.push t.q frame;
+  release_held t
+
+let send t frame =
+  match t.armed with
+  | None -> enqueue t frame
+  | Some fault -> (
+      t.armed <- None;
+      match fault with
+      | Drop ->
+          t.drops <- t.drops + 1;
+          release_held t
+      | Duplicate ->
+          t.dups <- t.dups + 1;
+          enqueue t frame;
+          Prelude.Chan.push t.q frame
+      | Reorder ->
+          t.reorders <- t.reorders + 1;
+          release_held t;
+          t.held <- Some frame
+      | Truncate ->
+          t.truncations <- t.truncations + 1;
+          enqueue t (String.sub frame 0 (String.length frame / 2)))
+
+let recv t =
+  match Prelude.Chan.pop t.q with
+  | Some _ as frame -> frame
+  | None -> (
+      (* Queue empty: a held frame can no longer be overtaken. *)
+      match t.held with
+      | Some frame ->
+          t.held <- None;
+          Some frame
+      | None -> None)
+
+let drain t =
+  let rec go acc =
+    match recv t with Some f -> go (f :: acc) | None -> List.rev acc
+  in
+  go []
+
+let pending t =
+  Prelude.Chan.length t.q + (match t.held with Some _ -> 1 | None -> 0)
+
+let arm t fault = t.armed <- Some fault
+
+let clear t =
+  Prelude.Chan.clear t.q;
+  t.held <- None;
+  t.armed <- None
+
+let stats t = (t.drops, t.dups, t.reorders, t.truncations)

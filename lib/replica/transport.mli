@@ -1,0 +1,48 @@
+(** One directed replication link (primary → follower).
+
+    The in-process transport behind the WAL-shipping layer: an ordered
+    frame queue ({!Prelude.Chan}) with an armable fault stage in front
+    of it, so the chaos harness can corrupt exactly one delivery at a
+    time and the protocol's healing paths (CRC rejection, duplicate
+    suppression, gap retransmit) can be exercised deterministically.
+    The interface is deliberately byte-oriented — [send]/[recv] move
+    opaque strings — so a socket-backed transport can replace this
+    module without the replication protocol changing. *)
+
+type fault =
+  | Drop  (** the next sent frame vanishes *)
+  | Duplicate  (** the next sent frame is delivered twice *)
+  | Reorder
+      (** the next sent frame is held back and delivered {e after} the
+          following send (the two frames swap); if no further send
+          happens, the held frame is released to the receiver *)
+  | Truncate  (** the next sent frame is cut to half its bytes *)
+
+type t
+
+val create : unit -> t
+
+val send : t -> string -> unit
+(** Enqueue a frame for delivery, applying (and disarming) the armed
+    fault if any. *)
+
+val recv : t -> string option
+(** Next delivered frame in order; [None] when the link is idle. A
+    frame held by {!Reorder} is released once the queue is empty — it
+    can no longer be overtaken. *)
+
+val drain : t -> string list
+(** Every deliverable frame, in order. *)
+
+val pending : t -> int
+(** Frames queued (including a held one). *)
+
+val arm : t -> fault -> unit
+(** Arm [fault] for the next {!send}. Re-arming replaces the previous
+    armed fault. *)
+
+val clear : t -> unit
+(** Drop everything in flight and disarm — the link's end crashed. *)
+
+val stats : t -> int * int * int * int
+(** [(drops, duplicates, reorders, truncations)] applied so far. *)

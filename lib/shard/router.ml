@@ -5,11 +5,18 @@ module I = Mmd.Instance
 
 type budget_split = Even | Demand
 
+(* A shard is either one bare controller or a whole replica group
+   (primary + followers behind WAL shipping). Every access to "the
+   shard's controller" goes through [ctrl], which in replicated mode
+   resolves to the group's current primary — so a failover inside a
+   shard is invisible to the routing tables. *)
+type backend = Plain of C.t array | Replicated of Replica.Group.t array
+
 type t = {
   map : Shard_map.t;
   split : budget_split;
   mirror : V.t;
-  ctrls : C.t array;
+  backend : backend;
   wals : Engine.Wal.writer array option;
   (* Global slot id -> owner. The mirror allocates global ids with the
      unsharded engine's exact slot discipline, so these arrays are
@@ -19,6 +26,11 @@ type t = {
   counts : int array;
   demand : float array;
 }
+
+let ctrl t i =
+  match t.backend with
+  | Plain cs -> cs.(i)
+  | Replicated gs -> Replica.Group.primary gs.(i)
 
 let shard_label i = [ ("shard", string_of_int i) ]
 
@@ -55,7 +67,8 @@ let sub_instance inst ~assign ~shard ~share =
 let slot_demand view l =
   List.fold_left (fun acc s -> acc +. V.utility view l s) 0. (V.interests view l)
 
-let create ?(policy = C.Every 64) ?(split = Even) ?wal_dir ~map inst =
+let create ?(policy = C.Every 64) ?(split = Even) ?wal_dir ?replicas
+    ?heartbeat_every ~map inst =
   let n = Shard_map.num_shards map in
   let nu = I.num_users inst in
   let assign = Shard_map.plan map ~users:nu in
@@ -63,11 +76,6 @@ let create ?(policy = C.Every 64) ?(split = Even) ?wal_dir ~map inst =
      Demand router to the skew-aware split once demand is visible. *)
   let share =
     Array.init (I.m inst) (fun i -> I.budget inst i /. float_of_int n)
-  in
-  let ctrls =
-    Array.init n (fun i ->
-        C.create ~policy ~labels:(shard_label i)
-          (sub_instance inst ~assign ~shard:i ~share))
   in
   let wals =
     Option.map
@@ -78,11 +86,36 @@ let create ?(policy = C.Every 64) ?(split = Even) ?wal_dir ~map inst =
                (Printf.sprintf "shard-%d.wal" i))))
       wal_dir
   in
+  let backend =
+    match replicas with
+    | None | Some 0 ->
+        Plain
+          (Array.init n (fun i ->
+               C.create ~policy ~labels:(shard_label i)
+                 (sub_instance inst ~assign ~shard:i ~share)))
+    | Some r ->
+        let config =
+          match heartbeat_every with
+          | None -> Replica.Group.default_config
+          | Some hb ->
+              { Replica.Group.default_config with
+                heartbeat_every = max 1 hb;
+                heartbeat_timeout =
+                  max (3 * max 1 hb)
+                    Replica.Group.default_config.heartbeat_timeout }
+        in
+        Replicated
+          (Array.init n (fun i ->
+               Replica.Group.create ~policy ~config ~labels:(shard_label i)
+                 ?wal:(Option.map (fun ws -> ws.(i)) wals)
+                 ~replicas:r
+                 (sub_instance inst ~assign ~shard:i ~share)))
+  in
   let t =
     { map;
       split;
       mirror = V.of_instance inst;
-      ctrls;
+      backend;
       wals;
       shard_of = Array.make (max 1 nu) (-1);
       local_of = Array.make (max 1 nu) (-1);
@@ -98,11 +131,15 @@ let create ?(policy = C.Every 64) ?(split = Even) ?wal_dir ~map inst =
       t.local_of.(u) <- next_local.(s);
       next_local.(s) <- next_local.(s) + 1;
       t.counts.(s) <- t.counts.(s) + 1;
-      t.demand.(s) <- t.demand.(s) +. slot_demand (C.view t.ctrls.(s)) t.local_of.(u))
+      t.demand.(s) <- t.demand.(s) +. slot_demand (C.view (ctrl t s)) t.local_of.(u))
     assign;
   t
 
-let num_shards t = Array.length t.ctrls
+let num_shards t =
+  match t.backend with
+  | Plain cs -> Array.length cs
+  | Replicated gs -> Array.length gs
+
 let map t = t.map
 
 let ensure_global t g =
@@ -122,6 +159,18 @@ let wal_append t shard d =
   match t.wals with
   | None -> ()
   | Some ws -> ignore (Engine.Wal.append ws.(shard) d)
+
+(* Every controller apply in the routing paths is paired with a WAL
+   append of the same local delta; in replicated mode both happen
+   inside the group (primary apply, tee to its writer, ship to
+   followers). *)
+let shard_apply t i d =
+  match t.backend with
+  | Replicated gs -> Replica.Group.apply gs.(i) d
+  | Plain cs ->
+      let applied = C.apply cs.(i) d in
+      wal_append t i d;
+      applied
 
 let budget_shares t b =
   let n = num_shards t in
@@ -148,48 +197,40 @@ let apply t (d : D.t) : V.applied =
       let applied = V.apply t.mirror d in
       let g = match applied with V.Joined g -> g | _ -> assert false in
       let shard = Shard_map.route t.map ~counts:t.counts in
-      let la = C.apply t.ctrls.(shard) d in
+      let la = shard_apply t shard d in
       let l = match la with V.Joined l -> l | _ -> assert false in
       ensure_global t g;
       t.shard_of.(g) <- shard;
       t.local_of.(g) <- l;
       t.counts.(shard) <- t.counts.(shard) + 1;
       t.demand.(shard) <-
-        t.demand.(shard) +. slot_demand (C.view t.ctrls.(shard)) l;
-      wal_append t shard d;
+        t.demand.(shard) +. slot_demand (C.view (ctrl t shard)) l;
       applied
   | D.User_leave g ->
       if g < 0 || g >= Array.length t.shard_of || t.shard_of.(g) < 0 then
         invalid_arg "Router.apply: leave of an inactive slot";
       let shard = t.shard_of.(g) in
       let l = t.local_of.(g) in
-      let du = slot_demand (C.view t.ctrls.(shard)) l in
+      let du = slot_demand (C.view (ctrl t shard)) l in
       let applied = V.apply t.mirror d in
-      let local = D.User_leave l in
-      ignore (C.apply t.ctrls.(shard) local);
+      ignore (shard_apply t shard (D.User_leave l));
       t.shard_of.(g) <- -1;
       t.local_of.(g) <- -1;
       t.counts.(shard) <- t.counts.(shard) - 1;
       t.demand.(shard) <- t.demand.(shard) -. du;
-      wal_append t shard local;
       applied
   | D.Stream_cost_change _ ->
       let applied = V.apply t.mirror d in
-      Array.iteri
-        (fun i c ->
-          ignore (C.apply c d);
-          wal_append t i d)
-        t.ctrls;
+      for i = 0 to num_shards t - 1 do
+        ignore (shard_apply t i d)
+      done;
       applied
   | D.Budget_resize b ->
       let applied = V.apply t.mirror d in
       let shares = budget_shares t b in
       Array.iteri
-        (fun i c ->
-          let di = D.Budget_resize shares.(i) in
-          ignore (C.apply c di);
-          wal_append t i di)
-        t.ctrls;
+        (fun i share -> ignore (shard_apply t i (D.Budget_resize share)))
+        shares;
       applied
 
 let apply_all t ds = List.iter (fun d -> ignore (apply t d)) ds
@@ -198,21 +239,50 @@ let resplit_budgets t =
   let b = Array.init (V.m t.mirror) (V.budget t.mirror) in
   let shares = budget_shares t b in
   Array.iteri
-    (fun i c ->
-      let di = D.Budget_resize shares.(i) in
-      ignore (C.apply c di);
-      wal_append t i di)
-    t.ctrls
+    (fun i share -> ignore (shard_apply t i (D.Budget_resize share)))
+    shares
 
-let replan_all t = Array.iter C.replan t.ctrls
+let replan_all t =
+  for i = 0 to num_shards t - 1 do
+    C.replan (ctrl t i)
+  done
 
 let shard_of_slot t g =
   if g < 0 || g >= Array.length t.shard_of then -1 else t.shard_of.(g)
 
 let counts t = Array.copy t.counts
 let demand t = Array.copy t.demand
-let controller t i = t.ctrls.(i)
+let controller t i = ctrl t i
 let mirror t = t.mirror
+
+(* ---------- Replication surface ---------- *)
+
+let replicated t =
+  match t.backend with Replicated _ -> true | Plain _ -> false
+
+let group t i =
+  match t.backend with Replicated gs -> Some gs.(i) | Plain _ -> None
+
+let kill_primary t i =
+  match t.backend with
+  | Replicated gs -> Replica.Group.kill_primary gs.(i)
+  | Plain _ -> ()
+
+let fail_over t i =
+  match t.backend with
+  | Replicated gs -> Replica.Group.fail_over gs.(i)
+  | Plain _ -> false
+
+let failovers t =
+  match t.backend with
+  | Replicated gs ->
+      Array.fold_left (fun acc g -> acc + Replica.Group.failovers g) 0 gs
+  | Plain _ -> 0
+
+let quiesce_replicas t =
+  match t.backend with
+  | Replicated gs -> Array.for_all (fun g -> Replica.Group.quiesce g) gs
+  | Plain _ -> true
 
 (* One rebalance move: evict the highest global slot on the donor and
    replay its spec into the receiver — two ordinary deltas through the
@@ -227,21 +297,19 @@ let move_one t ~from_shard ~to_shard =
   else begin
     let g = !g in
     let l = t.local_of.(g) in
-    let from_view = C.view t.ctrls.(from_shard) in
+    let from_view = C.view (ctrl t from_shard) in
     let spec = V.user_spec from_view l in
     let du = slot_demand from_view l in
-    ignore (C.apply t.ctrls.(from_shard) (D.User_leave l));
-    wal_append t from_shard (D.User_leave l);
-    let la = C.apply t.ctrls.(to_shard) (D.User_join spec) in
+    ignore (shard_apply t from_shard (D.User_leave l));
+    let la = shard_apply t to_shard (D.User_join spec) in
     let l' = match la with V.Joined l' -> l' | _ -> assert false in
-    wal_append t to_shard (D.User_join spec);
     t.shard_of.(g) <- to_shard;
     t.local_of.(g) <- l';
     t.counts.(from_shard) <- t.counts.(from_shard) - 1;
     t.counts.(to_shard) <- t.counts.(to_shard) + 1;
     t.demand.(from_shard) <- t.demand.(from_shard) -. du;
     t.demand.(to_shard) <-
-      t.demand.(to_shard) +. slot_demand (C.view t.ctrls.(to_shard)) l';
+      t.demand.(to_shard) +. slot_demand (C.view (ctrl t to_shard)) l';
     true
   end
 
@@ -252,18 +320,26 @@ let rebalance t ~k =
       if move_one t ~from_shard ~to_shard then n + 1 else n)
     0 moves
 
-let utility t = Array.fold_left (fun acc c -> acc +. C.utility c) 0. t.ctrls
+let utility t =
+  let acc = ref 0. in
+  for i = 0 to num_shards t - 1 do
+    acc := !acc +. C.utility (ctrl t i)
+  done;
+  !acc
 
+(* Replicated shards report through their current primary only:
+   follower counters mirror the primary's delta stream, so summing
+   over them would multiply every count by the replication factor. *)
 let report t =
-  let rs = Array.map C.report t.ctrls in
+  let n = num_shards t in
+  let rs = Array.init n (fun i -> C.report (ctrl t i)) in
   let sum f = Array.fold_left (fun acc r -> acc + f r) 0 rs in
   let replan_h = Obs.Hist.create () and recovery_h = Obs.Hist.create () in
-  Array.iter
-    (fun c ->
-      let cnt = C.counters c in
-      Obs.Hist.merge_into ~into:replan_h (Engine.Counters.replan_hist cnt);
-      Obs.Hist.merge_into ~into:recovery_h (Engine.Counters.recovery_hist cnt))
-    t.ctrls;
+  for i = 0 to n - 1 do
+    let cnt = C.counters (ctrl t i) in
+    Obs.Hist.merge_into ~into:replan_h (Engine.Counters.replan_hist cnt);
+    Obs.Hist.merge_into ~into:recovery_h (Engine.Counters.recovery_hist cnt)
+  done;
   let open Engine.Counters in
   let evals = sum (fun r -> r.evals)
   and eager_equiv = sum (fun r -> r.eager_equiv) in

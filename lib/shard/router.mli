@@ -38,6 +38,8 @@ val create :
   ?policy:Engine.Controller.epoch_policy ->
   ?split:budget_split ->
   ?wal_dir:string ->
+  ?replicas:int ->
+  ?heartbeat_every:int ->
   map:Shard_map.t ->
   Mmd.Instance.t ->
   t
@@ -47,7 +49,16 @@ val create :
     [split] defaults to [Even]. [wal_dir] turns on per-shard WALs at
     [wal_dir/shard-<i>.wal], recording each shard's {e local} delta
     stream (slot ids are shard-local, so each WAL replays standalone
-    into a controller built over that shard's initial sub-instance). *)
+    into a controller built over that shard's initial sub-instance).
+
+    [replicas > 0] puts a {!Replica.Group} behind every shard: the
+    shard's controller becomes the group's primary, each applied local
+    delta is WAL-shipped to that shard's followers, and a primary
+    failure inside a shard heals by follower promotion without the
+    router noticing. [heartbeat_every] tunes the groups' heartbeat
+    cadence (ticks; the detection timeout scales to at least 3×). With
+    replicas, a [wal_dir] writer becomes the group's durable log (the
+    tee point), so the on-disk format is unchanged. *)
 
 val num_shards : t -> int
 val map : t -> Shard_map.t
@@ -88,7 +99,32 @@ val demand : t -> float array
     split weights). Fresh copy. *)
 
 val controller : t -> int -> Engine.Controller.t
+(** Shard [i]'s controller — in replicated mode, the current primary
+    of shard [i]'s replica group. *)
+
 val mirror : t -> Engine.View.t
+
+(** {1 Replication surface} (no-ops / empty in unreplicated mode) *)
+
+val replicated : t -> bool
+
+val group : t -> int -> Replica.Group.t option
+(** Shard [i]'s replica group, for chaos drivers and tests. *)
+
+val kill_primary : t -> int -> unit
+(** Kill shard [i]'s primary; detection + promotion run on the group's
+    subsequent ticks (or immediately via {!fail_over}). *)
+
+val fail_over : t -> int -> bool
+(** Promote on shard [i] now; false when unreplicated or no live
+    follower exists. *)
+
+val failovers : t -> int
+(** Total promotions across all shards. *)
+
+val quiesce_replicas : t -> bool
+(** Drive every shard's group to convergence (all live followers fully
+    caught up); true when all converged. *)
 
 val utility : t -> float
 (** Sum of the shards' plan utilities — the sharded system's achieved

@@ -111,6 +111,13 @@ let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
         | Engine.Fault.Corrupt_log | Engine.Fault.Torn_snapshot ->
             (* Storage faults are exercised by the WAL/snapshot paths,
                not the in-memory simulation. *)
+            ()
+        | Engine.Fault.Drop_frame _ | Engine.Fault.Dup_frame _
+        | Engine.Fault.Reorder_frames _ | Engine.Fault.Truncate_frame _
+        | Engine.Fault.Follower_crash _ | Engine.Fault.Primary_crash
+        | Engine.Fault.Heartbeat_partition _ ->
+            (* Replication faults attack the shipping layer; the
+               Replica.Chaos harness drives them. *)
             ())
       (Engine.Fault.at faults !applied)
   in
@@ -154,6 +161,113 @@ let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
     peak_population = !peak;
     final_utility = C.utility ctrl;
     report = C.report ctrl }
+
+(* ---------- Replicated run ---------- *)
+
+type replicated_stats = {
+  rbase : stats;
+  failovers : int;
+  final_term : int;
+  final_primary : int;
+  time_to_promote : float;
+  min_follower_acked : int;
+  replicated_last_seq : int;
+}
+
+let run_replicated ~rng ?(duration = 1000.) ?(join_rate = 0.2)
+    ?(mean_dwell = 400.) ?(epoch = C.Drift 0.05)
+    ?(churn = Engine.Churn.default) ?(replicas = 2) ?heartbeat_every
+    ?kill_primary_at ?(faults = ([] : Engine.Fault.schedule)) inst =
+  let module G = Replica.Group in
+  let config =
+    match heartbeat_every with
+    | None -> G.default_config
+    | Some hb ->
+        { G.default_config with
+          heartbeat_every = max 1 hb;
+          heartbeat_timeout =
+            max (3 * max 1 hb) G.default_config.heartbeat_timeout }
+  in
+  let g = G.create ~policy:epoch ~config ~replicas inst in
+  let des = Des.create () in
+  let utility_time = ref 0. in
+  let last = ref 0. in
+  let joins = ref 0 and leaves = ref 0 and peak = ref 0 in
+  let integrate_to now =
+    utility_time :=
+      !utility_time +. (C.utility (G.primary g) *. (now -. !last));
+    last := now
+  in
+  let applied = ref 0 in
+  let fire_faults () =
+    incr applied;
+    List.iter (Replica.Chaos.fire g) (Engine.Fault.at faults !applied)
+  in
+  (* A kill may have landed between DES events; detection + promotion
+     must finish before the next delta can be applied. *)
+  let group_apply d =
+    Replica.Chaos.ensure_promoted g;
+    let a = G.apply g d in
+    fire_faults ();
+    a
+  in
+  let depart slot des =
+    integrate_to (Des.now des);
+    ignore (group_apply (Engine.Delta.User_leave slot));
+    incr leaves
+  in
+  let schedule_departure slot =
+    Des.schedule des
+      ~delay:(Prelude.Sampling.exponential rng ~rate:(1. /. mean_dwell))
+      (depart slot)
+  in
+  let rec join des =
+    integrate_to (Des.now des);
+    Replica.Chaos.ensure_promoted g;
+    let spec = Engine.Churn.random_user rng (C.view (G.primary g)) churn in
+    (match group_apply (Engine.Delta.User_join spec) with
+    | Engine.View.Joined slot ->
+        incr joins;
+        peak := max !peak (Engine.View.active_count (C.view (G.primary g)));
+        schedule_departure slot
+    | _ -> ());
+    Des.schedule des
+      ~delay:(Prelude.Sampling.exponential rng ~rate:join_rate)
+      join
+  in
+  Option.iter
+    (fun at -> Des.schedule des ~delay:at (fun _ -> G.kill_primary g))
+    kill_primary_at;
+  List.iter schedule_departure
+    (Engine.View.active_slots (C.view (G.primary g)));
+  peak := Engine.View.active_count (C.view (G.primary g));
+  Des.schedule des
+    ~delay:(Prelude.Sampling.exponential rng ~rate:join_rate)
+    join;
+  Des.run ~until:duration des;
+  integrate_to duration;
+  ignore (G.quiesce g);
+  let min_acked =
+    List.fold_left
+      (fun acc id ->
+        match G.acked g id with Some a -> min acc a | None -> acc)
+      max_int
+      (G.live_followers g)
+  in
+  { rbase =
+      { sim_time = duration;
+        utility_time = !utility_time;
+        joins = !joins;
+        leaves = !leaves;
+        peak_population = !peak;
+        final_utility = C.utility (G.primary g);
+        report = C.report (G.primary g) };
+    failovers = G.failovers g;
+    final_term = G.term g;
+    final_primary = G.primary_id g;
+    time_to_promote = G.last_promote_seconds g;
+    min_follower_acked = (if min_acked = max_int then 0 else min_acked);
+    replicated_last_seq = G.last_seq g }
 
 let policy ?(replan_every = 16) ?(epoch = C.Manual) inst =
   let ctrl = C.create ~policy:epoch inst in

@@ -92,6 +92,49 @@ val run :
     they attack the WAL/snapshot layer, which the simulation does not
     use. All effects land in the run's {!Engine.Counters.report}. *)
 
+(** {1 Replicated run} *)
+
+type replicated_stats = {
+  rbase : stats;  (** shaped like {!run}'s, reported by the final primary *)
+  failovers : int;  (** promotions over the run *)
+  final_term : int;
+  final_primary : int;  (** replica id serving at the end *)
+  time_to_promote : float;
+      (** wall-clock seconds the most recent promotion took; 0 when no
+          failover happened *)
+  min_follower_acked : int;
+      (** lowest acked seq among live followers after the final
+          quiesce — equals [replicated_last_seq] when replication
+          fully converged *)
+  replicated_last_seq : int;  (** records the primary logged *)
+}
+
+val run_replicated :
+  rng:Prelude.Rng.t ->
+  ?duration:float ->
+  ?join_rate:float ->
+  ?mean_dwell:float ->
+  ?epoch:Engine.Controller.epoch_policy ->
+  ?churn:Engine.Churn.params ->
+  ?replicas:int ->
+  ?heartbeat_every:int ->
+  ?kill_primary_at:float ->
+  ?faults:Engine.Fault.schedule ->
+  Mmd.Instance.t ->
+  replicated_stats
+(** {!run} behind a {!Replica.Group} of [replicas] followers (default
+    2): every churn delta applies on the primary and ships to the
+    followers. [kill_primary_at] (sim seconds) stops the primary cold
+    mid-run; the heartbeat failure detector then promotes the
+    most-caught-up follower before the next delta is applied, and the
+    run continues on the new primary. [faults] fires through
+    {!Replica.Chaos.fire} at delta boundaries, so the replication
+    fault kinds (frame drop/dup/reorder/truncate, crashes, heartbeat
+    partitions) are live here, along with budget shocks and outages;
+    [Task_exn] and the storage kinds are no-ops. The run ends with a
+    quiesce, so follower convergence is checkable from
+    [min_follower_acked]. *)
+
 (** {1 Sharded run} *)
 
 type sharded_stats = {

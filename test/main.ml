@@ -32,4 +32,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("shard", Test_shard.suite);
       ("parallel", Test_parallel.suite);
-      ("obs", Test_obs.suite) ]
+      ("obs", Test_obs.suite);
+      ("replica", Test_replica.suite) ]
