@@ -3,8 +3,10 @@
    replans, versus the baseline of re-running the full eager greedy
    after every delta. Reported: marginal-utility evaluations saved,
    the utility gap against from-scratch solves (sampled along the log
-   and at the end), and delta throughput. Results also land in
-   BENCH_engine.json so later PRs can track the trajectory. *)
+   and at the end), and delta throughput. Results land in
+   BENCH_e14.json; the engine-throughput trajectory file
+   (BENCH_engine.json) is E20's, which times the pure apply path
+   without E14's in-loop scratch-solve sampling. *)
 
 open Exp_common
 module C = Engine.Controller
@@ -12,7 +14,7 @@ module C = Engine.Controller
 let num_deltas = 10_000
 let sample_every = 500
 
-let json_out = "BENCH_engine.json"
+let json_out = "BENCH_e14.json"
 
 let run () =
   header "E14" "incremental replanning engine vs from-scratch greedy";

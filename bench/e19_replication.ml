@@ -184,7 +184,7 @@ let run () =
       (fun total ->
         let est =
           Engine.Recovery.assess ~snapshot_path:snap_path
-            ~total_records:total
+            ~total_records:total ()
         in
         Printf.printf
           "  chooser: %d total records (tail %d) -> %s (snap %.4gs vs \

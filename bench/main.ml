@@ -26,6 +26,7 @@ let experiments =
     ("e17", E17_observability.run);
     ("e18", E18_sharded.run);
     ("e19", E19_replication.run);
+    ("e20", E20_hot_path.run);
     ("micro", Microbench.run) ]
 
 let () =

@@ -29,6 +29,65 @@ let make_tests () =
     Workloads.Generator.smd_unit_skew (Prelude.Rng.create 7)
       ~num_streams:12 ~num_users:4
   in
+  (* Hot-path overhaul fixtures: the SoA-vs-boxed kernels from E20,
+     batched delta application, and the two snapshot-restore formats. *)
+  let e20_view = E20_hot_path.soa_world () in
+  let cap_used, delivered_util = E20_hot_path.eval_fixture e20_view in
+  let churn_world deltas seed =
+    let rng = Prelude.Rng.create seed in
+    let inst =
+      Workloads.Generator.instance rng
+        { Workloads.Generator.default with
+          num_streams = 60;
+          num_users = 40;
+          m = 2;
+          mc = 1;
+          density = 0.2;
+          budget_fraction = 0.3 }
+    in
+    let log =
+      Engine.Churn.generate ~rng
+        (Engine.View.of_instance inst)
+        { Engine.Churn.default with deltas }
+    in
+    (inst, log)
+  in
+  let binst, blog = churn_world 512 2020 in
+  let chunk batch log =
+    let rec go acc cur k = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | d :: rest ->
+          if k = batch then go (List.rev cur :: acc) [ d ] 1 rest
+          else go acc (d :: cur) (k + 1) rest
+    in
+    go [] [] 0 log
+  in
+  let batched = List.map (fun b -> (b, chunk b blog)) [ 1; 8; 64; 256 ] in
+  let apply_batched groups () =
+    let ctrl =
+      Engine.Controller.create ~policy:(Engine.Controller.Every 100) binst
+    in
+    List.iter (fun g -> Engine.Controller.apply_batch ctrl g) groups
+  in
+  let rinst, rlog = churn_world 1000 2021 in
+  let snap_path = Filename.temp_file "micro" ".eng" in
+  let chain_path = Filename.temp_file "micro" ".ckpt" in
+  (* temp_file creates the file empty; the writer must create the
+     chain itself to lay down the magic line. *)
+  Sys.remove chain_path;
+  let rctrl =
+    Engine.Controller.create ~policy:(Engine.Controller.Every 100) rinst
+  in
+  let cw = Engine.Checkpoint.create_writer ~path:chain_path rctrl in
+  List.iteri
+    (fun i d ->
+      Engine.Checkpoint.note cw (Engine.Controller.apply rctrl d);
+      if (i + 1) mod 200 = 0 then begin
+        Engine.Checkpoint.checkpoint cw rctrl;
+        Engine.Snapshot.write_file snap_path rctrl
+      end)
+    rlog;
+  Engine.Checkpoint.close_writer cw;
   let bits_n = 16_384 in
   let bits = Prelude.Bitset.create bits_n in
   let bools = Array.make bits_n false in
@@ -77,7 +136,35 @@ let make_tests () =
     Test.make ~name:"lp-relax/n=12"
       (Staged.stage (fun () -> Exact.Lp_relax.solve tiny));
     Test.make ~name:"brute-force/n=12"
-      (Staged.stage (fun () -> Exact.Brute_force.solve tiny)) ]
+      (Staged.stage (fun () -> Exact.Brute_force.solve tiny));
+    Test.make ~name:"soa-marginal-eval/s=150"
+      (Staged.stage (fun () ->
+           ignore
+             (Sys.opaque_identity
+                (E20_hot_path.eval_soa e20_view ~cap_used ~delivered_util))));
+    Test.make ~name:"boxed-marginal-eval/s=150"
+      (Staged.stage (fun () ->
+           ignore
+             (Sys.opaque_identity
+                (E20_hot_path.eval_boxed e20_view ~cap_used ~delivered_util)))) ]
+  @ List.map
+      (fun (b, groups) ->
+        Test.make
+          ~name:(Printf.sprintf "apply-batch/d=512,b=%d" b)
+          (Staged.stage (apply_batched groups)))
+      batched
+  @ [ Test.make ~name:"snapshot-parse/full,n=60"
+        (Staged.stage (fun () ->
+             match Engine.Snapshot.read_file_result snap_path with
+             | Ok r -> ignore (Sys.opaque_identity (fst r))
+             | Error msg -> failwith msg));
+      Test.make ~name:"chain-recover/incremental,n=60"
+        (Staged.stage (fun () ->
+             match
+               Engine.Checkpoint.recover ~instance:rinst ~path:chain_path
+             with
+             | Ok r -> ignore (Sys.opaque_identity r.Engine.Checkpoint.ctrl)
+             | Error msg -> failwith msg)) ]
 
 let run () =
   Exp_common.header "MICRO" "bechamel per-call timings";

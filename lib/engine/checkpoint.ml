@@ -1,0 +1,593 @@
+(* Incremental snapshots: an append-only chain of delta-encoded
+   checkpoint increments.
+
+   A full Snapshot v2 is dominated by the dense materialized instance
+   — num_slots x num_streams utility and load matrices — which is why
+   BENCH_resilience historically showed snapshot recovery LOSING to
+   full WAL replay (0.59x at 4k deltas): parsing the dense matrices
+   costs more than replaying the log. A checkpoint increment never
+   writes the dense view. Instead it records
+
+   - the view {e diff} since the parent increment: the final spec of
+     every slot that churned in the window, the slots freed, changed
+     cost rows, the budget when it changed, and the exact free-list
+     order — against the initial instance this chain of diffs rebuilds
+     the live view exactly;
+   - the {e full} controller/planner state, which is small: the plan
+     (delivered sets), the admitted set, the path-dependent float
+     accumulators in hex (same encodings as Snapshot v2), counters,
+     histograms and the epoch phase.
+
+   Recovery is [View.of_instance] on the initial instance (an
+   in-memory copy, free), the view diffs applied in order, and the
+   last increment's controller state installed — no dense parse, no
+   replan, no planner bookkeeping per record. The WAL tail beyond the
+   last increment replays through the ordinary path, so the result is
+   bit-identical to a full replay; segments the chain covers can be
+   deleted by [Wal_store.compact].
+
+   File format (all text, floats in lossless %h hex):
+
+     mmd-engine-checkpoint v1
+     I <covers> <body-bytes> <crc32-hex>
+     <body>
+     I ...
+
+   Each increment is framed independently; a torn or corrupt increment
+   invalidates itself and everything after it (later diffs build on
+   it), and recovery falls back to the longest valid prefix — the WAL
+   tail just gets longer, exactly like a missed snapshot. *)
+
+let magic = "mmd-engine-checkpoint v1"
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let int_tok what tok =
+  match int_of_string_opt tok with
+  | Some x -> x
+  | None -> fail "bad %s %S" what tok
+
+let float_tok what tok =
+  match float_of_string_opt tok with
+  | Some x -> x
+  | None -> fail "bad %s %S" what tok
+
+(* ------------------------------------------------------------------ *)
+(* Frames *)
+
+type frame = { covers : int; body : string }
+
+(* Split the chain into CRC-validated frames. Returns the valid prefix
+   and whether a torn/corrupt suffix was discarded. *)
+let scan_frames text =
+  let len = String.length text in
+  let line_end pos =
+    match String.index_from_opt text pos '\n' with
+    | Some i -> i
+    | None -> len
+  in
+  let first_nl = line_end 0 in
+  if first_nl >= len || String.sub text 0 first_nl <> magic then
+    Error "not a checkpoint chain (bad magic)"
+  else begin
+    let frames = ref [] and torn = ref false in
+    let pos = ref (first_nl + 1) in
+    (try
+       while !pos < len do
+         let hdr_end = line_end !pos in
+         let hdr = String.sub text !pos (hdr_end - !pos) in
+         if String.trim hdr = "" then pos := hdr_end + 1
+         else begin
+           (match
+              String.split_on_char ' ' hdr |> List.filter (fun s -> s <> "")
+            with
+           | [ "I"; covers; blen; crc ] ->
+               let covers =
+                 match int_of_string_opt covers with
+                 | Some c -> c
+                 | None -> raise Exit
+               in
+               let blen =
+                 match int_of_string_opt blen with
+                 | Some l when l >= 0 -> l
+                 | _ -> raise Exit
+               in
+               let stored =
+                 match Prelude.Crc32.of_hex crc with
+                 | Some c -> c
+                 | None -> raise Exit
+               in
+               let body_start = hdr_end + 1 in
+               if body_start + blen > len then raise Exit;
+               let body = String.sub text body_start blen in
+               if Prelude.Crc32.digest body <> stored then raise Exit;
+               frames := { covers; body } :: !frames;
+               pos := body_start + blen
+           | _ -> raise Exit)
+         end
+       done
+     with Exit -> torn := true);
+    Ok (List.rev !frames, !torn)
+  end
+
+let read_all path =
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error _ -> None
+
+(* Cheap structural peek for the recovery chooser: the chain's size
+   and the coverage of its last valid increment, without building a
+   view. *)
+let peek path =
+  match read_all path with
+  | None -> None
+  | Some text -> (
+      match scan_frames text with
+      | Error _ | Ok ([], _) -> None
+      | Ok (frames, _) ->
+          let last = List.nth frames (List.length frames - 1) in
+          Some (String.length text, last.covers, List.length frames))
+
+(* ------------------------------------------------------------------ *)
+(* Writer *)
+
+type writer = {
+  path : string;
+  oc : out_channel;
+  dirty_slots : (int, unit) Hashtbl.t;
+  dirty_costs : (int, unit) Hashtbl.t;
+  mutable dirty_budget : bool;
+  mutable all_costs : bool;
+  mutable covered : int;
+  mutable increments : int;
+}
+
+let dirty_everything w (ctrl : Controller.t) =
+  let view = Controller.view ctrl in
+  for u = 0 to View.num_slots view - 1 do
+    Hashtbl.replace w.dirty_slots u ()
+  done;
+  w.all_costs <- true;
+  w.dirty_budget <- true
+
+let create_writer ~path ctrl =
+  let fresh = not (Sys.file_exists path) in
+  let prior = if fresh then None else peek path in
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      path
+  in
+  if fresh then begin
+    output_string oc magic;
+    output_char oc '\n';
+    flush oc
+  end;
+  let prior_covered, prior_increments =
+    match prior with Some (_, c, n) -> (c, n) | None -> (0, 0)
+  in
+  let w =
+    { path;
+      oc;
+      dirty_slots = Hashtbl.create 64;
+      dirty_costs = Hashtbl.create 16;
+      dirty_budget = false;
+      all_costs = false;
+      covered = prior_covered;
+      increments = prior_increments }
+  in
+  (* The chain's implicit parent is its last valid increment — or, for
+     a fresh file, the initial instance at zero deltas. Whenever the
+     controller is anywhere else (resumed past the last increment, or
+     a fresh chain for a warm controller), the first increment must
+     carry the whole distance: a dirty-everything increment records
+     every active slot, every inactive slot as freed, all costs, the
+     budget and the full free order, so it restores correctly on top
+     of ANY parent state. *)
+  if Controller.deltas_applied ctrl <> prior_covered || (fresh && prior_covered > 0)
+  then dirty_everything w ctrl;
+  w
+
+let note w (applied : View.applied) =
+  match applied with
+  | View.Joined u | View.Left u -> Hashtbl.replace w.dirty_slots u ()
+  | View.Cost_changed s -> Hashtbl.replace w.dirty_costs s ()
+  | View.Budgets_resized ->
+      (* A resize clamps every cost row, so they are all dirty. *)
+      w.dirty_budget <- true;
+      w.all_costs <- true
+
+let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let m_checkpoint_seconds = lazy (Obs.Metrics.histogram "checkpoint_write_seconds")
+let m_checkpoint_bytes = lazy (Obs.Metrics.counter "checkpoint_bytes_total")
+
+let body_of w ctrl =
+  let view = Controller.view ctrl in
+  let planner = Controller.planner ctrl in
+  let mc = View.mc view and m = View.m view in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  let floats a =
+    String.concat "" (List.map (Printf.sprintf " %h") (Array.to_list a))
+  in
+  addf "nslots %d\n" (View.num_slots view);
+  addf "policy %s\n" (Controller.policy_to_string (Controller.policy ctrl));
+  (match Controller.pinned ctrl with
+  | [] -> ()
+  | pinned ->
+      addf "pinned%s\n"
+        (String.concat "" (List.map (Printf.sprintf " %d") pinned)));
+  if w.dirty_budget then
+    addf "budget%s\n"
+      (floats (Array.init m (fun i -> View.budget view i)));
+  let cost_rows =
+    if w.all_costs then List.init (View.num_streams view) Fun.id
+    else sorted_keys w.dirty_costs
+  in
+  List.iter
+    (fun s ->
+      addf "cost %d%s\n" s
+        (floats (Array.init m (fun i -> View.server_cost view s i))))
+    cost_rows;
+  let dirty = sorted_keys w.dirty_slots in
+  let freed = List.filter (fun u -> not (View.is_active view u)) dirty in
+  (match freed with
+  | [] -> ()
+  | _ ->
+      addf "freed%s\n" (String.concat "" (List.map (Printf.sprintf " %d") freed)));
+  List.iter
+    (fun u ->
+      if View.is_active view u then begin
+        let spec = View.user_spec view u in
+        addf "slot %d %h%s %d" u spec.Delta.utility_cap
+          (floats spec.Delta.capacity)
+          (List.length spec.Delta.interests);
+        List.iter
+          (fun (s, wu, loads) ->
+            if Array.length loads <> mc then
+              invalid_arg "Checkpoint: spec loads arity <> mc";
+            addf " %d %h%s" s wu (floats loads))
+          spec.Delta.interests;
+        addf "\n"
+      end)
+    dirty;
+  addf "free%s\n"
+    (String.concat ""
+       (List.map (Printf.sprintf " %d") (View.free_list view)));
+  let j, l, c, b, r, e = Counters.fields (Controller.counters ctrl) in
+  let ft, q, rec_, fb = Counters.resilience_fields (Controller.counters ctrl) in
+  addf "counters %d %d %d %d %d %d %d %d %d %d %d %d %d\n" j l c b r e
+    (Planner.evals planner)
+    (Planner.eager_equiv planner)
+    (Controller.deltas_applied ctrl)
+    ft q rec_ fb;
+  addf "epoch %d %.17g\n"
+    (Controller.since_replan ctrl)
+    (Controller.utility_at_replan ctrl);
+  let cs = Controller.counters ctrl in
+  if Obs.Hist.count (Counters.replan_hist cs) > 0 then
+    addf "hist replan %s\n" (Obs.Hist.encode (Counters.replan_hist cs));
+  if Obs.Hist.count (Counters.recovery_hist cs) > 0 then
+    addf "hist recovery %s\n" (Obs.Hist.encode (Counters.recovery_hist cs));
+  let ptotal, pused, pslots = Planner.float_state planner in
+  addf "pstate %h%s\n" ptotal (floats pused);
+  Array.iteri
+    (fun u (du, cap, cu) -> addf "pslot %d %h %h%s\n" u du cap (floats cu))
+    pslots;
+  (match Planner.admitted planner with
+  | [] -> ()
+  | streams ->
+      addf "admitted%s\n"
+        (String.concat "" (List.map (Printf.sprintf " %d") streams)));
+  addf "%%%%plan\n%s" (Mmd.Io.assignment_to_string (Controller.plan ctrl));
+  Buffer.contents buf
+
+let checkpoint w ctrl =
+  Obs.Span.with_ ~name:"checkpoint.write" (fun () ->
+      let t0 = Obs.Clock.now () in
+      let body = body_of w ctrl in
+      Printf.fprintf w.oc "I %d %d %s\n"
+        (Controller.deltas_applied ctrl)
+        (String.length body)
+        (Prelude.Crc32.to_hex (Prelude.Crc32.digest body));
+      output_string w.oc body;
+      flush w.oc;
+      Hashtbl.reset w.dirty_slots;
+      Hashtbl.reset w.dirty_costs;
+      w.dirty_budget <- false;
+      w.all_costs <- false;
+      w.covered <- Controller.deltas_applied ctrl;
+      w.increments <- w.increments + 1;
+      Obs.Metrics.inc
+        ~n:(String.length body)
+        (Lazy.force m_checkpoint_bytes);
+      Obs.Hist.observe
+        (Lazy.force m_checkpoint_seconds)
+        (Obs.Clock.elapsed_since t0))
+
+let covered w = w.covered
+let increments w = w.increments
+let close_writer w = close_out w.oc
+let writer_path w = w.path
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+type parsed = {
+  p_covers : int;
+  p_nslots : int;
+  p_policy : Controller.epoch_policy;
+  p_pinned : int list;
+  p_budget : float array option;
+  p_costs : (int * float array) list;
+  p_freed : int list;
+  p_slots : (int * Delta.user_spec) list;
+  p_free : int list;
+  p_counters : (int * int * int * int * int * int * int * int * int) option;
+  p_resilience : (int * int * int * int) option;
+  p_epoch : (int * float) option;
+  p_replan_hist : Obs.Hist.t option;
+  p_recovery_hist : Obs.Hist.t option;
+  p_pstate : (float * float array) option;
+  p_pslots : (int * (float * float * float array)) list;
+  p_admitted : int list option;
+  p_plan : string;
+}
+
+let parse_slot_line ~mc = function
+  | u :: ucap :: rest ->
+      let u = int_tok "slot id" u in
+      let ucap = float_tok "slot utility cap" ucap in
+      if List.length rest < mc + 1 then fail "short slot line for %d" u;
+      let rec split n acc rest =
+        if n = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> fail "short slot line for %d" u
+          | x :: tl -> split (n - 1) (float_tok "slot capacity" x :: acc) tl
+      in
+      let caps, rest = split mc [] rest in
+      let k, rest =
+        match rest with
+        | k :: tl -> (int_tok "interest count" k, tl)
+        | [] -> fail "short slot line for %d" u
+      in
+      let rec interests n acc rest =
+        if n = 0 then (
+          if rest <> [] then fail "trailing tokens on slot line for %d" u;
+          List.rev acc)
+        else
+          match rest with
+          | s :: wu :: tl ->
+              let s = int_tok "interest stream" s in
+              let wu = float_tok "interest utility" wu in
+              let loads, tl = split mc [] tl in
+              interests (n - 1) ((s, wu, Array.of_list loads) :: acc) tl
+          | _ -> fail "short slot line for %d" u
+      in
+      let ints = interests k [] rest in
+      ( u,
+        { Delta.utility_cap = ucap;
+          capacity = Array.of_list caps;
+          interests = ints } )
+  | _ -> fail "bad slot line"
+
+let parse_frame ~mc { covers; body } =
+  let lines = String.split_on_char '\n' body in
+  let header, plan_lines =
+    let rec split acc = function
+      | [] -> fail "increment missing %%plan section"
+      | "%%plan" :: rest -> (List.rev acc, rest)
+      | line :: rest -> split (line :: acc) rest
+    in
+    split [] lines
+  in
+  let nslots = ref None in
+  let policy = ref (Controller.Every 64) in
+  let pinned = ref [] in
+  let budget = ref None in
+  let costs = ref [] in
+  let freed = ref [] in
+  let slots = ref [] in
+  let free_order = ref [] in
+  let counters = ref None in
+  let resilience = ref None in
+  let epoch = ref None in
+  let replan_hist = ref None in
+  let recovery_hist = ref None in
+  let pstate = ref None in
+  let pslots = ref [] in
+  let admitted = ref None in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ "nslots"; n ] -> nslots := Some (int_tok "nslots" n)
+        | "policy" :: spec -> (
+            match Controller.policy_of_string (String.concat ":" spec) with
+            | Ok p -> policy := p
+            | Error msg -> fail "%s" msg)
+        | "pinned" :: ids -> pinned := List.map (int_tok "pinned id") ids
+        | "budget" :: bs ->
+            budget := Some (Array.of_list (List.map (float_tok "budget") bs))
+        | "cost" :: s :: cs ->
+            costs :=
+              ( int_tok "cost stream" s,
+                Array.of_list (List.map (float_tok "cost") cs) )
+              :: !costs
+        | "freed" :: ids -> freed := List.map (int_tok "freed slot") ids
+        | "slot" :: rest -> slots := parse_slot_line ~mc rest :: !slots
+        | "free" :: ids -> free_order := List.map (int_tok "free slot") ids
+        | "counters" :: fields -> (
+            match List.map (int_tok "counter") fields with
+            | [ j; l; c; b; r; e; evals; eager; deltas; ft; q; rec_; fb ] ->
+                counters := Some (j, l, c, b, r, e, evals, eager, deltas);
+                resilience := Some (ft, q, rec_, fb)
+            | _ -> fail "counters expects 13 fields")
+        | [ "epoch"; since; util ] ->
+            epoch :=
+              Some (int_tok "epoch phase" since, float_tok "epoch utility" util)
+        | "hist" :: which :: encoded -> (
+            match Obs.Hist.decode (String.concat " " encoded) with
+            | Error msg -> fail "bad %s histogram: %s" which msg
+            | Ok h -> (
+                match which with
+                | "replan" -> replan_hist := Some h
+                | "recovery" -> recovery_hist := Some h
+                | other -> fail "unknown histogram %S" other))
+        | "pstate" :: total :: used ->
+            pstate :=
+              Some
+                ( float_tok "planner total" total,
+                  Array.of_list (List.map (float_tok "planner used") used) )
+        | "pslot" :: u :: du :: cap :: cus ->
+            pslots :=
+              ( int_tok "planner slot" u,
+                ( float_tok "slot delivered utility" du,
+                  float_tok "slot capped utility" cap,
+                  Array.of_list (List.map (float_tok "slot capacity used") cus)
+                ) )
+              :: !pslots
+        | "admitted" :: ids ->
+            admitted := Some (List.map (int_tok "admitted stream") ids)
+        | kw :: _ -> fail "unknown increment keyword %S" kw
+        | [] -> ())
+    header;
+  { p_covers = covers;
+    p_nslots =
+      (match !nslots with
+      | Some n -> n
+      | None -> fail "increment missing nslots");
+    p_policy = !policy;
+    p_pinned = !pinned;
+    p_budget = !budget;
+    p_costs = List.rev !costs;
+    p_freed = !freed;
+    p_slots = List.rev !slots;
+    p_free = !free_order;
+    p_counters = !counters;
+    p_resilience = !resilience;
+    p_epoch = !epoch;
+    p_replan_hist = !replan_hist;
+    p_recovery_hist = !recovery_hist;
+    p_pstate = !pstate;
+    p_pslots = !pslots;
+    p_admitted = !admitted;
+    p_plan = String.concat "\n" plan_lines ^ "\n" }
+
+(* Apply one increment's view diff. Budget first, then cost rows —
+   both through the ordinary delta path: the recorded values are the
+   {e final} clamped state, so the clamp View.apply re-runs is a
+   no-op. Then slot churn, then the free order. *)
+let apply_view_diff view p =
+  View.ensure_slots_raw view p.p_nslots;
+  (match p.p_budget with
+  | Some b -> ignore (View.apply view (Delta.Budget_resize b))
+  | None -> ());
+  List.iter
+    (fun (s, costs) ->
+      ignore (View.apply view (Delta.Stream_cost_change { stream = s; costs })))
+    p.p_costs;
+  List.iter (fun u -> View.clear_slot_raw view u) p.p_freed;
+  List.iter (fun (u, spec) -> View.restore_slot view u spec) p.p_slots;
+  View.set_free_raw view p.p_free
+
+type recovered = {
+  ctrl : Controller.t;
+  covered : int;  (** deltas applied at the restored increment *)
+  increments : int;  (** increments applied *)
+  torn : bool;  (** a torn/corrupt suffix was discarded *)
+}
+
+let recover ~instance ~path =
+  Obs.Span.with_ ~name:"checkpoint.recover" (fun () ->
+      match read_all path with
+      | None ->
+          Error (Printf.sprintf "Checkpoint.recover: cannot read %s" path)
+      | Some text -> (
+          match scan_frames text with
+          | Error msg -> Error ("Checkpoint.recover: " ^ msg)
+          | Ok ([], _) -> Error "Checkpoint.recover: no valid increments"
+          | Ok (frames, torn) -> (
+              try
+                let view = View.of_instance instance in
+                let mc = View.mc view in
+                let last = ref None in
+                List.iter
+                  (fun frame ->
+                    let p = parse_frame ~mc frame in
+                    apply_view_diff view p;
+                    last := Some p)
+                  frames;
+                let p = Option.get !last in
+                let plan =
+                  Mmd.Io.assignment_of_string
+                    ~num_users:(View.num_slots view) p.p_plan
+                in
+                let since_replan, utility_at_replan =
+                  match p.p_epoch with
+                  | Some (s, u) -> (Some s, Some u)
+                  | None -> (None, None)
+                in
+                let deltas_applied =
+                  match p.p_counters with
+                  | Some (_, _, _, _, _, _, _, _, d) -> Some d
+                  | None -> Some p.p_covers
+                in
+                let ctrl =
+                  Controller.of_state ?since_replan ?deltas_applied
+                    ?utility_at_replan ?admitted:p.p_admitted
+                    ~policy:p.p_policy ~pinned:p.p_pinned ~view ~plan ()
+                in
+                (match p.p_counters with
+                | None -> ()
+                | Some (j, l, c, b, r, e, evals, eager, _) ->
+                    Counters.restore (Controller.counters ctrl) ~joins:j
+                      ~leaves:l ~cost_changes:c ~budget_resizes:b ~replans:r
+                      ~evictions:e;
+                    Planner.add_evals (Controller.planner ctrl) ~evals
+                      ~eager_equiv:eager);
+                (match p.p_resilience with
+                | None -> ()
+                | Some (faults, quarantined, recoveries, fallbacks) ->
+                    Counters.restore_resilience (Controller.counters ctrl)
+                      ~faults ~quarantined ~recoveries ~fallbacks);
+                (match p.p_replan_hist with
+                | Some h -> Counters.set_replan_hist (Controller.counters ctrl) h
+                | None -> ());
+                (match p.p_recovery_hist with
+                | Some h ->
+                    Counters.set_recovery_hist (Controller.counters ctrl) h
+                | None -> ());
+                (match p.p_pstate with
+                | None -> ()
+                | Some (total, used) ->
+                    let n = View.num_slots view in
+                    let slots =
+                      Array.init n (fun u ->
+                          match List.assoc_opt u p.p_pslots with
+                          | Some s -> s
+                          | None ->
+                              fail
+                                "pstate present but slot %d has no pslot line"
+                                u)
+                    in
+                    Planner.set_float_state (Controller.planner ctrl) ~total
+                      ~used ~slots);
+                Ok
+                  { ctrl;
+                    covered = p.p_covers;
+                    increments = List.length frames;
+                    torn }
+              with
+              | Parse_error msg -> Error ("Checkpoint.recover: " ^ msg)
+              | Invalid_argument msg -> Error ("Checkpoint.recover: " ^ msg)
+              | Failure msg -> Error ("Checkpoint.recover: " ^ msg))))
+

@@ -64,6 +64,18 @@ val apply : t -> Delta.t -> View.applied
 
 val apply_all : t -> Delta.t list -> unit
 
+val apply_batch : ?on_applied:(View.applied -> unit) -> t -> Delta.t list -> unit
+(** Apply a batch of deltas. Bit-identical to applying them
+    one-at-a-time with {!apply} — every delta still runs the full
+    per-delta state machine including the epoch-policy check, so
+    replans fire at the same positions whatever the batch size — but
+    the counter-registry flush and the tracing span are amortized over
+    the batch. The batching entry point for the CLI/DES [--batch],
+    the sharded router, and the replication tee. [on_applied] tees
+    each delta's {!View.applied} (e.g. into {!Checkpoint.note}),
+    called after the view/planner mutation and before the
+    epoch-policy check. *)
+
 (** {1 Degraded mode}
 
     A budget shock or stream outage can make the current plan

@@ -21,6 +21,7 @@ type mirrors = {
   m_recovery_seconds : Obs.Hist.t;
   m_path_snapshot : Obs.Metrics.counter;
   m_path_replay : Obs.Metrics.counter;
+  m_path_chain : Obs.Metrics.counter;
 }
 
 type t = {
@@ -64,6 +65,10 @@ let mirrors ~labels =
     m_path_replay =
       Obs.Metrics.counter
         ~labels:(labels @ [ ("path", "replay") ])
+        "engine_recovery_path_total";
+    m_path_chain =
+      Obs.Metrics.counter
+        ~labels:(labels @ [ ("path", "chain") ])
         "engine_recovery_path_total" }
 
 let create ?(labels = []) () =
@@ -90,6 +95,17 @@ let note_delta t (d : Delta.t) =
   | User_leave _ -> t.leaves <- t.leaves + 1
   | Stream_cost_change _ -> t.cost_changes <- t.cost_changes + 1
   | Budget_resize _ -> t.budget_resizes <- t.budget_resizes + 1
+
+(* Batch-apply flush: one registry touch for a whole batch instead of
+   one atomic per delta. Field arithmetic lands on the same final
+   values as per-delta [note_delta] calls. *)
+let note_deltas t ~joins ~leaves ~cost_changes ~budget_resizes =
+  let n = joins + leaves + cost_changes + budget_resizes in
+  if n > 0 then Obs.Metrics.inc ~n t.mirrors.m_deltas;
+  t.joins <- t.joins + joins;
+  t.leaves <- t.leaves + leaves;
+  t.cost_changes <- t.cost_changes + cost_changes;
+  t.budget_resizes <- t.budget_resizes + budget_resizes
 
 let note_replan t ~seconds =
   t.replans <- t.replans + 1;
@@ -127,6 +143,11 @@ let note_recovery_path t path =
   | `Full_replay ->
       t.full_replays <- t.full_replays + 1;
       Obs.Metrics.inc t.mirrors.m_path_replay
+  | `Chain_tail ->
+      (* A checkpoint chain is the snapshot family of recovery: count
+         it on that side of the pair, with its own exported label. *)
+      t.snapshot_recoveries <- t.snapshot_recoveries + 1;
+      Obs.Metrics.inc t.mirrors.m_path_chain
 
 let recovery_paths t = (t.snapshot_recoveries, t.full_replays)
 

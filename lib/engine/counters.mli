@@ -20,6 +20,11 @@ val create : ?labels:(string * string) list -> unit -> t
 
 val note_delta : t -> Delta.t -> unit
 
+val note_deltas :
+  t -> joins:int -> leaves:int -> cost_changes:int -> budget_resizes:int -> unit
+(** Bulk variant of {!note_delta} for {!Controller.apply_batch}: one
+    registry touch per batch, identical final field values. *)
+
 val note_replan : t -> seconds:float -> unit
 (** [seconds] is wall-clock time, measured with {!Obs.Clock}. *)
 
@@ -40,11 +45,14 @@ val note_fallback : t -> unit
 (** The supervisor abandoned a replan and restored the last feasible
     plan. *)
 
-val note_recovery_path : t -> [ `Snapshot_tail | `Full_replay ] -> unit
+val note_recovery_path :
+  t -> [ `Snapshot_tail | `Full_replay | `Chain_tail ] -> unit
 (** Record which startup recovery path {!Recovery.choose} selected:
     snapshot + WAL-tail replay, or a full WAL replay from scratch.
     Mirrored into the exported [engine_recovery_path_total] counter
-    with a [path="snapshot"|"replay"] label. Deliberately excluded from
+    with a [path="snapshot"|"replay"|"chain"] label ([`Chain_tail] is
+    a checkpoint-chain restore plus WAL-tail replay; it counts on the
+    snapshot side of {!recovery_paths}). Deliberately excluded from
     {!fields} and {!report}: the choice depends on measured machine
     speed, which would poison bit-identity checks. *)
 

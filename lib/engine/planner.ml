@@ -17,7 +17,7 @@ type t = {
          million slots and 10k streams). *)
   mutable delivered_util : float array;  (* slot; uncapped sum *)
   mutable capped : float array;  (* slot; min (W_u, delivered_util) *)
-  mutable cap_used : float array array;  (* slot x mc *)
+  mutable cap_used : float array;  (* flat slot-major: slot*mc + j *)
   mutable slots : int;  (* slot-indexed arrays are sized for this many *)
   mutable total : float;
   mutable evals : int;
@@ -34,7 +34,7 @@ let create view =
     delivered = Array.init slots (fun _ -> SI.create ());
     delivered_util = Array.make slots 0.;
     capped = Array.make slots 0.;
-    cap_used = Array.init slots (fun _ -> Array.make (View.mc view) 0.);
+    cap_used = Array.make (slots * View.mc view) 0.;
     slots;
     total = 0.;
     evals = 0;
@@ -53,7 +53,9 @@ let ensure_slots t =
     t.delivered <- grow (fun () -> SI.create ()) t.delivered;
     t.delivered_util <- grow (fun () -> 0.) t.delivered_util;
     t.capped <- grow (fun () -> 0.) t.capped;
-    t.cap_used <- grow (fun () -> Array.make mc 0.) t.cap_used;
+    let cap_used' = Array.make (cap * mc) 0. in
+    Array.blit t.cap_used 0 cap_used' 0 (t.slots * mc);
+    t.cap_used <- cap_used';
     t.slots <- cap
   end
 
@@ -101,9 +103,12 @@ let resid t u =
 
 let fits_cap t u s =
   let v = t.view in
+  let mc = View.mc v in
+  let base = u * mc in
   let ok = ref true in
-  for j = 0 to View.mc v - 1 do
-    if not (F.leq (t.cap_used.(u).(j) +. View.load v u s j) (View.capacity v u j))
+  for j = 0 to mc - 1 do
+    if
+      not (F.leq (t.cap_used.(base + j) +. View.load v u s j) (View.capacity v u j))
     then ok := false
   done;
   !ok
@@ -129,23 +134,78 @@ let cost_norm t s =
   done;
   !worst
 
-(* Marginal capped utility of admitting s at the current plan state. *)
+(* Marginal capped utility of admitting s at the current plan state.
+
+   This is the engine's innermost loop: one linear walk over the
+   stream's interest incidence (contiguous ids/w/loads arrays from the
+   view) against the planner's flat cap_used row — no per-(user,
+   stream, measure) binary search. The float operations and their
+   order are exactly those of the accessor-based loop it replaced
+   (ascending slot ids, min-with-residual accumulation), so marginals
+   are bit-identical. *)
 let eval_marginal t s =
   t.evals <- t.evals + 1;
+  let v = t.view in
+  let mc = View.mc v in
+  let n = View.inc_len v s in
+  let ids = View.inc_ids v s in
+  let w = View.inc_w v s in
+  let ld = View.inc_loads v s in
+  let cap = View.capacity_flat v in
+  let ucap = View.utility_caps v in
+  let cu = t.cap_used in
   let acc = ref 0. in
-  View.iter_interested t.view s (fun u ->
-      if (not (SI.mem t.delivered.(u) s)) && fits_cap t u s then begin
-        let r = resid t u in
-        if r > 0. then acc := !acc +. Float.min (View.utility t.view u s) r
-      end);
+  for i = 0 to n - 1 do
+    let u = Array.unsafe_get ids i in
+    if not (SI.mem t.delivered.(u) s) then begin
+      let base = u * mc and li = i * mc in
+      let ok = ref true in
+      let j = ref 0 in
+      while !ok && !j < mc do
+        if
+          not
+            (F.leq
+               (Array.unsafe_get cu (base + !j)
+               +. Array.unsafe_get ld (li + !j))
+               (Array.unsafe_get cap (base + !j)))
+        then ok := false;
+        incr j
+      done;
+      if !ok then begin
+        let uc = Array.unsafe_get ucap u in
+        let r =
+          if uc = infinity then infinity
+          else Float.max 0. (uc -. Array.unsafe_get t.delivered_util u)
+        in
+        if r > 0. then acc := !acc +. Float.min (Array.unsafe_get w i) r
+      end
+    end
+  done;
   !acc
 
-(* Deliver s to slot u unconditionally (bookkeeping only). *)
+(* Deliver s to slot u unconditionally (bookkeeping only), given the
+   utility [w] and the load row [ld.(li) .. ld.(li+mc-1)]. *)
+let deliver_flat t u s ~w ~ld ~li =
+  let mc = View.mc t.view in
+  ignore (SI.add t.delivered.(u) s);
+  let base = u * mc in
+  for j = 0 to mc - 1 do
+    t.cap_used.(base + j) <- t.cap_used.(base + j) +. ld.(li + j)
+  done;
+  t.delivered_util.(u) <- t.delivered_util.(u) +. w;
+  let capped' = Float.min (View.utility_cap t.view u) t.delivered_util.(u) in
+  t.total <- t.total +. (capped' -. t.capped.(u));
+  t.capped.(u) <- capped'
+
+(* Accessor-path variant for cold call sites (join catch-up, forced
+   restores) where the incidence index is not at hand. *)
 let deliver_raw t u s =
   let v = t.view in
+  let mc = View.mc v in
   ignore (SI.add t.delivered.(u) s);
-  for j = 0 to View.mc v - 1 do
-    t.cap_used.(u).(j) <- t.cap_used.(u).(j) +. View.load v u s j
+  let base = u * mc in
+  for j = 0 to mc - 1 do
+    t.cap_used.(base + j) <- t.cap_used.(base + j) +. View.load v u s j
   done;
   t.delivered_util.(u) <- t.delivered_util.(u) +. View.utility v u s;
   let capped' = Float.min (View.utility_cap v u) t.delivered_util.(u) in
@@ -161,20 +221,41 @@ let admit t s =
       t.used.(i) <- t.used.(i) +. View.server_cost v s i
     done;
     t.bound.(s) <- 0.;
-    View.iter_interested v s (fun u ->
-        if (not (SI.mem t.delivered.(u) s)) && fits_cap t u s && resid t u > 0.
-        then deliver_raw t u s);
+    let mc = View.mc v in
+    let n = View.inc_len v s in
+    let ids = View.inc_ids v s in
+    let w = View.inc_w v s in
+    let ld = View.inc_loads v s in
+    let cap = View.capacity_flat v in
+    for i = 0 to n - 1 do
+      let u = ids.(i) in
+      if not (SI.mem t.delivered.(u) s) then begin
+        let base = u * mc and li = i * mc in
+        let ok = ref true in
+        let j = ref 0 in
+        while !ok && !j < mc do
+          if not (F.leq (t.cap_used.(base + !j) +. ld.(li + !j)) cap.(base + !j))
+          then ok := false;
+          incr j
+        done;
+        if !ok && resid t u > 0. then deliver_flat t u s ~w:w.(i) ~ld ~li
+      end
+    done;
     true
   end
 
 (* Static upper bound on any marginal of s: every interested user
    contributes at most min(w, W_u). *)
 let static_bound t s =
+  let v = t.view in
+  let n = View.inc_len v s in
+  let ids = View.inc_ids v s in
+  let w = View.inc_w v s in
+  let ucap = View.utility_caps v in
   let acc = ref 0. in
-  View.iter_interested t.view s (fun u ->
-      acc :=
-        !acc
-        +. Float.min (View.utility t.view u s) (View.utility_cap t.view u));
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.min (Array.unsafe_get w i) ucap.(Array.unsafe_get ids i)
+  done;
   !acc
 
 let reset t =
@@ -183,9 +264,9 @@ let reset t =
   Array.fill t.admitted 0 ns false;
   Array.fill t.used 0 (View.m t.view) 0.;
   for u = 0 to t.slots - 1 do
-    SI.clear t.delivered.(u);
-    Array.fill t.cap_used.(u) 0 (View.mc t.view) 0.
+    SI.clear t.delivered.(u)
   done;
+  Array.fill t.cap_used 0 (t.slots * View.mc t.view) 0.;
   Array.fill t.delivered_util 0 t.slots 0.;
   Array.fill t.capped 0 t.slots 0.;
   t.total <- 0.;
@@ -210,15 +291,23 @@ let standalone t s =
   done;
   if not !fits then 0.
   else begin
+    let mc = View.mc v in
+    let n = View.inc_len v s in
+    let ids = View.inc_ids v s in
+    let w = View.inc_w v s in
+    let ld = View.inc_loads v s in
+    let cap = View.capacity_flat v in
+    let ucap = View.utility_caps v in
     let acc = ref 0. in
-    View.iter_interested v s (fun u ->
-        let ok = ref true in
-        for j = 0 to View.mc v - 1 do
-          if View.load v u s j > View.capacity v u j then ok := false
-        done;
-        if !ok then
-          acc :=
-            !acc +. Float.min (View.utility v u s) (View.utility_cap v u));
+    for i = 0 to n - 1 do
+      let u = ids.(i) in
+      let base = u * mc and li = i * mc in
+      let ok = ref true in
+      for j = 0 to mc - 1 do
+        if ld.(li + j) > cap.(base + j) then ok := false
+      done;
+      if !ok then acc := !acc +. Float.min w.(i) ucap.(u)
+    done;
     !acc
   end
 
@@ -362,7 +451,7 @@ let note_leave t u =
     (* The view has already zeroed the slot, so drop our bookkeeping
        wholesale rather than per stream. *)
     SI.clear t.delivered.(u);
-    Array.fill t.cap_used.(u) 0 (View.mc t.view) 0.;
+    Array.fill t.cap_used (u * View.mc t.view) (View.mc t.view) 0.;
     t.total <- t.total -. t.capped.(u);
     t.delivered_util.(u) <- 0.;
     t.capped.(u) <- 0.
@@ -370,28 +459,40 @@ let note_leave t u =
 
 (* Capped utility lost if s were evicted. *)
 let eviction_loss t s =
+  let v = t.view in
+  let n = View.inc_len v s in
+  let ids = View.inc_ids v s in
+  let w = View.inc_w v s in
+  let ucap = View.utility_caps v in
   let acc = ref 0. in
-  View.iter_interested t.view s (fun u ->
-      if SI.mem t.delivered.(u) s then begin
-        let w = View.utility t.view u s in
-        let after =
-          Float.min (View.utility_cap t.view u) (t.delivered_util.(u) -. w)
-        in
-        acc := !acc +. (t.capped.(u) -. Float.max 0. after)
-      end);
+  for i = 0 to n - 1 do
+    let u = ids.(i) in
+    if SI.mem t.delivered.(u) s then begin
+      let after = Float.min ucap.(u) (t.delivered_util.(u) -. w.(i)) in
+      acc := !acc +. (t.capped.(u) -. Float.max 0. after)
+    end
+  done;
   !acc
 
 let evict t s =
   let v = t.view in
-  View.iter_interested v s (fun u ->
-      if SI.mem t.delivered.(u) s then begin
-        for j = 0 to View.mc v - 1 do
-          t.cap_used.(u).(j) <-
-            Float.max 0. (t.cap_used.(u).(j) -. View.load v u s j)
-        done;
-        undeliver_raw t u s ~w:(View.utility v u s);
-        raise_bounds_for t u
-      end);
+  let mc = View.mc v in
+  let n = View.inc_len v s in
+  let ids = View.inc_ids v s in
+  let w = View.inc_w v s in
+  let ld = View.inc_loads v s in
+  for i = 0 to n - 1 do
+    let u = ids.(i) in
+    if SI.mem t.delivered.(u) s then begin
+      let base = u * mc and li = i * mc in
+      for j = 0 to mc - 1 do
+        t.cap_used.(base + j) <-
+          Float.max 0. (t.cap_used.(base + j) -. ld.(li + j))
+      done;
+      undeliver_raw t u s ~w:w.(i);
+      raise_bounds_for t u
+    end
+  done;
   t.admitted.(s) <- false;
   for i = 0 to View.m v - 1 do
     t.used.(i) <- Float.max 0. (t.used.(i) -. View.server_cost v s i)
@@ -507,12 +608,13 @@ let force ?(admitted = []) t plan =
    persist these bits so a restore continues the exact arithmetic. *)
 let float_state t =
   let n = View.num_slots t.view in
+  let mc = View.mc t.view in
   ( t.total,
     Array.sub t.used 0 (View.m t.view),
     Array.init n (fun u ->
         ( t.delivered_util.(u),
           t.capped.(u),
-          Array.sub t.cap_used.(u) 0 (View.mc t.view) )) )
+          Array.sub t.cap_used (u * mc) mc )) )
 
 let set_float_state t ~total ~used ~slots =
   ensure_slots t;
@@ -527,9 +629,10 @@ let set_float_state t ~total ~used ~slots =
     slots;
   t.total <- total;
   Array.blit used 0 t.used 0 (Array.length used);
+  let mc = View.mc t.view in
   Array.iteri
     (fun u (du, cap, cu) ->
       t.delivered_util.(u) <- du;
       t.capped.(u) <- cap;
-      Array.blit cu 0 t.cap_used.(u) 0 (Array.length cu))
+      Array.blit cu 0 t.cap_used (u * mc) (Array.length cu))
     slots

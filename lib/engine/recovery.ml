@@ -1,16 +1,19 @@
-(* Startup recovery-path selection: snapshot + WAL-tail replay vs a
-   full WAL replay from scratch. Replaying a record means running it
-   through the planner's incremental apply — orders of magnitude more
-   expensive than parsing it — so the model prices a path by the
-   records it must APPLY plus (for the snapshot path) the bytes it
-   must parse back into a controller. *)
+(* Startup recovery-path selection: checkpoint-chain + WAL-tail replay
+   vs full snapshot + tail vs a full WAL replay from scratch. Replaying
+   a record means running it through the planner's incremental apply —
+   orders of magnitude more expensive than parsing it — so the model
+   prices a path by the records it must APPLY plus the bytes it must
+   parse back into a controller. The chain usually wins on both terms:
+   its increments skip the dense matrices a full snapshot carries, and
+   it is written more often so its tail is shorter. *)
 
-type choice = Snapshot_tail | Full_replay
+type choice = Snapshot_tail | Full_replay | Chain_tail
 
 type estimate = {
   choice : choice;
   snapshot_seconds : float;
   replay_seconds : float;
+  chain_seconds : float;
 }
 
 let env_float name default =
@@ -19,59 +22,76 @@ let env_float name default =
   | None -> default
 
 (* Defaults calibrated from BENCH_engine on the reference machine
-   (~66.7k deltas/s through the apply path → ~15µs/record; snapshot
-   parse throughput ~80 MB/s → ~12ns/byte). Override per deployment:
-   the point of the chooser is the RATIO, so rough constants already
-   pick the right side except when the two paths are within noise of
-   each other — where either choice is fine. *)
+   (apply path ~15µs/record; snapshot parse throughput ~80 MB/s →
+   ~12ns/byte — the chain is the same text format family, so it shares
+   the per-byte rate). Override per deployment: the point of the
+   chooser is the RATIO, so rough constants already pick the right
+   side except when two paths are within noise of each other — where
+   either choice is fine. *)
 let apply_seconds_per_record () =
   env_float "VDMC_APPLY_SECONDS_PER_RECORD" 15e-6
 
 let snapshot_seconds_per_byte () =
   env_float "VDMC_SNAPSHOT_SECONDS_PER_BYTE" 12e-9
 
-let choose ~snapshot_bytes ~total_records ~covered =
+let choose ?chain ~snapshot_bytes ~total_records ~covered () =
   let apply = apply_seconds_per_record ()
   and parse = snapshot_seconds_per_byte () in
-  let tail = max 0 (total_records - covered) in
+  let tail_cost covered = float (max 0 (total_records - covered)) *. apply in
   let snapshot_seconds =
-    (float snapshot_bytes *. parse) +. (float tail *. apply)
+    if snapshot_bytes < 0 then infinity
+    else (float snapshot_bytes *. parse) +. tail_cost covered
   in
   let replay_seconds = float total_records *. apply in
-  { choice =
-      (if snapshot_seconds <= replay_seconds then Snapshot_tail
-       else Full_replay);
-    snapshot_seconds;
-    replay_seconds }
+  let chain_seconds =
+    match chain with
+    | Some (chain_bytes, chain_covered) ->
+        (float chain_bytes *. parse) +. tail_cost chain_covered
+    | None -> infinity
+  in
+  let choice =
+    (* Ties break toward the shorter-tail path: chain, then snapshot. *)
+    if chain_seconds <= snapshot_seconds && chain_seconds <= replay_seconds
+    then Chain_tail
+    else if snapshot_seconds <= replay_seconds then Snapshot_tail
+    else Full_replay
+  in
+  { choice; snapshot_seconds; replay_seconds; chain_seconds }
 
-let assess ~snapshot_path ~total_records =
-  let stat_bytes path =
-    match open_in_bin path with
-    | ic ->
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> Some (in_channel_length ic))
-    | exception Sys_error _ -> None
+let stat_bytes path =
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (in_channel_length ic))
+  | exception Sys_error _ -> None
+
+let assess ?chain_path ~snapshot_path ~total_records () =
+  let chain =
+    match chain_path with
+    | None -> None
+    | Some p -> (
+        match Checkpoint.peek p with
+        | Some (bytes, covered, _) when covered <= total_records ->
+            Some (bytes, covered)
+        | _ -> None)
   in
   match (stat_bytes snapshot_path, Snapshot.peek_deltas_applied snapshot_path)
   with
   | Some snapshot_bytes, Some covered when covered <= total_records ->
-      choose ~snapshot_bytes ~total_records ~covered
+      choose ?chain ~snapshot_bytes ~total_records ~covered ()
   | _ ->
       (* No usable snapshot (missing, unreadable, no counters line, or
          ahead of the WAL — a stale WAL paired with a newer snapshot is
-         not a tail-replay situation): full replay is the only path. *)
-      let replay_seconds =
-        float total_records *. apply_seconds_per_record ()
-      in
-      { choice = Full_replay;
-        snapshot_seconds = infinity;
-        replay_seconds }
+         not a tail-replay situation): chain or full replay. *)
+      choose ?chain ~snapshot_bytes:(-1) ~total_records ~covered:0 ()
 
 let choice_to_string = function
   | Snapshot_tail -> "snapshot+tail"
   | Full_replay -> "full-replay"
+  | Chain_tail -> "chain+tail"
 
 let note counters = function
   | Snapshot_tail -> Counters.note_recovery_path counters `Snapshot_tail
   | Full_replay -> Counters.note_recovery_path counters `Full_replay
+  | Chain_tail -> Counters.note_recovery_path counters `Chain_tail

@@ -1,41 +1,60 @@
 (** Startup recovery-path selection.
 
-    After a crash the engine has (up to) two ways back: load the latest
-    snapshot and replay only the WAL tail it does not cover, or replay
-    the whole WAL from scratch. Which is cheaper depends on how stale
-    the snapshot is — a checkpoint taken two records ago makes the
-    tail path nearly free; one taken at record 10 of 100k is pure
-    overhead on top of what is effectively a full replay anyway.
+    After a crash the engine has (up to) three ways back: restore the
+    checkpoint chain and replay only the WAL tail past its coverage,
+    load the latest full snapshot and replay its (usually longer)
+    tail, or replay the whole WAL from scratch. Which is cheaper
+    depends on staleness and parse weight — a checkpoint taken two
+    records ago makes the tail path nearly free; a snapshot taken at
+    record 10 of 100k is pure overhead on top of what is effectively a
+    full replay anyway; and the chain skips the dense matrices that
+    make a full snapshot expensive to parse in the first place.
 
-    {!choose} prices both paths with a linear cost model (records to
+    {!choose} prices the paths with a linear cost model (records to
     {e apply} dominate; snapshot bytes to parse are the secondary
     term) and picks the cheaper one. The constants are rough and
     per-machine — override them with [VDMC_APPLY_SECONDS_PER_RECORD]
     and [VDMC_SNAPSHOT_SECONDS_PER_BYTE] — but the decision only needs
-    the ratio, so rough is enough except where the two paths cost the
+    the ratio, so rough is enough except where two paths cost the
     same and either choice is fine. The choice taken is recorded via
     {!Counters.note_recovery_path} by the caller (see {!note}). *)
 
-type choice = Snapshot_tail | Full_replay
+type choice = Snapshot_tail | Full_replay | Chain_tail
 
 type estimate = {
-  choice : choice;  (** the cheaper path (ties go to [Snapshot_tail]) *)
+  choice : choice;
+      (** the cheapest path (ties go to the shorter-tail path: chain,
+          then snapshot) *)
   snapshot_seconds : float;
       (** estimated cost of snapshot load + tail replay; [infinity]
           when no usable snapshot exists *)
   replay_seconds : float;  (** estimated cost of the full replay *)
+  chain_seconds : float;
+      (** estimated cost of chain restore + tail replay; [infinity]
+          when no usable chain exists *)
 }
 
-val choose : snapshot_bytes:int -> total_records:int -> covered:int -> estimate
-(** Price both paths for a snapshot of [snapshot_bytes] covering
-    [covered] of the WAL's [total_records] records. *)
+val choose :
+  ?chain:int * int ->
+  snapshot_bytes:int ->
+  total_records:int ->
+  covered:int ->
+  unit ->
+  estimate
+(** Price the paths for a snapshot of [snapshot_bytes] covering
+    [covered] of the WAL's [total_records] records, and optionally a
+    checkpoint chain of [(chain_bytes, chain_covered)]. A negative
+    [snapshot_bytes] means "no snapshot". *)
 
-val assess : snapshot_path:string -> total_records:int -> estimate
-(** {!choose} against the snapshot file on disk: its byte size and
-    {!Snapshot.peek_deltas_applied}. Degrades to a [Full_replay]
-    estimate when the snapshot is missing, unreadable, has no counters
-    line, or claims to cover more records than the WAL holds (a stale
-    WAL paired with a newer snapshot is not a tail-replay situation). *)
+val assess :
+  ?chain_path:string -> snapshot_path:string -> total_records:int -> unit -> estimate
+(** {!choose} against the files on disk: the snapshot's byte size and
+    {!Snapshot.peek_deltas_applied}, and (when [chain_path] is given)
+    the chain's {!Checkpoint.peek}. Degrades each path to [infinity]
+    when its file is missing, unreadable, structurally empty, or
+    claims to cover more records than the WAL holds (a stale WAL
+    paired with a newer artifact is not a tail-replay situation);
+    with neither artifact usable the choice is [Full_replay]. *)
 
 val choice_to_string : choice -> string
 

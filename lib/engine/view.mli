@@ -82,6 +82,38 @@ val iter_interested : t -> int -> (int -> unit) -> unit
 val version : t -> int
 (** Bumped on every successful {!apply}. *)
 
+(** {1 Planner hot-loop surface}
+
+    The raw structure-of-arrays state backing {!iter_interested},
+    {!capacity} and {!utility_cap}, exposed so the planner's marginal
+    evaluation can walk contiguous arrays instead of doing per-(user,
+    stream, measure) binary searches. All arrays are {e read-only} by
+    contract and may be {e reallocated} by any {!apply} — re-fetch
+    them after every mutation, never cache across one. *)
+
+val inc_len : t -> int -> int
+(** Number of live incidence entries for the stream — the size of
+    {!interested}. Only the first [inc_len] positions of the arrays
+    below are meaningful. *)
+
+val inc_ids : t -> int -> int array
+(** Interested slot ids, ascending (same order as
+    {!iter_interested}). *)
+
+val inc_w : t -> int -> float array
+(** Parallel to {!inc_ids}: [inc_w t s].(i) = [utility t ids.(i) s]. *)
+
+val inc_loads : t -> int -> float array
+(** Parallel, flattened with stride [mc]:
+    [inc_loads t s].(i*mc + j) = [load t ids.(i) s j]. *)
+
+val capacity_flat : t -> float array
+(** Slot-major flat capacities, stride [mc]: index [slot*mc + j].
+    Rows beyond [num_slots] and rows of free slots are zero. *)
+
+val utility_caps : t -> float array
+(** Per-slot utility caps; entries beyond [num_slots] are zero. *)
+
 (** {1 Mutation} *)
 
 val apply : t -> Delta.t -> applied
@@ -108,3 +140,28 @@ val of_materialized : active:int list -> ?free:int list -> Mmd.Instance.t -> t
     slots, or @raise Invalid_argument). Without it joins after a
     restore may pick different slots than the original view would
     have, so replaying one delta log against both diverges. *)
+
+(** {1 Raw restore}
+
+    Checkpoint-increment recovery rebuilds a view by replaying
+    recorded {e final} slot states instead of the deltas that produced
+    them. These primitives bypass the delta path and the free list;
+    after a sequence of them the caller must install the recorded free
+    order with {!set_free_raw}. Only {!Checkpoint} should use them. *)
+
+val ensure_slots_raw : t -> int -> unit
+(** Grow the slot table until [num_slots] is at least [n]; new slots
+    are inactive and {e not} pushed on the free list. *)
+
+val restore_slot : t -> int -> Delta.user_spec -> unit
+(** Install a recorded spec into the slot, activating it if needed and
+    replacing any current occupant. Same validation and semantics as
+    a join into that slot. *)
+
+val clear_slot_raw : t -> int -> unit
+(** Deactivate and clear the slot without touching the free list.
+    No-op when already inactive. *)
+
+val set_free_raw : t -> int list -> unit
+(** Install the free-slot reuse order verbatim. Must be a permutation
+    of exactly the inactive slots, or @raise Invalid_argument. *)

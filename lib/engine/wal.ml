@@ -199,14 +199,17 @@ let append_file ?(next_seq = 1) path =
   end;
   { oc; next_seq }
 
-let append_tee w delta =
+let append_tee ?(flush = true) w delta =
   let t0 = Obs.Clock.now () in
   let seq = w.next_seq in
   w.next_seq <- seq + 1;
   let line = record_to_string ~seq delta in
   output_string w.oc line;
   output_char w.oc '\n';
-  flush w.oc;
+  (* Batch appenders pass [~flush:false] and flush once per batch —
+     the record framing on disk is byte-identical either way, only the
+     durability point moves to the end of the batch. *)
+  if flush then Stdlib.flush w.oc;
   Obs.Hist.observe (Lazy.force m_append_seconds) (Obs.Clock.elapsed_since t0);
   (seq, line)
 

@@ -87,15 +87,19 @@ val append : writer -> Delta.t -> int
 (** Append one record and flush it to the OS; returns the sequence
     number assigned. *)
 
-val append_tee : writer -> Delta.t -> int * string
+val append_tee : ?flush:bool -> writer -> Delta.t -> int * string
 (** {!append}, additionally returning the exact framed line written —
     the tee point for replication: the primary ships the identical
     bytes it persisted, so a follower verifies the same CRC the local
-    recovery would. *)
+    recovery would. [?flush] (default [true]) controls the per-record
+    OS flush: batch appenders pass [false] and call {!flush_writer}
+    once per batch — identical bytes on disk, one syscall instead of
+    one per record. *)
 
 val flush_writer : writer -> unit
 (** Flush any buffered output to the OS. {!append} already flushes per
-    record; this is the belt-and-braces barrier before a deliberate
-    [exit] (e.g. the CLI's simulated crash). *)
+    record; this is the batch-end barrier for [append_tee ~flush:false]
+    and the belt-and-braces barrier before a deliberate [exit] (e.g.
+    the CLI's simulated crash). *)
 
 val close : writer -> unit

@@ -75,10 +75,21 @@ val create :
     distinct). [wal] is the primary's durable log: when given, records
     are appended (and flushed) there before shipping. *)
 
-val apply : t -> Engine.Delta.t -> Engine.View.applied
+val apply : ?flush:bool -> t -> Engine.Delta.t -> Engine.View.applied
 (** Apply on the primary, persist, ship to every live follower, and
-    advance one tick. @raise Invalid_argument when the primary is
-    down — {!fail_over} (or {!quiesce}) first. *)
+    advance one tick. [flush] (default [true]) is the per-record WAL
+    OS flush; batch callers pass [false] and {!flush_wal} once.
+    @raise Invalid_argument when the primary is down — {!fail_over}
+    (or {!quiesce}) first. *)
+
+val apply_batch : t -> Engine.Delta.t list -> Engine.View.applied list
+(** {!apply} each delta in order with one WAL flush at batch end.
+    Bit-identical to per-record applies — every record still logs,
+    ships and ticks individually, so heartbeat and failover timing are
+    unchanged — and the WAL bytes on disk are identical. *)
+
+val flush_wal : t -> unit
+(** Flush the attached WAL writer (no-op without one). *)
 
 val absorb_shock : t -> Engine.Delta.t -> Engine.Controller.recovery
 (** Like {!apply} for a fault-injected delta: goes through the

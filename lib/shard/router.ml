@@ -155,21 +155,21 @@ let ensure_global t g =
     t.local_of <- grow t.local_of
   end
 
-let wal_append t shard d =
+let wal_append ?flush t shard d =
   match t.wals with
   | None -> ()
-  | Some ws -> ignore (Engine.Wal.append ws.(shard) d)
+  | Some ws -> ignore (Engine.Wal.append_tee ?flush ws.(shard) d)
 
 (* Every controller apply in the routing paths is paired with a WAL
    append of the same local delta; in replicated mode both happen
    inside the group (primary apply, tee to its writer, ship to
    followers). *)
-let shard_apply t i d =
+let shard_apply ?flush t i d =
   match t.backend with
-  | Replicated gs -> Replica.Group.apply gs.(i) d
+  | Replicated gs -> Replica.Group.apply ?flush gs.(i) d
   | Plain cs ->
       let applied = C.apply cs.(i) d in
-      wal_append t i d;
+      wal_append ?flush t i d;
       applied
 
 let budget_shares t b =
@@ -191,13 +191,13 @@ let budget_shares t b =
             let w = d.(i) /. total in
             Array.map (fun x -> if x = Float.infinity then x else x *. w) b)
 
-let apply t (d : D.t) : V.applied =
+let apply_opt ?flush t (d : D.t) : V.applied =
   match d with
   | D.User_join _ ->
       let applied = V.apply t.mirror d in
       let g = match applied with V.Joined g -> g | _ -> assert false in
       let shard = Shard_map.route t.map ~counts:t.counts in
-      let la = shard_apply t shard d in
+      let la = shard_apply ?flush t shard d in
       let l = match la with V.Joined l -> l | _ -> assert false in
       ensure_global t g;
       t.shard_of.(g) <- shard;
@@ -213,7 +213,7 @@ let apply t (d : D.t) : V.applied =
       let l = t.local_of.(g) in
       let du = slot_demand (C.view (ctrl t shard)) l in
       let applied = V.apply t.mirror d in
-      ignore (shard_apply t shard (D.User_leave l));
+      ignore (shard_apply ?flush t shard (D.User_leave l));
       t.shard_of.(g) <- -1;
       t.local_of.(g) <- -1;
       t.counts.(shard) <- t.counts.(shard) - 1;
@@ -222,16 +222,36 @@ let apply t (d : D.t) : V.applied =
   | D.Stream_cost_change _ ->
       let applied = V.apply t.mirror d in
       for i = 0 to num_shards t - 1 do
-        ignore (shard_apply t i d)
+        ignore (shard_apply ?flush t i d)
       done;
       applied
   | D.Budget_resize b ->
       let applied = V.apply t.mirror d in
       let shares = budget_shares t b in
       Array.iteri
-        (fun i share -> ignore (shard_apply t i (D.Budget_resize share)))
+        (fun i share -> ignore (shard_apply ?flush t i (D.Budget_resize share)))
         shares;
       applied
+
+let apply t d = apply_opt t d
+
+let flush_wals t =
+  (match t.wals with
+  | Some ws -> Array.iter Engine.Wal.flush_writer ws
+  | None -> ());
+  match t.backend with
+  | Replicated gs -> Array.iter Replica.Group.flush_wal gs
+  | Plain _ -> ()
+
+(* Routing is inherently sequential — the mirror's slot allocation,
+   the least-loaded routing choice and the ownership tables all depend
+   on every earlier delta — so the batch routes records one at a time
+   and amortizes the per-shard WAL OS flushes over the batch. Bytes on
+   disk (and replication frames shipped) are identical to the
+   one-at-a-time path. *)
+let apply_batch t ds =
+  List.iter (fun d -> ignore (apply_opt ~flush:false t d)) ds;
+  flush_wals t
 
 let apply_all t ds = List.iter (fun d -> ignore (apply t d)) ds
 
@@ -242,10 +262,19 @@ let resplit_budgets t =
     (fun i share -> ignore (shard_apply t i (D.Budget_resize share)))
     shares
 
+(* Shards plan over disjoint sub-worlds, so their replans are
+   independent and run concurrently on the domain pool — each shard's
+   own parallel planner stages then run inline (nested pool calls
+   degrade to sequential), keeping every shard's float summation order,
+   and therefore every plan, bit-identical to the sequential path. *)
 let replan_all t =
-  for i = 0 to num_shards t - 1 do
-    C.replan (ctrl t i)
-  done
+  let n = num_shards t in
+  ignore
+    (Prelude.Pool.parallel_map
+       (fun i ->
+         C.replan (ctrl t i);
+         i)
+       (Array.init n Fun.id))
 
 let shard_of_slot t g =
   if g < 0 || g >= Array.length t.shard_of then -1 else t.shard_of.(g)

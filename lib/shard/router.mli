@@ -72,6 +72,12 @@ val apply : t -> Engine.Delta.t -> Engine.View.applied
 
 val apply_all : t -> Engine.Delta.t list -> unit
 
+val apply_batch : t -> Engine.Delta.t list -> unit
+(** {!apply} each delta in order — routing is inherently sequential —
+    with the per-shard WAL OS flushes amortized to one per shard per
+    batch. WAL bytes and replication frames are identical to
+    one-at-a-time applies. *)
+
 val rebalance : t -> k:int -> int
 (** One epoch of {!Shard_map.rebalance}: at most [k] users move
     between shards, each as an ordinary leave/join pair through the
@@ -86,7 +92,9 @@ val resplit_budgets : t -> unit
     under [Demand] this is the periodic skew adaptation. *)
 
 val replan_all : t -> unit
-(** Force an epoch boundary on every shard. *)
+(** Force an epoch boundary on every shard, concurrently on the
+    domain pool (shards plan over disjoint sub-worlds; each plan is
+    bit-identical to a sequential replan of that shard). *)
 
 val shard_of_slot : t -> int -> int
 (** Owning shard of an active global slot, [-1] otherwise. *)

@@ -78,16 +78,24 @@ let supervised_replan ?(config = default_supervisor)
 
 let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
     ?(epoch = C.Drift 0.05) ?(churn = Engine.Churn.default)
-    ?(faults = ([] : Engine.Fault.schedule)) ?supervisor inst =
+    ?(faults = ([] : Engine.Fault.schedule)) ?supervisor ?(batch = 1) inst =
   let ctrl = C.create ~policy:epoch inst in
   let des = Des.create () in
   let utility_time = ref 0. in
   let last = ref 0. in
   let joins = ref 0 and leaves = ref 0 and peak = ref 0 in
-  let integrate_to now =
-    utility_time := !utility_time +. (C.utility ctrl *. (now -. !last));
-    last := now
-  in
+  (* Departures are fire-and-forget — nothing reads their result — so
+     they defer onto a buffer drained through the batched entry point
+     (Controller.apply_batch). The utility-time integral samples
+     C.utility at every event, so the buffer MUST drain before any
+     observation: draining at the start of the next event, before its
+     integrate_to, keeps the integral bit-identical to per-event
+     applies (the deferred leave takes effect at the start of the
+     interval it would have changed). The window is therefore one
+     event deep whatever [batch] is — the DES is latency-bound where
+     the replay CLI is throughput-bound. Fault boundaries observe the
+     view per delta, so a fault schedule pins the window shut. *)
+  let batch = if faults = [] then max 1 batch else 1 in
   (* Fault schedule boundaries count DES-fed deltas. *)
   let applied = ref 0 in
   let fire_faults () =
@@ -121,10 +129,26 @@ let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
             ())
       (Engine.Fault.at faults !applied)
   in
+  let pending = ref [] and npending = ref 0 in
+  let flush_pending () =
+    if !npending > 0 then begin
+      let ds = List.rev !pending in
+      pending := [];
+      npending := 0;
+      C.apply_batch ctrl ds;
+      List.iter (fun _ -> fire_faults ()) ds
+    end
+  in
+  let integrate_to now =
+    flush_pending ();
+    utility_time := !utility_time +. (C.utility ctrl *. (now -. !last));
+    last := now
+  in
   let depart slot des =
     integrate_to (Des.now des);
-    ignore (C.apply ctrl (Engine.Delta.User_leave slot));
-    fire_faults ();
+    pending := Engine.Delta.User_leave slot :: !pending;
+    incr npending;
+    if !npending >= batch then flush_pending ();
     incr leaves
   in
   let schedule_departure slot =

@@ -76,12 +76,24 @@ val run :
   ?churn:Engine.Churn.params ->
   ?faults:Engine.Fault.schedule ->
   ?supervisor:supervisor_config ->
+  ?batch:int ->
   Mmd.Instance.t ->
   stats
 (** Defaults: duration 1000, join rate 0.2, mean dwell 400, epoch
     policy [Drift 0.05]. The instance's own users form the initial
     population (they churn out too); its streams are the fixed
     catalog.
+
+    [batch] (default 1) routes departures through
+    {!Engine.Controller.apply_batch} on a deferred buffer of at most
+    [batch] deltas. The buffer drains before every utility
+    observation, so stats are bit-identical at every [batch] — the
+    utility-time integral samples at each event, which closes the
+    coalescing window at the next event boundary; the real batch
+    throughput win belongs to the replay paths (CLI [--batch]), not
+    the event-driven simulation. Joins always apply synchronously
+    (their slot id schedules the departure), and a non-empty [faults]
+    forces [batch = 1] (fault boundaries observe per-delta state).
 
     [faults] (default none) pins {!Engine.Fault} events to the run's
     delta boundaries: budget shocks and stream outages are absorbed

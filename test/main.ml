@@ -33,4 +33,5 @@ let () =
       ("shard", Test_shard.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
-      ("replica", Test_replica.suite) ]
+      ("replica", Test_replica.suite);
+      ("hot-path", Test_hot_path.suite) ]

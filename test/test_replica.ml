@@ -443,16 +443,20 @@ let qcheck_streaming_recovery =
 let test_recovery_chooser () =
   let open Engine.Recovery in
   (* A fresh snapshot covering almost everything: tail replay wins. *)
-  let near = choose ~snapshot_bytes:10_000 ~total_records:100_000 ~covered:99_000 in
+  let near =
+    choose ~snapshot_bytes:10_000 ~total_records:100_000 ~covered:99_000 ()
+  in
   check_bool "fresh snapshot -> snapshot path" true (near.choice = Snapshot_tail);
   (* A stale snapshot covering almost nothing: the full replay is not
      worse, and the snapshot parse is pure overhead. *)
   let stale =
-    choose ~snapshot_bytes:50_000_000 ~total_records:1_000 ~covered:10
+    choose ~snapshot_bytes:50_000_000 ~total_records:1_000 ~covered:10 ()
   in
   check_bool "stale snapshot -> full replay" true (stale.choice = Full_replay);
   (* assess on a missing file degrades to full replay. *)
-  let missing = assess ~snapshot_path:"/nonexistent/snap.eng" ~total_records:100 in
+  let missing =
+    assess ~snapshot_path:"/nonexistent/snap.eng" ~total_records:100 ()
+  in
   check_bool "missing snapshot -> full replay" true (missing.choice = Full_replay);
   check_bool "missing snapshot cost infinite" true
     (missing.snapshot_seconds = infinity);
@@ -465,7 +469,7 @@ let test_recovery_chooser () =
   Engine.Snapshot.write_file path ctrl;
   check_bool "peek sees deltas_applied" true
     (Engine.Snapshot.peek_deltas_applied path = Some (List.length log));
-  let e = assess ~snapshot_path:path ~total_records:(List.length log + 5) in
+  let e = assess ~snapshot_path:path ~total_records:(List.length log + 5) () in
   Sys.remove path;
   if Sys.file_exists (Engine.Snapshot.previous_path path) then
     Sys.remove (Engine.Snapshot.previous_path path);
