@@ -73,8 +73,9 @@ let apply_with_faults ctrl log schedule =
               ()
           | F.Drop_frame _ | F.Dup_frame _ | F.Reorder_frames _
           | F.Truncate_frame _ | F.Follower_crash _ | F.Primary_crash
-          | F.Heartbeat_partition _ ->
-              (* Replication faults are E19's subject, not E16's. *)
+          | F.Heartbeat_partition _ | F.Hold_frames _ | F.Link_partition _
+          | F.Link_reset _ | F.Hand_over ->
+              (* Replication faults are E19/E21's subject, not E16's. *)
               ())
         (F.at schedule (i + 1)))
     log

@@ -27,6 +27,7 @@ let experiments =
     ("e18", E18_sharded.run);
     ("e19", E19_replication.run);
     ("e20", E20_hot_path.run);
+    ("e21", E21_socket.run);
     ("micro", Microbench.run) ]
 
 let () =

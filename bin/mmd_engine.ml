@@ -79,6 +79,213 @@ let iter_batches ~batch ~boundary records f =
   in
   go 0 records
 
+(* ---------- Multi-process replica modes ---------- *)
+
+let parse_endpoint s =
+  match Replica.Transport_socket.endpoint_of_string s with
+  | Ok ep -> ep
+  | Error msg -> failwith msg
+
+let parse_endpoints s =
+  List.map parse_endpoint
+    (List.filter (fun x -> x <> "") (String.split_on_char ',' s))
+
+(* Follower process: serve the socket until a primary says quit (or
+   nobody talks to us for the idle timeout). The printed digest is
+   what the supervisor greps to assert convergence. *)
+let follower_serve_run ~policy ~listen ~replica_id ~idle_timeout inst =
+  match
+    Replica.Proc.serve ~idle_timeout_s:idle_timeout ~policy
+      ~endpoint:(parse_endpoint listen) inst
+  with
+  | Replica.Proc.Quit s ->
+      Format.printf "PROC-FOLLOWER %d term=%d acked=%d digest=%s@." replica_id
+        s.Replica.Proc.fterm s.Replica.Proc.acked s.Replica.Proc.state_digest
+  | Replica.Proc.Orphaned ->
+      Format.printf "PROC-FOLLOWER %d orphaned@." replica_id;
+      Format.print_flush ();
+      exit 4
+
+(* Primary process: apply + WAL-flush + ship every record;
+   --replica-kill-at SIGKILLs this very process (optionally leaving a
+   torn frame on every wire first), which is what the supervisor's
+   recovery path exists to survive. *)
+let primary_proc_run ~policy ~records ~endpoints ~wal_writer ~heartbeat_every
+    ~kill_at ~kill_mid_frame inst =
+  let peers = Replica.Proc.connect_peers endpoints in
+  let ctrl = C.create ~policy inst in
+  let history : (int, bool * string) Hashtbl.t = Hashtbl.create 1024 in
+  let hb_every = max 1 (Option.value heartbeat_every ~default:8) in
+  let term = 0 in
+  let applied = ref 0 and last = ref 0 in
+  let next_seq = ref 1 in
+  (* Durability before shipping: the record reaches the (flushed) WAL
+     before any byte of it hits a wire, so the shipped stream is
+     always a prefix-of-WAL and recovery can re-ship the tail. *)
+  let log_record d =
+    match wal_writer with
+    | Some w -> Engine.Wal.append_tee ~flush:true w d
+    | None ->
+        let seq = !next_seq in
+        (seq, Engine.Wal.record_to_string ~seq d)
+  in
+  List.iter
+    (fun (_, d) ->
+      (match kill_at with
+      | Some k when !applied = k ->
+          if kill_mid_frame then begin
+            (* The torn record is durable: it reaches the WAL before
+               the half-frame hits the wire, so recovery must re-ship
+               it to every survivor. *)
+            let _, line = log_record d in
+            Replica.Proc.write_torn_frame peers ~term ~line
+          end;
+          Format.print_flush ();
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+      | _ -> ());
+      let seq, line = log_record d in
+      next_seq := seq + 1;
+      ignore (C.apply ctrl d);
+      Hashtbl.replace history seq (false, line);
+      last := seq;
+      Replica.Proc.ship peers ~term ~shock:false line;
+      incr applied;
+      if !applied mod hb_every = 0 then
+        Replica.Proc.heartbeat peers ~term ~last_seq:!last ~tick:!applied)
+    records;
+  let converged = Replica.Proc.catch_up peers ~term ~history ~last_seq:!last in
+  let mine = Replica.Proc.digest ctrl in
+  let divergent =
+    List.fold_left
+      (fun n p ->
+        match Replica.Proc.collect_digest p with
+        | Some d when d = mine -> n
+        | _ -> n + 1)
+      0 peers
+  in
+  Replica.Proc.quit_peers peers;
+  (match wal_writer with Some w -> Engine.Wal.close w | None -> ());
+  Format.printf
+    "PROC-PRIMARY applied=%d last_seq=%d followers=%d divergent=%d%s@."
+    !applied !last (List.length peers) divergent
+    (if converged then "" else " [NOT converged]");
+  if divergent > 0 || not converged then begin
+    Format.print_flush ();
+    exit 5
+  end
+
+let rec waitpid_retry pid =
+  try Unix.waitpid [] pid
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+(* Supervisor: spawn N follower processes + 1 primary process
+   (re-execing this very binary), wait on the primary, and — when it
+   died by signal (--replica-kill-at SIGKILLs it) — run the recovery
+   coordinator over the durable WAL and assert every survivor
+   converges bit-identically to the WAL replay. *)
+let supervise_run ~policy ~file ~epoch ~n ~gen_deltas ~deltas_in ~seed
+    ~wal_out ~heartbeat_every ~kill_at ~kill_mid_frame ~idle_timeout inst =
+  if n < 1 then failwith "--replica-supervise: need at least 1 follower";
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mmd-proc-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o700
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let sock i = Filename.concat dir (Printf.sprintf "follower-%d.sock" i) in
+  let wal =
+    match wal_out with
+    | Some w -> w
+    | None -> Filename.concat dir "primary.wal"
+  in
+  let exe = Sys.executable_name in
+  let ids = List.init n (fun i -> i + 1) in
+  let spawn args =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let followers =
+    List.map
+      (fun i ->
+        ( i,
+          spawn
+            [ file; "--replica-listen"; "unix:" ^ sock i; "--replica-id";
+              string_of_int i; "--replica-idle-timeout";
+              Printf.sprintf "%g" idle_timeout; "--epoch"; epoch ] ))
+      ids
+  in
+  let primary_args =
+    [ file; "--replica-connect";
+      String.concat "," (List.map (fun i -> "unix:" ^ sock i) ids); "--epoch";
+      epoch; "--wal-out"; wal; "--seed"; string_of_int seed ]
+    @ (match gen_deltas with
+      | Some g -> [ "--gen-deltas"; string_of_int g ]
+      | None -> [])
+    @ (match deltas_in with Some p -> [ "--deltas"; p ] | None -> [])
+    @ (match heartbeat_every with
+      | Some h -> [ "--heartbeat-every"; string_of_int h ]
+      | None -> [])
+    @ (match kill_at with
+      | Some k -> [ "--replica-kill-at"; string_of_int k ]
+      | None -> [])
+    @ (if kill_mid_frame then [ "--replica-kill-mid-frame" ] else [])
+  in
+  let ppid = spawn primary_args in
+  let _, pstatus = waitpid_retry ppid in
+  let failed = ref 0 in
+  (match pstatus with
+  | Unix.WEXITED 0 -> Format.printf "PROC-SUPERVISOR primary exited cleanly@."
+  | Unix.WSIGNALED s ->
+      Format.printf "PROC-SUPERVISOR primary killed by signal %d; recovering@."
+        s;
+      let endpoints = List.map (fun i -> parse_endpoint ("unix:" ^ sock i)) ids in
+      (match
+         Replica.Proc.recover_and_verify ~policy ~endpoints ~wal_path:wal
+           ~term:1 inst
+       with
+      | Ok r ->
+          Format.printf
+            "PROC-SUPERVISOR survivors=%d divergent=%d wal_records=%d \
+             digest=%s@."
+            r.Replica.Proc.survivors r.Replica.Proc.divergent
+            r.Replica.Proc.wal_records r.Replica.Proc.reference_digest;
+          if r.Replica.Proc.divergent > 0 then incr failed
+      | Error msg ->
+          Format.printf "PROC-SUPERVISOR recovery failed: %s@." msg;
+          incr failed)
+  | Unix.WEXITED c ->
+      Format.printf "PROC-SUPERVISOR primary exited %d@." c;
+      incr failed
+  | Unix.WSTOPPED _ -> incr failed);
+  List.iter
+    (fun (i, pid) ->
+      let _, st = waitpid_retry pid in
+      match st with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c ->
+          Format.printf "PROC-SUPERVISOR follower %d exited %d@." i c;
+          incr failed
+      | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+          Format.printf "PROC-SUPERVISOR follower %d died on signal %d@." i s;
+          incr failed)
+    followers;
+  List.iter (fun i -> try Sys.remove (sock i) with Sys_error _ -> ()) ids;
+  (match wal_out with
+  | None -> ( try Sys.remove wal with Sys_error _ -> ())
+  | Some _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Format.printf "PROC-SUPERVISOR done: %d follower(s), %d failure(s)@." n
+    !failed;
+  if !failed > 0 then begin
+    Format.print_flush ();
+    exit 5
+  end
+
 (* Sharded mode: FILE must be an instance; every delta is routed
    through a Shard.Router over N full engine stacks. --wal-out names a
    DIRECTORY holding shard-<i>.wal (each replays standalone into a
@@ -262,8 +469,8 @@ let finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
    run; Group.apply_batch itself preserves the per-record tick
    machinery (heartbeats and failover fire at identical points). *)
 let replicated_run ~records ~policy ~replicas ~heartbeat_every
-    ~kill_primary_at ~wal_writer ~skip_final ~snapshot_out ~snapshot_every
-    ~crash_after ~batch inst =
+    ~kill_primary_at ~hand_over_at ~transport ~wal_writer ~skip_final
+    ~snapshot_out ~snapshot_every ~crash_after ~batch inst =
   let config =
     match heartbeat_every with
     | None -> Replica.Group.default_config
@@ -274,8 +481,15 @@ let replicated_run ~records ~policy ~replicas ~heartbeat_every
             max (3 * hb) Replica.Group.default_config.heartbeat_timeout
         }
   in
+  let mk_link =
+    match transport with
+    | "queue" -> fun _ -> Replica.Transport.queue_link ()
+    | "socket" -> fun _ -> Replica.Transport_socket.loopback ()
+    | other -> failwith (Printf.sprintf "unknown replica transport %S" other)
+  in
   let g =
-    Replica.Group.create ~policy ~config ?wal:wal_writer ~replicas inst
+    Replica.Group.create ~policy ~config ~mk_link ?wal:wal_writer ~replicas
+      inst
   in
   let applied = ref 0 in
   let t0 = Obs.Clock.now () in
@@ -287,6 +501,11 @@ let replicated_run ~records ~policy ~replicas ~heartbeat_every
     in
     let cut =
       match kill_primary_at with
+      | Some n when n > applied -> min cut (n - applied)
+      | _ -> cut
+    in
+    let cut =
+      match hand_over_at with
       | Some n when n > applied -> min cut (n - applied)
       | _ -> cut
     in
@@ -310,6 +529,17 @@ let replicated_run ~records ~policy ~replicas ~heartbeat_every
             (Replica.Group.primary_id g)
             n;
           Replica.Group.kill_primary g
+      | _ -> ());
+      (match hand_over_at with
+      | Some n when !applied = n -> (
+          match Replica.Group.hand_over g with
+          | Ok id ->
+              Format.printf
+                "hand-over at boundary %d: new primary replica %d, lost 0 \
+                 deltas@."
+                n id
+          | Error msg ->
+              Format.printf "hand-over at boundary %d refused: %s@." n msg)
       | _ -> ());
       Replica.Chaos.ensure_promoted g;
       ignore (Replica.Group.apply_batch g (List.map snd chunk));
@@ -335,19 +565,25 @@ let replicated_run ~records ~policy ~replicas ~heartbeat_every
   if Replica.Group.failovers g > 0 then
     Format.printf "time to promote: %.6fs@."
       (Replica.Group.last_promote_seconds g);
+  if Replica.Group.handovers g > 0 then
+    Format.printf "planned hand-overs: %d@." (Replica.Group.handovers g);
   List.iter
     (fun id ->
       Format.printf "follower %d: acked seq %d (lag %d)@." id
         (Option.value ~default:0 (Replica.Group.acked g id))
         (Option.value ~default:0 (Replica.Group.lag g id)))
     (Replica.Group.live_followers g);
-  Replica.Group.primary g
+  let primary = Replica.Group.primary g in
+  Replica.Group.close g;
+  primary
 
 let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
     compare_scratch snapshot_in snapshot_out snapshot_every plan_out domains
     wal_out crash_after trace_out metrics_out stats shards shard_tags split
     rebalance_every rebalance_k replicas heartbeat_every kill_primary_at
-    batch wal_dir checkpoint_every =
+    hand_over_at replica_transport replica_listen replica_connect
+    replica_supervise replica_id replica_idle_timeout replica_kill_at
+    replica_kill_mid_frame batch wal_dir checkpoint_every =
   match shards with
   | Some n when n >= 1 -> (
       match
@@ -497,6 +733,36 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
       | None -> None
     in
     let is_snapshot_file = Engine.Snapshot.is_snapshot text in
+    match replica_listen with
+    | Some listen ->
+        if is_snapshot_file then
+          failwith "--replica-listen starts from an instance";
+        follower_serve_run ~policy ~listen ~replica_id
+          ~idle_timeout:replica_idle_timeout (Mmd.Io.of_string text)
+    | None ->
+    match replica_connect with
+    | Some addrs ->
+        if is_snapshot_file then
+          failwith "--replica-connect starts from an instance";
+        let inst = Mmd.Io.of_string text in
+        let records =
+          load_records ~already:0 ~view:(Engine.View.of_instance inst)
+            ~note:(fun _ -> ())
+            ()
+        in
+        primary_proc_run ~policy ~records ~endpoints:(parse_endpoints addrs)
+          ~wal_writer ~heartbeat_every ~kill_at:replica_kill_at
+          ~kill_mid_frame:replica_kill_mid_frame inst
+    | None ->
+    match replica_supervise with
+    | Some n ->
+        if is_snapshot_file then
+          failwith "--replica-supervise starts from an instance";
+        supervise_run ~policy ~file ~epoch ~n ~gen_deltas ~deltas_in ~seed
+          ~wal_out ~heartbeat_every ~kill_at:replica_kill_at
+          ~kill_mid_frame:replica_kill_mid_frame
+          ~idle_timeout:replica_idle_timeout (Mmd.Io.of_string text)
+    | None ->
     match replicas with
     | Some r when r >= 1 ->
         if is_snapshot_file then
@@ -517,8 +783,9 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
         in
         let ctrl =
           replicated_run ~records ~policy ~replicas:r ~heartbeat_every
-            ~kill_primary_at ~wal_writer ~skip_final ~snapshot_out
-            ~snapshot_every ~crash_after ~batch inst
+            ~kill_primary_at ~hand_over_at ~transport:replica_transport
+            ~wal_writer ~skip_final ~snapshot_out ~snapshot_every
+            ~crash_after ~batch inst
         in
         (match wal_writer with Some w -> Engine.Wal.close w | None -> ());
         finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
@@ -1059,6 +1326,100 @@ let kill_primary_at =
            buffered tail — and the run continues on the new primary with \
            zero divergence.")
 
+let hand_over_at =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hand-over-at" ] ~docv:"N"
+        ~doc:
+          "With $(b,--replicas) (unsharded): planned lease-based failover at \
+           delta boundary $(docv) — the primary grants a lease to the \
+           most-caught-up follower, drains its tail, and flips roles. Zero \
+           deltas are lost and the run continues on the new primary with \
+           zero divergence; the demoted primary stays in the group as a \
+           follower.")
+
+let replica_transport =
+  Arg.(
+    value & opt string "queue"
+    & info [ "replica-transport" ] ~docv:"KIND"
+        ~doc:
+          "With $(b,--replicas): the frame transport between primary and \
+           followers — $(b,queue) (in-process FIFO) or $(b,socket) (a real \
+           loopback socket pair per follower, length-prefixed CRC-framed \
+           wire format). Final state is bit-identical across both.")
+
+let replica_listen =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-listen" ] ~docv:"ADDR"
+        ~doc:
+          "Run this process as one follower of a multi-process replica set: \
+           listen on $(docv) ($(b,unix:PATH) or $(b,HOST:PORT)), apply \
+           frames shipped by a primary, and exit when told to quit \
+           (printing the final state digest) or when orphaned past \
+           $(b,--replica-idle-timeout) (exit 4).")
+
+let replica_connect =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replica-connect" ] ~docv:"ADDRS"
+        ~doc:
+          "Run this process as the primary of a multi-process replica set: \
+           dial the comma-separated follower $(docv), then apply + WAL-ship \
+           every record over the sockets. Exits 5 if any follower's final \
+           digest diverges.")
+
+let replica_supervise =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replica-supervise" ] ~docv:"N"
+        ~doc:
+          "Spawn a replica set of $(docv) follower processes plus one \
+           primary process (re-executing this binary), supervise them, and \
+           — if the primary dies by signal ($(b,--replica-kill-at)) — \
+           recover its durable WAL and re-ship the tail so every survivor \
+           converges. Exits 5 on any divergence or unclean follower exit.")
+
+let replica_id =
+  Arg.(
+    value & opt int 0
+    & info [ "replica-id" ] ~docv:"ID"
+        ~doc:
+          "With $(b,--replica-listen): this follower's id, echoed in its \
+           report line.")
+
+let replica_idle_timeout =
+  Arg.(
+    value & opt float 30.
+    & info [ "replica-idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With $(b,--replica-listen): exit 4 when no primary connects or \
+           speaks for $(docv) seconds (default 30).")
+
+let replica_kill_at =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replica-kill-at" ] ~docv:"N"
+        ~doc:
+          "With $(b,--replica-connect) (directly or via \
+           $(b,--replica-supervise)): the primary process SIGKILLs itself \
+           at delta boundary $(docv) — a real crash, not a simulation.")
+
+let replica_kill_mid_frame =
+  Arg.(
+    value & flag
+    & info [ "replica-kill-mid-frame" ]
+        ~doc:
+          "With $(b,--replica-kill-at): first append the next record to the \
+           WAL and write exactly half of its encoded frame to every \
+           follower, then die — leaving a torn frame on every wire that \
+           recovery must re-ship.")
+
 let batch =
   Arg.(
     value & opt int 1
@@ -1101,7 +1462,10 @@ let cmd =
       `P
         "$(b,0) on success; $(b,3) when $(b,--crash-after) fired its \
          simulated crash (the WAL is flushed first, so every applied delta \
-         is recoverable); Cmdliner's usual codes otherwise." ]
+         is recoverable); $(b,4) when a $(b,--replica-listen) follower was \
+         orphaned past its idle timeout; $(b,5) when a multi-process \
+         replica set diverged or a supervised process exited uncleanly; \
+         Cmdliner's usual codes otherwise." ]
   in
   Cmd.v (Cmd.info "mmd_engine" ~doc ~man)
     Term.(
@@ -1111,6 +1475,9 @@ let cmd =
        $ snapshot_every $ plan_out $ domains $ wal_out $ crash_after
        $ trace_out $ metrics_out $ stats $ shards $ shard_tags $ split
        $ rebalance_every $ rebalance_k $ replicas $ heartbeat_every
-       $ kill_primary_at $ batch $ wal_dir $ checkpoint_every))
+       $ kill_primary_at $ hand_over_at $ replica_transport $ replica_listen
+       $ replica_connect $ replica_supervise $ replica_id
+       $ replica_idle_timeout $ replica_kill_at $ replica_kill_mid_frame
+       $ batch $ wal_dir $ checkpoint_every))
 
 let () = exit (Cmd.eval cmd)

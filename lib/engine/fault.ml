@@ -14,6 +14,12 @@ type kind =
   | Follower_crash of int
   | Primary_crash
   | Heartbeat_partition of int
+  (* Network faults (PR 9): attack the link itself — delay, partition
+     and connection loss — plus the planned-failover path. *)
+  | Hold_frames of int * int
+  | Link_partition of int * int
+  | Link_reset of int
+  | Hand_over
 
 type event = { at : int; kind : kind }
 type schedule = event list
@@ -33,6 +39,10 @@ let kind_to_string = function
   | Follower_crash r -> Printf.sprintf "follower-crash %d" r
   | Primary_crash -> "primary-crash"
   | Heartbeat_partition n -> Printf.sprintf "heartbeat-partition %d" n
+  | Hold_frames (r, n) -> Printf.sprintf "hold-frames @%d for %d" r n
+  | Link_partition (r, n) -> Printf.sprintf "link-partition @%d for %d" r n
+  | Link_reset r -> Printf.sprintf "link-reset @%d" r
+  | Hand_over -> "hand-over"
 
 let pp_event ppf e =
   Format.fprintf ppf "@%d %s" e.at (kind_to_string e.kind)
@@ -75,6 +85,31 @@ let generate_replication ~rng ~deltas ~replicas ~count =
   in
   List.stable_sort (fun a b -> compare a.at b.at) events
 
+(* The full network-era vocabulary; again a separate draw so
+   [generate_replication] schedules stay seed-stable. *)
+let random_network_kind rng ~replicas =
+  let follower () = 1 + Prelude.Rng.int rng (max 1 replicas) in
+  match Prelude.Rng.int rng 11 with
+  | 0 -> Drop_frame (follower ())
+  | 1 -> Dup_frame (follower ())
+  | 2 -> Reorder_frames (follower ())
+  | 3 -> Truncate_frame (follower ())
+  | 4 -> Follower_crash (follower ())
+  | 5 -> Primary_crash
+  | 6 -> Heartbeat_partition (5 + Prelude.Rng.int rng 60)
+  | 7 -> Hold_frames (follower (), 1 + Prelude.Rng.int rng 8)
+  | 8 -> Link_partition (follower (), 1 + Prelude.Rng.int rng 16)
+  | 9 -> Link_reset (follower ())
+  | _ -> Hand_over
+
+let generate_network ~rng ~deltas ~replicas ~count =
+  let events =
+    List.init count (fun _ ->
+        { at = 1 + Prelude.Rng.int rng (max 1 deltas);
+          kind = random_network_kind rng ~replicas })
+  in
+  List.stable_sort (fun a b -> compare a.at b.at) events
+
 let at schedule i = List.filter (fun e -> e.at = i) schedule
 
 let shock_delta view kind =
@@ -97,7 +132,8 @@ let shock_delta view kind =
              costs = Array.init (View.m view) (fun i -> View.budget view i) })
   | Corrupt_log | Torn_snapshot | Task_exn
   | Drop_frame _ | Dup_frame _ | Reorder_frames _ | Truncate_frame _
-  | Follower_crash _ | Primary_crash | Heartbeat_partition _ ->
+  | Follower_crash _ | Primary_crash | Heartbeat_partition _
+  | Hold_frames _ | Link_partition _ | Link_reset _ | Hand_over ->
       None
 
 let corrupt_text ~rng text =

@@ -38,7 +38,21 @@
       the most-caught-up follower is promoted;
     - [Heartbeat_partition n] — heartbeats are suppressed for [n] idle
       ticks (a short partition must ride out on backoff without a
-      failover; a long one must promote). *)
+      failover; a long one must promote).
+
+    Network faults (PR 9; attack the link itself, and fire identically
+    on the in-process queue and the socket backend):
+    - [Hold_frames (r, n)] — follower [r]'s next frame is delayed past
+      the next [n] sends (a long reorder — the follower must buffer
+      around the gap);
+    - [Link_partition (r, n)] — follower [r]'s link buffers everything
+      for [n] sends, then delivers in order (delay, not loss);
+    - [Link_reset r] — follower [r]'s connection drops abortively,
+      losing everything in flight (the socket backend reconnects;
+      retransmit heals);
+    - [Hand_over] — a planned lease-based failover to the
+      most-caught-up follower (must lose nothing and diverge
+      nothing). *)
 
 type kind =
   | Corrupt_log
@@ -53,6 +67,10 @@ type kind =
   | Follower_crash of int  (** follower id that dies *)
   | Primary_crash
   | Heartbeat_partition of int  (** idle ticks the partition lasts *)
+  | Hold_frames of int * int  (** follower id, sends to delay past *)
+  | Link_partition of int * int  (** follower id, sends until heal *)
+  | Link_reset of int  (** follower id whose connection drops *)
+  | Hand_over  (** planned lease-based failover *)
 
 type event = { at : int; kind : kind }
 
@@ -77,7 +95,15 @@ val generate_replication :
 (** [count] replication faults at uniform boundaries: kinds drawn
     uniformly over the seven replication kinds, target followers
     uniform in [[1, replicas]], partition lengths uniform in
-    [[5, 64]] ticks. *)
+    [[5, 64]] ticks. Draws only the original seven kinds, so seeded
+    E19 schedules replay unchanged. *)
+
+val generate_network :
+  rng:Prelude.Rng.t -> deltas:int -> replicas:int -> count:int -> schedule
+(** Like {!generate_replication} but over the full eleven-kind
+    network-era vocabulary: the seven replication kinds plus
+    [Hold_frames] (delay 1–8 sends), [Link_partition] (1–16 sends),
+    [Link_reset] and [Hand_over]. *)
 
 val at : schedule -> int -> event list
 (** Faults scheduled at boundary [i], in schedule order. *)

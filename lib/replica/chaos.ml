@@ -6,6 +6,9 @@ let fault_of_kind = function
   | F.Dup_frame _ -> Some Transport.Duplicate
   | F.Reorder_frames _ -> Some Transport.Reorder
   | F.Truncate_frame _ -> Some Transport.Truncate
+  | F.Hold_frames (_, n) -> Some (Transport.Hold n)
+  | F.Link_partition (_, n) -> Some (Transport.Partition n)
+  | F.Link_reset _ -> Some Transport.Reset
   | _ -> None
 
 (* A dead primary with no live follower would spin the failure
@@ -27,10 +30,15 @@ let ensure_promoted g =
 let fire g (e : F.event) =
   match e.F.kind with
   | F.Drop_frame r | F.Dup_frame r | F.Reorder_frames r | F.Truncate_frame r
-    -> (
+  | F.Hold_frames (r, _) | F.Link_partition (r, _) | F.Link_reset r -> (
       match fault_of_kind e.F.kind with
       | Some fault -> ignore (Group.inject g ~follower:r fault)
       | None -> ())
+  | F.Hand_over ->
+      (* Planned failover mid-run: must be invisible in the final
+         state. A revoked lease (no live successor) is fine — the old
+         primary keeps serving. *)
+      ignore (Group.hand_over g)
   | F.Follower_crash r -> ignore (Group.crash_follower g r)
   | F.Primary_crash ->
       Group.kill_primary g;

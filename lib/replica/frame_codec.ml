@@ -1,0 +1,112 @@
+let version = 1
+let header_length = 11
+let max_payload = 1 lsl 24
+
+let magic0 = 'V'
+let magic1 = 'F'
+
+let put_u32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let encode payload =
+  let len = String.length payload in
+  if len > max_payload then
+    invalid_arg
+      (Printf.sprintf "Frame_codec.encode: payload %d bytes exceeds cap %d"
+         len max_payload);
+  let b = Bytes.create (header_length + len) in
+  Bytes.set b 0 magic0;
+  Bytes.set b 1 magic1;
+  Bytes.set b 2 (Char.chr version);
+  put_u32 b 3 len;
+  put_u32 b 7 (Int32.to_int (Prelude.Crc32.digest payload) land 0xffffffff);
+  Bytes.blit_string payload 0 b header_length len;
+  Bytes.unsafe_to_string b
+
+let encoded_length payload = header_length + String.length payload
+
+module Decoder = struct
+  (* A flat buffer with a consumed prefix: [buf.[start .. start+len-1]]
+     is the unconsumed byte window. Compaction happens when the dead
+     prefix dominates, so long streams of small frames never grow the
+     buffer. *)
+  type t = {
+    mutable buf : Bytes.t;
+    mutable start : int;
+    mutable len : int;
+  }
+
+  let create () = { buf = Bytes.create 4096; start = 0; len = 0 }
+
+  let compact t =
+    if t.start > 0 then begin
+      Bytes.blit t.buf t.start t.buf 0 t.len;
+      t.start <- 0
+    end
+
+  let ensure t extra =
+    if t.start + t.len + extra > Bytes.length t.buf then begin
+      compact t;
+      if t.len + extra > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf * 2) in
+        while t.len + extra > !cap do
+          cap := !cap * 2
+        done;
+        let b = Bytes.create !cap in
+        Bytes.blit t.buf 0 b 0 t.len;
+        t.buf <- b
+      end
+    end
+
+  let feed t ?(pos = 0) ?len s =
+    let len = match len with Some l -> l | None -> String.length s - pos in
+    if len < 0 || pos < 0 || pos + len > String.length s then
+      invalid_arg "Frame_codec.Decoder.feed";
+    ensure t len;
+    Bytes.blit_string s pos t.buf (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let next t =
+    if t.len < header_length then Ok None
+    else begin
+      let at i = Bytes.get t.buf (t.start + i) in
+      if at 0 <> magic0 || at 1 <> magic1 then Error "bad frame magic"
+      else if Char.code (at 2) <> version then
+        Error (Printf.sprintf "unsupported frame version %d" (Char.code (at 2)))
+      else
+        let len = get_u32 t.buf (t.start + 3) in
+        if len > max_payload then
+          Error (Printf.sprintf "frame length %d exceeds cap %d" len max_payload)
+        else if t.len < header_length + len then Ok None
+        else begin
+          let crc = get_u32 t.buf (t.start + 7) in
+          let payload =
+            Bytes.sub_string t.buf (t.start + header_length) len
+          in
+          if Int32.to_int (Prelude.Crc32.digest payload) land 0xffffffff <> crc
+          then Error "frame CRC mismatch"
+          else begin
+            t.start <- t.start + header_length + len;
+            t.len <- t.len - header_length - len;
+            if t.len = 0 then t.start <- 0
+            else if t.start > Bytes.length t.buf / 2 then compact t;
+            Ok (Some payload)
+          end
+        end
+    end
+
+  let buffered t = t.len
+
+  let reset t =
+    t.start <- 0;
+    t.len <- 0
+end

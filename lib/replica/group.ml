@@ -8,12 +8,15 @@ module Frame = struct
     | Data of { term : int; line : string }
     | Shock of { term : int; line : string }
     | Heartbeat of { term : int; last_seq : int; tick : int }
+    | Lease of { term : int; last_seq : int; successor : int }
 
   let to_string = function
     | Data { term; line } -> Printf.sprintf "D %d %s" term line
     | Shock { term; line } -> Printf.sprintf "S %d %s" term line
     | Heartbeat { term; last_seq; tick } ->
         Printf.sprintf "H %d %d %d" term last_seq tick
+    | Lease { term; last_seq; successor } ->
+        Printf.sprintf "L %d %d %d" term last_seq successor
 
   (* "<tag> <int> <rest>"; [rest] may itself contain spaces. *)
   let split3 s =
@@ -30,6 +33,16 @@ module Frame = struct
                 String.sub rest 0 j,
                 String.sub rest (j + 1) (String.length rest - j - 1) ))
 
+  let two_ints rest =
+    match
+      String.split_on_char ' ' rest |> List.filter (fun t -> t <> "")
+    with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b -> Some (a, b)
+        | _ -> None)
+    | _ -> None
+
   let of_string s =
     match split3 s with
     | None -> Error "not a replication frame"
@@ -41,18 +54,15 @@ module Frame = struct
             | "D" when rest <> "" -> Ok (Data { term; line = rest })
             | "S" when rest <> "" -> Ok (Shock { term; line = rest })
             | "H" -> (
-                match
-                  String.split_on_char ' ' rest
-                  |> List.filter (fun t -> t <> "")
-                with
-                | [ seq_tok; tick_tok ] -> (
-                    match
-                      (int_of_string_opt seq_tok, int_of_string_opt tick_tok)
-                    with
-                    | Some last_seq, Some tick ->
-                        Ok (Heartbeat { term; last_seq; tick })
-                    | _ -> Error "bad heartbeat fields")
-                | _ -> Error "bad heartbeat frame")
+                match two_ints rest with
+                | Some (last_seq, tick) ->
+                    Ok (Heartbeat { term; last_seq; tick })
+                | None -> Error "bad heartbeat frame")
+            | "L" -> (
+                match two_ints rest with
+                | Some (last_seq, successor) ->
+                    Ok (Lease { term; last_seq; successor })
+                | None -> Error "bad lease frame")
             | _ -> Error (Printf.sprintf "unknown frame tag %S" tag)))
 end
 
@@ -61,7 +71,7 @@ end
 type follower = {
   id : int;
   mutable ctrl : C.t;
-  tr : Transport.t;
+  tr : Transport.link;
   mutable acked : int;  (** highest contiguously applied seq *)
   mutable fterm : int;  (** highest term seen *)
   pending : (int, bool * Engine.Delta.t) Hashtbl.t;
@@ -89,6 +99,7 @@ type t = {
   policy : C.epoch_policy;
   labels : (string * string) list;
   cfg : config;
+  mk_link : int -> Transport.link;
   mutable primary : C.t;
   mutable primary_id : int;
   mutable primary_alive : bool;
@@ -96,6 +107,9 @@ type t = {
   mutable next_seq : int;
   mutable clock : int;  (** logical ticks: one per applied record *)
   followers : follower array;  (** ids 1..N at indices 0..N-1 *)
+  mutable zero : follower option;
+      (** replica 0's follower record, created the first time the
+          initial primary is demoted by a planned handover *)
   history : (int, bool * string) Hashtbl.t;
       (** the durable shipped log: seq -> (shock, framed WAL line) *)
   mutable history_hi : int;
@@ -104,6 +118,7 @@ type t = {
   mutable suspicion : int;
   mutable deadline : int;  (** tick at which the failure detector fires *)
   mutable failovers_n : int;
+  mutable handovers_n : int;
   mutable last_promote : float;
   m_failovers : Obs.Metrics.counter;
   m_promote : Obs.Hist.t;
@@ -111,46 +126,54 @@ type t = {
   m_rejected : Obs.Metrics.counter;
   m_dups : Obs.Metrics.counter;
   m_retransmits : Obs.Metrics.counter;
+  m_handovers : Obs.Metrics.counter;
+  m_lease_grants : Obs.Metrics.counter;
+  m_partitions : Obs.Metrics.counter;
 }
 
 let replica_labels labels id = labels @ [ ("replica", string_of_int id) ]
 
+let mk_follower ~labels ~mk_link ~ctrl id =
+  { id;
+    ctrl;
+    tr = mk_link id;
+    acked = 0;
+    fterm = 0;
+    pending = Hashtbl.create 16;
+    hb_last_seq = 0;
+    alive = true;
+    last_progress = Obs.Clock.now ();
+    m_lag_records =
+      Obs.Metrics.gauge
+        ~labels:(replica_labels labels id)
+        "replica_follower_lag_records";
+    m_lag_seconds =
+      Obs.Metrics.gauge
+        ~labels:(replica_labels labels id)
+        "replica_follower_lag_seconds" }
+
 let create ?(policy = C.Every 64) ?(config = default_config) ?(labels = [])
-    ?wal ~replicas inst =
+    ?wal ?(mk_link = fun _ -> Transport.queue_link ()) ~replicas inst =
   if replicas < 1 then invalid_arg "Replica.Group.create: need at least 1 follower";
   if config.heartbeat_every < 1 || config.heartbeat_timeout < config.heartbeat_every
   then invalid_arg "Replica.Group.create: heartbeat_timeout < heartbeat_every";
   let mk_ctrl id = C.create ~policy ~labels:(replica_labels labels id) inst in
-  let mk_follower id =
-    { id;
-      ctrl = mk_ctrl id;
-      tr = Transport.create ();
-      acked = 0;
-      fterm = 0;
-      pending = Hashtbl.create 16;
-      hb_last_seq = 0;
-      alive = true;
-      last_progress = Obs.Clock.now ();
-      m_lag_records =
-        Obs.Metrics.gauge
-          ~labels:(replica_labels labels id)
-          "replica_follower_lag_records";
-      m_lag_seconds =
-        Obs.Metrics.gauge
-          ~labels:(replica_labels labels id)
-          "replica_follower_lag_seconds" }
-  in
   { inst;
     policy;
     labels;
     cfg = config;
+    mk_link;
     primary = mk_ctrl 0;
     primary_id = 0;
     primary_alive = true;
     term = 0;
     next_seq = 1;
     clock = 0;
-    followers = Array.init replicas (fun i -> mk_follower (i + 1));
+    followers =
+      Array.init replicas (fun i ->
+          let id = i + 1 in
+          mk_follower ~labels ~mk_link ~ctrl:(mk_ctrl id) id);
+    zero = None;
     history = Hashtbl.create 1024;
     history_hi = 0;
     wal;
@@ -158,6 +181,7 @@ let create ?(policy = C.Every 64) ?(config = default_config) ?(labels = [])
     suspicion = 0;
     deadline = config.heartbeat_timeout;
     failovers_n = 0;
+    handovers_n = 0;
     last_promote = 0.;
     m_failovers = Obs.Metrics.counter ~labels "replica_failovers_total";
     m_promote =
@@ -165,14 +189,22 @@ let create ?(policy = C.Every 64) ?(config = default_config) ?(labels = [])
     m_shipped = Obs.Metrics.counter ~labels "replica_frames_shipped_total";
     m_rejected = Obs.Metrics.counter ~labels "replica_frames_rejected_total";
     m_dups = Obs.Metrics.counter ~labels "replica_frames_duplicate_total";
-    m_retransmits = Obs.Metrics.counter ~labels "replica_retransmits_total" }
+    m_retransmits = Obs.Metrics.counter ~labels "replica_retransmits_total";
+    m_handovers = Obs.Metrics.counter ~labels "replica_handovers_total";
+    m_lease_grants = Obs.Metrics.counter ~labels "replica_lease_grants_total";
+    m_partitions = Obs.Metrics.counter ~labels "replica_partitions_total" }
+
+let all_followers g =
+  match g.zero with
+  | Some z -> z :: Array.to_list g.followers
+  | None -> Array.to_list g.followers
 
 let live_followers_list g =
-  Array.to_list g.followers
-  |> List.filter (fun f -> f.alive && f.id <> g.primary_id)
+  all_followers g |> List.filter (fun f -> f.alive && f.id <> g.primary_id)
 
 let find_follower g id =
-  if id < 1 || id > Array.length g.followers then None
+  if id = 0 then g.zero
+  else if id < 1 || id > Array.length g.followers then None
   else Some g.followers.(id - 1)
 
 (* ---------- Follower ingest ---------- *)
@@ -233,13 +265,23 @@ let follower_recv g f frame =
         f.hb_last_seq <- max f.hb_last_seq last_seq
       end
       else Obs.Metrics.inc g.m_rejected
+  | Ok (Frame.Lease { term; last_seq; successor = _ }) ->
+      (* The lease is the term-fence for a planned handover: adopting
+         its term makes every follower reject stale frames from the
+         demoted primary, exactly like a crash promotion's first
+         heartbeat. *)
+      if term >= f.fterm then begin
+        adopt_term f term;
+        f.hb_last_seq <- max f.hb_last_seq last_seq
+      end
+      else Obs.Metrics.inc g.m_rejected
 
 let drain_follower g f = List.iter (follower_recv g f) (Transport.drain f.tr)
 
 (* ---------- Heartbeats, retransmit, failure detection ---------- *)
 
 let send_record g f ~shock line =
-  Transport.send f.tr
+  f.tr.Transport.send
     (Frame.to_string
        (if shock then Frame.Shock { term = g.term; line }
         else Frame.Data { term = g.term; line }))
@@ -270,7 +312,7 @@ let heartbeat_step g =
     Frame.to_string
       (Frame.Heartbeat { term = g.term; last_seq; tick = g.clock })
   in
-  List.iter (fun f -> Transport.send f.tr hb) live;
+  List.iter (fun f -> f.tr.Transport.send hb) live;
   List.iter (fun f -> drain_follower g f) live;
   List.iter (fun f -> if f.acked < last_seq then retransmit g f) live;
   update_lag_gauges g;
@@ -286,7 +328,7 @@ let retire_primary_record g =
   match find_follower g g.primary_id with
   | Some f ->
       f.alive <- false;
-      Transport.clear f.tr;
+      f.tr.Transport.clear ();
       Hashtbl.reset f.pending
   | None -> ()
 
@@ -406,6 +448,101 @@ let absorb_shock g d =
   tick g;
   recovery
 
+(* ---------- Planned handover (lease) ---------- *)
+
+(* The demoted primary rejoins the follower set as a fully caught-up
+   follower: its controller applied every record while it served, so
+   its acked position is exactly [last_seq] at the new term. Replica 0
+   gets its follower record (link, gauges) built on first demotion. *)
+let demote_primary_record g ~new_term ~last_seq =
+  let f =
+    match find_follower g g.primary_id with
+    | Some f -> f
+    | None ->
+        let f =
+          mk_follower ~labels:g.labels ~mk_link:g.mk_link ~ctrl:g.primary
+            g.primary_id
+        in
+        g.zero <- Some f;
+        f
+  in
+  f.ctrl <- g.primary;
+  f.acked <- last_seq;
+  f.fterm <- new_term;
+  Hashtbl.reset f.pending;
+  f.hb_last_seq <- last_seq;
+  f.tr.Transport.clear ();
+  f.alive <- true;
+  f.last_progress <- Obs.Clock.now ();
+  Obs.Metrics.set f.m_lag_records 0.;
+  Obs.Metrics.set f.m_lag_seconds 0.
+
+let hand_over ?to_ g =
+  if not g.primary_alive then Error "primary is down: crash promotion only"
+  else begin
+    Obs.Metrics.inc g.m_lease_grants;
+    let last_seq = g.next_seq - 1 in
+    let successor =
+      match to_ with
+      | Some id -> (
+          match find_follower g id with
+          | Some f when f.alive && f.id <> g.primary_id -> Ok f
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "designated successor %d is not a live follower" id))
+      | None -> (
+          match live_followers_list g with
+          | [] -> Error "no live follower to hand over to"
+          | first :: rest ->
+              Ok
+                (List.fold_left
+                   (fun best f -> if f.acked > best.acked then f else best)
+                   first rest))
+    in
+    match successor with
+    | Error _ as e -> e
+    | Ok s ->
+        (* Drain the tail to the successor under the lease; bounded
+           rounds so a wedged link revokes the lease (primary keeps
+           serving) instead of stalling the control plane. *)
+        let rounds = ref 0 in
+        drain_follower g s;
+        while s.acked < last_seq && !rounds < 64 do
+          incr rounds;
+          retransmit g s;
+          drain_follower g s
+        done;
+        if s.acked < last_seq then
+          Error
+            (Printf.sprintf
+               "lease revoked: successor %d stuck at %d/%d" s.id s.acked
+               last_seq)
+        else begin
+          let new_term = g.term + 1 in
+          let lease =
+            Frame.to_string
+              (Frame.Lease { term = new_term; last_seq; successor = s.id })
+          in
+          (* Fence every live follower on the new term before the flip
+             so nothing accepts a stale frame from the old leader. *)
+          let live = live_followers_list g in
+          List.iter (fun f -> f.tr.Transport.send lease) live;
+          List.iter (fun f -> drain_follower g f) live;
+          demote_primary_record g ~new_term ~last_seq;
+          g.term <- new_term;
+          g.primary <- s.ctrl;
+          g.primary_id <- s.id;
+          g.primary_alive <- true;
+          g.suspicion <- 0;
+          g.deadline <- g.clock + g.cfg.heartbeat_timeout;
+          g.handovers_n <- g.handovers_n + 1;
+          Obs.Metrics.inc g.m_handovers;
+          heartbeat_step g;
+          Ok s.id
+        end
+  end
+
 (* ---------- Chaos operations ---------- *)
 
 let kill_primary g =
@@ -416,7 +553,7 @@ let crash_follower g id =
   match find_follower g id with
   | Some f when f.alive && f.id <> g.primary_id ->
       f.alive <- false;
-      Transport.clear f.tr;
+      f.tr.Transport.clear ();
       Hashtbl.reset f.pending;
       true
   | _ -> false
@@ -430,7 +567,7 @@ let restart_follower g id =
       f.fterm <- g.term;
       f.hb_last_seq <- 0;
       Hashtbl.reset f.pending;
-      Transport.clear f.tr;
+      f.tr.Transport.clear ();
       (* Scratch rebuild: replay the durable shipped log from the
          beginning — the follower-side equivalent of a cold WAL
          recovery. *)
@@ -450,12 +587,13 @@ let restart_follower g id =
   | _ -> false
 
 let partition_heartbeats g ticks =
+  if ticks > 0 then Obs.Metrics.inc g.m_partitions;
   g.partitioned_until <- g.clock + max 0 ticks
 
 let inject g ~follower fault =
   match find_follower g follower with
   | Some f when f.alive && f.id <> g.primary_id ->
-      Transport.arm f.tr fault;
+      f.tr.Transport.arm fault;
       true
   | _ -> false
 
@@ -475,6 +613,8 @@ let quiesce ?(max_rounds = 1024) g =
   done;
   caught_up ()
 
+let close g = List.iter (fun f -> f.tr.Transport.close ()) (all_followers g)
+
 (* ---------- Accessors ---------- *)
 
 let primary g = g.primary
@@ -485,10 +625,10 @@ let clock g = g.clock
 let last_seq g = g.next_seq - 1
 let replicas g = Array.length g.followers
 let failovers g = g.failovers_n
+let handovers g = g.handovers_n
 let last_promote_seconds g = g.last_promote
 
-let follower_ids g =
-  Array.to_list g.followers |> List.map (fun f -> f.id)
+let follower_ids g = all_followers g |> List.map (fun f -> f.id)
 
 let live_followers g = live_followers_list g |> List.map (fun f -> f.id)
 
@@ -504,3 +644,6 @@ let lag g id =
   match find_follower g id with
   | Some f -> Some (g.next_seq - 1 - f.acked)
   | None -> None
+
+let link g id =
+  match find_follower g id with Some f -> Some f.tr | None -> None

@@ -32,8 +32,17 @@
     primary would have been at the same record, including the epoch
     phase, so subsequent replans fire at exactly the same deltas.
 
+    Planned failover is the lease-based {!hand_over}: the primary
+    drains its tail to a designated successor, fences every follower
+    on the next term with a {!Frame.Lease}, and flips roles — zero
+    lost records, zero replan divergence, and the demoted primary
+    rejoins the follower set fully caught up (crash promotion, by
+    contrast, retires the dead primary's record).
+
     Replica ids: the initial primary is 0, followers are 1..N. After a
-    failover the promoted follower keeps its id. *)
+    failover the promoted follower keeps its id; after a handover the
+    demoted primary becomes follower [id] again (replica 0 gains a
+    follower record on its first demotion). *)
 
 module Frame : sig
   type t =
@@ -42,6 +51,10 @@ module Frame : sig
     | Shock of { term : int; line : string }
         (** a fault-injected record, applied via [absorb_shock] *)
     | Heartbeat of { term : int; last_seq : int; tick : int }
+    | Lease of { term : int; last_seq : int; successor : int }
+        (** planned-handover fence: [successor] leads from [term] on;
+            everything through [last_seq] is durable under the old
+            term *)
 
   val to_string : t -> string
   val of_string : string -> (t, string) result
@@ -65,6 +78,7 @@ val create :
   ?config:config ->
   ?labels:(string * string) list ->
   ?wal:Engine.Wal.writer ->
+  ?mk_link:(int -> Transport.link) ->
   replicas:int ->
   Mmd.Instance.t ->
   t
@@ -73,7 +87,11 @@ val create :
     (each replica additionally gets a [replica="<id>"] label, so a
     sharded deployment passes [[("shard", i)]] and series stay
     distinct). [wal] is the primary's durable log: when given, records
-    are appended (and flushed) there before shipping. *)
+    are appended (and flushed) there before shipping. [mk_link] builds
+    the transport link for each replica id (default: a fresh
+    in-process {!Transport.queue_link}; pass
+    [fun _ -> Transport_socket.loopback ()] to replicate over real
+    sockets). *)
 
 val apply : ?flush:bool -> t -> Engine.Delta.t -> Engine.View.applied
 (** Apply on the primary, persist, ship to every live follower, and
@@ -105,6 +123,21 @@ val quiesce : ?max_rounds:int -> t -> bool
 (** Clear any partition, promote if the primary is down, then force
     heartbeat rounds until every live follower is fully caught up
     (true) or [max_rounds] (default 1024) rounds pass (false). *)
+
+val hand_over : ?to_:int -> t -> (int, string) result
+(** Planned, lease-based failover: drain the primary's tail to the
+    successor ([to_], or the most-caught-up live follower, ties to the
+    lowest id), fence every live follower on term+1 with a
+    {!Frame.Lease}, flip roles, and rejoin the demoted primary as a
+    fully caught-up follower. [Ok id] is the new primary's replica id.
+    [Error _] — no eligible successor, or the successor could not
+    catch up within the lease (the handover aborts and the old
+    primary keeps serving; nothing is lost either way). Unlike crash
+    promotion this loses zero in-flight records and retires nobody. *)
+
+val close : t -> unit
+(** Close every follower link, releasing any OS resources (socket
+    fds). The group must not be used afterwards. *)
 
 (** {1 Chaos surface} *)
 
@@ -149,6 +182,10 @@ val last_seq : t -> int
 
 val replicas : t -> int
 val failovers : t -> int
+
+val handovers : t -> int
+(** Completed planned handovers (granted leases that committed). *)
+
 val last_promote_seconds : t -> float
 (** Wall-clock time the most recent promotion took (drain + tail
     replay); 0 before any failover. *)
@@ -167,3 +204,6 @@ val acked : t -> int -> int option
 
 val lag : t -> int -> int option
 (** [last_seq - acked], the record lag gauge value. *)
+
+val link : t -> int -> Transport.link option
+(** Replica [id]'s transport link (for fault-stat assertions). *)

@@ -123,7 +123,9 @@ let run ~rng ?(duration = 1000.) ?(join_rate = 0.2) ?(mean_dwell = 400.)
         | Engine.Fault.Drop_frame _ | Engine.Fault.Dup_frame _
         | Engine.Fault.Reorder_frames _ | Engine.Fault.Truncate_frame _
         | Engine.Fault.Follower_crash _ | Engine.Fault.Primary_crash
-        | Engine.Fault.Heartbeat_partition _ ->
+        | Engine.Fault.Heartbeat_partition _ | Engine.Fault.Hold_frames _
+        | Engine.Fault.Link_partition _ | Engine.Fault.Link_reset _
+        | Engine.Fault.Hand_over ->
             (* Replication faults attack the shipping layer; the
                Replica.Chaos harness drives them. *)
             ())

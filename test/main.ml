@@ -34,4 +34,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("replica", Test_replica.suite);
+      ("replica-socket", Test_replica_socket.suite);
       ("hot-path", Test_hot_path.suite) ]

@@ -82,32 +82,70 @@ let test_frame_roundtrip () =
 
 let test_transport_faults () =
   let t = T.create () in
+  let l = T.link_of t in
   T.send t "a";
   T.send t "b";
-  check_bool "fifo order" true (T.drain t = [ "a"; "b" ]);
+  check_bool "fifo order" true (T.drain l = [ "a"; "b" ]);
   T.arm t T.Drop;
   T.send t "lost";
   T.send t "kept";
-  check_bool "drop" true (T.drain t = [ "kept" ]);
+  check_bool "drop" true (T.drain l = [ "kept" ]);
   T.arm t T.Duplicate;
   T.send t "twice";
-  check_bool "duplicate" true (T.drain t = [ "twice"; "twice" ]);
+  check_bool "duplicate" true (T.drain l = [ "twice"; "twice" ]);
   T.arm t T.Reorder;
   T.send t "first";
   T.send t "second";
-  check_bool "reorder swaps" true (T.drain t = [ "second"; "first" ]);
+  check_bool "reorder swaps" true (T.drain l = [ "second"; "first" ]);
   T.arm t T.Reorder;
   T.send t "held";
   check_bool "held frame released when queue empties" true
-    (T.drain t = [ "held" ]);
+    (T.drain l = [ "held" ]);
   T.arm t T.Truncate;
   T.send t "0123456789";
-  check_bool "truncate halves" true (T.drain t = [ "01234" ]);
-  let drops, dups, reorders, truncs = T.stats t in
-  check_int "drops" 1 drops;
-  check_int "dups" 1 dups;
-  check_int "reorders" 2 reorders;
-  check_int "truncations" 1 truncs
+  check_bool "truncate halves" true (T.drain l = [ "01234" ]);
+  (* Hold n: the held frame is overtaken by exactly n further sends. *)
+  T.arm t (T.Hold 2);
+  T.send t "late";
+  T.send t "x";
+  T.send t "y";
+  T.send t "z";
+  check_bool "hold 2 delays past two sends" true
+    (T.drain l = [ "x"; "y"; "late"; "z" ]);
+  T.arm t (T.Hold 5);
+  T.send t "lone";
+  check_bool "held frame released on idle" true (T.drain l = [ "lone" ]);
+  (* Partition n: everything buffers for n further sends, then
+     releases in order — delay, not loss. *)
+  T.arm t (T.Partition 2);
+  T.send t "p1";
+  T.send t "p2";
+  check_int "open partition buffers, delivers nothing" 2 (T.pending t);
+  T.send t "p3";
+  check_bool "partition releases in order after n sends" true
+    (T.drain l = [ "p1"; "p2"; "p3" ]);
+  T.send t "p4";
+  check_bool "post-partition frame flows" true (T.drain l = [ "p4" ]);
+  T.arm t (T.Partition 10);
+  T.send t "q1";
+  T.send t "q2";
+  check_bool "idle heals an open partition in order" true
+    (T.drain l = [ "q1"; "q2" ]);
+  (* Reset: the trigger and everything in flight are lost. *)
+  T.send t "pre";
+  T.arm t T.Reset;
+  T.send t "trigger";
+  check_bool "reset loses everything in flight" true (T.drain l = []);
+  T.send t "after";
+  check_bool "link usable after reset" true (T.drain l = [ "after" ]);
+  let s = T.stats t in
+  check_int "drops" 1 s.T.drops;
+  check_int "dups" 1 s.T.dups;
+  check_int "reorders" 2 s.T.reorders;
+  check_int "truncations" 1 s.T.truncations;
+  check_int "holds" 2 s.T.holds;
+  check_int "partitions" 2 s.T.partitions;
+  check_int "resets" 1 s.T.resets
 
 (* ---------- Basic replication ---------- *)
 
@@ -214,51 +252,217 @@ let test_promotes_most_caught_up () =
   C.apply_all reference log;
   check_bool "still bit-identical" true (bit_identical (G.primary g) reference)
 
-(* ---------- Replication fault matrix ---------- *)
+(* ---------- Replication fault matrix (functorized over transport) --- *)
 
-(* For each replication fault kind: run chaos, then every surviving
-   replica (promoted primary and live followers) must be bit-identical
-   to the reference run of the same log + shocks. *)
-let fault_matrix_prop (seed, policy) =
-  let inst, log = world seed in
-  let rng = Prelude.Rng.create (seed * 7 + 1) in
-  let schedule =
-    F.generate_replication ~rng ~deltas:(List.length log) ~replicas:2 ~count:6
-  in
-  let g = G.create ~policy ~replicas:2 inst in
-  Chaos.run g ~log ~schedule;
-  let reference = Chaos.reference ~policy inst ~log ~schedule in
-  let primary_ok = bit_identical (G.primary g) reference in
-  let followers_ok =
-    List.for_all
-      (fun id ->
-        match G.follower_ctrl g id with
+(* The protocol-level suite is written once against the abstract
+   {!Transport.link} surface and instantiated per backend: the
+   in-process queue here, the socket loopback in Test_replica_socket.
+   Both backends must pass the identical matrix. *)
+module type BACKEND = sig
+  val name : string
+  val mk_link : int -> T.link
+
+  val count : int
+  (** qcheck cases per property — sockets are dearer than queues. *)
+end
+
+module Protocol_matrix (B : BACKEND) = struct
+  let wrap what = Printf.sprintf "%s [%s]" what B.name
+
+  let with_group ~policy ~replicas inst f =
+    let g = G.create ~mk_link:B.mk_link ~policy ~replicas inst in
+    Fun.protect ~finally:(fun () -> G.close g) (fun () -> f g)
+
+  (* For each fault in the schedule: run chaos, then every surviving
+     replica (promoted primary and live followers) must be
+     bit-identical to the reference run of the same log + shocks. *)
+  let fault_matrix_prop ~generate (seed, policy) =
+    let inst, log = world seed in
+    let rng = Prelude.Rng.create ((seed * 7) + 1) in
+    let schedule =
+      generate ~rng ~deltas:(List.length log) ~replicas:2 ~count:6
+    in
+    with_group ~policy ~replicas:2 inst (fun g ->
+        Chaos.run g ~log ~schedule;
+        let reference = Chaos.reference ~policy inst ~log ~schedule in
+        bit_identical (G.primary g) reference
+        && List.for_all
+             (fun id ->
+               match G.follower_ctrl g id with
+               | Some ctrl -> bit_identical ctrl reference
+               | None -> false)
+             (G.live_followers g))
+
+  let qcheck_fault_matrix =
+    qtest ~count:B.count
+      (wrap "replication fault matrix: every survivor bit-identical")
+      QCheck2.Gen.(pair (int_range 1 10_000) (oneofl policies))
+      (fault_matrix_prop ~generate:F.generate_replication)
+
+  let qcheck_network_matrix =
+    qtest ~count:B.count
+      (wrap "network fault matrix: every survivor bit-identical")
+      QCheck2.Gen.(pair (int_range 1 10_000) (oneofl policies))
+      (fault_matrix_prop ~generate:F.generate_network)
+
+  let test_each_fault_kind_heals () =
+    let inst, log = world 31 in
+    List.iter
+      (fun kind ->
+        let schedule = [ { F.at = 20; kind }; { F.at = 55; kind } ] in
+        with_group ~policy:(C.Every 16) ~replicas:2 inst (fun g ->
+            Chaos.run g ~log ~schedule;
+            let reference =
+              Chaos.reference ~policy:(C.Every 16) inst ~log ~schedule
+            in
+            check_bool
+              (wrap (Printf.sprintf "%s heals" (F.kind_to_string kind)))
+              true
+              (bit_identical (G.primary g) reference)))
+      [ F.Drop_frame 1; F.Dup_frame 1; F.Reorder_frames 2; F.Truncate_frame 2;
+        F.Hold_frames (1, 4); F.Link_partition (2, 8); F.Link_reset 1;
+        F.Hand_over; F.Follower_crash 1; F.Primary_crash;
+        F.Heartbeat_partition 10; F.Heartbeat_partition 500 ]
+
+  (* ---------- Planned lease hand-over ---------- *)
+
+  let test_hand_over_mid_run () =
+    let inst, log = world 41 in
+    with_group ~policy:(C.Every 8) ~replicas:2 inst (fun g ->
+        List.iteri
+          (fun i d ->
+            ignore (G.apply g d);
+            if i = 49 then begin
+              let before = G.last_seq g in
+              match G.hand_over g with
+              | Ok id ->
+                  check_bool (wrap "promoted a follower") true (id > 0);
+                  check_int (wrap "zero deltas lost") before (G.last_seq g);
+                  check_int (wrap "primary flipped") id (G.primary_id g);
+                  check_int (wrap "term bumped") 1 (G.term g);
+                  check_int (wrap "not a crash failover") 0 (G.failovers g);
+                  check_int (wrap "one hand-over") 1 (G.handovers g)
+              | Error m -> Alcotest.fail m
+            end)
+          log;
+        check_bool (wrap "quiesce") true (G.quiesce g);
+        let reference = C.create ~policy:(C.Every 8) inst in
+        C.apply_all reference log;
+        check_bool
+          (wrap "bit-identical after hand-over")
+          true
+          (bit_identical (G.primary g) reference);
+        (* The demoted primary serves on as follower 0, fully caught
+           up — no replica left the set. *)
+        match G.follower_ctrl g 0 with
+        | Some ctrl ->
+            check_bool
+              (wrap "demoted primary caught up")
+              true (bit_identical ctrl reference)
+        | None -> Alcotest.fail "demoted primary not in the group")
+
+  let test_hand_over_designated () =
+    let inst, log = world 42 in
+    with_group ~policy:C.Manual ~replicas:3 inst (fun g ->
+        List.iteri
+          (fun i d ->
+            ignore (G.apply g d);
+            if i = 30 then
+              match G.hand_over ~to_:2 g with
+              | Ok id -> check_int (wrap "designated successor") 2 id
+              | Error m -> Alcotest.fail m)
+          log;
+        check_bool (wrap "quiesce") true (G.quiesce g);
+        check_int (wrap "primary is the designee") 2 (G.primary_id g);
+        let reference = C.create ~policy:C.Manual inst in
+        C.apply_all reference log;
+        check_bool (wrap "bit-identical") true
+          (bit_identical (G.primary g) reference))
+
+  let test_hand_over_refusals () =
+    let inst, log = world 43 in
+    with_group ~policy:C.Manual ~replicas:2 inst (fun g ->
+        List.iteri (fun i d -> if i < 20 then ignore (G.apply g d)) log;
+        (match G.hand_over ~to_:7 g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown successor accepted");
+        (match G.hand_over ~to_:0 g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "hand-over to the sitting primary accepted");
+        ignore (G.crash_follower g 1);
+        (match G.hand_over ~to_:1 g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "dead successor accepted");
+        ignore (G.crash_follower g 2);
+        (match G.hand_over g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "lease granted with no live follower");
+        check_int (wrap "primary unchanged") 0 (G.primary_id g);
+        check_int (wrap "term unchanged") 0 (G.term g);
+        check_int (wrap "no hand-over recorded") 0 (G.handovers g);
+        (* Every refusal is invisible: the primary keeps serving. *)
+        List.iteri (fun i d -> if i >= 20 then ignore (G.apply g d)) log;
+        let reference = C.create ~policy:C.Manual inst in
+        C.apply_all reference log;
+        check_bool (wrap "primary kept serving") true
+          (bit_identical (G.primary g) reference))
+
+  let hand_over_prop (seed, cut_frac, policy) =
+    let inst, log = world seed in
+    let n = List.length log in
+    let k = max 1 (min (n - 1) (int_of_float (cut_frac *. float n))) in
+    with_group ~policy ~replicas:2 inst (fun g ->
+        let lost = ref false in
+        List.iteri
+          (fun i d ->
+            ignore (G.apply g d);
+            if i + 1 = k then begin
+              let before = G.last_seq g in
+              (match G.hand_over g with
+              | Ok _ -> ()
+              | Error m -> Alcotest.fail m);
+              if G.last_seq g <> before then lost := true
+            end)
+          log;
+        let quiesced = G.quiesce g in
+        let reference = C.create ~policy inst in
+        C.apply_all reference log;
+        quiesced && (not !lost) && G.handovers g = 1 && G.failovers g = 0
+        && G.term g = 1 && G.primary_id g > 0
+        && bit_identical (G.primary g) reference
+        &&
+        match G.follower_ctrl g 0 with
         | Some ctrl -> bit_identical ctrl reference
         | None -> false)
-      (G.live_followers g)
-  in
-  primary_ok && followers_ok
 
-let qcheck_fault_matrix =
-  qtest ~count:40 "replication fault matrix: every survivor bit-identical"
-    QCheck2.Gen.(pair (int_range 1 10_000) (oneofl policies))
-    fault_matrix_prop
+  let qcheck_hand_over =
+    qtest ~count:B.count
+      (wrap "hand-over at any boundary: zero lost, zero divergence")
+      QCheck2.Gen.(
+        triple (int_range 1 10_000) (float_range 0.01 0.99) (oneofl policies))
+      hand_over_prop
 
-let test_each_fault_kind_heals () =
-  let inst, log = world 31 in
-  List.iter
-    (fun kind ->
-      let schedule = [ { F.at = 20; kind }; { F.at = 55; kind } ] in
-      let g = G.create ~policy:(C.Every 16) ~replicas:2 inst in
-      Chaos.run g ~log ~schedule;
-      let reference = Chaos.reference ~policy:(C.Every 16) inst ~log ~schedule in
-      check_bool
-        (Printf.sprintf "%s heals" (F.kind_to_string kind))
-        true
-        (bit_identical (G.primary g) reference))
-    [ F.Drop_frame 1; F.Dup_frame 1; F.Reorder_frames 2; F.Truncate_frame 2;
-      F.Follower_crash 1; F.Primary_crash; F.Heartbeat_partition 10;
-      F.Heartbeat_partition 500 ]
+  let suite =
+    [ qcheck_fault_matrix;
+      qcheck_network_matrix;
+      Alcotest.test_case
+        (wrap "each fault kind heals")
+        `Quick test_each_fault_kind_heals;
+      Alcotest.test_case (wrap "hand-over mid-run") `Quick
+        test_hand_over_mid_run;
+      Alcotest.test_case
+        (wrap "hand-over designated successor")
+        `Quick test_hand_over_designated;
+      Alcotest.test_case (wrap "hand-over refusals") `Quick
+        test_hand_over_refusals;
+      qcheck_hand_over ]
+end
+
+module Queue_matrix = Protocol_matrix (struct
+  let name = "queue"
+  let mk_link _ = T.queue_link ()
+  let count = 40
+end)
 
 let test_short_partition_rides_out () =
   let inst, log = world 32 in
@@ -490,9 +694,6 @@ let suite =
     Alcotest.test_case "failover regressions" `Quick test_failover_regressions;
     Alcotest.test_case "promotes most caught-up" `Quick
       test_promotes_most_caught_up;
-    qcheck_fault_matrix;
-    Alcotest.test_case "each fault kind heals" `Quick
-      test_each_fault_kind_heals;
     Alcotest.test_case "short partition rides out" `Quick
       test_short_partition_rides_out;
     Alcotest.test_case "long partition promotes" `Quick
@@ -508,3 +709,4 @@ let suite =
       test_lag_visible_in_prometheus;
     qcheck_streaming_recovery;
     Alcotest.test_case "recovery path chooser" `Quick test_recovery_chooser ]
+  @ Queue_matrix.suite
