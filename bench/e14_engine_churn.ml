@@ -135,4 +135,5 @@ let run () =
     report.Engine.Counters.replan_latency.Prelude.Stats.p50
     report.Engine.Counters.replan_latency.Prelude.Stats.p99;
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "wrote %s\n" json_out

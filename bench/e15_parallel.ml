@@ -128,9 +128,9 @@ let run () =
      %d, \"num_users\": 20 },\n\
     \  \"solver\": { \"name\": \"sviridenko\", \"max_enum_size\": 2 },\n\
     \  \"runs\": [\n%s\n  ],\n\
-    \  \"speedup_2_domains\": %.3f,\n\
-    \  \"speedup_4_domains\": %.3f,\n\
-    \  \"speedup_8_domains\": %.3f,\n\
+    \  \"speedup_2_domains\": %s,\n\
+    \  \"speedup_4_domains\": %s,\n\
+    \  \"speedup_8_domains\": %s,\n\
     \  \"plans_identical\": %b,\n\
     \  \"sequential_reference\": { \"fixed_greedy_seconds\": %.6f, \
      \"pipeline_m3_mc2_seconds\": %.6f }\n\
@@ -139,13 +139,19 @@ let run () =
     (String.concat ",\n"
        (List.map
           (fun (d, seconds, speedup, identical) ->
+            (* speedup is nan when the sweep excludes the 1-domain
+               baseline (VDMC_E15_DOMAINS) — json_num turns it into
+               null instead of invalid JSON. *)
             Printf.sprintf
               "    { \"domains\": %d, \"seconds\": %.6f, \"speedup\": \
-               %.3f, \"plan_identical\": %b }"
-              d seconds speedup identical)
+               %s, \"plan_identical\": %b }"
+              d seconds (json_num ~precision:3 speedup) identical)
           rows))
-    (speedup_at 2) (speedup_at 4) (speedup_at 8) plans_identical greedy_seq
-    pipeline_seq;
+    (json_num ~precision:3 (speedup_at 2))
+    (json_num ~precision:3 (speedup_at 4))
+    (json_num ~precision:3 (speedup_at 8))
+    plans_identical greedy_seq pipeline_seq;
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "results -> %s\n%!" json_out;
   if not plans_identical then exit 1

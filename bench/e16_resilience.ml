@@ -381,5 +381,6 @@ let run () =
           recovery_sweep))
     recovery_all_gt_1 bit_identical;
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "results -> %s\n%!" json_out;
   if not bit_identical then exit 1

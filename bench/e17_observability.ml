@@ -124,4 +124,5 @@ let run () =
      }\n"
     num_deltas runs base traced overhead_pct spans_per_run metric_lines;
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "wrote %s\n" json_out

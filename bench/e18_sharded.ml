@@ -133,8 +133,8 @@ let run () =
   let table =
     T.create
       [ ("shards", T.Right); ("deltas/s", T.Right); ("utility", T.Right);
-        ("loss%", T.Right); ("moves", T.Right); ("replans", T.Right);
-        ("pop min..max", T.Right) ]
+        ("loss%", T.Right); ("cert ratio", T.Right); ("moves", T.Right);
+        ("replans", T.Right); ("pop min..max", T.Right) ]
   in
   let global_utility = ref 0. in
   let results =
@@ -185,6 +185,19 @@ let run () =
         let counts = R.counts router in
         let cmin = Array.fold_left min counts.(0) counts in
         let cmax = Array.fold_left max counts.(0) counts in
+        (* Certified upper bound on OPT for the final population: every
+           shard emits a sparse certificate, the checker composes and
+           re-verifies one global bound. nan (-> null in the JSON) if
+           the checker rejects — never an unverified number. *)
+        progress "certify";
+        let certified_ratio =
+          match R.certify ~iters:(if smoke then 30 else 20) router with
+          | Ok (o, _) -> o.Engine.Certify.ratio
+          | Error msg ->
+              Printf.printf "  [%d shards] certificate rejected: %s\n%!" n msg;
+              nan
+        in
+        progress "certified";
         let report = R.report router in
         let ops = float !applied /. wall in
         T.add_row table
@@ -192,10 +205,11 @@ let run () =
             Printf.sprintf "%.0f" ops;
             Printf.sprintf "%.6g" utility;
             Printf.sprintf "%.2f" loss;
+            Printf.sprintf "%.4f" certified_ratio;
             string_of_int !moves;
             string_of_int report.Engine.Counters.replans;
             Printf.sprintf "%d..%d" cmin cmax ];
-        (n, ops, utility, loss, !moves, report, wall))
+        (n, ops, utility, loss, certified_ratio, !moves, report, wall))
       shard_counts
   in
   T.print table;
@@ -216,14 +230,17 @@ let run () =
     \  \"runs\": [\n"
     smoke joins num_streams !global_utility;
   List.iteri
-    (fun i (n, ops, utility, loss, moves, report, wall) ->
+    (fun i (n, ops, utility, loss, certified_ratio, moves, report, wall) ->
       Printf.fprintf oc
         "    {\"shards\": %d, \"ops_per_sec\": %.1f, \"utility\": %.6f, \
-         \"loss_pct\": %.4f, \"rebalance_moves\": %d, \"replans\": %d, \
-         \"wall_s\": %.3f}%s\n"
-        n ops utility loss moves report.Engine.Counters.replans wall
+         \"loss_pct\": %.4f, \"certified_ratio\": %s, \
+         \"rebalance_moves\": %d, \"replans\": %d, \"wall_s\": %.3f}%s\n"
+        n ops utility loss
+        (json_num ~precision:4 certified_ratio)
+        moves report.Engine.Counters.replans wall
         (if i = List.length results - 1 then "" else ","))
     results;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "wrote %s\n" json_out

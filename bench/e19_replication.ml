@@ -243,5 +243,6 @@ let run () =
               est.Engine.Recovery.replay_seconds)
           chooser_rows));
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "results -> %s\n%!" json_out;
   if !divergence > 0 || not ttr_beats_cold then exit 1

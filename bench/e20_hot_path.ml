@@ -421,7 +421,8 @@ let run () =
     \  \"pool_replan_speedup\": %.3f,\n\
     \  \"replans\": %d,\n\
     \  \"replan_wall_fraction\": %.4f,\n\
-    \  \"final_utility\": %.6f\n\
+    \  \"final_utility\": %.6f,\n\
+    \  \"certified_ratio\": %s\n\
      }\n"
     num_deltas (tput_of 1)
     (String.concat ",\n"
@@ -433,8 +434,15 @@ let run () =
               b t (t /. base_tput) id)
           sweep))
     all_identical soa_speedup pool_speedup report.Engine.Counters.replans
-    replan_fraction ref_utility;
+    replan_fraction ref_utility
+    (json_num ~precision:4
+       (match
+          Engine.Certify.sparse ~achieved:ref_utility (C.view ref_ctrl)
+        with
+       | Ok (o, _) -> o.Engine.Certify.ratio
+       | Error _ -> nan));
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "wrote %s\n%!" json_out;
   if not (all_identical && batch_ok && soa_ok && pool_ok) || regression then
     exit 1

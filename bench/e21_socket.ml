@@ -312,6 +312,7 @@ let run () =
           !proc_rows))
     !proc_divergent;
   close_out oc;
+  Exp_common.check_json json_out;
   Printf.printf "results -> %s\n%!" json_out;
   if
     (not parity) || !matrix_divergence > 0 || !handover_lost > 0

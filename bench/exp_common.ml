@@ -44,3 +44,18 @@ let median_time ?(runs = 3) f =
   in
   Array.sort compare times;
   times.(runs / 2)
+
+(* JSON guard rails for the BENCH_*.json writers. Any float that can
+   be nan (empty-histogram percentiles, unmeasured sentinels) must go
+   through [json_num] — "%f" of nan is not JSON — and every writer
+   validates its finished document before leaving it on disk, so a
+   formatting regression fails the bench run instead of poisoning
+   downstream parsers. *)
+let json_num ?precision x = Obs.Json.num ?precision x
+
+let check_json path =
+  match Obs.Json.validate_file path with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.printf "INVALID JSON %s: %s\n%!" path msg;
+      exit 1

@@ -28,6 +28,7 @@ let experiments =
     ("e19", E19_replication.run);
     ("e20", E20_hot_path.run);
     ("e21", E21_socket.run);
+    ("e22", E22_certificates.run);
     ("micro", Microbench.run) ]
 
 let () =

@@ -293,7 +293,7 @@ let supervise_run ~policy ~file ~epoch ~n ~gen_deltas ~deltas_in ~seed
 let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
     ~skip_final ~compare_scratch ~wal_out ~metrics_out ~stats ~shards
     ~shard_tags ~split ~rebalance_every ~rebalance_k ~replicas
-    ~heartbeat_every ~batch =
+    ~heartbeat_every ~batch ~certify =
   let policy =
     match C.policy_of_string epoch with
     | Ok p -> p
@@ -396,6 +396,16 @@ let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
       (if converged then "" else " [followers NOT converged]")
   end;
   Format.printf "sharded utility: %.6g@." (Shard.Router.utility router);
+  (if certify then
+     match Shard.Router.certify router with
+     | Error msg -> Format.printf "certificate: none (%s)@." msg
+     | Ok (o, _) ->
+         Format.printf
+           "certificate: bound %.6g, achieved %.6g, ratio %.4f (sparse, \
+            composed over %d shard(s)%s)@."
+           o.Engine.Certify.bound o.Engine.Certify.achieved
+           o.Engine.Certify.ratio shards
+           (if o.Engine.Certify.repaired then ", repaired" else ""));
   Format.printf "%a@." Engine.Counters.pp_report (Shard.Router.report router);
   if compare_scratch then begin
     let global, evals = Shard.Router.global_scratch router in
@@ -420,11 +430,32 @@ let sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
 (* The common end-of-run reporting: plan summary, counter report,
    optional scratch comparison and artifact outputs. *)
 let finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
-    ~metrics_out ~trace_out =
+    ~metrics_out ~trace_out ~certify =
   Format.printf "plan: %d streams transmitted, utility %.6g%s@."
     (List.length (Engine.Planner.admitted (C.planner ctrl)))
     (C.utility ctrl)
     (if C.degraded ctrl then " [degraded]" else "");
+  (if certify then
+     (* The checker's verdict is what gets printed — the emitters only
+        propose. Small worlds take the dense LP path, large ones the
+        tableau-free Lagrangian path; both degrade to "none" rather than
+        report an unverified number. *)
+     let inst = Engine.View.materialize (C.view ctrl) in
+     let achieved = C.utility ctrl in
+     match Exact.Certificate.emit ~target:achieved inst with
+     | Error msg -> Format.printf "certificate: none (%s)@." msg
+     | Ok (cert, method_) -> (
+         match Exact.Certificate.check inst cert with
+         | Cert.Checker.Rejected msg ->
+             Format.printf "certificate: REJECTED by checker (%s)@." msg
+         | Cert.Checker.Certified { bound; repaired } ->
+             let ratio = Engine.Certify.ratio_of ~achieved ~bound in
+             Engine.Counters.note_certificate (C.counters ctrl) ~ratio;
+             Format.printf
+               "certificate: bound %.6g, achieved %.6g, ratio %.4f (%s%s)@."
+               bound achieved ratio
+               (Exact.Certificate.string_of_method method_)
+               (if repaired then ", repaired" else "")));
   Format.printf "%a@." Engine.Counters.pp_report (C.report ctrl);
   if compare_scratch then begin
     let scratch_util, scratch_evals = C.scratch (C.view ctrl) in
@@ -583,7 +614,7 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
     rebalance_every rebalance_k replicas heartbeat_every kill_primary_at
     hand_over_at replica_transport replica_listen replica_connect
     replica_supervise replica_id replica_idle_timeout replica_kill_at
-    replica_kill_mid_frame batch wal_dir checkpoint_every =
+    replica_kill_mid_frame batch wal_dir checkpoint_every certify =
   match shards with
   | Some n when n >= 1 -> (
       match
@@ -596,7 +627,7 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
         sharded_run ~file ~deltas_in ~gen_deltas ~seed ~deltas_out ~epoch
           ~skip_final ~compare_scratch ~wal_out ~metrics_out ~stats ~shards:n
           ~shard_tags ~split ~rebalance_every ~rebalance_k ~replicas
-          ~heartbeat_every ~batch
+          ~heartbeat_every ~batch ~certify
       with
       | () -> Ok ()
       | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
@@ -789,7 +820,7 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
         in
         (match wal_writer with Some w -> Engine.Wal.close w | None -> ());
         finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
-          ~metrics_out ~trace_out
+          ~metrics_out ~trace_out ~certify
     | Some r -> failwith (Printf.sprintf "--replicas %d: need at least 1" r)
     | None ->
     (* Build the starting controller. With --wal-dir the segmented
@@ -1088,7 +1119,7 @@ let engine_run file deltas_in gen_deltas seed deltas_out epoch skip_final
       elapsed
       (if elapsed > 0. then float n /. elapsed else 0.);
     finish_run ~ctrl ~compare_scratch ~plan_out ~snapshot_out ~stats
-      ~metrics_out ~trace_out
+      ~metrics_out ~trace_out ~certify
   with
   | () -> Ok ()
   | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
@@ -1455,6 +1486,21 @@ let checkpoint_every =
           "With $(b,--wal-dir): write a checkpoint increment and compact \
            covered segments every $(docv) applied deltas (default 512).")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "After the final replan, emit an optimality certificate (dense LP \
+           duals on small worlds, the tableau-free Lagrangian emitter at \
+           scale), re-verify it with the independent checker, and print \
+           $(b,bound)/$(b,achieved)/$(b,ratio) — the achieved utility is \
+           provably within $(b,ratio) of OPT. With $(b,--shards), each \
+           shard certifies its sub-world and the checker composes and \
+           re-verifies one global bound against the true budgets. The \
+           verified ratio is exported as the \
+           $(b,engine_certified_opt_ratio) gauge.")
+
 let cmd =
   let doc = "replay a churn delta log through the replanning engine" in
   let man =
@@ -1478,6 +1524,6 @@ let cmd =
        $ kill_primary_at $ hand_over_at $ replica_transport $ replica_listen
        $ replica_connect $ replica_supervise $ replica_id
        $ replica_idle_timeout $ replica_kill_at $ replica_kill_mid_frame
-       $ batch $ wal_dir $ checkpoint_every))
+       $ batch $ wal_dir $ checkpoint_every $ certify))
 
 let () = exit (Cmd.eval cmd)

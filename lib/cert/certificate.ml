@@ -1,0 +1,24 @@
+type t = {
+  budget_dual : float array;
+  capacity_dual : float array array;
+  cap_dual : float array;
+  bound : float;
+}
+
+let zero ~m ~num_users ~mc =
+  { budget_dual = Array.make m 0.;
+    capacity_dual = Array.init num_users (fun _ -> Array.make mc 0.);
+    cap_dual = Array.make num_users 0.;
+    bound = infinity }
+
+let copy c =
+  { c with
+    budget_dual = Array.copy c.budget_dual;
+    capacity_dual = Array.map Array.copy c.capacity_dual;
+    cap_dual = Array.copy c.cap_dual }
+
+let pp ppf c =
+  Format.fprintf ppf "certificate: bound=%g |λ|=%d |μ|=%d |ν|=%d" c.bound
+    (Array.length c.budget_dual)
+    (Array.length c.capacity_dual)
+    (Array.length c.cap_dual)

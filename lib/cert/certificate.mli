@@ -1,0 +1,31 @@
+(** A dual certificate for an MMD {!Problem}: one multiplier per
+    resource constraint, plus the bound the emitter claims they prove.
+
+    The format deliberately carries only the {e resource} duals
+    (budgets λ, user capacities μ, utility caps ν). The remaining dual
+    variables of the relaxation — one per coupling row [y_e <= x_s] and
+    one per box row [x_s <= 1] — are implied: for any non-negative
+    (λ, μ, ν) the cheapest feasible completion is
+
+    {v κ_e = max 0 (w_e·(1 − ν_u) − Σ_j μ_uj·load u s j)
+       ξ_s = max 0 (Σ_{e on s} κ_e − Σ_i λ_i·server_cost s i) v}
+
+    and the certified bound is
+    [λ·B + μ·K + ν·W + Σ_s ξ_s] — a valid upper bound on OPT for
+    {e every} non-negative (λ, μ, ν) by weak LP duality. The checker
+    ({!Checker}) recomputes exactly this, so a certificate is O(m +
+    users·mc) floats regardless of how many edges the instance has. *)
+
+type t = {
+  budget_dual : float array;  (** λ, length [m] *)
+  capacity_dual : float array array;  (** μ, [num_users × mc] *)
+  cap_dual : float array;  (** ν, length [num_users] *)
+  bound : float;  (** the claimed upper bound on OPT *)
+}
+
+val zero : m:int -> num_users:int -> mc:int -> t
+(** All-zero duals with an [infinity] claim — the trivial certificate
+    shape emitters start from. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+(* The trusted base of the certificate layer. Everything here is
+   straight-line arithmetic over the Problem view: no simplex, no
+   tableau, no dependence on how the duals were produced. Soundness
+   rests on one fact — for any non-negative (λ, μ, ν) the canonical
+   completion below is a feasible dual of the LP relaxation, so its
+   value upper-bounds OPT. *)
+
+type verdict = Certified of { bound : float; repaired : bool } | Rejected of string
+
+type partial = { user_side : float; resid : float array }
+
+(* dual·rhs with the 0·∞ = NaN trap defused: a zero multiplier on an
+   unbounded resource contributes nothing (the constraint is absent). *)
+let pay dual rhs = if dual = 0. then 0. else dual *. rhs
+
+let partial (p : Problem.t) (c : Certificate.t) =
+  let resid = Array.make p.num_streams 0. in
+  let user_side = ref 0. in
+  for u = 0 to p.num_users - 1 do
+    let mu = c.capacity_dual.(u) and nu = c.cap_dual.(u) in
+    for j = 0 to p.mc - 1 do
+      user_side := !user_side +. pay mu.(j) (p.capacity u j)
+    done;
+    user_side := !user_side +. pay nu (p.utility_cap u);
+    Array.iter
+      (fun s ->
+        let kappa = ref (p.utility u s *. (1. -. nu)) in
+        for j = 0 to p.mc - 1 do
+          kappa := !kappa -. (mu.(j) *. p.load u s j)
+        done;
+        if !kappa > 0. then resid.(s) <- resid.(s) +. !kappa)
+      (p.interesting u)
+  done;
+  { user_side = !user_side; resid }
+
+let compose ~m ~budget ~num_streams ~server_cost ~lambda partials =
+  let total = ref 0. in
+  for i = 0 to m - 1 do
+    total := !total +. pay lambda.(i) (budget i)
+  done;
+  List.iter (fun pt -> total := !total +. pt.user_side) partials;
+  for s = 0 to num_streams - 1 do
+    let resid =
+      List.fold_left (fun acc pt -> acc +. pt.resid.(s)) 0. partials
+    in
+    let cost = ref 0. in
+    for i = 0 to m - 1 do
+      cost := !cost +. (lambda.(i) *. server_cost s i)
+    done;
+    let xi = resid -. !cost in
+    if xi > 0. then total := !total +. xi
+  done;
+  !total
+
+let evaluate (p : Problem.t) (c : Certificate.t) =
+  compose ~m:p.m ~budget:p.budget ~num_streams:p.num_streams
+    ~server_cost:p.server_cost ~lambda:c.budget_dual
+    [ partial p c ]
+
+(* Feasibility repair: dual variables must be non-negative, and the raw
+   simplex duals we now consume unclamped can carry eps-negative
+   entries on degenerate rows. Bump each violated entry by its measured
+   violation (to 0); the canonical completion then re-derives κ and ξ,
+   so every dual constraint is satisfied by construction. *)
+let repair (c : Certificate.t) =
+  let repaired = ref false in
+  let fix x =
+    if x < 0. then begin
+      repaired := true;
+      0.
+    end
+    else x
+  in
+  let c' =
+    { c with
+      budget_dual = Array.map fix c.budget_dual;
+      capacity_dual = Array.map (Array.map fix) c.capacity_dual;
+      cap_dual = Array.map fix c.cap_dual }
+  in
+  (c', !repaired)
+
+let shape_ok (p : Problem.t) (c : Certificate.t) =
+  if Array.length c.budget_dual <> p.m then Error "budget dual length <> m"
+  else if Array.length c.capacity_dual <> p.num_users then
+    Error "capacity dual rows <> num_users"
+  else if Array.exists (fun r -> Array.length r <> p.mc) c.capacity_dual then
+    Error "capacity dual row length <> mc"
+  else if Array.length c.cap_dual <> p.num_users then
+    Error "cap dual length <> num_users"
+  else begin
+    let bad = ref false in
+    let see x = if not (Float.is_finite x) then bad := true in
+    Array.iter see c.budget_dual;
+    Array.iter (Array.iter see) c.capacity_dual;
+    Array.iter see c.cap_dual;
+    if !bad then Error "non-finite dual multiplier" else Ok ()
+  end
+
+let default_tol = 1e-6
+
+let check ?(tol = default_tol) (p : Problem.t) (c : Certificate.t) =
+  match Problem.validate p with
+  | Error msg -> Rejected msg
+  | Ok () -> (
+      match shape_ok p c with
+      | Error msg -> Rejected msg
+      | Ok () ->
+          let c', repaired = repair c in
+          let bound = evaluate p c' in
+          if not (Float.is_finite bound) then
+            Rejected
+              "certified bound is not finite (positive dual on an \
+               unbounded resource)"
+          else if
+            (* The claim must match what the duals actually prove:
+               an adversarially lowered multiplier (or a dropped row)
+               changes the recomputed value and is rejected here. *)
+            Float.abs (bound -. c.bound)
+            <= tol *. Float.max 1. (Float.abs c.bound)
+          then Certified { bound; repaired }
+          else
+            Rejected
+              (Printf.sprintf
+                 "claimed bound %.9g does not match recomputed %.9g" c.bound
+                 bound))
+
+let seal (p : Problem.t) (c : Certificate.t) =
+  let c', _ = repair c in
+  { c' with bound = evaluate p c' }
+
+(* Test-only foil: the value a trusting consumer would read off the
+   raw duals with no repair pass — negative multipliers flow straight
+   into the resource terms, exactly the failure mode the old clamped
+   simplex output was papering over. *)
+let unrepaired_value = evaluate

@@ -1,0 +1,76 @@
+type t = {
+  num_streams : int;
+  num_users : int;
+  m : int;
+  mc : int;
+  budget : int -> float;
+  server_cost : int -> int -> float;
+  capacity : int -> int -> float;
+  utility_cap : int -> float;
+  load : int -> int -> int -> float;
+  utility : int -> int -> float;
+  interesting : int -> int array;
+}
+
+let of_instance inst =
+  let module I = Mmd.Instance in
+  { num_streams = I.num_streams inst;
+    num_users = I.num_users inst;
+    m = I.m inst;
+    mc = I.mc inst;
+    budget = I.budget inst;
+    server_cost = I.server_cost inst;
+    capacity = I.capacity inst;
+    utility_cap = I.utility_cap inst;
+    load = I.load inst;
+    utility = I.utility inst;
+    interesting = I.interesting_streams inst }
+
+(* NaN is the poison value this validation exists for: a NaN budget or
+   capacity classified "infinite" silently drops its constraint row and
+   weakens every bound computed from the system. Resources may be
+   [infinity] (absent constraint); costs, loads and utilities must be
+   finite. Everything must be non-negative. *)
+let validate p =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let resource what v =
+    if Float.is_nan v then bad "%s is NaN" what
+    else if v < 0. then bad "%s is negative (%g)" what v
+  in
+  let number what v =
+    if not (Float.is_finite v) then bad "%s is not finite (%g)" what v
+    else if v < 0. then bad "%s is negative (%g)" what v
+  in
+  try
+    if p.num_streams < 0 || p.num_users < 0 || p.m < 0 || p.mc < 0 then
+      bad "negative dimension";
+    for i = 0 to p.m - 1 do
+      resource (Printf.sprintf "budget %d" i) (p.budget i)
+    done;
+    for s = 0 to p.num_streams - 1 do
+      for i = 0 to p.m - 1 do
+        number (Printf.sprintf "server_cost (%d, %d)" s i) (p.server_cost s i)
+      done
+    done;
+    for u = 0 to p.num_users - 1 do
+      for j = 0 to p.mc - 1 do
+        resource (Printf.sprintf "capacity (%d, %d)" u j) (p.capacity u j)
+      done;
+      resource (Printf.sprintf "utility_cap %d" u) (p.utility_cap u);
+      let streams = p.interesting u in
+      let prev = ref (-1) in
+      Array.iter
+        (fun s ->
+          if s <= !prev || s >= p.num_streams then
+            bad "interesting streams of user %d not ascending in range" u;
+          prev := s;
+          number (Printf.sprintf "utility (%d, %d)" u s) (p.utility u s);
+          for j = 0 to p.mc - 1 do
+            number (Printf.sprintf "load (%d, %d, %d)" u s j) (p.load u s j)
+          done)
+        streams
+    done;
+    Ok ()
+  with Bad msg -> fail "invalid problem: %s" msg

@@ -1,0 +1,38 @@
+(** The constraint system a certificate is checked against — a plain
+    read-only view of an MMD instance (or any engine state that can
+    present one), deliberately independent of how it was solved.
+
+    The LP relaxation it describes (the certificate layer's ground
+    truth) is, per user [u] and stream [s] with [utility u s > 0]:
+
+    {v maximize Σ_e w_e·y_e   over x_s ∈ [0,1], y_e ∈ [0, x_s]
+       s.t.  Σ_s server_cost s i · x_s        <= budget i       (λ_i)
+             Σ_{e=(u,s)} load u s j · y_e     <= capacity u j   (μ_uj)
+             Σ_{e=(u,s)} w_e · y_e            <= utility_cap u  (ν_u)  v}
+
+    Any integral (semi-)feasible assignment is a feasible point, so an
+    upper bound on this LP bounds OPT. *)
+
+type t = {
+  num_streams : int;
+  num_users : int;
+  m : int;  (** server cost measures *)
+  mc : int;  (** user capacity measures *)
+  budget : int -> float;  (** [infinity] = unconstrained *)
+  server_cost : int -> int -> float;  (** [server_cost s i] *)
+  capacity : int -> int -> float;  (** [capacity u j]; may be [infinity] *)
+  utility_cap : int -> float;  (** may be [infinity] *)
+  load : int -> int -> int -> float;  (** [load u s j] *)
+  utility : int -> int -> float;  (** [utility u s] *)
+  interesting : int -> int array;
+      (** streams with positive utility for the user, strictly
+          ascending; the edge set of the LP *)
+}
+
+val of_instance : Mmd.Instance.t -> t
+
+val validate : t -> (unit, string) result
+(** Reject NaN anywhere, negative numbers, non-finite costs / loads /
+    utilities, and unsorted edge lists. Budgets, capacities and utility
+    caps may be [infinity] (an absent constraint); a NaN there is the
+    classic silent-row-drop bug and is reported, never skipped. *)

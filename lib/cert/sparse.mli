@@ -1,0 +1,25 @@
+(** Sparse / Lagrangian certificate emitter for instances past the
+    dense tableau (the O(rows×cols) simplex is hopeless at a million
+    users; this path is O(edges·mc) per iteration and never builds a
+    matrix).
+
+    Projected subgradient descent on the canonical-completion value
+    [g(λ, μ, ν)] — convex, and {e every} iterate is a valid upper
+    bound on OPT, so early termination only loosens the bound, never
+    breaks it. Steps use the Polyak rule with [target] (pass the
+    achieved utility: a certified lower bound on OPT) and the best
+    iterate is kept. Deterministic: fixed iteration budget, fixed
+    summation order, no randomness, no clock. The returned certificate
+    is already {!Checker.seal}ed, so {!Checker.check} accepts it. *)
+
+type stats = {
+  iterations : int;  (** sweeps actually performed *)
+  initial : float;  (** g at the all-zero dual (the trivial bound) *)
+  final : float;  (** the sealed bound *)
+}
+
+val emit :
+  ?iters:int -> ?target:float -> Problem.t -> Certificate.t * stats
+(** [iters] defaults to 50; [target] to [0.] (any lower bound on OPT
+    sharpens the steps, the achieved plan utility is the natural
+    choice). *)

@@ -1,0 +1,51 @@
+module V = View
+
+(* The certificate layer sees the live view through the same plain
+   Problem record the checker trusts: users are the active slots in
+   ascending order (the view's own determinism contract), streams and
+   budgets come straight from the catalog. Interest arrays are
+   materialized once — the sparse emitter sweeps them dozens of
+   times. *)
+let problem_of_view view =
+  let slots = Array.of_list (V.active_slots view) in
+  let interesting =
+    Array.map (fun slot -> Array.of_list (V.interests view slot)) slots
+  in
+  { Cert.Problem.num_streams = V.num_streams view;
+    num_users = Array.length slots;
+    m = V.m view;
+    mc = V.mc view;
+    budget = V.budget view;
+    server_cost = V.server_cost view;
+    capacity = (fun u j -> V.capacity view slots.(u) j);
+    utility_cap = (fun u -> V.utility_cap view slots.(u));
+    load = (fun u s j -> V.load view slots.(u) s j);
+    utility = (fun u s -> V.utility view slots.(u) s);
+    interesting = (fun u -> interesting.(u)) }
+
+type outcome = {
+  bound : float;
+  achieved : float;
+  ratio : float;
+  repaired : bool;
+  iterations : int;
+}
+
+let ratio_of ~achieved ~bound =
+  if bound > 0. then achieved /. bound
+  else if achieved = 0. then 1.
+  else 0.
+
+let sparse ?iters ~achieved view =
+  let p = problem_of_view view in
+  let cert, stats = Cert.Sparse.emit ?iters ~target:achieved p in
+  match Cert.Checker.check p cert with
+  | Cert.Checker.Rejected msg -> Error msg
+  | Cert.Checker.Certified { bound; repaired } ->
+      Ok
+        ( { bound;
+            achieved;
+            ratio = ratio_of ~achieved ~bound;
+            repaired;
+            iterations = stats.Cert.Sparse.iterations },
+          cert )

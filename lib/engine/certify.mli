@@ -1,0 +1,32 @@
+(** Optimality certificates for a live engine world.
+
+    Bridges the mutable {!View} to the [Cert] layer's plain problem
+    record and runs the tableau-free emitter + independent checker, so
+    a controller of any size can report "achieved utility ≥ X% of a
+    certified upper bound on OPT". The dense (LP-exact) emitter lives
+    in [Exact.Certificate]; this module is deliberately solver-free so
+    the engine only ever depends on the trusted side. *)
+
+val problem_of_view : View.t -> Cert.Problem.t
+(** Users are the active slots in ascending slot order — the same
+    order for a view and for its restored/sharded mirrors, which is
+    what makes certificate bounds reproducible bit-for-bit. *)
+
+type outcome = {
+  bound : float;  (** checker-recomputed upper bound on OPT *)
+  achieved : float;  (** utility the plan actually attains *)
+  ratio : float;  (** [achieved /. bound]; [1.] when both are zero *)
+  repaired : bool;  (** checker clamped an eps-negative dual *)
+  iterations : int;  (** emitter sweeps *)
+}
+
+val ratio_of : achieved:float -> bound:float -> float
+
+val sparse :
+  ?iters:int ->
+  achieved:float ->
+  View.t ->
+  (outcome * Cert.Certificate.t, string) result
+(** Emit a sparse certificate for the view (Polyak target = achieved)
+    and check it. [Error] carries the checker's rejection — callers
+    report "no certificate", they never trust an unchecked bound. *)

@@ -22,6 +22,7 @@ type mirrors = {
   m_path_snapshot : Obs.Metrics.counter;
   m_path_replay : Obs.Metrics.counter;
   m_path_chain : Obs.Metrics.counter;
+  m_certified_ratio : Obs.Metrics.gauge;
 }
 
 type t = {
@@ -44,6 +45,11 @@ type t = {
      surfaces would make determinism checks flaky. *)
   mutable snapshot_recoveries : int;
   mutable full_replays : int;
+  (* Certificate telemetry (PR 10): how many optimality certificates
+     were checked against this controller's world, and the last
+     checker-verified achieved/bound ratio (0. until one exists). *)
+  mutable certificates : int;
+  mutable certified_ratio : float;
   mirrors : mirrors;
 }
 
@@ -69,7 +75,9 @@ let mirrors ~labels =
     m_path_chain =
       Obs.Metrics.counter
         ~labels:(labels @ [ ("path", "chain") ])
-        "engine_recovery_path_total" }
+        "engine_recovery_path_total";
+    m_certified_ratio =
+      Obs.Metrics.gauge ~labels "engine_certified_opt_ratio" }
 
 let create ?(labels = []) () =
   { mirrors = mirrors ~labels;
@@ -86,7 +94,9 @@ let create ?(labels = []) () =
     fallbacks = 0;
     recovery_hist = Obs.Hist.create ();
     snapshot_recoveries = 0;
-    full_replays = 0 }
+    full_replays = 0;
+    certificates = 0;
+    certified_ratio = 0. }
 
 let note_delta t (d : Delta.t) =
   Obs.Metrics.inc t.mirrors.m_deltas;
@@ -151,6 +161,17 @@ let note_recovery_path t path =
 
 let recovery_paths t = (t.snapshot_recoveries, t.full_replays)
 
+let note_certificate t ~ratio =
+  t.certificates <- t.certificates + 1;
+  t.certified_ratio <- ratio;
+  Obs.Metrics.set t.mirrors.m_certified_ratio ratio
+
+let set_certified_gauge ?(labels = []) ratio =
+  Obs.Metrics.set (Obs.Metrics.gauge ~labels "engine_certified_opt_ratio") ratio
+
+let certificates t = t.certificates
+let certified_ratio t = t.certified_ratio
+
 let deltas t = t.joins + t.leaves + t.cost_changes + t.budget_resizes
 let replans t = t.replans
 let faults t = t.faults
@@ -196,6 +217,8 @@ type report = {
   recoveries : int;
   fallbacks : int;
   recovery_latency : Prelude.Stats.summary;
+  certificates : int;
+  certified_ratio : float;
 }
 
 let report t ~evals ~eager_equiv =
@@ -214,7 +237,9 @@ let report t ~evals ~eager_equiv =
     quarantined = t.quarantined;
     recoveries = t.recoveries;
     fallbacks = t.fallbacks;
-    recovery_latency = Obs.Hist.to_summary t.recovery_hist }
+    recovery_latency = Obs.Hist.to_summary t.recovery_hist;
+    certificates = t.certificates;
+    certified_ratio = t.certified_ratio }
 
 let fields (t : t) =
   (t.joins, t.leaves, t.cost_changes, t.budget_resizes, t.replans, t.evictions)
@@ -238,4 +263,8 @@ let pp_report ppf r =
        faults: %d  quarantined records: %d  recoveries: %d  fallbacks: %d@,\
        time-to-recover: %a@]"
       r.faults r.quarantined r.recoveries r.fallbacks Prelude.Stats.pp_summary
-      r.recovery_latency
+      r.recovery_latency;
+  if r.certificates > 0 then
+    Format.fprintf ppf
+      "@[<v>@,certificates: %d  certified ratio (achieved/bound): %.4f@]"
+      r.certificates r.certified_ratio

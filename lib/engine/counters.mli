@@ -59,6 +59,22 @@ val note_recovery_path :
 val recovery_paths : t -> int * int
 (** [(snapshot_tail, full_replay)] selections recorded so far. *)
 
+val note_certificate : t -> ratio:float -> unit
+(** A checker-verified optimality certificate was obtained for this
+    controller's world; [ratio] is achieved utility / certified bound.
+    Bumps the certificate count, records the ratio, and mirrors it
+    into the exported [engine_certified_opt_ratio] gauge (under this
+    counter set's labels). *)
+
+val set_certified_gauge : ?labels:(string * string) list -> float -> unit
+(** Write the [engine_certified_opt_ratio] gauge directly — for
+    composed bounds that belong to no single controller (the sharded
+    router's cross-shard certificate). *)
+
+val certificates : t -> int
+val certified_ratio : t -> float
+(** Last ratio recorded by {!note_certificate}; [0.] until one is. *)
+
 val deltas : t -> int
 (** Total deltas recorded. *)
 
@@ -118,6 +134,11 @@ type report = {
   fallbacks : int;  (** replans abandoned for the last feasible plan *)
   recovery_latency : Prelude.Stats.summary;
       (** time-to-recover, wall-clock seconds *)
+  certificates : int;  (** checker-verified optimality certificates *)
+  certified_ratio : float;
+      (** last achieved/bound ratio; [0.] when no certificate yet.
+          Always from a {e checked} certificate — the checker's own
+          recomputed bound, never the emitter's claim. *)
 }
 
 val report : t -> evals:int -> eager_equiv:int -> report

@@ -13,11 +13,12 @@ type decision = In | Out | Free
 (* LP upper bound for a partial decision vector. Streams decided Out
    are removed; streams decided In contribute their cost to the RHS and
    keep their y-variables (coupled to 1 instead of to x). Returns
-   [neg_infinity] when the In set alone violates a budget. *)
-let lp_bound inst decision =
+   [neg_infinity] when the In set alone violates a budget, and
+   [infinity] (sound: no pruning) when the simplex fails. *)
+let lp_bound ?max_iters inst decision =
   let ns = I.num_streams inst and nu = I.num_users inst in
   let m = I.m inst and mc = I.mc inst in
-  let finite x = x < infinity in
+  let finite = Float.is_finite in
   (* Residual budgets after the In set. *)
   let residual = Array.init m (I.budget inst) in
   let infeasible = ref false in
@@ -113,8 +114,12 @@ let lp_bound inst decision =
     done;
     let a = Array.of_list (List.rev !rows) in
     let b = Array.of_list (List.rev !rhs) in
-    match Simplex.maximize ~c ~a ~b () with
-    | Unbounded -> assert false
+    match Simplex.maximize ?max_iters ~c ~a ~b () with
+    | Unbounded | Iteration_limit ->
+        (* A failed bound must degrade to "prune nothing", never crash
+           the search: infinity keeps the branch alive and the result
+           exact (only slower). *)
+        infinity
     | Optimal { objective; _ } -> objective
   end
 
@@ -144,7 +149,7 @@ let leaf_value inst decision =
     Some (!total, A.of_sets sets)
   end
 
-let solve ?(max_nodes = 20_000) inst =
+let solve ?(max_nodes = 20_000) ?lp_max_iters inst =
   let ns = I.num_streams inst in
   (* Incumbent: the LP rounding heuristic. *)
   let seed = Lp_round.run inst in
@@ -152,14 +157,18 @@ let solve ?(max_nodes = 20_000) inst =
   let best = ref seed.Lp_round.assignment in
   let nodes = ref 0 in
   let exhausted = ref true in
-  (* Branch order: root LP fraction descending. *)
-  let root_lp = Lp_relax.solve inst in
+  (* Branch order: root LP fraction descending; natural order if the
+     root LP fails (the order is a heuristic, correctness is not
+     affected). *)
   let order = Array.init ns Fun.id in
-  Array.sort
-    (fun s1 s2 ->
-      compare root_lp.Lp_relax.stream_fraction.(s2)
-        root_lp.Lp_relax.stream_fraction.(s1))
-    order;
+  (match Lp_relax.solve_result ?max_iters:lp_max_iters inst with
+  | Ok root_lp ->
+      Array.sort
+        (fun s1 s2 ->
+          compare root_lp.Lp_relax.stream_fraction.(s2)
+            root_lp.Lp_relax.stream_fraction.(s1))
+        order
+  | Error _ -> ());
   let decision = Array.make ns Free in
   let rec go depth =
     if !nodes >= max_nodes then exhausted := false
@@ -173,7 +182,7 @@ let solve ?(max_nodes = 20_000) inst =
         | Some _ | None -> ()
       end
       else begin
-        let bound = lp_bound inst decision in
+        let bound = lp_bound ?max_iters:lp_max_iters inst decision in
         if bound > !best_value +. 1e-9 then begin
           let s = order.(depth) in
           decision.(s) <- In;

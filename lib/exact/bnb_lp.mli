@@ -19,6 +19,8 @@ type result = {
   nodes : int;      (** branch-and-bound nodes expanded *)
 }
 
-val solve : ?max_nodes:int -> Mmd.Instance.t -> result
+val solve : ?max_nodes:int -> ?lp_max_iters:int -> Mmd.Instance.t -> result
 (** Solve. [max_nodes] defaults to 20_000. The returned assignment is
-    always feasible. *)
+    always feasible. [lp_max_iters] caps the per-node simplex pivots
+    (testing hook); a failed LP bound degrades to "prune nothing", so
+    the search stays exact and never crashes on solver pathologies. *)

@@ -1,0 +1,58 @@
+module I = Mmd.Instance
+
+type method_ = Dense | Sparse
+
+let string_of_method = function Dense -> "dense" | Sparse -> "sparse"
+
+(* Dense tableau cells the LP build would allocate: rows × (vars +
+   rows) floats. Past [dense_cells_limit] the simplex is hopeless and
+   the Lagrangian path takes over. *)
+let dense_cells_limit = 2_000_000
+
+let dense_cells inst =
+  let ns = I.num_streams inst and nu = I.num_users inst in
+  let m = I.m inst and mc = I.mc inst in
+  let ne =
+    let acc = ref 0 in
+    for u = 0 to nu - 1 do
+      acc := !acc + Array.length (I.interesting_streams inst u)
+    done;
+    !acc
+  in
+  let rows = m + ne + (nu * (mc + 1)) + ns in
+  let cols = ns + ne + rows in
+  rows * cols
+
+let emit_dense ?max_iters inst =
+  match Lp_relax.solve_result ?max_iters inst with
+  | Error e -> Error (Lp_relax.string_of_error e)
+  | Ok lp ->
+      (* Raw duals straight off the tableau — possibly eps-negative on
+         degenerate rows. Sealing repairs them and recomputes the
+         bound with the checker's own arithmetic, so the claim always
+         matches what an independent check will find. *)
+      let p = Cert.Problem.of_instance inst in
+      Ok
+        (Cert.Checker.seal p
+           { Cert.Certificate.budget_dual = lp.Lp_relax.budget_shadow_price;
+             capacity_dual = lp.Lp_relax.capacity_shadow_price;
+             cap_dual = lp.Lp_relax.cap_shadow_price;
+             bound = lp.Lp_relax.upper_bound })
+
+let emit_sparse ?iters ?target inst =
+  let p = Cert.Problem.of_instance inst in
+  let cert, _stats = Cert.Sparse.emit ?iters ?target p in
+  cert
+
+let emit ?(dense_limit = dense_cells_limit) ?sparse_iters ?target inst =
+  if dense_cells inst <= dense_limit then
+    match emit_dense inst with
+    | Ok cert -> Ok (cert, Dense)
+    | Error _ ->
+        (* The dense path failing (iteration exhaustion) is not fatal:
+           the Lagrangian emitter cannot fail, only loosen. *)
+        Ok (emit_sparse ?iters:sparse_iters ?target inst, Sparse)
+  else Ok (emit_sparse ?iters:sparse_iters ?target inst, Sparse)
+
+let check ?tol inst cert =
+  Cert.Checker.check ?tol (Cert.Problem.of_instance inst) cert

@@ -5,14 +5,58 @@ type t = {
   stream_fraction : float array;
   budget_shadow_price : float array;
   capacity_shadow_price : float array array;
+  cap_shadow_price : float array;
+  raw_dual_value : float;
+  min_raw_dual : float;
 }
 
-let finite x = x < infinity
+type error = Unbounded | Iteration_limit
+
+let string_of_error = function
+  | Unbounded -> "LP reported unbounded (numeric pathology)"
+  | Iteration_limit -> "simplex iteration budget exhausted"
+
+(* [x < infinity] — the old test — classified NaN as *infinite*, so a
+   NaN budget or capacity silently dropped its constraint row and
+   weakened the relaxation with no error; and it classified
+   neg_infinity as finite. Float.is_finite plus the explicit NaN
+   rejection below closes both holes. *)
+let finite = Float.is_finite
+
+let validate inst =
+  let check what v =
+    if Float.is_nan v then
+      invalid_arg
+        (Printf.sprintf
+           "Lp_relax: %s is NaN — refusing to drop its constraint row" what)
+  in
+  let ns = I.num_streams inst and nu = I.num_users inst in
+  let m = I.m inst and mc = I.mc inst in
+  for i = 0 to m - 1 do
+    check (Printf.sprintf "budget %d" i) (I.budget inst i);
+    for s = 0 to ns - 1 do
+      check (Printf.sprintf "server_cost (%d, %d)" s i) (I.server_cost inst s i)
+    done
+  done;
+  for u = 0 to nu - 1 do
+    check (Printf.sprintf "utility_cap %d" u) (I.utility_cap inst u);
+    for j = 0 to mc - 1 do
+      check (Printf.sprintf "capacity (%d, %d)" u j) (I.capacity inst u j)
+    done;
+    Array.iter
+      (fun s ->
+        check (Printf.sprintf "utility (%d, %d)" u s) (I.utility inst u s);
+        for j = 0 to mc - 1 do
+          check (Printf.sprintf "load (%d, %d, %d)" u s j) (I.load inst u s j)
+        done)
+      (I.interesting_streams inst u)
+  done
 
 (* Row bookkeeping so duals can be routed back to their resource. *)
-type row_tag = Budget of int | Capacity of int * int | Other
+type row_tag = Budget of int | Capacity of int * int | Cap of int | Other
 
-let solve inst =
+let solve_result ?max_iters inst =
+  validate inst;
   let ns = I.num_streams inst and nu = I.num_users inst in
   let m = I.m inst and mc = I.mc inst in
   (* Edge list: one y-variable per positive-utility (user, stream). *)
@@ -71,7 +115,7 @@ let solve inst =
         (fun e (u', s) ->
           if u' = u then row.(y_index e) <- I.utility inst u s)
         edges;
-      add_row row (I.utility_cap inst u)
+      add_row ~tag:(Cap u) row (I.utility_cap inst u)
     end
   done;
   (* x <= 1. *)
@@ -83,23 +127,41 @@ let solve inst =
   let a = Array.of_list (List.rev !rows) in
   let b = Array.of_list (List.rev !rhs) in
   let tags = Array.of_list (List.rev !tags) in
-  match Simplex.maximize ~c ~a ~b () with
-  | Unbounded ->
-      (* Impossible: the polytope lies in [0,1]^nv. *)
-      assert false
-  | Optimal { objective; solution; duals } ->
+  match Simplex.maximize ?max_iters ~c ~a ~b () with
+  | Simplex.Unbounded ->
+      (* "Impossible" — the polytope lies in [0,1]^nv — but numeric
+         pathologies can manufacture it, and a crashed sweep is worse
+         than a run without a bound. *)
+      Error Unbounded
+  | Simplex.Iteration_limit -> Error Iteration_limit
+  | Simplex.Optimal { objective; solution; duals } ->
       let budget_shadow_price = Array.make m 0. in
       let capacity_shadow_price =
         Array.init nu (fun _ -> Array.make mc 0.)
       in
+      let cap_shadow_price = Array.make nu 0. in
+      let raw_dual_value = ref 0. in
+      let min_raw_dual = ref infinity in
       Array.iteri
         (fun row dual ->
+          raw_dual_value := !raw_dual_value +. (dual *. b.(row));
+          if dual < !min_raw_dual then min_raw_dual := dual;
           match tags.(row) with
           | Budget i -> budget_shadow_price.(i) <- dual
           | Capacity (u, j) -> capacity_shadow_price.(u).(j) <- dual
+          | Cap u -> cap_shadow_price.(u) <- dual
           | Other -> ())
         duals;
-      { upper_bound = objective;
-        stream_fraction = Array.sub solution 0 ns;
-        budget_shadow_price;
-        capacity_shadow_price }
+      Ok
+        { upper_bound = objective;
+          stream_fraction = Array.sub solution 0 ns;
+          budget_shadow_price;
+          capacity_shadow_price;
+          cap_shadow_price;
+          raw_dual_value = !raw_dual_value;
+          min_raw_dual = !min_raw_dual }
+
+let solve inst =
+  match solve_result inst with
+  | Ok t -> t
+  | Error e -> invalid_arg (Printf.sprintf "Lp_relax.solve: %s" (string_of_error e))

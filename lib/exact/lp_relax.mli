@@ -10,21 +10,52 @@
     objective). The LP value dominates the utility of every feasible
     {e and} every semi-feasible integral assignment.
 
-    The solution also carries {e shadow prices}: the marginal utility
-    of one more unit of each budget or capacity — which resource an
-    operator should grow first. *)
+    The solution also carries the dual solution ({e shadow prices}):
+    the marginal utility of one more unit of each budget or capacity —
+    and the raw material for optimality certificates (see
+    [Exact.Certificate] / [Cert]). *)
 
 type t = {
   upper_bound : float;            (** the LP optimum *)
   stream_fraction : float array;  (** optimal [x] values per stream *)
   budget_shadow_price : float array;
       (** per server measure: marginal utility per unit of budget;
-          [0.] for infinite or non-binding budgets *)
+          [0.] for infinite or non-binding budgets. {e Raw} simplex
+          duals: degenerate rows can carry eps-negative entries (see
+          {!Simplex.result}); certificate consumers repair + re-verify,
+          display consumers may clamp at 0. *)
   capacity_shadow_price : float array array;
       (** per user per capacity measure, likewise *)
+  cap_shadow_price : float array;
+      (** per user: dual of the utility-cap row ([0.] when [W_u] is
+          infinite), likewise raw *)
+  raw_dual_value : float;
+      (** [b·y] over the raw dual vector of {e all} rows, unclamped —
+          in exact arithmetic equal to [upper_bound] (strong duality);
+          with an eps-negative dual it can land {e below} the primal
+          optimum, which is why certificates must repair before
+          evaluating *)
+  min_raw_dual : float;
+      (** smallest raw dual entry across all rows (diagnostic;
+          [< 0.] exposes the eps-infeasibility) *)
 }
 
+type error = Unbounded | Iteration_limit
+
+val string_of_error : error -> string
+
+val validate : Mmd.Instance.t -> unit
+(** @raise Invalid_argument if any budget, capacity, cost, load,
+    utility or utility cap is NaN. A NaN here previously classified as
+    "infinite" and silently dropped the constraint row; bounds from a
+    weakened system must never be reported, so this is a hard error. *)
+
+val solve_result : ?max_iters:int -> Mmd.Instance.t -> (t, error) result
+(** Build and solve the relaxation. [Error] on simplex iteration
+    exhaustion or a (numerically pathological) unbounded report, so
+    callers — branch-and-bound, the certificate emitters, long bench
+    sweeps — degrade to "no bound" instead of crashing.
+    @raise Invalid_argument on NaN input (see {!validate}). *)
+
 val solve : Mmd.Instance.t -> t
-(** Build and solve the relaxation.
-    @raise Invalid_argument if the simplex exceeds its iteration budget
-    (pathological inputs only). *)
+(** {!solve_result}, raising [Invalid_argument] on [Error]. *)

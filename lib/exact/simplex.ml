@@ -2,6 +2,7 @@ type result =
   | Optimal of { objective : float; solution : float array;
                  duals : float array }
   | Unbounded
+  | Iteration_limit
 
 let pivot_eps = 1e-10
 
@@ -101,8 +102,8 @@ let maximize ?max_iters ~c ~a ~b () =
   in
   let bland_threshold = 10 * (rows + cols) in
   let rec iterate iter =
-    if iter > max_iters then
-      invalid_arg "Simplex.maximize: iteration limit exceeded";
+    if iter > max_iters then Iteration_limit
+    else begin
     let bland = iter > bland_threshold in
     let col = choose_entering ~bland in
     if col < 0 then begin
@@ -112,7 +113,12 @@ let maximize ?max_iters ~c ~a ~b () =
       Array.iteri
         (fun i v -> if v < n then solution.(v) <- tab.(i).(cols))
         basis;
-      let duals = Array.init rows (fun i -> Float.max 0. (-.z.(n + i))) in
+      (* Raw, unclamped: on degenerate rows the reduced cost of a slack
+         column can sit an eps below zero, and clamping here would
+         silently mask that infeasibility from certificate checkers.
+         Consumers that need feasible duals must repair (clamp) and
+         re-verify on their side — see Cert.Checker. *)
+      let duals = Array.init rows (fun i -> -.z.(n + i)) in
       Optimal { objective = -.z.(cols); solution; duals }
     end
     else begin
@@ -122,6 +128,7 @@ let maximize ?max_iters ~c ~a ~b () =
         do_pivot row col;
         iterate (iter + 1)
       end
+    end
     end
   in
   iterate 0

@@ -17,10 +17,20 @@ type result =
       duals : float array;
           (** one dual value (shadow price) per constraint row: the
               rate at which the optimum would grow per unit of extra
-              right-hand side. Non-negative; zero on slack rows
-              (complementary slackness). *)
+              right-hand side. Reported {e raw}: non-negative in exact
+              arithmetic, but degenerate rows can carry eps-negative
+              entries from pivot rounding. They used to be clamped to
+              0 here, which silently masked that the dual vector can
+              be eps-infeasible — unacceptable once duals are used as
+              optimality certificates. Consumers needing feasible
+              duals must repair and re-verify (see [Cert.Checker]). *)
     }
   | Unbounded  (** the objective is unbounded above on the polytope *)
+  | Iteration_limit
+      (** the pivot budget ran out (adversarial or numerically
+          pathological instances). Reported as a value, not an
+          exception, so long sweeps degrade to "no bound" instead of
+          aborting. *)
 
 val maximize :
   ?max_iters:int ->
@@ -31,8 +41,7 @@ val maximize :
   result
 (** Solve. [a] has one row per constraint, [c] one entry per variable,
     [b] one entry per constraint. [max_iters] defaults to
-    [50 · (rows + cols)].
+    [50 · (rows + cols)]; exhausting it yields {!Iteration_limit}.
 
-    @raise Invalid_argument on dimension mismatch, a negative [b]
-    entry, or iteration exhaustion (which indicates a bug or an
-    adversarial instance, not a normal outcome). *)
+    @raise Invalid_argument on dimension mismatch or a negative [b]
+    entry. *)

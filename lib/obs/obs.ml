@@ -309,6 +309,159 @@ module Metrics = struct
       (fun () -> Hashtbl.reset table)
 end
 
+module Json = struct
+  (* The engine's JSON reports are written with Printf, and "%f" of a
+     nan or infinity ("nan", "inf") is not JSON. Every float that can
+     legally be empty-histogram nan or an unmeasured sentinel must go
+     through [num], which emits the explicit null convention instead. *)
+  let num ?(precision = 6) x =
+    if Float.is_finite x then Printf.sprintf "%.*f" precision x else "null"
+
+  let num_g x = if Float.is_finite x then Printf.sprintf "%g" x else "null"
+
+  (* Minimal validating parser — no values built, just a yes/no on
+     RFC-8259 shape — so bench writers can refuse to leave an invalid
+     document on disk and tests can pin the writers' output. *)
+  let validate s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let exception Bad of string in
+    let bad msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> bad (Printf.sprintf "expected %C" c)
+    in
+    let literal w =
+      let l = String.length w in
+      if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l
+      else bad (Printf.sprintf "expected %s" w)
+    in
+    let string_ () =
+      expect '"';
+      let fin = ref false in
+      while not !fin do
+        match peek () with
+        | None -> bad "unterminated string"
+        | Some '"' ->
+            advance ();
+            fin := true
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+                advance ()
+            | Some 'u' ->
+                advance ();
+                for _ = 1 to 4 do
+                  match peek () with
+                  | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                  | _ -> bad "bad \\u escape"
+                done
+            | _ -> bad "bad escape")
+        | Some c when Char.code c < 0x20 -> bad "control char in string"
+        | Some _ -> advance ()
+      done
+    in
+    let digits () =
+      let saw = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        saw := true;
+        advance ()
+      done;
+      if not !saw then bad "expected digit"
+    in
+    let number () =
+      (match peek () with Some '-' -> advance () | _ -> ());
+      digits ();
+      (match peek () with
+      | Some '.' ->
+          advance ();
+          digits ()
+      | _ -> ());
+      match peek () with
+      | Some ('e' | 'E') ->
+          advance ();
+          (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+          digits ()
+      | _ -> ()
+    in
+    let rec value () =
+      skip_ws ();
+      (match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then advance ()
+          else begin
+            let more = ref true in
+            while !more do
+              skip_ws ();
+              string_ ();
+              skip_ws ();
+              expect ':';
+              value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance ()
+              | Some '}' ->
+                  advance ();
+                  more := false
+              | _ -> bad "expected , or }"
+            done
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then advance ()
+          else begin
+            let more = ref true in
+            while !more do
+              value ();
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance ()
+              | Some ']' ->
+                  advance ();
+                  more := false
+              | _ -> bad "expected , or ]"
+            done
+          end
+      | Some '"' -> string_ ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | _ -> bad "expected value");
+      skip_ws ()
+    in
+    match
+      value ();
+      if !pos <> n then bad "trailing garbage"
+    with
+    | () -> Ok ()
+    | exception Bad msg -> Error msg
+
+  let validate_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match validate s with
+    | Ok () -> Ok ()
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+end
+
 module Trace = struct
   let lock = Mutex.create ()
   let chan : out_channel option ref = ref None

@@ -110,6 +110,28 @@ module Metrics : sig
   (** Drop every registered instrument (tests only). *)
 end
 
+module Json : sig
+  (** Guard rails for the Printf-built JSON reports: empty-histogram
+      percentiles are [nan], unmeasured sentinels are [nan], and
+      ["%f"] of either is not JSON. Route every float that can be
+      non-finite through {!num}, and validate whole documents with
+      {!validate} / {!validate_file} before leaving them on disk. *)
+
+  val num : ?precision:int -> float -> string
+  (** ["%.*f"] of a finite float (default precision 6); the literal
+      ["null"] for nan and infinities — the explicit "not measured"
+      convention of every BENCH_*.json document. *)
+
+  val num_g : float -> string
+  (** ["%g"] formatting variant of {!num}. *)
+
+  val validate : string -> (unit, string) result
+  (** Accept iff the string is one well-formed JSON value (RFC 8259
+      shape; no values are built). *)
+
+  val validate_file : string -> (unit, string) result
+end
+
 module Trace : sig
   (** JSONL span sink. Disabled until {!set_output}; spans are then
       appended one JSON object per line, buffered, and flushed by

@@ -25,6 +25,8 @@ type t = {
   mutable local_of : int array;
   counts : int array;
   demand : float array;
+  mutable certificates : int;
+  mutable certified_ratio : float;
 }
 
 let ctrl t i =
@@ -120,7 +122,9 @@ let create ?(policy = C.Every 64) ?(split = Even) ?wal_dir ?replicas
       shard_of = Array.make (max 1 nu) (-1);
       local_of = Array.make (max 1 nu) (-1);
       counts = Array.make n 0;
-      demand = Array.make n 0. }
+      demand = Array.make n 0.;
+      certificates = 0;
+      certified_ratio = 0. }
   in
   (* Global id u landed on shard assign.(u) at local id = its rank
      among that shard's users — the order sub_instance listed them. *)
@@ -387,7 +391,107 @@ let report t =
     quarantined = sum (fun r -> r.quarantined);
     recoveries = sum (fun r -> r.recoveries);
     fallbacks = sum (fun r -> r.fallbacks);
-    recovery_latency = Obs.Hist.to_summary recovery_h }
+    recovery_latency = Obs.Hist.to_summary recovery_h;
+    certificates = t.certificates;
+    certified_ratio = t.certified_ratio }
+
+(* One certified bound for the whole fleet: every shard emits a sparse
+   certificate for its own sub-world (target = its achieved utility),
+   and the pieces compose under Checker's partial/compose split — the
+   per-user dual terms add across the disjoint populations, while the
+   budget duals must be one global vector, taken as the count-weighted
+   average of the shards' (any non-negative choice is sound; averaging
+   keeps each shard's tuning roughly in force). The composed
+   certificate is then re-checked against the mirror — the unsharded
+   problem — so the number reported is the independent checker's, not
+   a sum of shard claims. With one shard the weight is exactly [1.],
+   every float op matches the unsharded [Engine.Certify] path, and the
+   bound is bit-identical to it. *)
+let certify ?iters t =
+  let n = num_shards t in
+  let mirror_p = Engine.Certify.problem_of_view t.mirror in
+  let shard_certs =
+    Array.init n (fun i ->
+        let c = ctrl t i in
+        let p = Engine.Certify.problem_of_view (C.view c) in
+        let cert, stats = Cert.Sparse.emit ?iters ~target:(C.utility c) p in
+        (p, cert, stats))
+  in
+  let m = V.m t.mirror in
+  let total = Array.fold_left ( + ) 0 t.counts in
+  let lambda =
+    Array.init m (fun i ->
+        if total = 0 then
+          let _, c, _ = shard_certs.(0) in
+          c.Cert.Certificate.budget_dual.(i)
+        else begin
+          let acc = ref 0. in
+          for s = 0 to n - 1 do
+            let _, c, _ = shard_certs.(s) in
+            let w = float_of_int t.counts.(s) /. float_of_int total in
+            acc := !acc +. (w *. c.Cert.Certificate.budget_dual.(i))
+          done;
+          !acc
+        end)
+  in
+  let partials =
+    Array.to_list
+      (Array.map (fun (p, c, _) -> Cert.Checker.partial p c) shard_certs)
+  in
+  let bound =
+    Cert.Checker.compose ~m ~budget:(V.budget t.mirror)
+      ~num_streams:(V.num_streams t.mirror)
+      ~server_cost:(V.server_cost t.mirror) ~lambda partials
+  in
+  (* Reassemble the per-user duals in the mirror's user order: global
+     slot -> owning shard -> rank of its local slot among that shard's
+     active slots (the order the shard's problem listed its users). *)
+  let shard_rank =
+    Array.init n (fun i ->
+        let slots = V.active_slots (C.view (ctrl t i)) in
+        let tbl = Hashtbl.create 64 in
+        List.iteri (fun r l -> Hashtbl.replace tbl l r) slots;
+        tbl)
+  in
+  let mirror_slots = Array.of_list (V.active_slots t.mirror) in
+  let locate u =
+    let g = mirror_slots.(u) in
+    let s = t.shard_of.(g) in
+    (s, Hashtbl.find shard_rank.(s) t.local_of.(g))
+  in
+  let nu = Array.length mirror_slots in
+  let composed =
+    { Cert.Certificate.budget_dual = lambda;
+      capacity_dual =
+        Array.init nu (fun u ->
+            let s, r = locate u in
+            let _, c, _ = shard_certs.(s) in
+            Array.copy c.Cert.Certificate.capacity_dual.(r));
+      cap_dual =
+        Array.init nu (fun u ->
+            let s, r = locate u in
+            let _, c, _ = shard_certs.(s) in
+            c.Cert.Certificate.cap_dual.(r));
+      bound }
+  in
+  match Cert.Checker.check mirror_p composed with
+  | Cert.Checker.Rejected msg -> Error msg
+  | Cert.Checker.Certified { bound; repaired } ->
+      let achieved = utility t in
+      let ratio = Engine.Certify.ratio_of ~achieved ~bound in
+      t.certificates <- t.certificates + 1;
+      t.certified_ratio <- ratio;
+      Engine.Counters.set_certified_gauge ratio;
+      Ok
+        ( { Engine.Certify.bound;
+            achieved;
+            ratio;
+            repaired;
+            iterations =
+              Array.fold_left
+                (fun acc (_, _, s) -> acc + s.Cert.Sparse.iterations)
+                0 shard_certs },
+          composed )
 
 (* Lazy mode: identical plan to eager by construction (tie-break to
    the lower stream id), and the only affordable mode at 1M users —

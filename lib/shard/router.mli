@@ -140,7 +140,23 @@ val utility : t -> float
 
 val report : t -> Engine.Counters.report
 (** Cross-shard aggregation: integer telemetry summed, latency
-    histograms merged ({!Obs.Hist.merge_into}) before summarizing. *)
+    histograms merged ({!Obs.Hist.merge_into}) before summarizing.
+    [certificates]/[certified_ratio] are the router's own {!certify}
+    runs, not shard counters. *)
+
+val certify :
+  ?iters:int -> t -> (Engine.Certify.outcome * Cert.Certificate.t, string) result
+(** Certify the whole fleet's achieved utility against one global
+    upper bound: each shard emits a sparse certificate for its
+    sub-world, the per-user duals compose ({!Cert.Checker.compose})
+    under a count-weighted average of the shards' budget duals, and the
+    composed certificate is re-verified by the independent checker
+    against the {e mirror} — the unsharded problem — so the reported
+    bound is the checker's recomputation over the true global budgets
+    and costs, never a sum of shard claims. With [--shards 1] the
+    composition is the identity and the bound is bit-identical to
+    {!Engine.Certify.sparse} on the unsharded engine. On success the
+    router's report/gauge ([engine_certified_opt_ratio]) are updated. *)
 
 val global_scratch : t -> float * int
 (** [(utility, evals)] of a single global solve over the mirror — the

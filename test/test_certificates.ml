@@ -1,0 +1,335 @@
+open Helpers
+module P = Cert.Problem
+module K = Cert.Checker
+module CF = Cert.Certificate
+
+let exact_value inst = (Exact.Bnb_lp.solve inst).Exact.Bnb_lp.value
+
+(* ---------- the LP-layer bugfix pins ---------- *)
+
+(* Regression (simplex dual clamp): Simplex now returns the raw
+   tableau duals, so degenerate optima surface eps-negative
+   components and the raw b·y can dip below the LP optimum. The old
+   code hid this by clamping inside the solver — which silently made
+   b·y an invalid bound story; the contract now is "raw out of the
+   solver, repair in the checker". This scan pins both halves: if the
+   clamp ever comes back, no negative dual is ever observed and the
+   test fails. *)
+let test_raw_duals_surface_negatives () =
+  let found = ref None in
+  let seed = ref 0 in
+  while !found = None && !seed < 2000 do
+    let t =
+      random_mmd ~seed:!seed ~num_streams:8 ~num_users:4 ~m:2 ~mc:1 ~skew:4.
+    in
+    (match Exact.Lp_relax.solve_result t with
+    | Ok lp when lp.Exact.Lp_relax.min_raw_dual < 0. -> found := Some (t, lp)
+    | _ -> ());
+    incr seed
+  done;
+  match !found with
+  | None ->
+      Alcotest.fail
+        "no eps-negative raw dual in 2000 seeds — did the solver-side \
+         clamp come back?"
+  | Some (t, lp) ->
+      check_bool "raw dual is negative" true (lp.Exact.Lp_relax.min_raw_dual < 0.);
+      (* The checker-repaired certificate is still a sound bound. *)
+      let inst = t in
+      (match Exact.Certificate.emit_dense inst with
+      | Error msg -> Alcotest.fail ("dense emit failed: " ^ msg)
+      | Ok cert -> (
+          match Exact.Certificate.check inst cert with
+          | K.Rejected msg -> Alcotest.fail ("checker rejected: " ^ msg)
+          | K.Certified { bound; _ } ->
+              check_bool "repaired bound covers the LP optimum" true
+                (bound +. 1e-5 >= lp.Exact.Lp_relax.upper_bound)))
+
+(* The unrepaired foil: evaluating a dual-infeasible certificate
+   without repair yields a smaller number than the repaired bound —
+   exactly the unsound shortcut a trusting consumer would take. *)
+let test_unrepaired_value_is_the_foil () =
+  let t = random_mmd ~seed:7 ~num_streams:8 ~num_users:4 ~m:2 ~mc:1 ~skew:2. in
+  let p = P.of_instance t in
+  let cert, _ = Cert.Sparse.emit ~iters:10 p in
+  let broken =
+    { cert with CF.cap_dual = Array.map (fun _ -> -0.5) cert.CF.cap_dual }
+  in
+  let raw = K.unrepaired_value p broken in
+  let repaired, changed = K.repair broken in
+  check_bool "repair reports the clamp" true changed;
+  check_bool "unrepaired value understates the sound bound" true
+    (raw < K.evaluate p repaired)
+
+(* Regression (Lp_relax finiteness): the row-dropping test is now
+   [Float.is_finite] — the old [x < infinity] classified NaN as
+   non-finite by accident of comparison semantics but was never
+   validated, so a NaN would have silently dropped its constraint row.
+   [Instance.create] rejects NaN at the source, so the reachable
+   surface here is (a) [validate] accepting every well-formed
+   instance, and (b) the legitimate infinite rows (uncapped users)
+   still dropping without weakening the bound; NaN rejection itself is
+   pinned at the [Cert.Problem] layer below, where a NaN {e is}
+   constructible. *)
+let test_lp_relax_finiteness () =
+  let capped =
+    smd ~budget:3. ~caps:[| 2.; 2. |]
+      ~costs:[| 1.; 1. |]
+      ~utilities:[| [| 2.; 1. |]; [| 1.; 2. |] |]
+      ()
+  in
+  let uncapped =
+    smd ~budget:3.
+      ~caps:[| infinity; infinity |]
+      ~costs:[| 1.; 1. |]
+      ~utilities:[| [| 2.; 1. |]; [| 1.; 2. |] |]
+      ()
+  in
+  Exact.Lp_relax.validate capped;
+  Exact.Lp_relax.validate uncapped;
+  let b_capped = (Exact.Lp_relax.solve capped).Exact.Lp_relax.upper_bound in
+  let b_uncapped = (Exact.Lp_relax.solve uncapped).Exact.Lp_relax.upper_bound in
+  (* dropping the infinite rows must not weaken the bound below the
+     exact optimum of the uncapped problem *)
+  check_bool "uncapped LP covers its optimum" true
+    (b_uncapped +. 1e-6 >= exact_value uncapped);
+  check_bool "caps only ever tighten" true (b_capped <= b_uncapped +. 1e-9)
+
+(* Regression (Unbounded/Iteration_limit): solver pathologies degrade
+   to a result, not an assert crash. *)
+let test_lp_relax_iteration_limit () =
+  let t = random_mmd ~seed:3 ~num_streams:8 ~num_users:4 ~m:2 ~mc:1 ~skew:2. in
+  match Exact.Lp_relax.solve_result ~max_iters:1 t with
+  | Error Exact.Lp_relax.Iteration_limit -> ()
+  | Error Exact.Lp_relax.Unbounded -> Alcotest.fail "expected Iteration_limit"
+  | Ok _ -> Alcotest.fail "1 pivot cannot solve this LP"
+
+let test_bnb_degrades_without_lp () =
+  let t = random_mmd ~seed:11 ~num_streams:7 ~num_users:3 ~m:2 ~mc:1 ~skew:2. in
+  let crippled = Exact.Bnb_lp.solve ~lp_max_iters:1 t in
+  let reference = Exact.Bnb_lp.solve t in
+  check_bool "still exact" true crippled.Exact.Bnb_lp.optimal;
+  check_float "same optimum with no LP pruning" reference.Exact.Bnb_lp.value
+    crippled.Exact.Bnb_lp.value
+
+(* ---------- checker properties ---------- *)
+
+let cert_gen = QCheck2.Gen.int_range 0 10_000
+
+(* Every certificate either emitter produces is accepted by the
+   checker, and its (re-derived) bound covers a feasible optimum. *)
+let emitted_certs_certified =
+  qtest ~count:40 "emitted certificates verify and bound OPT"
+    cert_gen
+    (fun seed ->
+      let inst =
+        if seed mod 2 = 0 then
+          random_smd ~seed ~num_streams:8 ~num_users:5
+        else random_mmd ~seed ~num_streams:7 ~num_users:4 ~m:2 ~mc:2 ~skew:4.
+      in
+      let opt = exact_value inst in
+      let dense_ok =
+        match Exact.Certificate.emit_dense inst with
+        | Error _ -> true (* solver gave up: "no certificate" is honest *)
+        | Ok cert -> (
+            match Exact.Certificate.check inst cert with
+            | K.Certified { bound; _ } -> bound +. 1e-6 >= opt
+            | K.Rejected _ -> false)
+      in
+      let sparse_cert = Exact.Certificate.emit_sparse ~iters:25 ~target:opt inst in
+      let sparse_ok =
+        match Exact.Certificate.check inst sparse_cert with
+        | K.Certified { bound; _ } -> bound +. 1e-6 >= opt
+        | K.Rejected _ -> false
+      in
+      dense_ok && sparse_ok)
+
+(* Adversarial claims are rejected: inflating the claimed bound (or
+   re-tuning duals without resealing) breaks the claim-vs-recompute
+   comparison. The checker never believes the emitter's number. *)
+let perturbed_certs_rejected =
+  qtest ~count:40 "perturbed certificates are rejected"
+    cert_gen
+    (fun seed ->
+      let inst = random_mmd ~seed ~num_streams:7 ~num_users:4 ~m:2 ~mc:1 ~skew:2. in
+      let p = P.of_instance inst in
+      let cert, _ = Cert.Sparse.emit ~iters:15 p in
+      let inflated =
+        { cert with CF.bound = (2. *. Float.abs cert.CF.bound) +. 1. }
+      in
+      let inflated_rejected =
+        match K.check p inflated with K.Rejected _ -> true | _ -> false
+      in
+      (* Halving a multiplier moves the completion value; if this
+         particular instance's completion happens to absorb it within
+         tolerance, the perturbation is harmless and skipping is
+         correct — soundness never depended on it. *)
+      let halved =
+        { cert with
+          CF.budget_dual = Array.map (fun l -> l /. 2.) cert.CF.budget_dual }
+      in
+      let halved_ok =
+        if Float.abs (K.evaluate p halved -. cert.CF.bound)
+           <= K.default_tol *. Float.max 1. (Float.abs cert.CF.bound)
+        then true
+        else match K.check p halved with K.Rejected _ -> true | _ -> false
+      in
+      inflated_rejected && halved_ok)
+
+(* NaN anywhere in the problem is a rejection, never a dropped row:
+   the checker re-validates its inputs (defense in depth below
+   Instance.create's own checks). *)
+let nan_problems_rejected =
+  qtest ~count:20 "NaN problems are rejected, not silently weakened"
+    cert_gen
+    (fun seed ->
+      let inst = random_mmd ~seed ~num_streams:5 ~num_users:3 ~m:2 ~mc:1 ~skew:2. in
+      let p = P.of_instance inst in
+      let cert, _ = Cert.Sparse.emit ~iters:5 p in
+      let poisoned_budget = { p with P.budget = (fun _ -> nan) } in
+      let poisoned_capacity = { p with P.capacity = (fun _ _ -> nan) } in
+      List.for_all
+        (fun p' -> match K.check p' cert with K.Rejected _ -> true | _ -> false)
+        [ poisoned_budget; poisoned_capacity ])
+
+(* ---------- engine + router integration ---------- *)
+
+let churned ~seed ~deltas =
+  let rng = Prelude.Rng.create seed in
+  let cost = Array.init 40 (fun _ -> [| 0.5 +. Prelude.Rng.float rng 1. |]) in
+  let budget = [| 0.25 *. Array.fold_left (fun a c -> a +. c.(0)) 0. cost |] in
+  let catalog =
+    Mmd.Instance.create ~name:"cert-catalog" ~mc:1 ~server_cost:cost ~budget
+      ~load:[||] ~capacity:[||] ~utility:[||] ~utility_cap:[||] ()
+  in
+  let log =
+    Engine.Churn.generate ~rng
+      (Engine.View.of_instance catalog)
+      { Engine.Churn.default with deltas }
+  in
+  (catalog, log)
+
+(* The achieved plan is feasible, so a certified bound must cover it
+   on every seed — the engine-facing soundness statement. *)
+let engine_bound_covers_achieved =
+  qtest ~count:15 "certified bound >= achieved utility on churned worlds"
+    cert_gen
+    (fun seed ->
+      let catalog, log = churned ~seed ~deltas:120 in
+      let ctrl = Engine.Controller.create ~policy:Engine.Controller.Manual catalog in
+      Engine.Controller.apply_all ctrl log;
+      Engine.Controller.replan ctrl;
+      let achieved = Engine.Controller.utility ctrl in
+      match
+        Engine.Certify.sparse ~iters:20 ~achieved (Engine.Controller.view ctrl)
+      with
+      | Error _ -> false
+      | Ok (o, _) ->
+          o.Engine.Certify.bound +. 1e-6 >= achieved
+          && o.Engine.Certify.ratio <= 1. +. 1e-6)
+
+(* The 1-shard router composition runs the identical float program as
+   the unsharded engine path: same bound, bit for bit. *)
+let one_shard_composition_bit_identical =
+  qtest ~count:8 "1-shard composed certificate is bit-identical"
+    cert_gen
+    (fun seed ->
+      let catalog, log = churned ~seed ~deltas:150 in
+      let ctrl = Engine.Controller.create ~policy:Engine.Controller.Manual catalog in
+      Engine.Controller.apply_all ctrl log;
+      Engine.Controller.replan ctrl;
+      let achieved = Engine.Controller.utility ctrl in
+      let engine_bound =
+        match
+          Engine.Certify.sparse ~iters:15 ~achieved (Engine.Controller.view ctrl)
+        with
+        | Ok (o, _) -> o.Engine.Certify.bound
+        | Error msg -> Alcotest.fail ("engine certificate rejected: " ^ msg)
+      in
+      let map = Shard.Shard_map.create ~seed ~tags:[| "rack0" |] () in
+      let router =
+        Shard.Router.create ~policy:Engine.Controller.Manual ~map catalog
+      in
+      Shard.Router.apply_all router log;
+      Shard.Router.replan_all router;
+      match Shard.Router.certify ~iters:15 router with
+      | Error msg -> Alcotest.fail ("router certificate rejected: " ^ msg)
+      | Ok (o, _) ->
+          Int64.bits_of_float o.Engine.Certify.bound
+          = Int64.bits_of_float engine_bound)
+
+let multi_shard_composition_sound =
+  qtest ~count:6 "4-shard composed bound covers the fleet's utility"
+    cert_gen
+    (fun seed ->
+      let catalog, log = churned ~seed ~deltas:150 in
+      let tags = Array.init 4 (fun i -> Printf.sprintf "rack%d" (i mod 2)) in
+      let map = Shard.Shard_map.create ~seed ~tags () in
+      let router =
+        Shard.Router.create ~policy:Engine.Controller.Manual ~map catalog
+      in
+      Shard.Router.apply_all router log;
+      Shard.Router.replan_all router;
+      match Shard.Router.certify ~iters:15 router with
+      | Error _ -> false
+      | Ok (o, _) ->
+          o.Engine.Certify.bound +. 1e-6 >= Shard.Router.utility router)
+
+(* Counters + gauge wiring. *)
+let test_certificate_counters () =
+  Obs.Metrics.reset ();
+  let t = random_mmd ~seed:5 ~num_streams:6 ~num_users:3 ~m:1 ~mc:1 ~skew:2. in
+  let ctrl = Engine.Controller.create ~policy:Engine.Controller.Manual t in
+  Engine.Controller.replan ctrl;
+  let c = Engine.Controller.counters ctrl in
+  Engine.Counters.note_certificate c ~ratio:0.875;
+  check_int "certificate count" 1 (Engine.Counters.certificates c);
+  check_float "stored ratio" 0.875 (Engine.Counters.certified_ratio c);
+  let report = Engine.Controller.report ctrl in
+  check_int "report count" 1 report.Engine.Counters.certificates;
+  check_float "report ratio" 0.875 report.Engine.Counters.certified_ratio;
+  check_float "gauge" 0.875 (Obs.Metrics.sum_gauge "engine_certified_opt_ratio");
+  Obs.Metrics.reset ()
+
+(* ---------- Obs.Json guard rails ---------- *)
+
+let test_json_num () =
+  Alcotest.(check string) "finite" "1.500000" (Obs.Json.num 1.5);
+  Alcotest.(check string) "precision" "1.50" (Obs.Json.num ~precision:2 1.5);
+  Alcotest.(check string) "nan" "null" (Obs.Json.num nan);
+  Alcotest.(check string) "inf" "null" (Obs.Json.num infinity);
+  Alcotest.(check string) "neg inf" "null" (Obs.Json.num neg_infinity);
+  Alcotest.(check string) "g fmt" "0.001" (Obs.Json.num_g 0.001);
+  Alcotest.(check string) "g nan" "null" (Obs.Json.num_g nan)
+
+let test_json_validate () =
+  let ok s = match Obs.Json.validate s with Ok () -> true | Error _ -> false in
+  check_bool "object" true (ok {|{"a": [1, 2.5, -3e4], "b": null, "c": "x\n"}|});
+  check_bool "nested" true (ok {|{"a": {"b": [{"c": true}, false]}}|});
+  check_bool "bare nan is not JSON" false (ok {|{"a": nan}|});
+  check_bool "trailing garbage" false (ok {|{} {}|});
+  check_bool "unterminated" false (ok {|{"a": 1|});
+  check_bool "bad escape" false (ok {|"\q"|})
+
+let suite =
+  [ Alcotest.test_case "raw duals surface eps-negatives (clamp removed)"
+      `Quick test_raw_duals_surface_negatives;
+    Alcotest.test_case "unrepaired evaluation is the unsound foil" `Quick
+      test_unrepaired_value_is_the_foil;
+    Alcotest.test_case "Lp_relax finiteness: infinite rows drop soundly"
+      `Quick test_lp_relax_finiteness;
+    Alcotest.test_case "Lp_relax surfaces iteration exhaustion" `Quick
+      test_lp_relax_iteration_limit;
+    Alcotest.test_case "Bnb_lp stays exact with a crippled LP" `Quick
+      test_bnb_degrades_without_lp;
+    emitted_certs_certified;
+    perturbed_certs_rejected;
+    nan_problems_rejected;
+    engine_bound_covers_achieved;
+    one_shard_composition_bit_identical;
+    multi_shard_composition_sound;
+    Alcotest.test_case "certificate counters and gauge" `Quick
+      test_certificate_counters;
+    Alcotest.test_case "Json.num renders nan as null" `Quick test_json_num;
+    Alcotest.test_case "Json.validate accepts/rejects documents" `Quick
+      test_json_validate ]

@@ -15,7 +15,7 @@ let test_simplex_basic () =
       check_float_loose "objective" 10. objective;
       check_float_loose "x" 2. solution.(0);
       check_float_loose "y" 2. solution.(1)
-  | Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Unbounded | Iteration_limit -> Alcotest.fail "unexpected non-optimal"
 
 let test_simplex_degenerate () =
   (* Redundant constraints with ties. *)
@@ -26,21 +26,21 @@ let test_simplex_degenerate () =
   with
   | Exact.Simplex.Optimal { objective; _ } ->
       check_float_loose "objective" 2. objective
-  | Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Unbounded | Iteration_limit -> Alcotest.fail "unexpected non-optimal"
 
 let test_simplex_unbounded () =
   match
     Exact.Simplex.maximize ~c:[| 1. |] ~a:[| [| -1. |] |] ~b:[| 1. |] ()
   with
   | Exact.Simplex.Unbounded -> ()
-  | Optimal _ -> Alcotest.fail "expected unbounded"
+  | Optimal _ | Iteration_limit -> Alcotest.fail "expected unbounded"
 
 let test_simplex_zero_objective () =
   match
     Exact.Simplex.maximize ~c:[| 0.; 0. |] ~a:[| [| 1.; 1. |] |] ~b:[| 1. |] ()
   with
   | Exact.Simplex.Optimal { objective; _ } -> check_float "zero" 0. objective
-  | Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Unbounded | Iteration_limit -> Alcotest.fail "unexpected non-optimal"
 
 let test_simplex_errors () =
   (match
@@ -89,7 +89,7 @@ let simplex_vs_fractional_knapsack =
       | Exact.Simplex.Optimal { objective; _ } ->
           Prelude.Float_ops.approx_equal ~eps:1e-6 objective
             (fractional_knapsack_oracle values weights capacity)
-      | Unbounded -> false)
+      | Unbounded | Iteration_limit -> false)
 
 (* LP duality: strong duality (c·x = b·y) and dual feasibility
    (yᵀA >= c, y >= 0) must hold at the reported optimum. *)
@@ -109,7 +109,8 @@ let simplex_duality =
         Array.init rows (fun _ -> Prelude.Rng.uniform rng ~lo:0.5 ~hi:8.)
       in
       match Exact.Simplex.maximize ~c ~a ~b () with
-      | Exact.Simplex.Unbounded -> false (* positive rows: impossible *)
+      | Exact.Simplex.Unbounded | Exact.Simplex.Iteration_limit ->
+          false (* positive rows, tiny LP: impossible *)
       | Exact.Simplex.Optimal { objective; duals; _ } ->
           let dual_objective = ref 0. in
           Array.iteri
@@ -123,13 +124,15 @@ let simplex_duality =
             done;
             if !yta +. 1e-6 < c.(j) then dual_feasible := false
           done;
-          Array.for_all (fun y -> y >= 0.) duals
+          (* duals are raw tableau entries: degenerate optima may
+             leave eps-negative components (certificates repair them) *)
+          Array.for_all (fun y -> y >= -1e-6) duals
           && !dual_feasible
           && Prelude.Float_ops.approx_equal ~eps:1e-6 objective
                !dual_objective)
 
 let lp_shadow_prices_sane =
-  qtest ~count:30 "LP shadow prices: zero on slack budgets, nonneg on all"
+  qtest ~count:30 "LP shadow prices: zero on slack budgets, >= -eps on all"
     QCheck2.Gen.(int_range 0 100_000)
     (fun seed ->
       let t =
@@ -139,7 +142,7 @@ let lp_shadow_prices_sane =
       let ok = ref true in
       for i = 0 to Mmd.Instance.m t - 1 do
         let price = lp.Exact.Lp_relax.budget_shadow_price.(i) in
-        if price < 0. then ok := false;
+        if price < -1e-6 then ok := false;
         (* Complementary slackness: positive price => budget binds. *)
         let used = ref 0. in
         for s = 0 to Mmd.Instance.num_streams t - 1 do
